@@ -1,0 +1,64 @@
+// bench_ablation_depth — ablation of the LI depth d (the paper fixes
+// d = 4, §4.3): for each depth, the width b the greedy lexicode needs, the
+// resulting logging rate, and the measured reconstruction ambiguity
+// (number of signals explaining a random (TP, k) log entry). Also sweeps
+// the width b at fixed d to expose the ambiguity/bit-rate trade-off.
+
+#include <cstdio>
+
+#include "timeprint/design.hpp"
+#include "timeprint/reconstruct.hpp"
+
+using namespace tp;
+
+namespace {
+
+double mean_solutions(const core::TimestampEncoding& enc, std::size_t k,
+                      int trials) {
+  core::Logger logger(enc);
+  f2::Rng rng(99);
+  double total = 0;
+  for (int t = 0; t < trials; ++t) {
+    const core::Signal s = core::Signal::random_with_changes(enc.m(), k, rng);
+    const auto sols = core::Reconstructor::brute_force(enc, logger.log(s));
+    total += static_cast<double>(sols.size());
+  }
+  return total / trials;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t m = 64;
+  const std::size_t k = 4;
+  const int trials = 10;
+
+  std::printf("=== Ablation: LI depth d (m=%zu, k=%zu, greedy lexicode, "
+              "%d random entries each) ===\n\n",
+              m, k, trials);
+  std::printf("%-6s %-6s %-16s %-20s\n", "depth", "b", "log rate @100MHz",
+              "mean #reconstructions");
+  for (std::size_t depth : {1u, 2u, 3u, 4u}) {
+    const auto enc = core::TimestampEncoding::incremental_auto(m, depth);
+    std::printf("%-6zu %-6zu %10.2f Mbps   %10.2f\n", depth, enc.width(),
+                enc.log_rate_bps(100e6) / 1e6, mean_solutions(enc, k, trials));
+    std::fflush(stdout);
+  }
+
+  std::printf("\n=== Ablation: width b at fixed d=4 (random-constrained, "
+              "m=%zu, k=%zu) ===\n\n",
+              m, k);
+  std::printf("%-6s %-16s %-20s %-20s\n", "b", "log rate @100MHz",
+              "mean #reconstructions", "expected (C(m,k)/2^b)");
+  for (std::size_t b : {13u, 15u, 17u, 20u, 24u}) {
+    const auto enc = core::TimestampEncoding::random_constrained(m, b, 4, 42);
+    std::printf("%-6zu %10.2f Mbps   %12.2f         %12.2f\n", b,
+                enc.log_rate_bps(100e6) / 1e6, mean_solutions(enc, k, trials),
+                core::expected_solutions(m, k, b));
+    std::fflush(stdout);
+  }
+  std::printf("\nShape checks: ambiguity falls with depth and with width; the\n"
+              "measured counts track the C(m,k)/2^b estimate; wider timeprints\n"
+              "buy uniqueness at a higher logging rate (paper 4.3's trade-off).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// bench_ablation_xor — ablation of the XOR handling strategy:
+//   * Gaussian-elimination engine (implications of row combinations — the
+//     full CryptoMiniSat capability, our default),
+//   * native watched-variable XOR propagation (single-row implications),
+//   * Tseitin-chained CNF (no XOR awareness at all).
+// Measures first-solution reconstruction on mid-size instances.
+
+#include <benchmark/benchmark.h>
+
+#include "timeprint/design.hpp"
+#include "timeprint/reconstruct.hpp"
+
+using namespace tp;
+
+namespace {
+
+void run_reconstruction(benchmark::State& state, bool native_xor,
+                        bool use_gauss = false) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto enc =
+      core::TimestampEncoding::random_constrained(m, core::paper_width(m), 4, 42);
+  core::Logger logger(enc);
+
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    f2::Rng rng(seed++);
+    const core::Signal s = core::Signal::random_with_changes(m, k, rng);
+    const core::LogEntry entry = logger.log(s);
+    state.ResumeTiming();
+
+    core::Reconstructor rec(enc);
+    core::ReconstructionOptions opt;
+    opt.native_xor = native_xor;
+    opt.use_gauss = use_gauss;
+    opt.max_solutions = 1;
+    auto result = rec.reconstruct(entry, opt);
+    benchmark::DoNotOptimize(result.signals.size());
+  }
+}
+
+void BM_GaussXor(benchmark::State& state) { run_reconstruction(state, true, true); }
+void BM_NativeXor(benchmark::State& state) { run_reconstruction(state, true); }
+void BM_ChainedCnfXor(benchmark::State& state) { run_reconstruction(state, false); }
+
+}  // namespace
+
+BENCHMARK(BM_GaussXor)
+    ->Args({32, 4})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Args({96, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NativeXor)
+    ->Args({32, 4})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Args({96, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ChainedCnfXor)
+    ->Args({32, 4})
+    ->Args({64, 4})
+    ->Args({64, 8})
+    ->Args({96, 4})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// bench_refresh_experiment — reproduces §5.2.2 (temperature-compensated
+// refresh effects detection):
+//   * wrong simulation wait states -> k mismatch (configuration error);
+//   * fixed simulation -> timeprints diverge after a few trace-cycles with
+//     equal k (paper: from the 3rd to the 28th trace-cycle depending on
+//     temperature, with m = 1024);
+//   * the one-cycle-delay hypothesis localizes the exact clock cycle;
+//   * hotter runs diverge earlier.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "soc/analysis.hpp"
+#include "soc/system.hpp"
+
+using namespace tp;
+
+namespace {
+
+soc::SocSystem::Config fpga_config(double ambient, std::uint64_t phase) {
+  soc::SocSystem::Config cfg;
+  cfg.program = soc::demo_image(16, 256);
+  cfg.mem.wait_states = 1;
+  cfg.mem.refresh_enabled = true;
+  cfg.mem.ambient_c = ambient;
+  cfg.mem.refresh_base_interval = 2800;
+  cfg.mem.refresh_slope = 30.0;
+  cfg.mem.refresh_phase = phase;
+  return cfg;
+}
+
+soc::SocSystem::Config sim_config(unsigned wait_states) {
+  soc::SocSystem::Config cfg;
+  cfg.program = soc::demo_image(16, 256);
+  cfg.mem.wait_states = wait_states;
+  cfg.mem.refresh_enabled = false;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto enc = core::TimestampEncoding::random_constrained(1024, 24, 4, 7);
+  const std::uint64_t cycles = 120000;
+
+  std::printf("=== 5.2.2 temperature-compensated refresh detection (m=1024, "
+              "b=24) ===\n\n");
+
+  // (a) configuration error: wrong wait states in the simulation.
+  const auto hw = run_soc(fpga_config(45.0, 0), enc, cycles);
+  const auto sim_wrong = run_soc(sim_config(0), enc, cycles);
+  const auto d_wrong = soc::compare_logs(hw.log, sim_wrong.log);
+  std::printf("%-56s %8s %8zu\n",
+              "k mismatch with wrong sim wait states (trace-cycle)", "early",
+              d_wrong.first_k_mismatch);
+
+  // (b) fixed simulation: k equal, timeprints diverge.
+  const auto sim = run_soc(sim_config(1), enc, cycles);
+  const auto d = soc::compare_logs(hw.log, sim.log);
+  std::printf("%-56s %8s %8s\n", "k mismatch after fixing wait states", "none",
+              d.first_k_mismatch >= d.compared ? "none" : "EARLY");
+  std::printf("%-56s %8s %8zu\n",
+              "first timeprint divergence (trace-cycle, 45 C)", "~3-28",
+              d.first_entry_mismatch);
+
+  // (c) localize the delayed change instance.
+  if (d.first_entry_mismatch < d.compared) {
+    const std::size_t t = d.first_entry_mismatch;
+    core::ReconstructionOptions opt;
+    opt.limits.max_seconds = bench::cell_budget_seconds() * 5;
+    const auto loc = soc::localize_delay(enc, hw.log[t], sim.signals[t], 1, opt);
+    if (loc.has_value()) {
+      std::printf("%-56s %8s %8zu  (%.3fs, ground truth %s)\n",
+                  "delayed change localized at clock cycle", "exact",
+                  loc->delayed_cycle, loc->seconds,
+                  loc->hw_signal == hw.signals[t] ? "confirmed" : "MISMATCH");
+    } else {
+      std::printf("delay localization inconclusive within budget\n");
+    }
+  }
+
+  // (d) temperature sweep: mean first diverging trace-cycle over 8 refresh
+  // phases per ambient temperature.
+  std::printf("\n%-12s %-26s %-12s\n", "ambient", "first divergence (mean tc)",
+              "collisions");
+  for (double ambient : {25.0, 35.0, 45.0, 55.0, 65.0}) {
+    double total = 0;
+    std::uint64_t coll = 0;
+    for (std::uint64_t phase = 0; phase < 8; ++phase) {
+      const auto run = run_soc(fpga_config(ambient, phase * 131), enc, cycles);
+      total +=
+          static_cast<double>(soc::compare_logs(run.log, sim.log).first_entry_mismatch);
+      coll += run.refresh_collisions;
+    }
+    std::printf("%6.1f C      %10.1f                 %llu\n", ambient, total / 8,
+                static_cast<unsigned long long>(coll));
+  }
+  std::printf("\nShape checks vs the paper: k-mismatch catches the wait-state\n"
+              "bug; after the fix, divergence appears within the first dozens\n"
+              "of trace-cycles and moves earlier as temperature rises; the\n"
+              "delay hypothesis pinpoints the exact clock cycle.\n");
+  return 0;
+}

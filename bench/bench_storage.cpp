@@ -1,0 +1,79 @@
+// bench_storage — regenerates the paper's motivating storage argument
+// (§1, §3): raw cycle-accurate capture "easily exceeds several Gigabytes
+// per second"; precise event logging costs k·log2(m) bits and bursts past
+// any fixed-rate pin; timeprints cost a constant b + log2(m) bits per
+// trace-cycle. Closed-form rates plus measured totals on the repo's two
+// experiment workloads (CAN bus line, SoC AHB address changes).
+
+#include <cstdio>
+
+#include "baseline/baseline.hpp"
+#include "can/traffic.hpp"
+#include "soc/system.hpp"
+#include "timeprint/design.hpp"
+
+using namespace tp;
+
+namespace {
+
+void print_rates(const char* title, std::size_t m, std::size_t b, double clock_hz,
+                 double density) {
+  std::printf("\n%s (m=%zu, b=%zu, clock %.0f MHz, change density %.3f)\n", title,
+              m, b, clock_hz / 1e6, density);
+  for (const auto& r : baseline::compare_rates(m, b, clock_hz, density)) {
+    std::printf("  %-14s %12.1f kbps  (%.4fx raw)\n", r.scheme,
+                r.bits_per_second / 1e3, r.bits_per_second / clock_hz);
+  }
+}
+
+double measured_density(const std::vector<bool>& waveform) {
+  std::size_t changes = 0;
+  bool prev = true;
+  for (bool level : waveform) {
+    changes += level != prev;
+    prev = level;
+  }
+  return static_cast<double>(changes) / static_cast<double>(waveform.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Storage rates: raw capture vs event log vs timeprints ===\n");
+
+  // The paper's design points at a 100 MHz traced signal (Table 1's R).
+  for (std::size_t m : {64u, 128u, 512u, 1024u}) {
+    print_rates("design point", m, core::paper_width(m), 100e6, 0.2);
+  }
+
+  // Workload 1: the CAN bus line of 5.2.1 (5 Mbps).
+  {
+    can::CanBus bus = can::make_canoe_demo();
+    bus.run(200000);
+    const double density = measured_density(bus.waveform());
+    print_rates("CAN bus line (5.2.1)", 1000, 24, 5e6, density);
+  }
+
+  // Workload 2: the SoC AHB address-change signal of 5.2.2 (assume 50 MHz).
+  {
+    soc::SocSystem::Config cfg;
+    cfg.program = soc::demo_image(16, 128);
+    cfg.mem.wait_states = 1;
+    soc::SocSystem soc_sys(cfg);
+    std::size_t changes = 0;
+    std::uint64_t cycles = 0;
+    while (!soc_sys.halted() && cycles < 100000) {
+      soc_sys.tick();
+      changes += soc_sys.addr_changed();
+      ++cycles;
+    }
+    const double density = static_cast<double>(changes) / static_cast<double>(cycles);
+    print_rates("AHB address changes (5.2.2)", 1024, 24, 50e6, density);
+  }
+
+  std::printf("\nShape checks vs the paper: the raw rate equals the clock rate\n"
+              "(GB/s territory at SoC speeds); the event log scales with k and\n"
+              "overruns a 1-bit pin beyond m/log2(m) events per trace-cycle;\n"
+              "the timeprint rate is constant and orders of magnitude lower.\n");
+  return 0;
+}

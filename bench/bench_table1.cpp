@@ -1,0 +1,103 @@
+// bench_table1 — reproduces the paper's Table 1: reconstruction wall-time
+// across trace-cycle lengths m, change counts k and property combinations,
+// with the random-constrained LI-4 encoding and the paper's widths b.
+//
+// Columns (as in the paper): for each constraint set the time to the first
+// satisfying reconstruction (.1) and the time until the 10th solution or
+// the proof that fewer exist (.10); R is the logging bit-rate for a
+// 100 MHz signal. Cells print "TO" when the per-query budget (default 12 s;
+// env TP_BENCH_SECONDS, 0 = unlimited) runs out — the paper's own times on
+// these rows range up to tens of minutes with CryptoMiniSat.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "timeprint/design.hpp"
+#include "timeprint/reconstruct.hpp"
+
+using namespace tp;
+
+namespace {
+
+struct ColumnResult {
+  double first = -1.0;  ///< seconds to first solution (-1 = budget exhausted)
+  double tenth = -1.0;  ///< seconds to 10th solution / completion
+};
+
+ColumnResult run_column(const core::TimestampEncoding& enc,
+                        const core::LogEntry& entry, bool with_p2, bool with_dk) {
+  core::Reconstructor rec(enc);
+  core::ExistsConsecutivePair p2;
+  core::MinChangesBefore dk(32, 3);
+  if (with_p2) rec.add_property(p2);
+  if (with_dk) rec.add_property(dk);
+
+  core::ReconstructionOptions opt;
+  opt.max_solutions = 10;
+  opt.limits.max_seconds = bench::cell_budget_seconds();
+  const auto result = rec.reconstruct(entry, opt);
+
+  ColumnResult col;
+  if (!result.seconds_to_each.empty()) col.first = result.seconds_to_each[0];
+  if (result.signals.size() == 10 || result.complete()) {
+    col.tenth = result.seconds_total;
+  }
+  return col;
+}
+
+}  // namespace
+
+int main() {
+  struct Row {
+    std::size_t m;
+    std::size_t k;
+  };
+  const std::vector<Row> rows = {{64, 3},   {64, 4},   {64, 8},  {64, 32},
+                                 {128, 3},  {128, 4},  {128, 8}, {128, 16},
+                                 {512, 3},  {512, 4},  {512, 8},
+                                 {1024, 3}, {1024, 4}, {1024, 8}};
+
+  std::printf("=== Table 1: reconstruction time, random-constrained LI-4 "
+              "timestamps ===\n");
+  std::printf("(budget %.0fs/query; TO = budget exhausted; paper columns "
+              "c-SAT / +P2 / +Dk(k=3,D=32) / +Dk+P2)\n\n",
+              bench::cell_budget_seconds());
+  std::printf("%-9s %-3s %-10s %-10s %-10s %-10s %-10s %-10s %-10s %-10s %-12s\n",
+              "m/k", "b", "c-SAT.1", "c-SAT.10", "c+P2.1", "c+P2.10", "c+Dk.1",
+              "c+Dk.10", "c+DkP2.1", "c+DkP2.10", "R@100MHz");
+
+  std::size_t cached_m = 0;
+  core::TimestampEncoding enc = core::TimestampEncoding::one_hot(1);
+  for (const Row& row : rows) {
+    if (row.m != cached_m) {
+      enc = core::TimestampEncoding::random_constrained(
+          row.m, core::paper_width(row.m), 4, /*seed=*/42);
+      cached_m = row.m;
+    }
+    f2::Rng rng(row.m * 131 + row.k);
+    const core::Signal signal = bench::table_signal(row.m, row.k, rng);
+    const core::LogEntry entry = core::Logger(enc).log(signal);
+
+    const ColumnResult c = run_column(enc, entry, false, false);
+    const ColumnResult p2 = run_column(enc, entry, true, false);
+    const ColumnResult dk = run_column(enc, entry, false, true);
+    const ColumnResult both = run_column(enc, entry, true, true);
+
+    char mk[16];
+    std::snprintf(mk, sizeof(mk), "%zu/%zu", row.m, row.k);
+    std::printf("%-9s %-3zu %-10s %-10s %-10s %-10s %-10s %-10s %-10s %-10s "
+                "%6.2f Mbps\n",
+                mk, enc.width(), bench::fmt_time(c.first).c_str(),
+                bench::fmt_time(c.tenth).c_str(), bench::fmt_time(p2.first).c_str(),
+                bench::fmt_time(p2.tenth).c_str(), bench::fmt_time(dk.first).c_str(),
+                bench::fmt_time(dk.tenth).c_str(), bench::fmt_time(both.first).c_str(),
+                bench::fmt_time(both.tenth).c_str(),
+                core::log_rate_bps(row.m, enc.width(), 100e6) / 1e6);
+    std::fflush(stdout);
+  }
+  std::printf("\nShape checks vs the paper: times grow with m; Dk prunes far "
+              "more than P2 (which can even slow the search, cf. the paper's "
+              "512/3 row); Dk+P2 is fastest on large m.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+// bench_util.hpp — shared helpers for the paper-table benchmark binaries.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "timeprint/properties.hpp"
+#include "timeprint/signal.hpp"
+
+namespace tp::bench {
+
+/// Per-query wall-clock budget in seconds. Default 12; override with the
+/// TP_BENCH_SECONDS environment variable (0 = unlimited, reproducing the
+/// paper's full runs).
+inline double cell_budget_seconds() {
+  if (const char* env = std::getenv("TP_BENCH_SECONDS")) {
+    const double v = std::atof(env);
+    return v <= 0 ? -1.0 : v;
+  }
+  return 12.0;
+}
+
+/// Format seconds like the paper's tables ("0m0.085s"), or "TO" when the
+/// budget was exhausted (negative input).
+inline std::string fmt_time(double seconds) {
+  if (seconds < 0) return "TO";
+  const int minutes = static_cast<int>(seconds) / 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%dm%.3fs", minutes, seconds - minutes * 60);
+  return buf;
+}
+
+/// A random signal with exactly k changes that satisfies both of the
+/// paper's illustration properties: P2 (a consecutive pair exists) and
+/// Dk (at least min(3, k) changes before cycle 32). Used to generate the
+/// Table 1 / Table 2 instances so that encoding the properties as *known*
+/// facts is sound.
+inline core::Signal table_signal(std::size_t m, std::size_t k, f2::Rng& rng) {
+  core::Signal s(m);
+  if (k >= 2) {
+    const std::size_t p = rng.below(30);
+    s.set_change(p);
+    s.set_change(p + 1);
+  }
+  while (s.num_changes() < std::min<std::size_t>(3, k)) {
+    s.set_change(rng.below(32));
+  }
+  while (s.num_changes() < k) s.set_change(rng.below(m));
+  return s;
+}
+
+}  // namespace tp::bench

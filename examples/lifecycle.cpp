@@ -1,0 +1,121 @@
+// lifecycle.cpp — the complete timeprint life cycle of the paper's
+// Figure 3, end to end:
+//
+//   development  : pick the encoding, synthesize RV monitors + agg-log HW
+//   deployment   : the traced signal streams through monitors and the
+//                  agg-log unit; entries land in the central archive
+//   postmortem   : a failure report names a time window; the archived
+//                  entry is retrieved, the monitors' PASSed properties
+//                  prune the reconstruction, and the analyst both recovers
+//                  the exact instances and proves a failure hypothesis
+//
+// Run: ./lifecycle
+
+#include <cstdio>
+
+#include "monitor/monitor.hpp"
+#include "rtlsim/agg_log.hpp"
+#include "rtlsim/sim.hpp"
+#include "timeprint/archive.hpp"
+#include "timeprint/reconstruct.hpp"
+
+using namespace tp;
+
+int main() {
+  // ---- development phase ----
+  const std::size_t m = 32;
+  const auto enc = core::TimestampEncoding::random_constrained(m, 12, 4, 11);
+  std::printf("== Timeprint life cycle (Figure 3) ==\n\n");
+  std::printf("[development] m=%zu, b=%zu, LI-4 verified: %s; log budget %zu "
+              "bits per trace-cycle\n",
+              m, enc.width(), enc.verify_li(4) ? "yes" : "NO",
+              enc.bits_per_trace_cycle());
+
+  monitor::MonitorBank monitors(m);
+  monitors.add(std::make_unique<monitor::PairsMonitor>());
+  monitors.add(std::make_unique<monitor::DeadlineMonitor>(16, 2));
+  monitors.add(std::make_unique<monitor::MinGapMonitor>(4));
+  std::printf("[development] RV monitors synthesized: ");
+  for (const auto& n : monitors.names()) std::printf("%s ", n.c_str());
+  std::printf("\n\n");
+
+  // ---- deployment phase ----
+  rtl::AggLogUnit agg(enc);
+  rtl::Simulator sim;
+  sim.add(agg);
+  core::TraceArchive archive;
+  auto& channel = archive.channel("bus-signal", m, enc.width(), /*capacity=*/1000);
+
+  // The traced signal: paired writes, drifting over the windows; one
+  // window (the 7th) carries an anomalous late burst.
+  f2::Rng rng(23);
+  std::vector<core::Signal> truth;  // hidden from the analysis
+  for (int w = 0; w < 12; ++w) {
+    core::Signal s(m);
+    const std::size_t a = 2 + rng.below(6);
+    s.set_change(a);
+    s.set_change(a + 1);
+    const std::size_t c = 18 + rng.below(6);
+    s.set_change(c);
+    s.set_change(c + 1);
+    if (w == 7) {
+      s.set_change(29);
+      s.set_change(30);
+    }
+    truth.push_back(s);
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool change = s.has_change(i);
+      agg.set_change(change);
+      monitors.tick(change);
+      sim.step();
+      if (agg.entry_valid()) channel.append(agg.entry());
+    }
+  }
+  std::printf("[deployment] %zu trace-cycles archived (%zu bits total); "
+              "monitor verdicts recorded\n\n",
+              channel.size(), channel.retained_bits());
+
+  // ---- postmortem phase ----
+  // Failure analysis flags absolute cycle 7*32+29 as suspicious.
+  const std::uint64_t suspicious_cycle = 7 * m + 29;
+  const auto retrieved = channel.covering_cycle(suspicious_cycle);
+  std::printf("[postmortem] retrieved trace-cycle %llu covering cycle %llu "
+              "(k = %zu)\n",
+              static_cast<unsigned long long>(retrieved->index),
+              static_cast<unsigned long long>(suspicious_cycle),
+              retrieved->entry.k);
+
+  const std::size_t w = static_cast<std::size_t>(retrieved->index);
+  core::Reconstructor rec(enc);
+  const auto certified = monitors.certified_for(w);
+  std::printf("[postmortem] monitors certified %zu properties for this window:\n",
+              certified.size());
+  for (const auto& p : certified) std::printf("    %s\n", p->describe().c_str());
+  for (const auto& p : certified) rec.add_property(*p);
+
+  auto result = rec.reconstruct(retrieved->entry);
+  std::printf("[postmortem] reconstructions consistent with log + certified "
+              "properties: %zu\n",
+              result.signals.size());
+  const bool exact = result.signals.size() == 1 && result.signals[0] == truth[w];
+  if (exact) {
+    std::printf("    unique and equal to the hidden ground truth: %s\n",
+                result.signals[0].to_string().c_str());
+  } else {
+    for (const auto& s : result.signals) {
+      std::printf("    %s%s\n", s.to_string().c_str(),
+                  s == truth[w] ? "  <-- actual" : "");
+    }
+  }
+
+  // Failure hypothesis: "a change occurred in the last four cycles of the
+  // window" (the anomalous burst).
+  core::ChangeInWindow burst(m - 4, m);
+  auto check = rec.check_hypothesis(retrieved->entry, burst);
+  std::printf("[postmortem] hypothesis \"%s\": %s [%.3fs]\n",
+              burst.describe().c_str(), to_string(check.verdict), check.seconds);
+  std::printf("\nThe 34-ish-bit log entry, the monitors' verdicts and the SAT\n"
+              "reconstruction together act as the cycle-accurate witness the\n"
+              "paper proposes for in-field liability assignment.\n");
+  return 0;
+}

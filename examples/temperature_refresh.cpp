@@ -1,0 +1,110 @@
+// temperature_refresh.cpp — detecting temperature-compensated refresh
+// effects (paper §5.2.2).
+//
+// The same software image runs on the "FPGA" (PSRAM with temperature-
+// compensated refresh) and in the "RTL simulation" (plain SRAM model, no
+// refresh). Comparing only the 13+7-bit timeprint log entries:
+//   1. a wrong wait-state configuration in the simulation shows up as a
+//      change-count (k) mismatch;
+//   2. after fixing it, the timeprints still diverge in some trace-cycle —
+//      with equal k — exposing a sporadic one-cycle delay;
+//   3. the delay hypothesis reconstruction pinpoints the exact clock cycle;
+//   4. sweeping the ambient temperature shows the delay arrives earlier
+//      when the chip is hotter: a property nobody defined at design time.
+//
+// Run: ./temperature_refresh
+
+#include <cstdio>
+
+#include "soc/analysis.hpp"
+#include "soc/system.hpp"
+
+using namespace tp;
+
+namespace {
+
+soc::SocSystem::Config fpga_config(double ambient) {
+  soc::SocSystem::Config cfg;
+  cfg.program = soc::demo_image(16, 64);
+  cfg.mem.wait_states = 1;
+  cfg.mem.refresh_enabled = true;
+  cfg.mem.ambient_c = ambient;
+  cfg.mem.refresh_base_interval = 1500;
+  cfg.mem.refresh_slope = 20.0;
+  return cfg;
+}
+
+soc::SocSystem::Config sim_config(unsigned wait_states) {
+  soc::SocSystem::Config cfg;
+  cfg.program = soc::demo_image(16, 64);
+  cfg.mem.wait_states = wait_states;
+  cfg.mem.refresh_enabled = false;  // plain SRAM model: no refresh
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto enc = core::TimestampEncoding::random_constrained(1024, 24, 4, 7);
+  const std::uint64_t cycles = 60000;
+
+  std::printf("== Temperature-compensated refresh detection (paper 5.2.2) ==\n\n");
+  std::printf("tracing the AHB address-change signal, m = %zu, b = %zu\n\n",
+              enc.m(), enc.width());
+
+  // Step 1: the simulation was configured with the wrong SRAM wait states.
+  const auto hw = run_soc(fpga_config(45.0), enc, cycles);
+  {
+    const auto sim_wrong = run_soc(sim_config(0), enc, cycles);
+    const auto d = soc::compare_logs(hw.log, sim_wrong.log);
+    std::printf("[1] sim with wrong wait states: first k mismatch at trace-cycle "
+                "%zu of %zu -> configuration error found\n",
+                d.first_k_mismatch, d.compared);
+  }
+
+  // Step 2: wait states fixed; k agrees everywhere but timeprints diverge.
+  const auto sim = run_soc(sim_config(1), enc, cycles);
+  const auto d = soc::compare_logs(hw.log, sim.log);
+  std::printf("[2] sim fixed: k mismatch at %zu (== %zu means none), timeprint "
+              "mismatch at trace-cycle %zu\n",
+              d.first_k_mismatch, d.compared, d.first_entry_mismatch);
+  if (d.first_entry_mismatch >= d.compared) {
+    std::printf("    no divergence observed; try other parameters\n");
+    return 0;
+  }
+
+  // Step 3: localize the delayed change instance exactly.
+  const std::size_t t = d.first_entry_mismatch;
+  auto loc = soc::localize_delay(enc, hw.log[t], sim.signals[t]);
+  if (!loc.has_value()) {
+    std::printf("[3] the one-cycle-delay hypothesis does not explain the "
+                "divergence\n");
+    return 0;
+  }
+  std::printf("[3] delay localized: change of clock cycle %zu (trace-cycle %zu) "
+              "arrived one cycle late [%.3fs solve]\n",
+              loc->delayed_cycle, t, loc->seconds);
+  std::printf("    ground truth agrees: %s\n\n",
+              loc->hw_signal == hw.signals[t] ? "yes" : "NO");
+
+  // Step 4: sweep ambient temperature; average over refresh phases.
+  std::printf("[4] ambient sweep (mean first diverging trace-cycle over 8 runs):\n");
+  std::printf("    %-10s %-22s %-14s\n", "ambient", "first divergence (mean)",
+              "collisions");
+  for (double ambient : {25.0, 35.0, 45.0, 55.0, 65.0}) {
+    double total = 0;
+    std::uint64_t coll = 0;
+    for (std::uint64_t phase = 0; phase < 8; ++phase) {
+      auto cfg = fpga_config(ambient);
+      cfg.mem.refresh_phase = phase * 131;
+      const auto run = run_soc(cfg, enc, cycles);
+      total += static_cast<double>(soc::compare_logs(run.log, sim.log).first_entry_mismatch);
+      coll += run.refresh_collisions;
+    }
+    std::printf("    %5.1f C    %8.1f               %llu\n", ambient, total / 8,
+                static_cast<unsigned long long>(coll));
+  }
+  std::printf("\nhotter silicon refreshes more often -> the sporadic delay "
+              "appears in earlier trace-cycles.\n");
+  return 0;
+}

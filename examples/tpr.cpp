@@ -1,0 +1,164 @@
+// tpr.cpp — command-line front end for timeprint logging and
+// reconstruction ("the tool" of §5.2.1): generates encodings, abstracts
+// signals to log entries, reconstructs signals from log entries, and
+// checks hypotheses, with temporal properties given in the textual
+// property language (see src/timeprint/parse.hpp).
+//
+// Usage:
+//   tpr encode <m> <b> <depth> <seed>
+//       Print the timestamp table of a random-constrained encoding.
+//   tpr log <m> <b> <seed> <signal-bits>
+//       Abstract a signal (cycle-0-first 0/1 string) to (TP, k).
+//   tpr reconstruct <m> <b> <seed> <tp-bits> <k> [options]
+//       Enumerate signals explaining (TP, k).
+//   tpr check <m> <b> <seed> <tp-bits> <k> --hypothesis "<prop>" [options]
+//       Prove or refute a hypothesis over all reconstructions.
+// Options:
+//   --prop "<p1>; <p2>; ..."   known properties pruning the search
+//   --max <n>                  stop after n solutions (default 10)
+//   --timeout <seconds>        solver budget (default unlimited)
+//
+// Example:
+//   tpr reconstruct 64 13 1 0101100110010 4 --prop "before 32 min 3" --max 5
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "timeprint/parse.hpp"
+#include "timeprint/reconstruct.hpp"
+
+using namespace tp;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tpr encode <m> <b> <depth> <seed>\n"
+               "  tpr log <m> <b> <seed> <signal-bits>\n"
+               "  tpr reconstruct <m> <b> <seed> <tp-bits> <k> [--prop P] "
+               "[--max N] [--timeout S]\n"
+               "  tpr check <m> <b> <seed> <tp-bits> <k> --hypothesis P "
+               "[--prop P] [--timeout S]\n");
+  return 2;
+}
+
+std::size_t to_num(const char* s) { return std::strtoull(s, nullptr, 10); }
+
+struct CommonOptions {
+  std::unique_ptr<core::Property> known;
+  std::unique_ptr<core::Property> hypothesis;
+  std::uint64_t max_solutions = 10;
+  double timeout = -1.0;
+};
+
+bool parse_flags(int argc, char** argv, int first, CommonOptions& out) {
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+      return false;
+    }
+    const char* value = argv[++i];
+    if (flag == "--prop") {
+      out.known = core::parse_properties(value);
+    } else if (flag == "--hypothesis") {
+      out.hypothesis = core::parse_properties(value);
+    } else if (flag == "--max") {
+      out.max_solutions = to_num(value);
+    } else if (flag == "--timeout") {
+      out.timeout = std::atof(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "encode") {
+      if (argc != 6) return usage();
+      const auto enc = core::TimestampEncoding::random_constrained(
+          to_num(argv[2]), to_num(argv[3]), to_num(argv[4]), to_num(argv[5]));
+      std::printf("# m=%zu b=%zu depth=%zu scheme=%s\n", enc.m(), enc.width(),
+                  enc.depth(), to_string(enc.scheme()));
+      for (std::size_t i = 0; i < enc.m(); ++i) {
+        std::printf("TS(%zu) %s\n", i + 1, enc.timestamp(i).to_string().c_str());
+      }
+      return 0;
+    }
+    if (cmd == "log") {
+      if (argc != 6) return usage();
+      const auto enc = core::TimestampEncoding::random_constrained(
+          to_num(argv[2]), to_num(argv[3]), 4, to_num(argv[4]));
+      std::string bits = argv[5];
+      if (bits.size() != enc.m()) {
+        std::fprintf(stderr, "signal must have exactly m=%zu bits\n", enc.m());
+        return 2;
+      }
+      core::Signal s(enc.m());
+      for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i] == '1') s.set_change(i);
+      }
+      const core::LogEntry e = core::Logger(enc).log(s);
+      std::printf("TP %s\nk %zu\n", e.tp.to_string().c_str(), e.k);
+      return 0;
+    }
+    if (cmd == "reconstruct" || cmd == "check") {
+      if (argc < 7) return usage();
+      const auto enc = core::TimestampEncoding::random_constrained(
+          to_num(argv[2]), to_num(argv[3]), 4, to_num(argv[4]));
+      const std::string tp_bits = argv[5];
+      if (tp_bits.size() != enc.width()) {
+        std::fprintf(stderr, "timeprint must have exactly b=%zu bits\n",
+                     enc.width());
+        return 2;
+      }
+      core::LogEntry entry{f2::BitVec::from_string(tp_bits), to_num(argv[6])};
+
+      CommonOptions opts;
+      if (!parse_flags(argc, argv, 7, opts)) return 2;
+
+      core::Reconstructor rec(enc);
+      if (opts.known) rec.add_property(*opts.known);
+      core::ReconstructionOptions ro;
+      ro.max_solutions = opts.max_solutions;
+      ro.limits.max_seconds = opts.timeout;
+
+      if (cmd == "reconstruct") {
+        const auto result = rec.reconstruct(entry, ro);
+        std::printf("# status=%s solutions=%zu seconds=%.3f\n",
+                    to_string(result.final_status), result.signals.size(),
+                    result.seconds_total);
+        for (const auto& s : result.signals) {
+          std::printf("%s\n", s.to_string().c_str());
+        }
+        return result.final_status == sat::Status::Unknown ? 1 : 0;
+      }
+      if (!opts.hypothesis) {
+        std::fprintf(stderr, "check requires --hypothesis\n");
+        return 2;
+      }
+      const auto check = rec.check_hypothesis(entry, *opts.hypothesis, ro);
+      std::printf("verdict %s\nseconds %.3f\n", to_string(check.verdict),
+                  check.seconds);
+      if (check.witness) {
+        std::printf("witness %s\n", check.witness->to_string().c_str());
+      }
+      return check.verdict == core::CheckVerdict::Unknown ? 1 : 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}

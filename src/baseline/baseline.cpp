@@ -1,0 +1,55 @@
+#include "baseline/baseline.hpp"
+
+#include <cassert>
+
+#include "timeprint/design.hpp"
+
+namespace tp::baseline {
+
+void RawWaveformLogger::log(const core::Signal& signal) {
+  assert(signal.length() == m_);
+  windows_.push_back(signal);
+}
+
+void EventLogger::log(const core::Signal& signal) {
+  assert(signal.length() == m_);
+  records_.push_back({signal.change_cycles()});
+}
+
+core::Signal EventLogger::reconstruct(std::size_t index) const {
+  return core::Signal::from_change_cycles(m_, records_[index].change_cycles);
+}
+
+std::size_t EventLogger::bits_per_event() const { return core::counter_bits(m_ - 1); }
+
+std::size_t EventLogger::total_bits() const {
+  std::size_t bits = 0;
+  for (const EventRecord& r : records_) {
+    bits += core::counter_bits(m_);  // the per-window event count
+    bits += r.change_cycles.size() * bits_per_event();
+  }
+  return bits;
+}
+
+double EventLogger::rate_bps(std::size_t m, double clock_hz, double change_density) {
+  const double events_per_second = clock_hz * change_density;
+  const double count_overhead =
+      static_cast<double>(core::counter_bits(m)) * clock_hz / static_cast<double>(m);
+  return events_per_second * static_cast<double>(core::counter_bits(m - 1)) +
+         count_overhead;
+}
+
+double EventLogger::max_loggable_events(std::size_t m) {
+  return static_cast<double>(m) / static_cast<double>(core::counter_bits(m - 1));
+}
+
+std::vector<StorageRate> compare_rates(std::size_t m, std::size_t b,
+                                       double clock_hz, double change_density) {
+  return {
+      {"raw waveform", RawWaveformLogger::rate_bps(m, clock_hz)},
+      {"event log", EventLogger::rate_bps(m, clock_hz, change_density)},
+      {"timeprint", core::log_rate_bps(m, b, clock_hz)},
+  };
+}
+
+}  // namespace tp::baseline

@@ -1,0 +1,103 @@
+#pragma once
+// baseline.hpp — the conventional cycle-accurate tracing schemes the paper
+// compares against (§1, §3).
+//
+// Two baselines:
+//  * RawWaveformLogger — capture one bit per clock cycle (logic-analyzer
+//    style): m bits per trace-cycle, lossless, "easily exceeds several
+//    Gigabytes per second" at SoC clock rates.
+//  * EventLogger — log the precise timestamp of every value change
+//    (trace-buffer style): k·ceil(log2 m) bits per trace-cycle. Lossless,
+//    but the rate varies with k, bursts can overrun any fixed-rate link
+//    (max m/log2(m) events per trace-cycle over a 1-bit pin), and the
+//    variable framing makes the stream hard to search.
+//
+// Both reconstruct exactly (they are not abstractions), which is what
+// makes their cost the fair comparison point for the timeprint's constant
+// b + log2(m) bits. bench_storage regenerates the paper's motivating
+// numbers from these models.
+
+#include <cstdint>
+#include <vector>
+
+#include "timeprint/encoding.hpp"
+#include "timeprint/signal.hpp"
+
+namespace tp::baseline {
+
+/// Raw per-cycle capture: m bits per trace-cycle regardless of activity.
+class RawWaveformLogger {
+ public:
+  explicit RawWaveformLogger(std::size_t m) : m_(m) {}
+
+  /// Record one trace-cycle.
+  void log(const core::Signal& signal);
+
+  /// Recorded trace-cycles.
+  const std::vector<core::Signal>& windows() const { return windows_; }
+
+  /// Exact reconstruction is the identity.
+  const core::Signal& reconstruct(std::size_t index) const { return windows_[index]; }
+
+  /// Total bits stored so far.
+  std::size_t total_bits() const { return windows_.size() * m_; }
+
+  /// Bits per second for a signal clocked at clock_hz (independent of k).
+  static double rate_bps(std::size_t /*m*/, double clock_hz) { return clock_hz; }
+
+ private:
+  std::size_t m_;
+  std::vector<core::Signal> windows_;
+};
+
+/// One trace-cycle of precise change timestamps.
+struct EventRecord {
+  std::vector<std::size_t> change_cycles;  ///< ascending, 0-based
+};
+
+/// Precise event logging: k timestamps of ceil(log2 m) bits each.
+class EventLogger {
+ public:
+  explicit EventLogger(std::size_t m) : m_(m) {}
+
+  /// Record one trace-cycle.
+  void log(const core::Signal& signal);
+
+  const std::vector<EventRecord>& records() const { return records_; }
+
+  /// Exact reconstruction from the stored timestamps.
+  core::Signal reconstruct(std::size_t index) const;
+
+  /// Bits per change event: ceil(log2 m) for the timestamp.
+  std::size_t bits_per_event() const;
+
+  /// Total bits stored so far (sum of k_i x bits_per_event; the per-window
+  /// k field itself, log2(m) bits, is charged too so the stream is
+  /// self-delimiting).
+  std::size_t total_bits() const;
+
+  /// Expected bits per second at the given clock rate and change density
+  /// (changes per cycle in [0, 1]).
+  static double rate_bps(std::size_t m, double clock_hz, double change_density);
+
+  /// Maximum events per trace-cycle that a 1-bit/cycle logging pin can
+  /// sustain: m / log2(m) (paper §3's pin argument).
+  static double max_loggable_events(std::size_t m);
+
+ private:
+  std::size_t m_;
+  std::vector<EventRecord> records_;
+};
+
+/// Storage-rate summary for one scheme/workload combination.
+struct StorageRate {
+  const char* scheme;
+  double bits_per_second;
+};
+
+/// The three schemes' sustained rates for a signal at `clock_hz` with the
+/// given change density, using timeprint parameters (m, b).
+std::vector<StorageRate> compare_rates(std::size_t m, std::size_t b,
+                                       double clock_hz, double change_density);
+
+}  // namespace tp::baseline

@@ -1,0 +1,69 @@
+#include "can/bus.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace tp::can {
+
+void CanBus::schedule(std::size_t node, ScheduledMessage message) {
+  assert(node < nodes_.size());
+  Pending p;
+  p.ready_at = message.release_bit;
+  p.message = std::move(message);
+  nodes_[node].queue.push_back(std::move(p));
+}
+
+void CanBus::run(std::uint64_t bits) {
+  for (std::uint64_t step = 0; step < bits; ++step) {
+    const std::uint64_t t = now();
+
+    if (!busy_ && idle_since_ >= kInterFrameSpace) {
+      // Bus is free: start the highest-priority (lowest ID) due message.
+      std::size_t best_node = nodes_.size();
+      std::size_t best_idx = 0;
+      std::uint32_t best_id = std::numeric_limits<std::uint32_t>::max();
+      for (std::size_t n = 0; n < nodes_.size(); ++n) {
+        for (std::size_t i = 0; i < nodes_[n].queue.size(); ++i) {
+          const Pending& p = nodes_[n].queue[i];
+          if (p.ready_at <= t && p.message.frame.id < best_id) {
+            best_id = p.message.frame.id;
+            best_node = n;
+            best_idx = i;
+          }
+        }
+      }
+      if (best_node != nodes_.size()) {
+        Pending& p = nodes_[best_node].queue[best_idx];
+        tx_bits_ = encode_frame(p.message.frame, stuffing_);
+        tx_pos_ = 0;
+        tx_record_ = BusRecord{p.message.frame, p.message.name, best_node, t, 0,
+                               p.ready_at};
+        busy_ = true;
+        // Periodic messages re-arm; one-shots leave the queue.
+        if (p.message.period_bits > 0) {
+          p.ready_at += p.message.period_bits;
+        } else {
+          nodes_[best_node].queue.erase(nodes_[best_node].queue.begin() +
+                                        static_cast<long>(best_idx));
+        }
+      }
+    }
+
+    bool level = true;  // recessive idle
+    const bool transmitting = busy_;
+    if (busy_) {
+      level = tx_bits_[tx_pos_++];
+      if (tx_pos_ == tx_bits_.size()) {
+        busy_ = false;
+        tx_record_.end_bit = t + 1;
+        records_.push_back(tx_record_);
+      }
+    }
+    waveform_.push_back(level);
+    // Inter-frame space counts only fully idle bit-times (the EOF bits of
+    // a frame are recessive but still part of the transmission).
+    idle_since_ = level && !transmitting ? idle_since_ + 1 : 0;
+  }
+}
+
+}  // namespace tp::can

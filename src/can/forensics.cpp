@@ -1,0 +1,88 @@
+#include "can/forensics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tp::can {
+
+using sat::Lit;
+using sat::mk_lit;
+
+std::vector<bool> frame_change_pattern(const CanFrame& frame, bool stuffing) {
+  const std::vector<bool> bits = encode_frame(frame, stuffing);
+  std::vector<bool> pattern(bits.size());
+  bool prev = true;  // bus idles recessive
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    pattern[i] = bits[i] != prev;
+    prev = bits[i];
+  }
+  return pattern;
+}
+
+FrameAtUnknownStart::FrameAtUnknownStart(std::size_t m, std::vector<bool> pattern,
+                                         std::size_t window_lo,
+                                         std::size_t window_hi)
+    : m_(m), pattern_(std::move(pattern)), lo_(window_lo), hi_(window_hi) {
+  assert(!pattern_.empty());
+  // Clip the window so the whole pattern fits in the trace-cycle.
+  const std::size_t max_start = pattern_.size() <= m_ ? m_ - pattern_.size() + 1 : 0;
+  hi_ = std::min(hi_, max_start);
+  lo_ = std::min(lo_, hi_);
+}
+
+bool FrameAtUnknownStart::matches_at(const core::Signal& signal,
+                                     std::size_t start) const {
+  for (std::size_t i = 0; i < pattern_.size(); ++i) {
+    if (signal.has_change(start + i) != pattern_[i]) return false;
+  }
+  return true;
+}
+
+bool FrameAtUnknownStart::holds(const core::Signal& signal) const {
+  for (std::size_t p = lo_; p < hi_; ++p) {
+    if (matches_at(signal, p)) return true;
+  }
+  return false;
+}
+
+bool FrameAtUnknownStart::encode(sat::Solver& solver,
+                                 const std::vector<sat::Var>& x) const {
+  assert(x.size() == m_);
+  if (lo_ >= hi_) return solver.add_clause({});  // no feasible placement
+  std::vector<Lit> selectors;
+  bool ok = true;
+  for (std::size_t p = lo_; p < hi_; ++p) {
+    const Lit s = mk_lit(solver.new_var());
+    for (std::size_t i = 0; i < pattern_.size(); ++i) {
+      ok = solver.add_clause({~s, Lit(x[p + i], /*negated=*/!pattern_[i])}) && ok;
+    }
+    selectors.push_back(s);
+  }
+  ok = solver.add_clause(std::move(selectors)) && ok;
+  return ok;
+}
+
+std::string FrameAtUnknownStart::describe() const {
+  return "frame pattern of " + std::to_string(pattern_.size()) +
+         " bits starts in [" + std::to_string(lo_) + ", " + std::to_string(hi_) +
+         ")";
+}
+
+std::vector<std::size_t> find_pattern(const core::Signal& signal,
+                                      const std::vector<bool>& pattern,
+                                      std::size_t lo, std::size_t hi) {
+  std::vector<std::size_t> out;
+  if (pattern.size() > signal.length()) return out;
+  const std::size_t max_start =
+      std::min(hi, signal.length() - pattern.size() + 1);
+  for (std::size_t p = lo; p < max_start; ++p) {
+    bool match = true;
+    for (std::size_t i = 0; i < pattern.size() && match; ++i) {
+      match = signal.has_change(p + i) == pattern[i];
+    }
+    if (match) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace tp::can

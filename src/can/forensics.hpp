@@ -1,0 +1,60 @@
+#pragma once
+// forensics.hpp — CAN-aware constraints for timeprint reconstruction.
+//
+// "We built a tool, that directly takes CAN messages, and other temporal
+// properties as input, and encodes the corresponding clauses to the SAT
+// solver input" (paper §5.2.1). That tool: a known frame's *content* fixes
+// the bus line's change pattern exactly — only the frame's start position
+// within the trace-cycle is unknown. FrameAtUnknownStart encodes "this
+// frame occurs at some start position inside a window" with a one-hot
+// selector per candidate position; after reconstruction, find_pattern
+// recovers the exact start cycle (and thus the transmission time).
+
+#include <cstddef>
+#include <vector>
+
+#include "can/frame.hpp"
+#include "timeprint/properties.hpp"
+#include "timeprint/signal.hpp"
+
+namespace tp::can {
+
+/// The change pattern a value-change tracer on the bus line sees during
+/// one frame starting from idle: element 0 is the SOF edge, element i is
+/// whether wire bit i differs from bit i-1. Length = frame bit length.
+std::vector<bool> frame_change_pattern(const CanFrame& frame, bool stuffing);
+
+/// Property: `pattern` occurs starting at some cycle p in
+/// [window_lo, window_hi) of the trace-cycle, with the whole pattern
+/// inside the trace-cycle. Cycles outside the matched span are left
+/// unconstrained (other traffic may surround the frame).
+class FrameAtUnknownStart final : public core::Property {
+ public:
+  FrameAtUnknownStart(std::size_t m, std::vector<bool> pattern,
+                      std::size_t window_lo, std::size_t window_hi);
+
+  bool holds(const core::Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::string describe() const override;
+
+  /// Candidate start positions (window clipped so the pattern fits).
+  std::size_t first_start() const { return lo_; }
+  std::size_t last_start() const { return hi_; }  ///< exclusive
+
+ private:
+  bool matches_at(const core::Signal& signal, std::size_t start) const;
+
+  std::size_t m_;
+  std::vector<bool> pattern_;
+  std::size_t lo_;
+  std::size_t hi_;
+};
+
+/// All start positions in [lo, hi) where `pattern` matches `signal`
+/// exactly.
+std::vector<std::size_t> find_pattern(const core::Signal& signal,
+                                      const std::vector<bool>& pattern,
+                                      std::size_t lo, std::size_t hi);
+
+}  // namespace tp::can

@@ -1,0 +1,163 @@
+#include "can/frame.hpp"
+
+#include <cassert>
+
+namespace tp::can {
+
+std::uint16_t crc15(const std::vector<bool>& bits) {
+  // ISO 11898-1 CRC register implementation.
+  std::uint16_t reg = 0;
+  for (bool bit : bits) {
+    const bool crc_next = bit ^ ((reg >> 14) & 1);
+    reg = static_cast<std::uint16_t>((reg << 1) & 0x7FFF);
+    if (crc_next) reg ^= 0x4599;
+  }
+  return reg;
+}
+
+namespace {
+
+// SOF through data: the bits covered by the CRC computation.
+std::vector<bool> crc_covered_bits(const CanFrame& frame) {
+  assert(frame.id < 2048);
+  assert(frame.data.size() <= 8);
+  std::vector<bool> bits;
+  bits.push_back(false);  // SOF (dominant)
+  for (int i = 10; i >= 0; --i) bits.push_back((frame.id >> i) & 1);
+  bits.push_back(false);  // RTR: data frame
+  bits.push_back(false);  // IDE: standard format
+  bits.push_back(false);  // r0
+  const auto dlc = static_cast<std::uint32_t>(frame.data.size());
+  for (int i = 3; i >= 0; --i) bits.push_back((dlc >> i) & 1);
+  for (std::uint8_t byte : frame.data) {
+    for (int i = 7; i >= 0; --i) bits.push_back((byte >> i) & 1);
+  }
+  return bits;
+}
+
+// Insert a complement bit after every run of five identical bits.
+std::vector<bool> stuff(const std::vector<bool>& bits) {
+  std::vector<bool> out;
+  out.reserve(bits.size() + bits.size() / 5);
+  int run = 0;
+  bool run_value = false;
+  for (bool b : bits) {
+    if (!out.empty() && b == run_value) {
+      ++run;
+    } else {
+      run_value = b;
+      run = 1;
+    }
+    out.push_back(b);
+    if (run == 5) {
+      out.push_back(!run_value);
+      run_value = !run_value;
+      run = 1;
+    }
+  }
+  return out;
+}
+
+// Inverse of stuff(): drop every stuff bit; nullopt on a stuffing
+// violation (six identical bits in a row).
+std::optional<std::vector<bool>> unstuff(const std::vector<bool>& bits) {
+  std::vector<bool> out;
+  out.reserve(bits.size());
+  int run = 0;
+  bool run_value = false;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool b = bits[i];
+    if (!out.empty() && b == run_value) {
+      ++run;
+    } else {
+      run_value = b;
+      run = 1;
+    }
+    out.push_back(b);
+    if (run == 5) {
+      if (i + 1 >= bits.size()) break;
+      ++i;
+      if (bits[i] == run_value) return std::nullopt;  // stuffing violation
+      run_value = bits[i];
+      run = 1;
+    }
+  }
+  return out;
+}
+
+std::vector<bool> crc_bits(std::uint16_t crc) {
+  std::vector<bool> bits;
+  for (int i = 14; i >= 0; --i) bits.push_back((crc >> i) & 1);
+  return bits;
+}
+
+}  // namespace
+
+std::vector<bool> encode_frame(const CanFrame& frame, bool stuffing) {
+  std::vector<bool> covered = crc_covered_bits(frame);
+  const std::uint16_t crc = crc15(covered);
+  for (bool b : crc_bits(crc)) covered.push_back(b);
+  std::vector<bool> wire = stuffing ? stuff(covered) : covered;
+  wire.push_back(true);   // CRC delimiter
+  wire.push_back(false);  // ACK slot (driven dominant by a receiver)
+  wire.push_back(true);   // ACK delimiter
+  for (int i = 0; i < 7; ++i) wire.push_back(true);  // EOF
+  return wire;
+}
+
+std::size_t frame_bit_length(const CanFrame& frame, bool stuffing) {
+  return encode_frame(frame, stuffing).size();
+}
+
+std::optional<CanFrame> decode_frame(const std::vector<bool>& bits, bool stuffing) {
+  // Frame tail is fixed: delimiter + ACK + delimiter + 7×EOF = 10 bits.
+  if (bits.size() < 10 + 19 + 15) return std::nullopt;  // minimal dlc=0 frame
+  const std::vector<bool> body(bits.begin(), bits.end() - 10);
+
+  // We do not know the payload length before parsing the DLC, so unstuff
+  // incrementally: first enough bits for the header, then the rest.
+  std::vector<bool> flat;
+  if (stuffing) {
+    auto maybe = unstuff(body);
+    if (!maybe.has_value()) return std::nullopt;
+    flat = std::move(*maybe);
+  } else {
+    flat = body;
+  }
+
+  if (flat.size() < 19 + 15) return std::nullopt;
+  std::size_t pos = 0;
+  if (flat[pos++] != false) return std::nullopt;  // SOF must be dominant
+  std::uint32_t id = 0;
+  for (int i = 0; i < 11; ++i) id = (id << 1) | (flat[pos++] ? 1u : 0u);
+  if (flat[pos++]) return std::nullopt;  // RTR
+  if (flat[pos++]) return std::nullopt;  // IDE
+  if (flat[pos++]) return std::nullopt;  // r0
+  std::uint32_t dlc = 0;
+  for (int i = 0; i < 4; ++i) dlc = (dlc << 1) | (flat[pos++] ? 1u : 0u);
+  if (dlc > 8) return std::nullopt;
+  if (flat.size() != 19 + dlc * 8 + 15) return std::nullopt;
+  CanFrame frame;
+  frame.id = id;
+  for (std::uint32_t b = 0; b < dlc; ++b) {
+    std::uint8_t byte = 0;
+    for (int i = 0; i < 8; ++i) {
+      byte = static_cast<std::uint8_t>((byte << 1) | (flat[pos++] ? 1 : 0));
+    }
+    frame.data.push_back(byte);
+  }
+  std::uint16_t got_crc = 0;
+  for (int i = 0; i < 15; ++i) got_crc = static_cast<std::uint16_t>((got_crc << 1) | (flat[pos++] ? 1 : 0));
+  const std::vector<bool> covered(flat.begin(), flat.begin() + static_cast<long>(19 + dlc * 8));
+  if (crc15(covered) != got_crc) return std::nullopt;
+  return frame;
+}
+
+std::string to_wire_string(const std::vector<bool>& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (bool b : bits) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+}  // namespace tp::can

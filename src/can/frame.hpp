@@ -1,0 +1,50 @@
+#pragma once
+// frame.hpp — CAN 2.0A (11-bit identifier) data frames at bit level.
+//
+// The §5.2.1 experiment traces the CAN bus line itself, so the substrate
+// must produce bit-accurate frames: SOF, arbitration field, control field,
+// data, CRC-15, delimiters, ACK and EOF, with optional bit-stuffing (the
+// paper ignores stuffing "for simplicity"; both modes are supported and
+// tested). Bus convention: 1 = recessive (idle), 0 = dominant.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tp::can {
+
+/// A CAN 2.0A data frame (standard 11-bit identifier, 0-8 data bytes).
+struct CanFrame {
+  std::uint32_t id = 0;            ///< 11-bit identifier (< 2048)
+  std::vector<std::uint8_t> data;  ///< 0..8 payload bytes
+
+  bool operator==(const CanFrame&) const = default;
+};
+
+/// CRC-15-CAN (polynomial x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1,
+/// i.e. 0x4599) over a bit sequence, MSB-first. Returns the 15-bit
+/// remainder.
+std::uint16_t crc15(const std::vector<bool>& bits);
+
+/// Encode a frame to wire bits (1 = recessive). Layout: SOF(0), ID[10..0],
+/// RTR(0), IDE(0), r0(0), DLC[3..0], data (MSB-first per byte), CRC-15,
+/// CRC delimiter(1), ACK slot(0 — some receiver acknowledged), ACK
+/// delimiter(1), EOF(7×1). With `stuffing`, a complement bit is inserted
+/// after five equal bits from SOF through the CRC sequence (ISO 11898-1).
+std::vector<bool> encode_frame(const CanFrame& frame, bool stuffing);
+
+/// Number of wire bits of the encoded frame (without inter-frame space).
+std::size_t frame_bit_length(const CanFrame& frame, bool stuffing);
+
+/// Inter-frame space: 3 recessive bits after EOF before a new SOF may start.
+inline constexpr std::size_t kInterFrameSpace = 3;
+
+/// Decode wire bits back to a frame (inverse of encode_frame; `stuffing`
+/// must match). Returns std::nullopt on malformed input or CRC mismatch.
+std::optional<CanFrame> decode_frame(const std::vector<bool>& bits, bool stuffing);
+
+/// Render as the paper's 0/1 wire string (index 0 = SOF).
+std::string to_wire_string(const std::vector<bool>& bits);
+
+}  // namespace tp::can

@@ -1,0 +1,36 @@
+#include "can/traffic.hpp"
+
+namespace tp::can {
+
+CanFrame gearbox_info_frame() { return {1020, {0x01}}; }
+
+CanFrame engine_data_frame() {
+  return {100, {0x00, 0x00, 0x19, 0x00, 0x00, 0x00, 0x00, 0x00}};
+}
+
+CanFrame abs_data_frame() {
+  return {201, {0x00, 0x00, 0x00, 0x00, 0x00, 0x00}};
+}
+
+CanFrame ignition_info_frame() { return {103, {0x01, 0x00}}; }
+
+CanBus make_canoe_demo(const CanoeDemoConfig& config) {
+  CanBus bus(/*stuffing=*/false);  // the paper ignores bit-stuffing
+  const std::size_t engine = bus.add_node();
+  const std::size_t abs = bus.add_node();
+  const std::size_t gearbox = bus.add_node();
+  const std::size_t ignition = bus.add_node();
+
+  bus.schedule(engine, {engine_data_frame(),
+                        config.engine_offset + config.engine_extra_delay,
+                        config.engine_period, "EngineData"});
+  bus.schedule(abs, {abs_data_frame(), config.abs_offset, config.abs_period,
+                     "ABSdata"});
+  bus.schedule(gearbox, {gearbox_info_frame(), config.gearbox_offset,
+                         config.gearbox_period, "GearBoxInfo"});
+  bus.schedule(ignition, {ignition_info_frame(), config.ignition_offset,
+                          config.ignition_period, "Ignition_Info"});
+  return bus;
+}
+
+}  // namespace tp::can

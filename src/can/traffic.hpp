@@ -1,0 +1,46 @@
+#pragma once
+// traffic.hpp — CANoe-demo-like traffic for the §5.2.1 experiment.
+//
+// The paper drives its experiment with Vector CANoe's demo scenario and
+// lists four messages in the software log. This generator reproduces that
+// message set (same identifiers, DLCs and payloads) on the simulated bus
+// with realistic periods, and allows injecting the "manual delay" the
+// paper applies to the EngineData message whose transmission time is under
+// dispute.
+
+#include <cstdint>
+
+#include "can/bus.hpp"
+
+namespace tp::can {
+
+/// The paper's four messages (names, decimal IDs, DLC and payloads match
+/// the CAN log listing in §5.2.1).
+CanFrame gearbox_info_frame();   ///< GearBoxInfo(1020), d 1, 01
+CanFrame engine_data_frame();    ///< EngineData(100), d 8, 00 00 19 00 00 00 00 00
+CanFrame abs_data_frame();       ///< ABSdata(201), d 6, 00 x6
+CanFrame ignition_info_frame();  ///< Ignition_Info(103), d 2, 01 00
+
+/// Message periods in bus bit-times at 5 Mbps (1 bit = 0.2 µs). The
+/// periods are deliberately not multiples of typical trace-cycle lengths
+/// (real ECU timers do not align with the tracer), so successive instances
+/// of a message land at varying offsets within trace-cycles.
+struct CanoeDemoConfig {
+  std::uint64_t engine_period = 50107;     ///< ~10 ms
+  std::uint64_t abs_period = 60013;        ///< ~12 ms
+  std::uint64_t gearbox_period = 90019;    ///< ~18 ms
+  std::uint64_t ignition_period = 110023;  ///< ~22 ms
+  std::uint64_t engine_offset = 300;
+  std::uint64_t abs_offset = 2100;
+  std::uint64_t gearbox_offset = 5400;
+  std::uint64_t ignition_offset = 9300;
+  /// Extra delay applied to every EngineData release — the paper's
+  /// manually injected delay that pushes the transmission past the
+  /// deadline.
+  std::uint64_t engine_extra_delay = 0;
+};
+
+/// Create a 4-node bus (one node per message) with the demo schedule.
+CanBus make_canoe_demo(const CanoeDemoConfig& config = {});
+
+}  // namespace tp::can

@@ -1,0 +1,153 @@
+#include "f2/matrix.hpp"
+
+#include <cassert>
+
+namespace tp::f2 {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows, BitVec(cols)) {}
+
+Matrix Matrix::from_columns(const std::vector<BitVec>& columns) {
+  assert(!columns.empty());
+  const std::size_t rows = columns.front().size();
+  Matrix m(rows, columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    assert(columns[c].size() == rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (columns[c].get(r)) m.data_[r].set(c, true);
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.data_[i].set(i, true);
+  return m;
+}
+
+BitVec Matrix::column(std::size_t c) const {
+  assert(c < cols_);
+  BitVec v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (data_[r].get(c)) v.set(r, true);
+  }
+  return v;
+}
+
+BitVec Matrix::multiply(const BitVec& x) const {
+  assert(x.size() == cols_);
+  BitVec out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (data_[r].dot(x)) out.set(r, true);
+  }
+  return out;
+}
+
+namespace {
+
+// Row-reduce `rows` in place; returns the pivot column of each surviving
+// row (rows without a pivot become zero and are moved to the back).
+// Elimination proceeds from the lowest column index upward.
+std::vector<std::size_t> reduce(std::vector<BitVec>& rows) {
+  std::vector<std::size_t> pivots;
+  std::size_t next_row = 0;
+  if (rows.empty()) return pivots;
+  const std::size_t cols = rows.front().size();
+  for (std::size_t col = 0; col < cols && next_row < rows.size(); ++col) {
+    std::size_t pivot = rows.size();
+    for (std::size_t r = next_row; r < rows.size(); ++r) {
+      if (rows[r].get(col)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == rows.size()) continue;
+    std::swap(rows[next_row], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != next_row && rows[r].get(col)) rows[r] ^= rows[next_row];
+    }
+    pivots.push_back(col);
+    ++next_row;
+  }
+  return pivots;
+}
+
+}  // namespace
+
+std::size_t Matrix::rank() const {
+  std::vector<BitVec> rows = data_;
+  return reduce(rows).size();
+}
+
+std::optional<LinearSolution> Matrix::solve(const BitVec& b) const {
+  assert(b.size() == rows_);
+  // Work on the augmented matrix [A | b] with the augmented bit stored at
+  // column index cols_.
+  std::vector<BitVec> aug(rows_, BitVec(cols_ + 1));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (data_[r].get(c)) aug[r].set(c, true);
+    }
+    if (b.get(r)) aug[r].set(cols_, true);
+  }
+  std::vector<std::size_t> pivots = reduce(aug);
+  // Inconsistent iff some pivot landed on the augmented column.
+  if (!pivots.empty() && pivots.back() == cols_) return std::nullopt;
+
+  LinearSolution sol{BitVec(cols_), {}};
+  // Particular solution: free variables 0, pivot variables take the
+  // augmented value of their row.
+  std::vector<bool> is_pivot(cols_, false);
+  for (std::size_t r = 0; r < pivots.size(); ++r) {
+    is_pivot[pivots[r]] = true;
+    if (aug[r].get(cols_)) sol.particular.set(pivots[r], true);
+  }
+  // Null-space basis: one vector per free column f — set x_f = 1 and give
+  // each pivot variable the coefficient of column f in its (reduced) row.
+  for (std::size_t f = 0; f < cols_; ++f) {
+    if (is_pivot[f]) continue;
+    BitVec v(cols_);
+    v.set(f, true);
+    for (std::size_t r = 0; r < pivots.size(); ++r) {
+      if (aug[r].get(f)) v.set(pivots[r], true);
+    }
+    sol.nullspace.push_back(std::move(v));
+  }
+  return sol;
+}
+
+bool Matrix::linearly_independent(const std::vector<BitVec>& vectors) {
+  if (vectors.empty()) return true;
+  std::vector<BitVec> rows = vectors;
+  return reduce(rows).size() == vectors.size();
+}
+
+LiChecker::LiChecker(std::size_t dim, std::size_t depth)
+    : dim_(dim), depth_(depth) {
+  assert(depth >= 1 && depth <= 4);
+}
+
+bool LiChecker::can_add(const BitVec& candidate) const {
+  assert(candidate.size() == dim_);
+  if (candidate.is_zero()) return false;                       // depth 1
+  if (depth_ >= 2 && member_set_.contains(candidate)) return false;
+  if (depth_ >= 3 && pair_xors_.contains(candidate)) return false;
+  if (depth_ >= 4) {
+    // {v, a, b, c} dependent <=> v ^ a == b ^ c. A hit v ^ a == a ^ b would
+    // mean v == b which depth 2 already excluded, so the set test is exact.
+    for (const BitVec& a : members_) {
+      if (pair_xors_.contains(candidate ^ a)) return false;
+    }
+  }
+  return true;
+}
+
+void LiChecker::add(const BitVec& v) {
+  assert(can_add(v));
+  for (const BitVec& a : members_) pair_xors_.insert(v ^ a);
+  members_.push_back(v);
+  member_set_.insert(v);
+}
+
+}  // namespace tp::f2

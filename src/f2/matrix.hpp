@@ -1,0 +1,116 @@
+#pragma once
+// matrix.hpp — dense matrices and linear-system solving over F2.
+//
+// The reconstruction problem of the paper is, in linear-algebra form,
+// "find all x in F2^m with A·x = TP and |x| = k" where the columns of A are
+// the timestamps (paper §4.2). This module provides the plain linear
+// algebra: rank, consistency, one particular solution and a null-space
+// basis, which together describe the full (unweighted) solution set with
+// 2^(m - rank) elements. The SAT layer adds the cardinality constraint.
+
+#include <cstddef>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "f2/bitvec.hpp"
+
+namespace tp::f2 {
+
+/// Result of solving a linear system A·x = b over F2.
+struct LinearSolution {
+  /// One particular solution (any x with A·x = b).
+  BitVec particular;
+  /// Basis of the null space of A; the full solution set is
+  /// { particular + sum of any subset of basis vectors }.
+  std::vector<BitVec> nullspace;
+
+  /// Number of solutions = 2^nullspace.size() (as long as it fits 64 bits).
+  std::uint64_t count() const {
+    return nullspace.size() >= 64 ? UINT64_MAX
+                                  : (std::uint64_t{1} << nullspace.size());
+  }
+};
+
+/// A rows × cols matrix over F2, stored row-major as BitVecs.
+class Matrix {
+ public:
+  /// Zero matrix of the given shape.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Build a matrix whose columns are the given vectors (all of equal
+  /// dimension, which becomes the row count). This matches the paper's
+  /// A = [TS(1) | ... | TS(m)].
+  static Matrix from_columns(const std::vector<BitVec>& columns);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Element access.
+  bool get(std::size_t r, std::size_t c) const { return data_[r].get(c); }
+  void set(std::size_t r, std::size_t c, bool v) { data_[r].set(c, v); }
+
+  /// Row access (rows are BitVecs of dimension cols()).
+  const BitVec& row(std::size_t r) const { return data_[r]; }
+  BitVec& row(std::size_t r) { return data_[r]; }
+
+  /// Column c as a BitVec of dimension rows().
+  BitVec column(std::size_t c) const;
+
+  /// Matrix-vector product A·x (x has dimension cols(), result rows()).
+  BitVec multiply(const BitVec& x) const;
+
+  /// Rank via Gaussian elimination (does not modify *this).
+  std::size_t rank() const;
+
+  /// Solve A·x = b. Returns std::nullopt when inconsistent; otherwise a
+  /// particular solution plus a null-space basis describing all solutions.
+  std::optional<LinearSolution> solve(const BitVec& b) const;
+
+  /// True iff the given set of vectors is linearly independent.
+  static bool linearly_independent(const std::vector<BitVec>& vectors);
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<BitVec> data_;
+};
+
+/// Incrementally maintained check that every subset of size <= depth of a
+/// growing set of vectors stays linearly independent ("LI-d" in the paper,
+/// §4.3). Supports depth 2..4. Equivalent characterisations used:
+///   depth 1: no zero vector;
+///   depth 2: all vectors distinct (and nonzero);
+///   depth 3: v ∉ {a ^ b} for existing pairs;
+///   depth 4: v ^ a ∉ {b ^ c}  (all pairwise XORs distinct).
+/// The pairwise-XOR set makes the depth-4 check O(|S|) per candidate
+/// instead of O(|S|^3).
+class LiChecker {
+ public:
+  /// depth must be in [1, 4]; dim is the vector dimension b.
+  LiChecker(std::size_t dim, std::size_t depth);
+
+  /// True iff the current set plus `candidate` would still be LI-depth.
+  bool can_add(const BitVec& candidate) const;
+
+  /// Add a vector (precondition: can_add(v)).
+  void add(const BitVec& v);
+
+  /// Number of vectors added so far.
+  std::size_t size() const { return members_.size(); }
+
+  /// The vectors added so far, in insertion order.
+  const std::vector<BitVec>& members() const { return members_; }
+
+ private:
+  std::size_t dim_;
+  std::size_t depth_;
+  std::vector<BitVec> members_;
+  std::unordered_set<BitVec> member_set_;
+  std::unordered_set<BitVec> pair_xors_;
+};
+
+}  // namespace tp::f2

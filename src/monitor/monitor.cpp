@@ -1,0 +1,176 @@
+#include "monitor/monitor.hpp"
+
+#include <cassert>
+
+namespace tp::monitor {
+
+bool WindowMonitor::evaluate(const core::Signal& signal) {
+  reset();
+  for (std::size_t i = 0; i < signal.length(); ++i) {
+    step(i, signal.has_change(i));
+  }
+  return passed();
+}
+
+// ---- NoConsecutiveMonitor ----
+
+void NoConsecutiveMonitor::reset() {
+  prev_ = false;
+  ok_ = true;
+}
+
+void NoConsecutiveMonitor::step(std::size_t, bool change) {
+  if (change && prev_) ok_ = false;
+  prev_ = change;
+}
+
+std::unique_ptr<core::Property> NoConsecutiveMonitor::certified_property() const {
+  return std::make_unique<core::NoConsecutivePair>();
+}
+
+// ---- PairsMonitor ----
+
+void PairsMonitor::reset() {
+  run_ = 0;
+  ok_ = true;
+}
+
+void PairsMonitor::step(std::size_t, bool change) {
+  if (change) {
+    ++run_;
+    if (run_ > 2) ok_ = false;
+  } else {
+    if (run_ == 1) ok_ = false;  // isolated change
+    run_ = 0;
+  }
+}
+
+std::unique_ptr<core::Property> PairsMonitor::certified_property() const {
+  return std::make_unique<core::ChangesInConsecutivePairs>();
+}
+
+// ---- MinGapMonitor ----
+
+void MinGapMonitor::reset() {
+  since_last_ = 0;
+  seen_ = false;
+  ok_ = true;
+}
+
+void MinGapMonitor::step(std::size_t, bool change) {
+  if (change) {
+    if (seen_ && since_last_ < gap_) ok_ = false;
+    seen_ = true;
+    since_last_ = 0;
+  }
+  ++since_last_;
+}
+
+std::unique_ptr<core::Property> MinGapMonitor::certified_property() const {
+  return std::make_unique<core::MinGap>(gap_);
+}
+
+std::string MinGapMonitor::name() const {
+  return "min-gap(" + std::to_string(gap_) + ")";
+}
+
+// ---- MaxGapMonitor ----
+
+void MaxGapMonitor::reset() {
+  since_last_ = 0;
+  seen_ = false;
+  ok_ = true;
+}
+
+void MaxGapMonitor::step(std::size_t, bool change) {
+  if (change) {
+    if (seen_ && since_last_ > gap_) ok_ = false;
+    seen_ = true;
+    since_last_ = 0;
+  }
+  ++since_last_;
+}
+
+std::unique_ptr<core::Property> MaxGapMonitor::certified_property() const {
+  return std::make_unique<core::MaxGap>(gap_);
+}
+
+std::string MaxGapMonitor::name() const {
+  return "max-gap(" + std::to_string(gap_) + ")";
+}
+
+// ---- DeadlineMonitor ----
+
+void DeadlineMonitor::reset() { count_ = 0; }
+
+void DeadlineMonitor::step(std::size_t cycle, bool change) {
+  if (change && cycle < deadline_) ++count_;
+}
+
+std::unique_ptr<core::Property> DeadlineMonitor::certified_property() const {
+  return std::make_unique<core::MinChangesBefore>(deadline_, min_changes_);
+}
+
+std::string DeadlineMonitor::name() const {
+  return "deadline(D=" + std::to_string(deadline_) +
+         ",k=" + std::to_string(min_changes_) + ")";
+}
+
+// ---- WindowCountMonitor ----
+
+void WindowCountMonitor::reset() { count_ = 0; }
+
+void WindowCountMonitor::step(std::size_t cycle, bool change) {
+  if (change && cycle >= lo_ && cycle < hi_) ++count_;
+}
+
+std::unique_ptr<core::Property> WindowCountMonitor::certified_property() const {
+  return std::make_unique<core::ExactlyKInWindow>(lo_, hi_, k_);
+}
+
+std::string WindowCountMonitor::name() const {
+  return "count[" + std::to_string(lo_) + "," + std::to_string(hi_) +
+         ")==" + std::to_string(k_);
+}
+
+// ---- MonitorBank ----
+
+std::size_t MonitorBank::add(std::unique_ptr<WindowMonitor> monitor) {
+  assert(phase_ == 0 && history_.empty() && "add monitors before streaming");
+  monitor->reset();
+  monitors_.push_back(std::move(monitor));
+  return monitors_.size() - 1;
+}
+
+void MonitorBank::tick(bool change) {
+  if (phase_ == 0) {
+    for (auto& mo : monitors_) mo->reset();
+  }
+  for (auto& mo : monitors_) mo->step(phase_, change);
+  ++phase_;
+  if (phase_ == m_) {
+    std::vector<bool> verdicts;
+    verdicts.reserve(monitors_.size());
+    for (const auto& mo : monitors_) verdicts.push_back(mo->passed());
+    history_.push_back(std::move(verdicts));
+    phase_ = 0;
+  }
+}
+
+std::vector<std::string> MonitorBank::names() const {
+  std::vector<std::string> out;
+  for (const auto& mo : monitors_) out.push_back(mo->name());
+  return out;
+}
+
+std::vector<std::unique_ptr<core::Property>> MonitorBank::certified_for(
+    std::size_t w) const {
+  std::vector<std::unique_ptr<core::Property>> out;
+  assert(w < history_.size());
+  for (std::size_t i = 0; i < monitors_.size(); ++i) {
+    if (history_[w][i]) out.push_back(monitors_[i]->certified_property());
+  }
+  return out;
+}
+
+}  // namespace tp::monitor

@@ -1,0 +1,185 @@
+#pragma once
+// monitor.hpp — run-time verification monitors (the RV block of Figure 3).
+//
+// The methodology pairs timeprints with synthesized hardware monitors:
+// monitors check *defined* properties during deployment, and — crucially
+// for the postmortem phase — every property a monitor verified for a
+// trace-cycle can be encoded into that trace-cycle's reconstruction query
+// to prune the search space ("the properties already known to hold because
+// the hardware monitors checking them indicate their satisfaction, can be
+// encoded into the SAT-solver input", §2).
+//
+// A WindowMonitor is a small synthesizable-style automaton: reset at the
+// trace-cycle start, stepped once per clock with the change bit, verdict
+// available at the boundary. Each monitor names the temporal property its
+// PASS verdict certifies, so a MonitorBank can hand the reconstruction the
+// exact pruning constraints for any past window.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "timeprint/properties.hpp"
+#include "timeprint/signal.hpp"
+
+namespace tp::monitor {
+
+/// A per-trace-cycle property checker with hardware-like semantics.
+class WindowMonitor {
+ public:
+  virtual ~WindowMonitor() = default;
+
+  /// Return to the initial state (trace-cycle start).
+  virtual void reset() = 0;
+
+  /// Observe one clock cycle (cycle_in_window counts 0..m-1).
+  virtual void step(std::size_t cycle_in_window, bool change) = 0;
+
+  /// Verdict for the completed window (valid after m steps).
+  virtual bool passed() const = 0;
+
+  /// The temporal property a PASS certifies (fresh instance; the caller
+  /// owns it and may register it with a Reconstructor).
+  virtual std::unique_ptr<core::Property> certified_property() const = 0;
+
+  /// Short name for reports.
+  virtual std::string name() const = 0;
+
+  /// Reference evaluation on a whole signal (defaults to replaying steps;
+  /// used by tests to cross-check automaton vs property semantics).
+  bool evaluate(const core::Signal& signal);
+};
+
+/// PASS iff no two consecutive cycles both change.
+class NoConsecutiveMonitor final : public WindowMonitor {
+ public:
+  void reset() override;
+  void step(std::size_t cycle, bool change) override;
+  bool passed() const override { return ok_; }
+  std::unique_ptr<core::Property> certified_property() const override;
+  std::string name() const override { return "no-consecutive"; }
+
+ private:
+  bool prev_ = false;
+  bool ok_ = true;
+};
+
+/// PASS iff all maximal change runs have length exactly 2 (§3.3's
+/// write-protocol property).
+class PairsMonitor final : public WindowMonitor {
+ public:
+  void reset() override;
+  void step(std::size_t cycle, bool change) override;
+  bool passed() const override { return ok_ && run_ == 0; }
+  std::unique_ptr<core::Property> certified_property() const override;
+  std::string name() const override { return "pairs"; }
+
+ private:
+  std::size_t run_ = 0;
+  bool ok_ = true;
+};
+
+/// PASS iff changes are at least `gap` cycles apart.
+class MinGapMonitor final : public WindowMonitor {
+ public:
+  explicit MinGapMonitor(std::size_t gap) : gap_(gap) {}
+  void reset() override;
+  void step(std::size_t cycle, bool change) override;
+  bool passed() const override { return ok_; }
+  std::unique_ptr<core::Property> certified_property() const override;
+  std::string name() const override;
+
+ private:
+  std::size_t gap_;
+  std::size_t since_last_ = 0;
+  bool seen_ = false;
+  bool ok_ = true;
+};
+
+/// PASS iff consecutive changes are at most `gap` cycles apart.
+class MaxGapMonitor final : public WindowMonitor {
+ public:
+  explicit MaxGapMonitor(std::size_t gap) : gap_(gap) {}
+  void reset() override;
+  void step(std::size_t cycle, bool change) override;
+  bool passed() const override { return ok_; }
+  std::unique_ptr<core::Property> certified_property() const override;
+  std::string name() const override;
+
+ private:
+  std::size_t gap_;
+  std::size_t since_last_ = 0;
+  bool seen_ = false;
+  bool ok_ = true;
+};
+
+/// PASS iff at least `min_changes` changes occurred before cycle
+/// `deadline` (the Dk deadline monitor, the classic RV use).
+class DeadlineMonitor final : public WindowMonitor {
+ public:
+  DeadlineMonitor(std::size_t deadline, std::size_t min_changes)
+      : deadline_(deadline), min_changes_(min_changes) {}
+  void reset() override;
+  void step(std::size_t cycle, bool change) override;
+  bool passed() const override { return count_ >= min_changes_; }
+  std::unique_ptr<core::Property> certified_property() const override;
+  std::string name() const override;
+
+ private:
+  std::size_t deadline_;
+  std::size_t min_changes_;
+  std::size_t count_ = 0;
+};
+
+/// PASS iff exactly `k` changes fall inside [lo, hi).
+class WindowCountMonitor final : public WindowMonitor {
+ public:
+  WindowCountMonitor(std::size_t lo, std::size_t hi, std::size_t k)
+      : lo_(lo), hi_(hi), k_(k) {}
+  void reset() override;
+  void step(std::size_t cycle, bool change) override;
+  bool passed() const override { return count_ == k_; }
+  std::unique_ptr<core::Property> certified_property() const override;
+  std::string name() const override;
+
+ private:
+  std::size_t lo_, hi_, k_;
+  std::size_t count_ = 0;
+};
+
+/// Drives a set of monitors over back-to-back trace-cycles and records the
+/// verdict vector of every completed window.
+class MonitorBank {
+ public:
+  explicit MonitorBank(std::size_t m) : m_(m) {}
+
+  /// Register a monitor (owned by the bank). Returns its index.
+  std::size_t add(std::unique_ptr<WindowMonitor> monitor);
+
+  /// Observe one clock cycle of the traced signal.
+  void tick(bool change);
+
+  /// Number of monitors.
+  std::size_t size() const { return monitors_.size(); }
+
+  /// Verdicts per completed window: history()[w][i] is monitor i's PASS
+  /// for trace-cycle w.
+  const std::vector<std::vector<bool>>& history() const { return history_; }
+
+  /// Monitor names, index order.
+  std::vector<std::string> names() const;
+
+  /// Fresh property instances certified (PASSed) for window w — ready to
+  /// add to a Reconstructor for that window's log entry.
+  std::vector<std::unique_ptr<core::Property>> certified_for(std::size_t w) const;
+
+ private:
+  std::size_t m_;
+  std::size_t phase_ = 0;
+  std::vector<std::unique_ptr<WindowMonitor>> monitors_;
+  std::vector<std::vector<bool>> history_;
+  bool started_ = false;
+};
+
+}  // namespace tp::monitor

@@ -1,0 +1,40 @@
+#pragma once
+// rtl_adapter.hpp — mounts a MonitorBank on the simulated hardware clock.
+//
+// In the paper's deployment picture the RV monitors live next to the
+// agg-log unit on the SoC (Figure 3). This adapter makes a MonitorBank a
+// regular rtl::Component so a testbench can clock the traced signal into
+// the agg-log hardware model and the monitors from one Simulator: both
+// observe the change bit with identical two-phase timing.
+
+#include "monitor/monitor.hpp"
+#include "rtlsim/sim.hpp"
+
+namespace tp::monitor {
+
+/// rtl::Component wrapper: samples the change input during eval, advances
+/// the bank on commit (so monitors see exactly one step per clock edge).
+class MonitorBankComponent final : public rtl::Component {
+ public:
+  /// The bank must outlive the component.
+  explicit MonitorBankComponent(MonitorBank& bank) : bank_(&bank) {}
+
+  /// Drive the change input for the upcoming clock edge.
+  void set_change(bool change) { change_in_ = change; }
+
+  void eval() override { sampled_ = change_in_; }
+
+  void commit() override { bank_->tick(sampled_); }
+
+  void reset() override { sampled_ = false; }
+
+  /// The wrapped bank (verdict history, certified properties).
+  const MonitorBank& bank() const { return *bank_; }
+
+ private:
+  MonitorBank* bank_;
+  bool change_in_ = false;
+  bool sampled_ = false;
+};
+
+}  // namespace tp::monitor

@@ -1,0 +1,65 @@
+#include "rtlsim/agg_log.hpp"
+
+namespace tp::rtl {
+
+AggLogUnit::AggLogUnit(const core::TimestampEncoding& encoding)
+    : enc_(&encoding),
+      tp_(f2::BitVec(encoding.width())),
+      out_tp_(f2::BitVec(encoding.width())),
+      log_(encoding.m(), encoding.width()) {}
+
+void AggLogUnit::eval() {
+  const std::size_t m = enc_->m();
+  const std::size_t phase = phase_.read();
+
+  // Aggregation datapath: accumulator and counter including this cycle's
+  // change bit.
+  f2::BitVec tp_next = tp_.read();
+  std::size_t k_next = k_.read();
+  if (change_in_) {
+    tp_next ^= enc_->timestamp(phase);
+    ++k_next;
+  }
+
+  if (phase == m - 1) {
+    // Trace-cycle boundary: latch the completed entry and clear the
+    // accumulators for the next back-to-back trace-cycle.
+    out_tp_.write(tp_next);
+    out_k_.write(k_next);
+    valid_.write(true);
+    tp_.write(f2::BitVec(enc_->width()));
+    k_.write(0);
+    phase_.write(0);
+  } else {
+    out_tp_.write(out_tp_.read());
+    out_k_.write(out_k_.read());
+    valid_.write(false);
+    tp_.write(std::move(tp_next));
+    k_.write(k_next);
+    phase_.write(phase + 1);
+  }
+}
+
+void AggLogUnit::commit() {
+  tp_.commit();
+  k_.commit();
+  phase_.commit();
+  out_tp_.commit();
+  out_k_.commit();
+  valid_.commit();
+  if (valid_.read()) {
+    log_.append({out_tp_.read(), out_k_.read()});
+  }
+}
+
+void AggLogUnit::reset() {
+  tp_.reset();
+  k_.reset();
+  phase_.reset();
+  out_tp_.reset();
+  out_k_.reset();
+  valid_.reset();
+  log_ = core::TraceLog(enc_->m(), enc_->width());
+}
+
+}  // namespace tp::rtl

@@ -1,0 +1,63 @@
+#pragma once
+// agg_log.hpp — register-level model of the timeprints agg-log unit.
+//
+// The hardware of Figure 3 / §5.2.2: a b-bit XOR-accumulator register, a
+// change counter and a trace-cycle phase counter. Each clock cycle the
+// change input is sampled; when set, the current cycle's timestamp (from a
+// ROM initialized with the encoding) is XORed into the accumulator and the
+// counter increments. At the trace-cycle boundary the (TP, k) pair is
+// latched into an output register, the `entry_valid` strobe is raised for
+// one cycle, and the accumulators clear — ready for the next back-to-back
+// trace-cycle with no dead time and no trace buffer.
+//
+// The unit is the synthesizable twin of core::StreamingLogger; the test
+// suite proves cycle-exact equivalence between the two.
+
+#include "f2/bitvec.hpp"
+#include "rtlsim/sim.hpp"
+#include "timeprint/encoding.hpp"
+#include "timeprint/logger.hpp"
+
+namespace tp::rtl {
+
+/// Register-level timeprint generator (the "timeprints agg-log HW").
+class AggLogUnit final : public Component {
+ public:
+  /// The encoding acts as the timestamp ROM; it must outlive the unit.
+  explicit AggLogUnit(const core::TimestampEncoding& encoding);
+
+  /// Drive the change input for the upcoming eval (combinational input).
+  void set_change(bool change) { change_in_ = change; }
+
+  /// One-cycle strobe: a log entry was produced at the last clock edge.
+  bool entry_valid() const { return valid_.read(); }
+
+  /// The latched output entry (valid while entry_valid()).
+  core::LogEntry entry() const { return {out_tp_.read(), out_k_.read()}; }
+
+  /// Convenience: every entry produced so far, in order (the "central
+  /// database" the paper streams entries to).
+  const core::TraceLog& log() const { return log_; }
+
+  /// Phase within the current trace-cycle (0..m-1, committed value).
+  std::size_t phase() const { return phase_.read(); }
+
+  void eval() override;
+  void commit() override;
+  void reset() override;
+
+ private:
+  const core::TimestampEncoding* enc_;
+  bool change_in_ = false;
+
+  Reg<f2::BitVec> tp_;
+  Reg<std::size_t> k_{0};
+  Reg<std::size_t> phase_{0};
+  Reg<f2::BitVec> out_tp_;
+  Reg<std::size_t> out_k_{0};
+  Reg<bool> valid_{false};
+
+  core::TraceLog log_;
+};
+
+}  // namespace tp::rtl

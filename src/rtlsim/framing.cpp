@@ -1,0 +1,35 @@
+#include "rtlsim/framing.hpp"
+
+#include <cassert>
+
+namespace tp::rtl {
+
+std::size_t entry_payload_bits(std::size_t m, std::size_t b) {
+  return b + core::counter_bits(m);
+}
+
+std::vector<bool> serialize_entry(const core::LogEntry& entry, std::size_t m) {
+  const std::size_t b = entry.tp.size();
+  const std::size_t kb = core::counter_bits(m);
+  assert(entry.k <= m);
+  std::vector<bool> bits;
+  bits.reserve(b + kb);
+  for (std::size_t i = 0; i < b; ++i) bits.push_back(entry.tp.get(i));
+  for (std::size_t i = 0; i < kb; ++i) bits.push_back((entry.k >> i) & 1);
+  return bits;
+}
+
+core::LogEntry deserialize_entry(const std::vector<bool>& bits, std::size_t m,
+                                 std::size_t b) {
+  const std::size_t kb = core::counter_bits(m);
+  assert(bits.size() == b + kb);
+  f2::BitVec tp(b);
+  for (std::size_t i = 0; i < b; ++i) tp.set(i, bits[i]);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < kb; ++i) {
+    if (bits[b + i]) k |= std::size_t{1} << i;
+  }
+  return {std::move(tp), k};
+}
+
+}  // namespace tp::rtl

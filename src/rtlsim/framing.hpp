@@ -1,0 +1,26 @@
+#pragma once
+// framing.hpp — bit-level (de)serialization of log entries for the wire.
+//
+// A log entry occupies exactly b + ceil(log2(m+1)) payload bits: the
+// timeprint (coordinate 0 first) followed by the change counter k
+// (LSB first). The fixed width is what makes the paper's logging rate
+// constant and the stream trivially searchable.
+
+#include <vector>
+
+#include "timeprint/logger.hpp"
+
+namespace tp::rtl {
+
+/// Serialize an entry into the fixed-width payload (b + counter bits).
+std::vector<bool> serialize_entry(const core::LogEntry& entry, std::size_t m);
+
+/// Inverse of serialize_entry. `bits` must be exactly
+/// b + counter_bits(m) long.
+core::LogEntry deserialize_entry(const std::vector<bool>& bits, std::size_t m,
+                                 std::size_t b);
+
+/// Payload width in bits of one entry.
+std::size_t entry_payload_bits(std::size_t m, std::size_t b);
+
+}  // namespace tp::rtl

@@ -1,0 +1,92 @@
+#pragma once
+// sim.hpp — a small two-phase cycle-based RTL simulation kernel.
+//
+// The paper's §5.2.2 experiment implements the timeprints agg-log unit in
+// hardware (Nexys3 FPGA next to a LEON3) and cross-checks it against a
+// cycle-accurate RTL simulation (QuestaSim). This kernel plays the role of
+// the RTL simulator: registered components evaluate combinationally from
+// the *committed* state of the previous cycle (eval phase) and then latch
+// simultaneously (commit phase), which reproduces synchronous-hardware
+// semantics without delta cycles.
+
+#include <cstdint>
+#include <vector>
+
+namespace tp::rtl {
+
+/// A synchronous hardware block. eval() computes next-state from current
+/// (committed) state and inputs; commit() latches it. Components must not
+/// observe other components' *next* state during eval.
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  /// Combinational phase: compute next state.
+  virtual void eval() = 0;
+
+  /// Clock edge: latch next state.
+  virtual void commit() = 0;
+
+  /// Asynchronous reset to the power-on state.
+  virtual void reset() = 0;
+};
+
+/// A D-type register holding a value of type T with two-phase semantics.
+template <typename T>
+class Reg {
+ public:
+  Reg() = default;
+  explicit Reg(T reset_value)
+      : cur_(reset_value), next_(reset_value), reset_(reset_value) {}
+
+  /// The committed (current-cycle) value.
+  const T& read() const { return cur_; }
+
+  /// Schedule a value for the next clock edge.
+  void write(T v) { next_ = std::move(v); }
+
+  /// Latch (called from Component::commit).
+  void commit() { cur_ = next_; }
+
+  /// Return to the reset value.
+  void reset() { cur_ = next_ = reset_; }
+
+ private:
+  T cur_{};
+  T next_{};
+  T reset_{};
+};
+
+/// Drives a set of components with a common clock.
+class Simulator {
+ public:
+  /// Register a component (not owned; must outlive the simulator).
+  void add(Component& c) { components_.push_back(&c); }
+
+  /// One clock cycle: eval all, then commit all.
+  void step() {
+    for (Component* c : components_) c->eval();
+    for (Component* c : components_) c->commit();
+    ++cycle_;
+  }
+
+  /// Run n clock cycles.
+  void run(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) step();
+  }
+
+  /// Cycles elapsed since construction/reset.
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Reset every component and the cycle counter.
+  void reset() {
+    for (Component* c : components_) c->reset();
+    cycle_ = 0;
+  }
+
+ private:
+  std::vector<Component*> components_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace tp::rtl

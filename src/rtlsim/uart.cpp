@@ -1,0 +1,104 @@
+#include "rtlsim/uart.hpp"
+
+#include <cassert>
+
+namespace tp::rtl {
+
+UartTx::UartTx(std::size_t divisor) : divisor_(divisor) { assert(divisor >= 1); }
+
+void UartTx::send(std::vector<bool> payload) {
+  std::vector<bool> frame;
+  frame.reserve(payload.size() + 2);
+  frame.push_back(false);  // start
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  frame.push_back(true);  // stop
+  queue_.push_back(std::move(frame));
+  max_queue_ = std::max(max_queue_, queue_.size());
+}
+
+void UartTx::eval() {
+  next_ = state_;
+  if (!next_.active) {
+    if (!queue_.empty()) {
+      next_.active = true;
+      next_.bits = std::move(queue_.front());
+      queue_.pop_front();
+      next_.idx = 0;
+      next_.phase = 0;
+      next_.line = next_.bits[0];
+    } else {
+      next_.line = true;
+    }
+    return;
+  }
+  if (++next_.phase == divisor_) {
+    next_.phase = 0;
+    if (++next_.idx == next_.bits.size()) {
+      next_.active = false;
+      next_.line = true;
+    } else {
+      next_.line = next_.bits[next_.idx];
+    }
+  }
+}
+
+void UartTx::commit() { state_ = next_; }
+
+void UartTx::reset() {
+  queue_.clear();
+  max_queue_ = 0;
+  state_ = State{};
+  next_ = State{};
+}
+
+UartRx::UartRx(std::size_t divisor, std::size_t payload_bits,
+               std::function<bool()> line)
+    : divisor_(divisor), payload_bits_(payload_bits), line_(std::move(line)) {
+  assert(divisor_ >= 1);
+}
+
+void UartRx::eval() { sampled_ = line_(); }
+
+void UartRx::commit() {
+  switch (mode_) {
+    case Mode::Idle:
+      if (!sampled_) {
+        // Falling edge: start bit. Sample the first data bit 1.5 bit-times
+        // after the edge (mid-bit).
+        mode_ = Mode::Data;
+        countdown_ = divisor_ + divisor_ / 2;
+        bits_.clear();
+      }
+      break;
+    case Mode::Data:
+      if (--countdown_ == 0) {
+        bits_.push_back(sampled_);
+        if (bits_.size() == payload_bits_) {
+          mode_ = Mode::Stop;
+        }
+        countdown_ = divisor_;
+      }
+      break;
+    case Mode::Stop:
+      if (--countdown_ == 0) {
+        if (sampled_) {
+          frames_.push_back(bits_);
+        } else {
+          ++framing_errors_;
+        }
+        mode_ = Mode::Idle;
+      }
+      break;
+  }
+}
+
+void UartRx::reset() {
+  sampled_ = true;
+  mode_ = Mode::Idle;
+  countdown_ = 0;
+  bits_.clear();
+  frames_.clear();
+  framing_errors_ = 0;
+}
+
+}  // namespace tp::rtl

@@ -1,0 +1,97 @@
+#pragma once
+// uart.hpp — the "simplified USB-UART transmitter" of §5.2.2.
+//
+// Log entries leave the chip over a bit-serial line: each frame is a start
+// bit (0), a fixed-length payload and a stop bit (1); the line idles high.
+// A matching receiver model lets tests close the loop (agg-log -> TX ->
+// line -> RX -> reconstructed TraceLog). The transmitter's FIFO depth is
+// observable so experiments can demonstrate the paper's constant-rate
+// claim: when the line rate covers (b + log m + 2 framing bits) per m
+// clock cycles, the queue never grows — no trace buffer needed.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "rtlsim/sim.hpp"
+
+namespace tp::rtl {
+
+/// Bit-serial transmitter with start/stop framing and a frame FIFO.
+class UartTx final : public Component {
+ public:
+  /// divisor = clock cycles per line bit (>= 1).
+  explicit UartTx(std::size_t divisor);
+
+  /// Queue a payload for transmission (bits are sent in vector order,
+  /// framed by a start 0 and a stop 1).
+  void send(std::vector<bool> payload);
+
+  /// Line level this cycle (idle high).
+  bool line() const { return state_.line; }
+
+  /// True while a frame is on the wire or queued.
+  bool busy() const { return state_.active || !queue_.empty(); }
+
+  /// Frames currently waiting (excludes the one being sent).
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// High-water mark of the FIFO since reset — the paper's no-trace-buffer
+  /// argument is "this stays at 0 or 1".
+  std::size_t max_queue_depth() const { return max_queue_; }
+
+  void eval() override;
+  void commit() override;
+  void reset() override;
+
+ private:
+  struct State {
+    bool active = false;
+    bool line = true;
+    std::vector<bool> bits;  // start + payload + stop
+    std::size_t idx = 0;     // bit being driven
+    std::size_t phase = 0;   // clock cycles into the current bit
+  };
+
+  std::size_t divisor_;
+  std::deque<std::vector<bool>> queue_;
+  std::size_t max_queue_ = 0;
+  State state_;
+  State next_;
+};
+
+/// Bit-serial receiver expecting fixed-length payloads.
+class UartRx final : public Component {
+ public:
+  /// `line` is sampled during eval (so it sees the transmitter's committed
+  /// value); payload_bits is the fixed frame payload length.
+  UartRx(std::size_t divisor, std::size_t payload_bits,
+         std::function<bool()> line);
+
+  /// Completed payloads, in arrival order.
+  const std::vector<std::vector<bool>>& frames() const { return frames_; }
+
+  /// Stop-bit violations observed.
+  std::size_t framing_errors() const { return framing_errors_; }
+
+  void eval() override;
+  void commit() override;
+  void reset() override;
+
+ private:
+  enum class Mode { Idle, Data, Stop };
+
+  std::size_t divisor_;
+  std::size_t payload_bits_;
+  std::function<bool()> line_;
+  bool sampled_ = true;
+
+  Mode mode_ = Mode::Idle;
+  std::size_t countdown_ = 0;
+  std::vector<bool> bits_;
+  std::vector<std::vector<bool>> frames_;
+  std::size_t framing_errors_ = 0;
+};
+
+}  // namespace tp::rtl

@@ -1,0 +1,51 @@
+#include "sat/allsat.hpp"
+
+#include <chrono>
+
+namespace tp::sat {
+
+AllSatResult enumerate_models(Solver& solver, const std::vector<Var>& projection,
+                              const AllSatOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  AllSatResult result;
+  while (result.models.size() < options.max_models) {
+    SolveLimits limits = options.limits;
+    if (limits.max_seconds > 0) {
+      limits.max_seconds -= elapsed();
+      if (limits.max_seconds <= 0) {
+        result.final_status = Status::Unknown;
+        break;
+      }
+    }
+    const Status st = solver.solve(limits);
+    result.final_status = st;
+    if (st != Status::Sat) break;
+
+    std::vector<bool> model;
+    model.reserve(projection.size());
+    std::vector<Lit> blocking;
+    blocking.reserve(projection.size());
+    for (Var v : projection) {
+      const bool val = solver.model_value(v) == LBool::True;
+      model.push_back(val);
+      blocking.push_back(Lit(v, /*negated=*/val));  // literal false under model
+    }
+    result.models.push_back(std::move(model));
+    result.seconds_to_model.push_back(elapsed());
+
+    if (!solver.add_clause(std::move(blocking))) {
+      // Blocking clause made the instance unsatisfiable: enumeration done.
+      result.final_status = Status::Unsat;
+      break;
+    }
+  }
+  result.seconds_total = elapsed();
+  return result;
+}
+
+}  // namespace tp::sat

@@ -1,0 +1,54 @@
+#pragma once
+// allsat.hpp — AllSAT model enumeration over a projection.
+//
+// The reconstruction problem asks for *all* signals that abstract to a log
+// entry (paper §4.2, "Find all signals S with α̃(S) = (TP, k)"). We
+// enumerate models of the SAT encoding projected onto the m signal
+// variables: after each model, a blocking clause over the projection
+// excludes it and the solver runs again, until UNSAT (enumeration
+// complete) or a limit is reached. Auxiliary variables (cardinality
+// registers, Tseitin variables) are not part of the projection, so each
+// reconstructed signal is reported exactly once.
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "sat/types.hpp"
+
+namespace tp::sat {
+
+/// Limits for one enumeration run.
+struct AllSatOptions {
+  /// Stop after this many models (the paper's c-SAT.1 / c-SAT.10 columns
+  /// use 1 and 10).
+  std::uint64_t max_models = UINT64_MAX;
+  /// Per-run resource limits (applied to the whole enumeration).
+  SolveLimits limits;
+};
+
+/// Result of an enumeration run.
+struct AllSatResult {
+  /// Each entry is one model restricted to the projection variables, in
+  /// the order the projection was given.
+  std::vector<std::vector<bool>> models;
+  /// Unsat => the enumeration is complete (all models found). Sat => the
+  /// model cap was reached with more models possibly remaining. Unknown =>
+  /// a resource limit was hit.
+  Status final_status = Status::Unknown;
+  /// Seconds until the i-th model was found (same indexing as `models`).
+  std::vector<double> seconds_to_model;
+  /// Total wall-clock seconds of the enumeration.
+  double seconds_total = 0.0;
+
+  /// True iff every model was found.
+  bool complete() const { return final_status == Status::Unsat; }
+};
+
+/// Enumerate models of `solver` projected onto `projection`. The solver is
+/// left in a usable state (with the blocking clauses added), so callers can
+/// continue adding constraints afterwards.
+AllSatResult enumerate_models(Solver& solver, const std::vector<Var>& projection,
+                              const AllSatOptions& options = {});
+
+}  // namespace tp::sat

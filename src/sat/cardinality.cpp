@@ -1,0 +1,149 @@
+#include "sat/cardinality.hpp"
+
+#include <cassert>
+
+namespace tp::sat {
+
+namespace {
+
+// Sinz's sequential counter (LT-SEQ) for "at most k of lits". Introduces
+// registers s[i][j] meaning "at least j+1 of lits[0..i] are true".
+bool sinz_at_most(Solver& s, const std::vector<Lit>& lits, int k) {
+  const int n = static_cast<int>(lits.size());
+  assert(k >= 1 && k < n);
+
+  // s_vars[i][j] for i in [0, n-2], j in [0, k-1].
+  std::vector<std::vector<Lit>> reg(static_cast<std::size_t>(n - 1));
+  for (auto& row : reg) {
+    row.reserve(static_cast<std::size_t>(k));
+    for (int j = 0; j < k; ++j) row.push_back(mk_lit(s.new_var()));
+  }
+
+  bool ok = true;
+  auto add = [&](std::vector<Lit> c) { ok = s.add_clause(std::move(c)) && ok; };
+
+  add({~lits[0], reg[0][0]});
+  for (int j = 1; j < k; ++j) add({~reg[0][static_cast<std::size_t>(j)]});
+  for (int i = 1; i < n - 1; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    add({~lits[ui], reg[ui][0]});
+    add({~reg[ui - 1][0], reg[ui][0]});
+    for (int j = 1; j < k; ++j) {
+      const auto uj = static_cast<std::size_t>(j);
+      add({~lits[ui], ~reg[ui - 1][uj - 1], reg[ui][uj]});
+      add({~reg[ui - 1][uj], reg[ui][uj]});
+    }
+    add({~lits[ui], ~reg[ui - 1][static_cast<std::size_t>(k - 1)]});
+  }
+  add({~lits[static_cast<std::size_t>(n - 1)],
+       ~reg[static_cast<std::size_t>(n - 2)][static_cast<std::size_t>(k - 1)]});
+  return ok;
+}
+
+// Recursive totalizer build over lits[lo, hi).
+std::vector<Lit> totalizer_build(Solver& s, const std::vector<Lit>& lits,
+                                 std::size_t lo, std::size_t hi, int cap,
+                                 bool& ok) {
+  if (hi - lo == 1) return {lits[lo]};
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const std::vector<Lit> a = totalizer_build(s, lits, lo, mid, cap, ok);
+  const std::vector<Lit> b = totalizer_build(s, lits, mid, hi, cap, ok);
+
+  const int p = static_cast<int>(a.size());
+  const int q = static_cast<int>(b.size());
+  const int size = std::min(p + q, cap);
+  std::vector<Lit> r;
+  r.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) r.push_back(mk_lit(s.new_var()));
+
+  auto add = [&](std::vector<Lit> c) { ok = s.add_clause(std::move(c)) && ok; };
+
+  for (int alpha = 0; alpha <= p; ++alpha) {
+    for (int beta = 0; beta <= q; ++beta) {
+      const int sigma = alpha + beta;
+      if (sigma >= 1) {
+        // >= direction: alpha of a and beta of b true => at least
+        // min(sigma, cap) total (saturating at the cap).
+        const int target = std::min(sigma, cap);
+        std::vector<Lit> c;
+        if (alpha > 0) c.push_back(~a[static_cast<std::size_t>(alpha - 1)]);
+        if (beta > 0) c.push_back(~b[static_cast<std::size_t>(beta - 1)]);
+        c.push_back(r[static_cast<std::size_t>(target - 1)]);
+        add(std::move(c));
+      }
+      if (sigma + 1 <= size) {
+        // <= direction: at most alpha of a and at most beta of b true =>
+        // fewer than sigma+1 total.
+        std::vector<Lit> c;
+        if (alpha < p) c.push_back(a[static_cast<std::size_t>(alpha)]);
+        if (beta < q) c.push_back(b[static_cast<std::size_t>(beta)]);
+        c.push_back(~r[static_cast<std::size_t>(sigma)]);
+        add(std::move(c));
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<Lit> totalizer_outputs(Solver& solver, const std::vector<Lit>& lits,
+                                   int cap) {
+  assert(cap >= 1);
+  if (lits.empty()) return {};
+  bool ok = true;
+  return totalizer_build(solver, lits, 0, lits.size(), cap, ok);
+}
+
+bool encode_at_most(Solver& solver, const std::vector<Lit>& lits, int k,
+                    CardEncoding enc) {
+  const int n = static_cast<int>(lits.size());
+  if (k < 0) return solver.add_clause({});  // impossible
+  if (k >= n) return solver.okay();
+  if (k == 0) {
+    bool ok = true;
+    for (Lit l : lits) ok = solver.add_clause({~l}) && ok;
+    return ok;
+  }
+  if (enc == CardEncoding::SequentialCounter) return sinz_at_most(solver, lits, k);
+  const std::vector<Lit> outs = totalizer_outputs(solver, lits, k + 1);
+  if (static_cast<int>(outs.size()) >= k + 1) {
+    return solver.add_clause({~outs[static_cast<std::size_t>(k)]});
+  }
+  return solver.okay();
+}
+
+bool encode_at_least(Solver& solver, const std::vector<Lit>& lits, int k,
+                     CardEncoding enc) {
+  const int n = static_cast<int>(lits.size());
+  if (k <= 0) return solver.okay();
+  if (k > n) return solver.add_clause({});  // impossible
+  if (enc == CardEncoding::SequentialCounter) {
+    std::vector<Lit> negated;
+    negated.reserve(lits.size());
+    for (Lit l : lits) negated.push_back(~l);
+    return encode_at_most(solver, negated, n - k, enc);
+  }
+  const std::vector<Lit> outs = totalizer_outputs(solver, lits, k);
+  return solver.add_clause({outs[static_cast<std::size_t>(k - 1)]});
+}
+
+bool encode_exactly(Solver& solver, const std::vector<Lit>& lits, int k,
+                    CardEncoding enc) {
+  const int n = static_cast<int>(lits.size());
+  if (k < 0 || k > n) return solver.add_clause({});  // impossible
+  if (enc == CardEncoding::Totalizer && n > 0 && k >= 1) {
+    // One shared totalizer serves both bounds.
+    const std::vector<Lit> outs = totalizer_outputs(solver, lits, k + 1);
+    bool ok = solver.add_clause({outs[static_cast<std::size_t>(k - 1)]});
+    if (static_cast<int>(outs.size()) >= k + 1) {
+      ok = solver.add_clause({~outs[static_cast<std::size_t>(k)]}) && ok;
+    }
+    return ok;
+  }
+  const bool ok1 = encode_at_most(solver, lits, k, enc);
+  const bool ok2 = encode_at_least(solver, lits, k, enc);
+  return ok1 && ok2;
+}
+
+}  // namespace tp::sat

@@ -1,0 +1,43 @@
+#pragma once
+// cardinality.hpp — CNF encodings of cardinality constraints.
+//
+// The reconstruction query needs "exactly k of the m signal variables are
+// true" (paper §4.2). A naive encoding needs C(m, k+1) + C(m, m-k+1)
+// clauses; the paper instead uses Sinz's sequential-counter encoding [20],
+// which introduces O(m·k) auxiliary variables and clauses. We implement
+// that, plus Bailleux–Boufkhad's totalizer as an ablation alternative.
+
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "sat/types.hpp"
+
+namespace tp::sat {
+
+/// Which CNF cardinality encoding to emit.
+enum class CardEncoding {
+  SequentialCounter,  ///< Sinz 2005 (the paper's choice, O(m·k))
+  Totalizer,          ///< Bailleux–Boufkhad 2003 (O(m·k·log m), better arc-consistency)
+};
+
+/// Constrain at most k of `lits` to be true. Returns false iff the solver
+/// became unsatisfiable while adding the clauses.
+bool encode_at_most(Solver& solver, const std::vector<Lit>& lits, int k,
+                    CardEncoding enc = CardEncoding::SequentialCounter);
+
+/// Constrain at least k of `lits` to be true.
+bool encode_at_least(Solver& solver, const std::vector<Lit>& lits, int k,
+                     CardEncoding enc = CardEncoding::SequentialCounter);
+
+/// Constrain exactly k of `lits` to be true.
+bool encode_exactly(Solver& solver, const std::vector<Lit>& lits, int k,
+                    CardEncoding enc = CardEncoding::SequentialCounter);
+
+/// Build a totalizer over `lits` and return its unary output literals
+/// o[0..cap-1], where o[j] is true iff at least j+1 of the inputs are true
+/// (both implication directions are encoded). `cap` bounds the number of
+/// outputs built; counts above cap saturate into o[cap-1].
+std::vector<Lit> totalizer_outputs(Solver& solver, const std::vector<Lit>& lits,
+                                   int cap);
+
+}  // namespace tp::sat

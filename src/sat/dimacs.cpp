@@ -1,0 +1,101 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tp::sat {
+
+bool Cnf::load_into(Solver& solver) const {
+  while (solver.num_vars() < num_vars) solver.new_var();
+  bool ok = true;
+  for (const auto& c : clauses) ok = solver.add_clause(c) && ok;
+  for (const auto& [vars, rhs] : xors) ok = solver.add_xor(vars, rhs) && ok;
+  return ok;
+}
+
+bool Cnf::satisfied_by(const std::vector<bool>& assignment) const {
+  for (const auto& c : clauses) {
+    bool sat = false;
+    for (Lit l : c) {
+      if (assignment[static_cast<std::size_t>(l.var())] != l.negated()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  for (const auto& [vars, rhs] : xors) {
+    bool parity = false;
+    for (Var v : vars) parity ^= assignment[static_cast<std::size_t>(v)];
+    if (parity != rhs) return false;
+  }
+  return true;
+}
+
+Cnf parse_dimacs(std::istream& in) {
+  Cnf cnf;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream ss(line);
+      std::string p, fmt;
+      int vars = 0, clauses = 0;
+      ss >> p >> fmt >> vars >> clauses;
+      if (fmt != "cnf") throw std::runtime_error("dimacs: expected 'p cnf'");
+      cnf.num_vars = vars;
+      continue;
+    }
+    const bool is_xor = line[0] == 'x';
+    std::istringstream ss(is_xor ? line.substr(1) : line);
+    std::vector<Lit> lits;
+    bool parity = true;  // an XOR clause asserts XOR of its literals = true
+    long v = 0;
+    while (ss >> v) {
+      if (v == 0) break;
+      const Var var = static_cast<Var>(std::labs(v)) - 1;
+      cnf.ensure_var(var);
+      if (is_xor) {
+        if (v < 0) parity = !parity;  // ¬x = x ⊕ 1
+        lits.push_back(mk_lit(var));
+      } else {
+        lits.push_back(Lit(var, v < 0));
+      }
+    }
+    if (v != 0) throw std::runtime_error("dimacs: clause not 0-terminated");
+    if (is_xor) {
+      std::vector<Var> vars;
+      vars.reserve(lits.size());
+      for (Lit l : lits) vars.push_back(l.var());
+      cnf.xors.emplace_back(std::move(vars), parity);
+    } else {
+      cnf.clauses.push_back(std::move(lits));
+    }
+  }
+  return cnf;
+}
+
+void write_dimacs(const Cnf& cnf, std::ostream& out) {
+  out << "p cnf " << cnf.num_vars << ' ' << (cnf.clauses.size() + cnf.xors.size())
+      << '\n';
+  for (const auto& c : cnf.clauses) {
+    for (Lit l : c) out << (l.negated() ? -(l.var() + 1) : (l.var() + 1)) << ' ';
+    out << "0\n";
+  }
+  for (const auto& [vars, rhs] : cnf.xors) {
+    if (vars.empty()) continue;
+    out << 'x';
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      // Express the parity on the first literal: a negated first literal
+      // flips the asserted parity from true to false.
+      const long lit = vars[i] + 1;
+      out << ((i == 0 && !rhs) ? -lit : lit) << ' ';
+    }
+    out << "0\n";
+  }
+}
+
+}  // namespace tp::sat

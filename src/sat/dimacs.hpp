@@ -1,0 +1,46 @@
+#pragma once
+// dimacs.hpp — reading/writing DIMACS CNF extended with XOR clauses.
+//
+// The extension follows CryptoMiniSat's convention: a line starting with
+// 'x' is an XOR clause, e.g. "x1 2 -3 0" means x1 ⊕ x2 ⊕ ¬x3 = true.
+// Negating a literal flips the parity of the constraint, so every XOR
+// clause normalizes to (set of variables, required parity).
+
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "sat/types.hpp"
+
+namespace tp::sat {
+
+/// A problem in memory: plain clauses plus normalized XOR constraints.
+/// Used as the neutral exchange format between DIMACS files, the CDCL
+/// solver and the brute-force reference solver.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+  /// Each entry: (variables, parity) meaning XOR of variables == parity.
+  std::vector<std::pair<std::vector<Var>, bool>> xors;
+
+  /// Grow num_vars to cover variable v.
+  void ensure_var(Var v) {
+    if (v + 1 > num_vars) num_vars = v + 1;
+  }
+
+  /// Add every clause and XOR to a solver (native XOR path). Returns false
+  /// iff the solver became unsatisfiable.
+  bool load_into(Solver& solver) const;
+
+  /// True iff the given full assignment satisfies all clauses and XORs.
+  bool satisfied_by(const std::vector<bool>& assignment) const;
+};
+
+/// Parse extended DIMACS. Throws std::runtime_error on malformed input.
+Cnf parse_dimacs(std::istream& in);
+
+/// Write extended DIMACS.
+void write_dimacs(const Cnf& cnf, std::ostream& out);
+
+}  // namespace tp::sat

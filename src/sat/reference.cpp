@@ -1,0 +1,35 @@
+#include "sat/reference.hpp"
+
+#include <cassert>
+
+namespace tp::sat {
+
+std::vector<std::vector<bool>> reference_all_models(const Cnf& cnf) {
+  assert(cnf.num_vars <= 30);
+  const std::uint64_t total = std::uint64_t{1} << cnf.num_vars;
+  std::vector<std::vector<bool>> models;
+  std::vector<bool> assignment(static_cast<std::size_t>(cnf.num_vars));
+  for (std::uint64_t bits = 0; bits < total; ++bits) {
+    for (int v = 0; v < cnf.num_vars; ++v) {
+      assignment[static_cast<std::size_t>(v)] = (bits >> v) & 1;
+    }
+    if (cnf.satisfied_by(assignment)) models.push_back(assignment);
+  }
+  return models;
+}
+
+std::uint64_t reference_model_count(const Cnf& cnf) {
+  assert(cnf.num_vars <= 30);
+  const std::uint64_t total = std::uint64_t{1} << cnf.num_vars;
+  std::uint64_t count = 0;
+  std::vector<bool> assignment(static_cast<std::size_t>(cnf.num_vars));
+  for (std::uint64_t bits = 0; bits < total; ++bits) {
+    for (int v = 0; v < cnf.num_vars; ++v) {
+      assignment[static_cast<std::size_t>(v)] = (bits >> v) & 1;
+    }
+    if (cnf.satisfied_by(assignment)) ++count;
+  }
+  return count;
+}
+
+}  // namespace tp::sat

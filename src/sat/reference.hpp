@@ -1,0 +1,23 @@
+#pragma once
+// reference.hpp — brute-force reference solver for cross-checking.
+//
+// Enumerates all 2^n assignments of a Cnf (n capped at 30) and returns the
+// satisfying ones. Only used by tests and by the didactic Figure-4
+// reproduction, where the paper itself counts all 256 solutions of a
+// 16-variable instance exhaustively.
+
+#include <vector>
+
+#include "sat/dimacs.hpp"
+
+namespace tp::sat {
+
+/// All satisfying assignments of `cnf`, each as a num_vars-length bool
+/// vector, in lexicographic order (variable 0 = least significant).
+/// Precondition: cnf.num_vars <= 30.
+std::vector<std::vector<bool>> reference_all_models(const Cnf& cnf);
+
+/// Count of satisfying assignments (same precondition).
+std::uint64_t reference_model_count(const Cnf& cnf);
+
+}  // namespace tp::sat

@@ -1,0 +1,927 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+namespace tp::sat {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+double luby(double y, int i) {
+  // Find the finite subsequence that contains index i and the size of that
+  // subsequence (standard MiniSat implementation).
+  int size = 1;
+  int seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return std::pow(y, seq);
+}
+
+// ---------------------------------------------------------------- heap ----
+
+void Solver::VarOrderHeap::insert(Var v, const std::vector<double>& act) {
+  if (contains(v)) return;
+  positions_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  sift_up(heap_.size() - 1, act);
+}
+
+Var Solver::VarOrderHeap::pop(const std::vector<double>& act) {
+  Var top = heap_.front();
+  positions_[static_cast<std::size_t>(top)] = -1;
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    positions_[static_cast<std::size_t>(heap_.front())] = 0;
+    sift_down(0, act);
+  }
+  return top;
+}
+
+void Solver::VarOrderHeap::increased(Var v, const std::vector<double>& act) {
+  if (contains(v)) sift_up(static_cast<std::size_t>(positions_[static_cast<std::size_t>(v)]), act);
+}
+
+void Solver::VarOrderHeap::sift_up(std::size_t i, const std::vector<double>& act) {
+  Var v = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (act[static_cast<std::size_t>(heap_[parent])] >= act[static_cast<std::size_t>(v)]) break;
+    heap_[i] = heap_[parent];
+    positions_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  positions_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+void Solver::VarOrderHeap::sift_down(std::size_t i, const std::vector<double>& act) {
+  Var v = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        act[static_cast<std::size_t>(heap_[child + 1])] > act[static_cast<std::size_t>(heap_[child])]) {
+      ++child;
+    }
+    if (act[static_cast<std::size_t>(heap_[child])] <= act[static_cast<std::size_t>(v)]) break;
+    heap_[i] = heap_[child];
+    positions_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  positions_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+// -------------------------------------------------------------- solver ----
+
+Solver::Solver() : Solver(SolverOptions{}) {}
+
+Solver::Solver(const SolverOptions& options) : opts_(options) {
+  next_reduce_ = opts_.reduce_base;
+}
+
+Solver::~Solver() = default;
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  vardata_.push_back({});
+  polarity_.push_back(opts_.default_polarity);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  lbd_seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  xor_watch_.emplace_back();
+  gauss_reason_of_var_.emplace_back();
+  order_.grow(assigns_.size());
+  order_.insert(v, activity_);
+  return v;
+}
+
+LBool Solver::fixed_value(Var v) const {
+  if (assigns_[static_cast<std::size_t>(v)] != LBool::Undef &&
+      vardata_[static_cast<std::size_t>(v)].level == 0) {
+    return assigns_[static_cast<std::size_t>(v)];
+  }
+  return LBool::Undef;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+
+  // Level-0 simplification: drop false literals, detect satisfied clauses,
+  // merge duplicates, detect tautologies.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev = lit_undef;
+  for (Lit l : lits) {
+    assert(l.var() < num_vars());
+    if (value(l) == LBool::True || l == ~prev) return true;  // satisfied / tautology
+    if (value(l) == LBool::False || l == prev) continue;     // false / duplicate
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    unchecked_enqueue(out[0], {});
+    ok_ = propagate().none();
+    return ok_;
+  }
+  auto c = std::make_unique<Clause>();
+  c->lits = std::move(out);
+  attach_clause(c.get());
+  clauses_.push_back(std::move(c));
+  return true;
+}
+
+bool Solver::add_xor(std::vector<Var> vars, bool rhs) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+
+  // Canonicalize: duplicated variables cancel pairwise; variables fixed at
+  // level 0 fold into the parity.
+  std::sort(vars.begin(), vars.end());
+  std::vector<Var> out;
+  for (std::size_t i = 0; i < vars.size();) {
+    assert(vars[i] < num_vars());
+    if (i + 1 < vars.size() && vars[i] == vars[i + 1]) {
+      i += 2;  // x XOR x = 0
+      continue;
+    }
+    const LBool fv = value(vars[i]);
+    if (fv != LBool::Undef) {
+      if (fv == LBool::True) rhs = !rhs;
+    } else {
+      out.push_back(vars[i]);
+    }
+    ++i;
+  }
+
+  if (out.empty()) {
+    if (rhs) ok_ = false;
+    return ok_;
+  }
+  if (out.size() == 1) {
+    unchecked_enqueue(Lit(out[0], /*negated=*/!rhs), {});
+    ok_ = propagate().none();
+    return ok_;
+  }
+
+  if (opts_.use_gauss) {
+    gauss_add_row(out, rhs);
+    return true;
+  }
+
+  // Split long constraints into a chain of short XORs linked by fresh
+  // parity variables: t1 = v1^..^vc, t2 = t1^v_{c+1}^..., last chunk
+  // carries rhs. Keeps watched-variable scans and XOR reason clauses short.
+  const std::size_t chunk = opts_.xor_chunk_size;
+  if (chunk >= 3 && out.size() > chunk) {
+    std::size_t consumed = 0;
+    Var link = -1;
+    while (out.size() - consumed > chunk) {
+      // Take (chunk-1) inputs plus the incoming link; produce a new link.
+      std::vector<Var> part;
+      if (link >= 0) part.push_back(link);
+      const std::size_t take = chunk - part.size() - 1;
+      for (std::size_t i = 0; i < take; ++i) part.push_back(out[consumed++]);
+      link = new_var();
+      part.push_back(link);  // link = parity of the part's other vars
+      if (!attach_xor(std::move(part), false)) return false;
+    }
+    std::vector<Var> tail;
+    if (link >= 0) tail.push_back(link);
+    while (consumed < out.size()) tail.push_back(out[consumed++]);
+    return attach_xor(std::move(tail), rhs);
+  }
+  return attach_xor(std::move(out), rhs);
+}
+
+// Precondition: vars are distinct, unassigned, size >= 2.
+bool Solver::attach_xor(std::vector<Var> vars, bool rhs) {
+  auto x = std::make_unique<XorConstraint>();
+  x->vars = std::move(vars);
+  x->rhs = rhs;
+  x->w0 = 0;
+  x->w1 = 1;
+  xor_watch_[static_cast<std::size_t>(x->vars[0])].push_back(x.get());
+  xor_watch_[static_cast<std::size_t>(x->vars[1])].push_back(x.get());
+  xors_.push_back(std::move(x));
+  return true;
+}
+
+void Solver::attach_clause(Clause* c) {
+  assert(c->size() >= 2);
+  watches_[static_cast<std::size_t>((~(*c)[0]).code())].push_back({c, (*c)[1]});
+  watches_[static_cast<std::size_t>((~(*c)[1]).code())].push_back({c, (*c)[0]});
+}
+
+void Solver::detach_clause(Clause* c) {
+  for (int i = 0; i < 2; ++i) {
+    auto& wl = watches_[static_cast<std::size_t>((~(*c)[static_cast<std::size_t>(i)]).code())];
+    auto it = std::find_if(wl.begin(), wl.end(),
+                           [c](const Watcher& w) { return w.clause == c; });
+    assert(it != wl.end());
+    *it = wl.back();
+    wl.pop_back();
+  }
+}
+
+void Solver::unchecked_enqueue(Lit l, Reason reason) {
+  assert(value(l) == LBool::Undef);
+  const auto v = static_cast<std::size_t>(l.var());
+  assigns_[v] = to_lbool(!l.negated());
+  vardata_[v] = {reason, decision_level()};
+  trail_.push_back(l);
+}
+
+bool Solver::enqueue(Lit l, Reason reason) {
+  const LBool v = value(l);
+  if (v != LBool::Undef) return v == LBool::True;
+  unchecked_enqueue(l, reason);
+  return true;
+}
+
+Solver::Reason Solver::propagate() {
+  Reason conflict;
+  while (true) {
+    bcp(conflict);
+    if (!conflict.none() || !opts_.use_gauss) break;
+    if (!gauss_propagate(conflict)) break;  // nothing implied: fixpoint
+    if (!conflict.none()) break;
+  }
+  return conflict;
+}
+
+void Solver::bcp(Reason& conflict) {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+
+    // ---- clause watches: clauses in which ~p is watched ----
+    auto& wl = watches_[static_cast<std::size_t>(p.code())];
+    std::size_t keep = 0;
+    std::size_t idx = 0;
+    for (; idx < wl.size(); ++idx) {
+      const Watcher w = wl[idx];
+      if (value(w.blocker) == LBool::True) {
+        wl[keep++] = w;
+        continue;
+      }
+      Clause& c = *w.clause;
+      const Lit false_lit = ~p;
+      if (c[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      assert(c[1] == false_lit);
+
+      const Lit first = c[0];
+      if (value(first) == LBool::True) {
+        wl[keep++] = {w.clause, first};
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t i = 2; i < c.size(); ++i) {
+        if (value(c[i]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[i]);
+          watches_[static_cast<std::size_t>((~c[1]).code())].push_back({w.clause, first});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+
+      // Clause is unit or conflicting.
+      wl[keep++] = {w.clause, first};
+      if (value(first) == LBool::False) {
+        conflict.clause = w.clause;
+        qhead_ = trail_.size();
+        // Copy the remaining (unprocessed) watchers back.
+        for (++idx; idx < wl.size(); ++idx) wl[keep++] = wl[idx];
+        break;
+      }
+      unchecked_enqueue(first, {w.clause, nullptr});
+    }
+    wl.resize(keep);
+    if (!conflict.none()) break;
+
+    // ---- XOR watches on the assigned variable ----
+    auto& xl = xor_watch_[static_cast<std::size_t>(p.var())];
+    std::size_t xkeep = 0;
+    std::size_t xi = 0;
+    for (; xi < xl.size(); ++xi) {
+      XorConstraint& x = *xl[xi];
+      bool kept = true;
+      if (!propagate_xor(x, p.var(), conflict)) {
+        kept = false;  // moved to another variable's watch list
+      }
+      if (kept) xl[xkeep++] = xl[xi];
+      if (!conflict.none()) {
+        qhead_ = trail_.size();
+        for (++xi; xi < xl.size(); ++xi) xl[xkeep++] = xl[xi];
+        break;
+      }
+    }
+    xl.resize(xkeep);
+    if (!conflict.none()) break;
+  }
+}
+
+void Solver::gauss_add_row(const std::vector<Var>& vars, bool rhs) {
+  gauss_raw_.emplace_back(vars, rhs);
+  gauss_dirty_ = true;
+}
+
+bool Solver::gauss_propagate(Reason& conflict) {
+  if (gauss_dirty_) {
+    // (Re)build the column space and the row masks.
+    gauss_cols_.clear();
+    gauss_col_of_.clear();
+    for (const auto& [vars, rhs] : gauss_raw_) {
+      for (Var v : vars) {
+        if (gauss_col_of_.emplace(v, gauss_cols_.size()).second) {
+          gauss_cols_.push_back(v);
+        }
+      }
+    }
+    gauss_rows_.clear();
+    for (const auto& [vars, rhs] : gauss_raw_) {
+      GaussRow row{f2::BitVec(gauss_cols_.size()), rhs};
+      for (Var v : vars) row.mask.set(gauss_col_of_[v], true);
+      gauss_rows_.push_back(std::move(row));
+    }
+    gauss_dirty_ = false;
+  }
+  if (gauss_rows_.empty()) return false;
+
+  const std::size_t ncols = gauss_cols_.size();
+  f2::BitVec assigned(ncols);
+  f2::BitVec value(ncols);
+  std::size_t unassigned = 0;
+  for (std::size_t c = 0; c < ncols; ++c) {
+    const LBool a = assigns_[static_cast<std::size_t>(gauss_cols_[c])];
+    if (a != LBool::Undef) {
+      assigned.set(c, true);
+      if (a == LBool::True) value.set(c, true);
+    } else {
+      ++unassigned;
+    }
+  }
+  const std::size_t gate = opts_.gauss_max_unassigned != 0
+                               ? opts_.gauss_max_unassigned
+                               : 4 * gauss_rows_.size() + 32;
+  if (unassigned > gate) return false;
+
+  // Working rows: residual mask (unassigned vars), full combination mask,
+  // residual parity.
+  struct Working {
+    f2::BitVec res;
+    f2::BitVec full;
+    bool rhs;
+  };
+  std::vector<Working> rows;
+  rows.reserve(gauss_rows_.size());
+  for (const GaussRow& g : gauss_rows_) {
+    Working w{g.mask, g.mask, g.rhs ^ g.mask.dot(value)};
+    w.res.and_not(assigned);
+    rows.push_back(std::move(w));
+  }
+
+  // Gauss-Jordan elimination on the residual columns (full reduction: the
+  // extra row combinations find strictly more unit rows per call than
+  // forward-only echelon form, which measures faster overall).
+  std::size_t next = 0;
+  for (std::size_t col = 0; col < ncols && next < rows.size(); ++col) {
+    std::size_t pivot = rows.size();
+    for (std::size_t r = next; r < rows.size(); ++r) {
+      if (rows[r].res.get(col)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == rows.size()) continue;
+    std::swap(rows[next], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != next && rows[r].res.get(col)) {
+        rows[r].res ^= rows[next].res;
+        rows[r].full ^= rows[next].full;
+        rows[r].rhs = rows[r].rhs != rows[next].rhs;
+      }
+    }
+    ++next;
+  }
+
+  auto false_literal = [&](std::size_t col) {
+    const Var v = gauss_cols_[col];
+    return Lit(v, /*negated=*/assigns_[static_cast<std::size_t>(v)] == LBool::True);
+  };
+
+  bool enqueued = false;
+  for (const Working& w : rows) {
+    const std::size_t pc = w.res.popcount();
+    if (pc == 0) {
+      if (w.rhs) {
+        // The combined constraint is violated by assigned variables only.
+        gauss_conflict_.clear();
+        for (std::size_t c = 0; c < ncols; ++c) {
+          if (w.full.get(c)) gauss_conflict_.push_back(false_literal(c));
+        }
+        conflict.gauss = true;
+        return true;
+      }
+      continue;
+    }
+    if (pc == 1) {
+      const std::size_t col = w.res.lowest_set();
+      const Var v = gauss_cols_[col];
+      const Lit implied(v, /*negated=*/!w.rhs);
+      std::vector<Lit> reason;
+      reason.push_back(implied);
+      for (std::size_t c = 0; c < ncols; ++c) {
+        if (c != col && w.full.get(c) && assigned.get(c)) {
+          reason.push_back(false_literal(c));
+        }
+      }
+      gauss_reason_of_var_[static_cast<std::size_t>(v)] = std::move(reason);
+      Reason r;
+      r.gauss = true;
+      unchecked_enqueue(implied, r);
+      ++stats_.xor_propagations;
+      enqueued = true;
+    }
+  }
+  return enqueued;
+}
+
+// Returns true if the constraint stays in `assigned`'s watch list, false if
+// the watch moved elsewhere. Sets `conflict` on parity violation.
+bool Solver::propagate_xor(XorConstraint& x, Var assigned, Reason& conflict) {
+  std::size_t* my_watch;
+  if (x.vars[x.w0] == assigned) {
+    my_watch = &x.w0;
+  } else if (x.vars[x.w1] == assigned) {
+    my_watch = &x.w1;
+  } else {
+    return false;  // stale entry: constraint no longer watches this variable
+  }
+
+  // Try to find an unassigned, unwatched variable to take over the watch.
+  // The circular search pointer avoids rescanning the (assigned) prefix on
+  // every call, keeping a full pass amortized linear.
+  const std::size_t other = (my_watch == &x.w0) ? x.w1 : x.w0;
+  const std::size_t n = x.vars.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t j = (x.search_pos + step) % n;
+    if (j == x.w0 || j == x.w1) continue;
+    if (value(x.vars[j]) == LBool::Undef) {
+      *my_watch = j;
+      x.search_pos = (j + 1) % n;
+      xor_watch_[static_cast<std::size_t>(x.vars[j])].push_back(&x);
+      return false;
+    }
+  }
+
+  // All variables except possibly vars[other] are assigned.
+  bool parity = x.rhs;
+  for (std::size_t j = 0; j < x.vars.size(); ++j) {
+    if (j == other) continue;
+    assert(value(x.vars[j]) != LBool::Undef);
+    if (value(x.vars[j]) == LBool::True) parity = !parity;
+  }
+  const LBool other_val = value(x.vars[other]);
+  if (other_val == LBool::Undef) {
+    // Unit: vars[other] must take the residual parity.
+    ++stats_.xor_propagations;
+    unchecked_enqueue(Lit(x.vars[other], /*negated=*/!parity), {nullptr, &x});
+    return true;
+  }
+  if ((other_val == LBool::True) != parity) {
+    conflict.xr = &x;
+  }
+  return true;
+}
+
+void Solver::cancel_until(int lvl) {
+  if (decision_level() <= lvl) return;
+  const std::size_t bound = trail_lim_[static_cast<std::size_t>(lvl)];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const Var v = trail_[i].var();
+    const auto vi = static_cast<std::size_t>(v);
+    if (opts_.phase_saving) polarity_[vi] = !trail_[i].negated();
+    assigns_[vi] = LBool::Undef;
+    vardata_[vi].reason = {};
+    order_.insert(v, activity_);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(lvl));
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!order_.empty()) {
+    // Peek-and-pop until an unassigned variable surfaces.
+    Var v = order_.pop(activity_);
+    if (value(v) == LBool::Undef) {
+      ++stats_.decisions;
+      return Lit(v, /*negated=*/!polarity_[static_cast<std::size_t>(v)]);
+    }
+  }
+  return lit_undef;
+}
+
+void Solver::reason_literals(Lit p, Reason r, std::vector<Lit>& out) const {
+  out.clear();
+  if (r.gauss) {
+    out = gauss_reason_of_var_[static_cast<std::size_t>(p.var())];
+    assert(!out.empty() && out[0] == p);
+    return;
+  }
+  if (r.clause != nullptr) {
+    const Clause& c = *r.clause;
+    out.push_back(p);
+    for (Lit l : c.lits) {
+      if (l != p) out.push_back(l);
+    }
+    return;
+  }
+  assert(r.xr != nullptr);
+  // Materialize the implication clause of an XOR propagation: p is implied
+  // by the conjunction of the other variables' current assignments.
+  out.push_back(p);
+  for (Var v : r.xr->vars) {
+    if (v == p.var()) continue;
+    assert(value(v) != LBool::Undef);
+    out.push_back(Lit(v, /*negated=*/value(v) == LBool::True));  // false literal
+  }
+}
+
+void Solver::conflict_literals(Reason r, std::vector<Lit>& out) const {
+  out.clear();
+  if (r.gauss) {
+    out = gauss_conflict_;
+    return;
+  }
+  if (r.clause != nullptr) {
+    out = r.clause->lits;
+    return;
+  }
+  assert(r.xr != nullptr);
+  for (Var v : r.xr->vars) {
+    assert(value(v) != LBool::Undef);
+    out.push_back(Lit(v, /*negated=*/value(v) == LBool::True));  // all false
+  }
+}
+
+void Solver::bump_var(Var v) {
+  const auto vi = static_cast<std::size_t>(v);
+  activity_[vi] += var_inc_;
+  if (activity_[vi] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  order_.increased(v, activity_);
+}
+
+void Solver::decay_var_activity() { var_inc_ /= opts_.var_decay; }
+
+void Solver::bump_clause(Clause& c) {
+  c.activity += cla_inc_;
+  if (c.activity > 1e20) {
+    for (auto& cl : learnts_) cl->activity *= 1e-20;
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void Solver::decay_clause_activity() { cla_inc_ /= opts_.clause_decay; }
+
+std::uint32_t Solver::compute_lbd(const std::vector<Lit>& lits) {
+  ++lbd_stamp_;
+  std::uint32_t lbd = 0;
+  for (Lit l : lits) {
+    const auto lv = static_cast<std::size_t>(level(l.var()));
+    if (lv == 0) continue;
+    if (lbd_seen_.size() <= lv) lbd_seen_.resize(lv + 1, 0);
+    if (lbd_seen_[lv] != lbd_stamp_) {
+      lbd_seen_[lv] = lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+int Solver::analyze(Reason conflict, std::vector<Lit>& learnt) {
+  learnt.clear();
+  learnt.push_back(lit_undef);  // slot for the asserting literal
+
+  int counter = 0;
+  Lit p = lit_undef;
+  std::size_t index = trail_.size();
+
+  conflict_literals(conflict, reason_buf_);
+  if (conflict.clause != nullptr && conflict.clause->learnt) bump_clause(*conflict.clause);
+
+  while (true) {
+    for (Lit q : reason_buf_) {
+      if (p != lit_undef && q == p) continue;
+      const auto qv = static_cast<std::size_t>(q.var());
+      if (!seen_[qv] && level(q.var()) > 0) {
+        seen_[qv] = 1;
+        to_clear_.push_back(q.var());
+        bump_var(q.var());
+        if (level(q.var()) >= decision_level()) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Select the next literal of the current level to resolve on.
+    while (!seen_[static_cast<std::size_t>(trail_[index - 1].var())]) --index;
+    p = trail_[--index];
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+    --counter;
+    if (counter == 0) break;
+    const Reason r = vardata_[static_cast<std::size_t>(p.var())].reason;
+    assert(!r.none());
+    if (r.clause != nullptr && r.clause->learnt) bump_clause(*r.clause);
+    reason_literals(p, r, reason_buf_);
+  }
+  learnt[0] = ~p;
+
+  // Conflict-clause minimization (single-step self-subsumption: a literal is
+  // redundant if its reason's literals are all already in the clause or at
+  // level 0).
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (!literal_redundant(learnt[i])) {
+      learnt[kept++] = learnt[i];
+    } else {
+      ++stats_.minimized_literals;
+    }
+  }
+  learnt.resize(kept);
+
+  // Compute the backtrack level and put a literal of that level at slot 1.
+  int bt = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level(learnt[i].var()) > level(learnt[max_i].var())) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt = level(learnt[1].var());
+  }
+
+  // Clear every flag set during this analysis, including those of literals
+  // dropped by minimization.
+  for (Var v : to_clear_) seen_[static_cast<std::size_t>(v)] = 0;
+  to_clear_.clear();
+  return bt;
+}
+
+bool Solver::literal_redundant(Lit l) {
+  const Reason r = vardata_[static_cast<std::size_t>(l.var())].reason;
+  if (r.none()) return false;
+  std::vector<Lit> rl;
+  reason_literals(~l, r, rl);
+  for (std::size_t i = 1; i < rl.size(); ++i) {
+    const Lit q = rl[i];
+    if (level(q.var()) == 0) continue;
+    if (!seen_[static_cast<std::size_t>(q.var())]) return false;
+  }
+  return true;
+}
+
+bool Solver::locked(const Clause* c) const {
+  const Lit first = (*c)[0];
+  if (value(first) != LBool::True) return false;
+  const Reason r = vardata_[static_cast<std::size_t>(first.var())].reason;
+  return r.clause == c;
+}
+
+void Solver::reduce_db() {
+  ++num_reduces_;
+  // Sort learnt clauses: keep low-LBD / high-activity ones.
+  std::vector<Clause*> sorted;
+  sorted.reserve(learnts_.size());
+  for (auto& c : learnts_) sorted.push_back(c.get());
+  std::sort(sorted.begin(), sorted.end(), [](const Clause* a, const Clause* b) {
+    if (a->lbd != b->lbd) return a->lbd > b->lbd;
+    return a->activity < b->activity;
+  });
+
+  const std::size_t target = sorted.size() / 2;
+  std::vector<const Clause*> to_remove;
+  for (std::size_t i = 0; i < target; ++i) {
+    Clause* c = sorted[i];
+    if (c->size() <= 2 || c->lbd <= 2 || locked(c)) continue;
+    detach_clause(c);
+    to_remove.push_back(c);
+  }
+  if (to_remove.empty()) return;
+  stats_.removed_clauses += static_cast<std::int64_t>(to_remove.size());
+  auto is_removed = [&](const std::unique_ptr<Clause>& c) {
+    return std::find(to_remove.begin(), to_remove.end(), c.get()) != to_remove.end();
+  };
+  learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(), is_removed),
+                 learnts_.end());
+}
+
+Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
+                      std::int64_t conflicts_at_start) {
+  const auto start = Clock::now();
+  std::int64_t conflicts_here = 0;
+
+  while (true) {
+    Reason conflict = propagate();
+    if (!conflict.none()) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (decision_level() == 0) return Status::Unsat;
+
+      // The gated Gauss engine can detect a conflict whose literals were
+      // all assigned below the current decision level (the violated row
+      // combination existed earlier but the elimination only ran now).
+      // 1UIP analysis needs a current-level literal to resolve on, so hop
+      // down to the conflict's own level first. The conflict literals are
+      // materialized before backtracking (XOR conflicts read the current
+      // assignment) — all of them live at levels <= max_level, so they
+      // survive the hop.
+      std::vector<Lit> confl_lits;
+      conflict_literals(conflict, confl_lits);
+      int max_level = 0;
+      for (Lit q : confl_lits) max_level = std::max(max_level, level(q.var()));
+      if (max_level == 0) return Status::Unsat;
+      if (max_level < decision_level()) cancel_until(max_level);
+
+      std::vector<Lit> learnt;
+      const int bt = analyze(conflict, learnt);
+      cancel_until(bt);
+
+      if (learnt.size() == 1) {
+        unchecked_enqueue(learnt[0], {});
+      } else {
+        auto c = std::make_unique<Clause>();
+        c->lits = std::move(learnt);
+        c->learnt = true;
+        c->lbd = compute_lbd(c->lits);
+        bump_clause(*c);
+        attach_clause(c.get());
+        unchecked_enqueue(c->lits[0], {c.get(), nullptr});
+        learnts_.push_back(std::move(c));
+        ++stats_.learnt_clauses;
+      }
+      decay_var_activity();
+      decay_clause_activity();
+
+      if ((stats_.conflicts & 1023) == 0 && limits.max_seconds > 0) {
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        if (elapsed > limits.max_seconds) return Status::Unknown;
+      }
+      if (limits.max_conflicts >= 0 &&
+          stats_.conflicts - conflicts_at_start >= limits.max_conflicts) {
+        return Status::Unknown;
+      }
+      if (conflict_budget >= 0 && conflicts_here >= conflict_budget) {
+        cancel_until(0);
+        return Status::Unknown;  // restart
+      }
+      if (static_cast<std::int64_t>(learnts_.size()) >= next_reduce_) {
+        next_reduce_ += opts_.reduce_increment;
+        reduce_db();
+      }
+    } else {
+      Lit next = lit_undef;
+      // Re-assert pending assumptions as pseudo-decisions.
+      while (decision_level() < static_cast<int>(assumptions_.size())) {
+        const Lit a = assumptions_[static_cast<std::size_t>(decision_level())];
+        if (value(a) == LBool::True) {
+          trail_lim_.push_back(trail_.size());  // dummy level, already holds
+        } else if (value(a) == LBool::False) {
+          analyze_final(~a);
+          assumption_conflict_ = true;
+          return Status::Unsat;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next == lit_undef) next = pick_branch_lit();
+      if (next == lit_undef) {
+        // All variables assigned: model found.
+        model_.assign(assigns_.begin(), assigns_.end());
+        return Status::Sat;
+      }
+      trail_lim_.push_back(trail_.size());
+      unchecked_enqueue(next, {});
+    }
+  }
+}
+
+void Solver::analyze_final(Lit p) {
+  final_conflict_.clear();
+  final_conflict_.push_back(p);
+  if (decision_level() == 0) return;
+
+  seen_[static_cast<std::size_t>(p.var())] = 1;
+  for (std::size_t i = trail_.size(); i-- > trail_lim_[0];) {
+    const Var v = trail_[i].var();
+    const auto vi = static_cast<std::size_t>(v);
+    if (!seen_[vi]) continue;
+    const Reason r = vardata_[vi].reason;
+    if (r.none()) {
+      // A decision: under assumption solving every decision below the
+      // assumption prefix is an assumption.
+      final_conflict_.push_back(~trail_[i]);
+    } else {
+      reason_literals(trail_[i], r, reason_buf_);
+      for (std::size_t j = 1; j < reason_buf_.size(); ++j) {
+        const Lit q = reason_buf_[j];
+        if (level(q.var()) > 0) seen_[static_cast<std::size_t>(q.var())] = 1;
+      }
+    }
+    seen_[vi] = 0;
+  }
+  seen_[static_cast<std::size_t>(p.var())] = 0;
+}
+
+Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
+                              const SolveLimits& limits) {
+  assumptions_ = assumptions;
+  const Status st = solve(limits);
+  assumptions_.clear();
+  return st;
+}
+
+Status Solver::solve(const SolveLimits& limits) {
+  if (!ok_) return Status::Unsat;
+  assumption_conflict_ = false;
+  final_conflict_.clear();
+  cancel_until(0);
+  if (!propagate().none()) {
+    ok_ = false;
+    return Status::Unsat;
+  }
+
+  const auto start = Clock::now();
+  const std::int64_t conflicts_at_start = stats_.conflicts;
+  int restarts = 0;
+  while (true) {
+    SolveLimits inner = limits;
+    if (limits.max_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      inner.max_seconds = limits.max_seconds - elapsed;
+      if (inner.max_seconds <= 0) return Status::Unknown;
+    }
+    const auto budget =
+        static_cast<std::int64_t>(luby(2.0, restarts) * opts_.restart_base);
+    const Status st = search(inner, budget, conflicts_at_start);
+    if (st == Status::Sat) {
+      cancel_until(0);
+      return st;
+    }
+    if (st == Status::Unsat) {
+      cancel_until(0);
+      if (!assumption_conflict_) ok_ = false;  // unconditional unsatisfiability
+      return st;
+    }
+    // Unknown: either a real limit or a restart.
+    if (limits.max_conflicts >= 0 &&
+        stats_.conflicts - conflicts_at_start >= limits.max_conflicts) {
+      cancel_until(0);
+      return Status::Unknown;
+    }
+    if (limits.max_seconds > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (elapsed > limits.max_seconds) {
+        cancel_until(0);
+        return Status::Unknown;
+      }
+    }
+    ++restarts;
+    ++stats_.restarts;
+    cancel_until(0);
+  }
+}
+
+}  // namespace tp::sat

@@ -1,0 +1,314 @@
+#pragma once
+// solver.hpp — a CDCL SAT solver with native XOR-constraint propagation.
+//
+// The solver is a from-scratch reimplementation of the algorithmic core the
+// paper relies on (CryptoMiniSat [21]): conflict-driven clause learning with
+// two-watched-literal propagation, 1UIP conflict analysis with clause
+// minimization, EVSIDS branching, phase saving, Luby restarts and LBD-based
+// learnt-clause database reduction — plus *native XOR constraints*
+// propagated with a watched-variable scheme. XOR constraints are exactly
+// what the timeprint reconstruction needs: each bit j of A·x = TP is one
+// XOR clause over the signal variables (paper §4.2).
+//
+// Usage:
+//   Solver s;
+//   Var a = s.new_var(), b = s.new_var();
+//   s.add_clause({mk_lit(a), ~mk_lit(b)});
+//   s.add_xor({a, b}, true);            // a XOR b = 1
+//   Status st = s.solve();
+//   if (st == Status::Sat) { ... s.model_value(a) ... }
+//
+// The solver is incremental in the AllSAT sense: after a Sat answer you may
+// add further (e.g. blocking) clauses and call solve() again.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "f2/bitvec.hpp"
+#include "sat/types.hpp"
+
+namespace tp::sat {
+
+/// A disjunctive clause. Stored on the heap; the first two literals are the
+/// watched ones.
+struct Clause {
+  std::vector<Lit> lits;
+  double activity = 0.0;
+  std::uint32_t lbd = 0;
+  bool learnt = false;
+
+  std::size_t size() const { return lits.size(); }
+  Lit& operator[](std::size_t i) { return lits[i]; }
+  Lit operator[](std::size_t i) const { return lits[i]; }
+};
+
+/// An XOR constraint: the parity of the variables' values must equal rhs.
+/// Propagated with two watched *variables* (an XOR constraint can only
+/// become unit/conflicting once all but one of its variables are assigned).
+struct XorConstraint {
+  std::vector<Var> vars;  ///< distinct variables
+  bool rhs = false;       ///< required parity
+  std::size_t w0 = 0;     ///< index into vars of the first watched variable
+  std::size_t w1 = 1;     ///< index into vars of the second watched variable
+  std::size_t search_pos = 0;  ///< circular scan start for watch replacement
+};
+
+/// Resource limits for one solve() call. Negative values mean "unlimited".
+struct SolveLimits {
+  std::int64_t max_conflicts = -1;
+  double max_seconds = -1.0;
+};
+
+/// Counters accumulated over the lifetime of a Solver.
+struct SolverStats {
+  std::int64_t conflicts = 0;
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t xor_propagations = 0;
+  std::int64_t restarts = 0;
+  std::int64_t learnt_clauses = 0;
+  std::int64_t removed_clauses = 0;
+  std::int64_t minimized_literals = 0;
+};
+
+/// Tunable solver parameters (defaults follow MiniSat-era folklore).
+struct SolverOptions {
+  double var_decay = 0.95;        ///< EVSIDS decay per conflict
+  double clause_decay = 0.999;    ///< learnt-clause activity decay
+  int restart_base = 100;         ///< conflicts per Luby unit
+  int reduce_base = 4000;         ///< learnt clauses before first reduction
+  int reduce_increment = 1000;    ///< growth of the reduction threshold
+  bool phase_saving = true;       ///< remember last polarity per variable
+  bool default_polarity = false;  ///< polarity used before any saving
+  /// XOR constraints longer than this are split into a chain of short XORs
+  /// linked by fresh auxiliary parity variables (0 disables splitting).
+  /// Short XORs keep watched-variable propagation and reason clauses cheap;
+  /// without splitting, an m-variable reconstruction instance has XOR rows
+  /// of ~m/2 variables and propagation dominates the runtime.
+  std::size_t xor_chunk_size = 10;
+  /// Route XOR constraints through the Gaussian-elimination engine instead
+  /// of watched-variable propagation. At every propagation fixpoint the
+  /// whole XOR system is row-reduced under the current assignment, so
+  /// implications of *linear combinations* of rows are found — the
+  /// CryptoMiniSat capability the paper's reconstruction times rely on.
+  bool use_gauss = false;
+  /// Gate for the Gaussian engine: skip the (relatively costly) elimination
+  /// while more than this many of its variables are unassigned — a row
+  /// combination can only become unit near the endgame anyway. 0 = auto
+  /// (4·rows + 32); SIZE_MAX = always run.
+  std::size_t gauss_max_unassigned = 0;
+};
+
+/// CDCL SAT solver with XOR-constraint support. See file comment.
+class Solver {
+ public:
+  Solver();
+  explicit Solver(const SolverOptions& options);
+  ~Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Create a fresh variable and return it.
+  Var new_var();
+
+  /// Number of variables created so far.
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Add a disjunctive clause. Returns false iff the solver became
+  /// trivially unsatisfiable (empty clause after level-0 simplification).
+  /// Must be called at decision level 0 (which is always the case between
+  /// solve() calls).
+  bool add_clause(std::vector<Lit> lits);
+
+  /// Add an XOR constraint over the given variables with the given parity.
+  /// Duplicated variables cancel; variables already fixed at level 0 fold
+  /// into the parity. Returns false iff trivially unsatisfiable.
+  bool add_xor(std::vector<Var> vars, bool rhs);
+
+  /// Run the CDCL search. Returns Sat/Unsat, or Unknown when a limit hit.
+  Status solve(const SolveLimits& limits = {});
+
+  /// Solve under assumptions: the given literals are fixed for this call
+  /// only (decision levels 1..n). Unsat means "unsatisfiable together with
+  /// the assumptions" — the solver stays usable and final_conflict()
+  /// holds the subset of assumptions responsible (negated, as a clause).
+  /// An unconditional Unsat (okay() turns false) can also surface.
+  Status solve_assuming(const std::vector<Lit>& assumptions,
+                        const SolveLimits& limits = {});
+
+  /// After an assumption-Unsat: clause over the failed assumptions
+  /// (each literal is the negation of a responsible assumption).
+  const std::vector<Lit>& final_conflict() const { return final_conflict_; }
+
+  /// After Status::Sat: the model value of a variable (never Undef).
+  LBool model_value(Var v) const { return model_[static_cast<std::size_t>(v)]; }
+
+  /// After Status::Sat: the model value of a literal.
+  LBool model_value(Lit l) const {
+    LBool v = model_value(l.var());
+    return l.negated() ? ~v : v;
+  }
+
+  /// False once the clause database is known unsatisfiable.
+  bool okay() const { return ok_; }
+
+  /// Value of a variable fixed at decision level 0, or Undef.
+  LBool fixed_value(Var v) const;
+
+  /// Lifetime statistics.
+  const SolverStats& stats() const { return stats_; }
+
+  /// Number of problem (non-learnt) clauses currently held.
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+  /// Number of XOR constraints currently held (watched + Gaussian rows).
+  std::size_t num_xors() const { return xors_.size() + gauss_raw_.size(); }
+
+ private:
+  struct Reason {
+    Clause* clause = nullptr;
+    XorConstraint* xr = nullptr;
+    bool gauss = false;  ///< reason stored in gauss_reason_of_var_ / conflict buffer
+    bool none() const { return clause == nullptr && xr == nullptr && !gauss; }
+  };
+
+  struct Watcher {
+    Clause* clause;
+    Lit blocker;
+  };
+
+  struct VarData {
+    Reason reason;
+    int level = 0;
+  };
+
+  /// Mutable max-heap over variables ordered by EVSIDS activity.
+  class VarOrderHeap {
+   public:
+    void grow(std::size_t n) { positions_.resize(n, -1); }
+    bool empty() const { return heap_.empty(); }
+    bool contains(Var v) const { return positions_[static_cast<std::size_t>(v)] >= 0; }
+    void insert(Var v, const std::vector<double>& act);
+    Var pop(const std::vector<double>& act);
+    void increased(Var v, const std::vector<double>& act);
+
+   private:
+    void sift_up(std::size_t i, const std::vector<double>& act);
+    void sift_down(std::size_t i, const std::vector<double>& act);
+    std::vector<Var> heap_;
+    std::vector<std::int32_t> positions_;
+  };
+
+  LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  LBool value(Lit l) const {
+    LBool v = value(l.var());
+    return l.negated() ? ~v : v;
+  }
+  int level(Var v) const { return vardata_[static_cast<std::size_t>(v)].level; }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  void unchecked_enqueue(Lit l, Reason reason);
+  bool enqueue(Lit l, Reason reason);
+
+  /// Propagate all enqueued assignments. Returns the conflicting constraint
+  /// (as a Reason) or an empty Reason when no conflict arose.
+  Reason propagate();
+  void bcp(Reason& conflict);
+  bool propagate_xor(XorConstraint& x, Var assigned, Reason& conflict);
+  /// Row-reduce the Gaussian XOR system under the current assignment.
+  /// Enqueues implied literals (returns true if any) or sets `conflict`.
+  bool gauss_propagate(Reason& conflict);
+  void gauss_add_row(const std::vector<Var>& vars, bool rhs);
+
+  void attach_clause(Clause* c);
+  void detach_clause(Clause* c);
+  bool attach_xor(std::vector<Var> vars, bool rhs);
+
+  void cancel_until(int lvl);
+  Lit pick_branch_lit();
+
+  /// 1UIP conflict analysis; fills `learnt` (asserting literal first) and
+  /// returns the backtrack level.
+  int analyze(Reason conflict, std::vector<Lit>& learnt);
+  bool literal_redundant(Lit l);
+  /// The literals of the constraint that implied `p` (p first). For XOR
+  /// reasons the clause is materialized from the current assignment.
+  void reason_literals(Lit p, Reason r, std::vector<Lit>& out) const;
+  void conflict_literals(Reason r, std::vector<Lit>& out) const;
+
+  void bump_var(Var v);
+  void decay_var_activity();
+  void bump_clause(Clause& c);
+  void decay_clause_activity();
+  std::uint32_t compute_lbd(const std::vector<Lit>& lits);
+
+  void reduce_db();
+  bool locked(const Clause* c) const;
+
+  Status search(const SolveLimits& limits, std::int64_t conflict_budget,
+                std::int64_t conflicts_at_start);
+  /// Collect the assumptions responsible for forcing ~p (into
+  /// final_conflict_, starting with p itself).
+  void analyze_final(Lit p);
+
+  // --- state ---
+  SolverOptions opts_;
+  bool ok_ = true;
+
+  std::vector<LBool> assigns_;
+  std::vector<VarData> vardata_;
+  std::vector<bool> polarity_;
+  std::vector<double> activity_;
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<std::unique_ptr<Clause>> clauses_;
+  std::vector<std::unique_ptr<Clause>> learnts_;
+  std::vector<std::unique_ptr<XorConstraint>> xors_;
+
+  std::vector<std::vector<Watcher>> watches_;          // indexed by Lit::code
+  std::vector<std::vector<XorConstraint*>> xor_watch_;  // indexed by Var
+
+  VarOrderHeap order_;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+
+  std::vector<LBool> model_;
+  SolverStats stats_;
+  std::vector<Lit> assumptions_;
+  std::vector<Lit> final_conflict_;
+  bool assumption_conflict_ = false;
+
+  // scratch buffers for analyze()
+  std::vector<char> seen_;
+  std::vector<Var> to_clear_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> reason_buf_;
+  std::vector<std::uint32_t> lbd_seen_;
+  std::uint32_t lbd_stamp_ = 0;
+
+  std::int64_t next_reduce_ = 0;
+  int num_reduces_ = 0;
+
+  // --- Gaussian XOR engine state ---
+  struct GaussRow {
+    f2::BitVec mask;  ///< variable membership over the gauss column space
+    bool rhs = false;
+  };
+  std::vector<GaussRow> gauss_rows_;
+  std::vector<std::pair<std::vector<Var>, bool>> gauss_raw_;  ///< rows awaiting build
+  bool gauss_dirty_ = false;
+  std::vector<Var> gauss_cols_;  ///< column index -> variable
+  std::unordered_map<Var, std::size_t> gauss_col_of_;
+  std::vector<std::vector<Lit>> gauss_reason_of_var_;  ///< reason per implied var
+  std::vector<Lit> gauss_conflict_;                    ///< materialized conflict
+};
+
+/// The Luby restart sequence value luby(y, i) scaled by y (1-based i).
+double luby(double y, int i);
+
+}  // namespace tp::sat

@@ -1,0 +1,104 @@
+#pragma once
+// types.hpp — basic SAT-solver types: variables, literals, ternary values.
+//
+// Conventions follow MiniSat: variables are dense 0-based integers; a
+// literal packs (variable, sign) into one integer so that watch lists can
+// be indexed directly by literal.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tp::sat {
+
+/// A propositional variable, 0-based.
+using Var = std::int32_t;
+
+/// A literal: a variable or its negation. Internally 2*var + sign where
+/// sign == 1 means negated.
+class Lit {
+ public:
+  /// Invalid literal (use lit_undef).
+  constexpr Lit() : code_(-2) {}
+
+  /// Literal for variable v, negated iff `negated`.
+  constexpr Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {
+    assert(v >= 0);
+  }
+
+  /// The underlying variable.
+  constexpr Var var() const { return code_ >> 1; }
+
+  /// True iff this is the negative literal of its variable.
+  constexpr bool negated() const { return (code_ & 1) != 0; }
+
+  /// Negation.
+  constexpr Lit operator~() const { return from_code(code_ ^ 1); }
+
+  /// Dense index usable for watch-list arrays: in [0, 2*num_vars).
+  constexpr std::int32_t code() const { return code_; }
+
+  /// Rebuild a literal from its code.
+  static constexpr Lit from_code(std::int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  constexpr bool operator==(const Lit&) const = default;
+  constexpr auto operator<=>(const Lit&) const = default;
+
+  /// DIMACS-style text: variable+1 with a leading '-' when negated.
+  std::string to_string() const {
+    return (negated() ? "-" : "") + std::to_string(var() + 1);
+  }
+
+ private:
+  std::int32_t code_;
+};
+
+/// Sentinel "no literal" value.
+inline constexpr Lit lit_undef{};
+
+/// Positive literal of v.
+constexpr Lit mk_lit(Var v) { return Lit(v, false); }
+
+/// Ternary truth value.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+/// The LBool for a plain bool.
+constexpr LBool to_lbool(bool b) { return b ? LBool::True : LBool::False; }
+
+/// Negate an LBool (Undef stays Undef).
+constexpr LBool operator~(LBool v) {
+  if (v == LBool::Undef) return LBool::Undef;
+  return v == LBool::True ? LBool::False : LBool::True;
+}
+
+/// Result of a solve call.
+enum class Status : std::uint8_t {
+  Sat,      ///< a model was found
+  Unsat,    ///< proven unsatisfiable
+  Unknown,  ///< a resource limit was hit first
+};
+
+/// Human-readable status name.
+inline const char* to_string(Status s) {
+  switch (s) {
+    case Status::Sat: return "SAT";
+    case Status::Unsat: return "UNSAT";
+    case Status::Unknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+}  // namespace tp::sat
+
+template <>
+struct std::hash<tp::sat::Lit> {
+  std::size_t operator()(tp::sat::Lit l) const {
+    return std::hash<std::int32_t>()(l.code());
+  }
+};

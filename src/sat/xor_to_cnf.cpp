@@ -1,0 +1,40 @@
+#include "sat/xor_to_cnf.hpp"
+
+namespace tp::sat {
+
+Lit tseitin_xor(Solver& solver, Lit a, Lit b) {
+  const Lit t = mk_lit(solver.new_var());
+  // t <-> a XOR b
+  solver.add_clause({a, b, ~t});
+  solver.add_clause({a, ~b, t});
+  solver.add_clause({~a, b, t});
+  solver.add_clause({~a, ~b, ~t});
+  return t;
+}
+
+bool add_xor_as_cnf(Solver& solver, const std::vector<Var>& vars, bool rhs) {
+  if (vars.empty()) {
+    if (rhs) return solver.add_clause({});
+    return solver.okay();
+  }
+  if (vars.size() == 1) {
+    return solver.add_clause({Lit(vars[0], !rhs)});
+  }
+  Lit cur = mk_lit(vars[0]);
+  for (std::size_t i = 1; i + 1 < vars.size(); ++i) {
+    cur = tseitin_xor(solver, cur, mk_lit(vars[i]));
+  }
+  // Final pair: cur XOR last = rhs, encoded directly with two clauses.
+  const Lit last = mk_lit(vars.back());
+  bool ok = true;
+  if (rhs) {
+    ok = solver.add_clause({cur, last}) && ok;
+    ok = solver.add_clause({~cur, ~last}) && ok;
+  } else {
+    ok = solver.add_clause({cur, ~last}) && ok;
+    ok = solver.add_clause({~cur, last}) && ok;
+  }
+  return ok;
+}
+
+}  // namespace tp::sat

@@ -1,0 +1,26 @@
+#pragma once
+// xor_to_cnf.hpp — Tseitin chaining of XOR constraints into plain CNF.
+//
+// Fallback path for solvers without native XOR support: a parity constraint
+// v1 ⊕ … ⊕ vn = rhs is split into a chain t_i ↔ t_{i-1} ⊕ v_i of 3-input
+// XORs, each of which needs 4 CNF clauses, for a total of O(n) clauses and
+// n-2 auxiliary variables (instead of the 2^(n-1) clauses of the direct
+// encoding). Used by the bench_ablation_xor comparison against the native
+// watched-variable XOR engine.
+
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "sat/types.hpp"
+
+namespace tp::sat {
+
+/// Add v1 ⊕ … ⊕ vn = rhs as chained CNF. Returns false iff the solver
+/// became unsatisfiable.
+bool add_xor_as_cnf(Solver& solver, const std::vector<Var>& vars, bool rhs);
+
+/// Create a fresh variable t with t ↔ (a ⊕ b) and return its positive
+/// literal (4 clauses).
+Lit tseitin_xor(Solver& solver, Lit a, Lit b);
+
+}  // namespace tp::sat

@@ -1,0 +1,46 @@
+#include "soc/analysis.hpp"
+
+#include "timeprint/properties.hpp"
+
+namespace tp::soc {
+
+Divergence compare_logs(const core::TraceLog& hw, const core::TraceLog& sim) {
+  Divergence d;
+  d.first_k_mismatch = hw.first_count_mismatch(sim);
+  d.first_entry_mismatch = hw.first_mismatch(sim);
+  d.compared = std::min(hw.size(), sim.size());
+  return d;
+}
+
+std::optional<DelayLocalization> localize_delay(
+    const core::TimestampEncoding& encoding, const core::LogEntry& hw_entry,
+    const core::Signal& sim_signal, std::size_t delay,
+    const core::ReconstructionOptions& options) {
+  core::OneChangeDelayed hypothesis(sim_signal, delay);
+  if (hypothesis.variants().empty()) return std::nullopt;
+
+  core::Reconstructor rec(encoding);
+  rec.add_property(hypothesis);
+
+  core::ReconstructionOptions opts = options;
+  opts.max_solutions = 2;  // uniqueness check: a second solution disqualifies
+  const auto result = rec.reconstruct(hw_entry, opts);
+  // Require exactly one solution, with the enumeration proving there is no
+  // second one (complete() == the final solve returned Unsat).
+  if (result.signals.size() != 1 || !result.complete()) return std::nullopt;
+
+  const core::Signal& hw_signal = result.signals.front();
+  // The delayed cycle: the reference change missing from the hw signal.
+  for (std::size_t c : sim_signal.change_cycles()) {
+    if (!hw_signal.has_change(c)) {
+      DelayLocalization loc;
+      loc.delayed_cycle = c;
+      loc.hw_signal = hw_signal;
+      loc.seconds = result.seconds_total;
+      return loc;
+    }
+  }
+  return std::nullopt;  // signals identical (shouldn't happen: TP differed)
+}
+
+}  // namespace tp::soc

@@ -1,0 +1,58 @@
+#pragma once
+// analysis.hpp — HW-vs-simulation divergence analysis (§5.2.2).
+//
+// Workflow reproduced from the paper: compare the timeprint log from the
+// "FPGA" against the one from the RTL simulation. A change-count mismatch
+// points at a functional/timing configuration error (the wrong SRAM wait
+// states). Once counts agree, a timeprint mismatch with equal k indicates
+// a pure timing shift; encoding the "one change instance is delayed by one
+// clock cycle" hypothesis against the simulation's signal localizes the
+// exact delayed cycle — without ever logging full signals on the HW side.
+
+#include <cstddef>
+#include <optional>
+
+#include "timeprint/encoding.hpp"
+#include "timeprint/logger.hpp"
+#include "timeprint/reconstruct.hpp"
+#include "timeprint/signal.hpp"
+
+namespace tp::soc {
+
+/// Where two trace logs first disagree.
+struct Divergence {
+  /// First trace-cycle whose change count k differs (size() if none).
+  std::size_t first_k_mismatch;
+  /// First trace-cycle whose (TP, k) entry differs (size() if none).
+  std::size_t first_entry_mismatch;
+  /// Number of compared trace-cycles.
+  std::size_t compared;
+};
+
+/// Compare hardware and simulation logs.
+Divergence compare_logs(const core::TraceLog& hw, const core::TraceLog& sim);
+
+/// Outcome of the delay-hypothesis localization.
+struct DelayLocalization {
+  /// The (0-based) cycle within the trace-cycle whose change was delayed.
+  std::size_t delayed_cycle = 0;
+  /// The reconstructed hardware signal.
+  core::Signal hw_signal;
+  /// Solver wall-clock seconds.
+  double seconds = 0.0;
+
+  DelayLocalization() : hw_signal(0) {}
+};
+
+/// Given the hardware log entry of a diverging trace-cycle and the
+/// simulation's (trusted, fully known) signal for the same trace-cycle,
+/// find the unique signal that (a) explains the hardware timeprint and
+/// (b) equals the simulation signal with exactly one change delayed by
+/// `delay` cycles. Returns std::nullopt if no (or no unique) such signal
+/// exists — i.e. the hypothesis does not explain the divergence.
+std::optional<DelayLocalization> localize_delay(
+    const core::TimestampEncoding& encoding, const core::LogEntry& hw_entry,
+    const core::Signal& sim_signal, std::size_t delay = 1,
+    const core::ReconstructionOptions& options = {});
+
+}  // namespace tp::soc

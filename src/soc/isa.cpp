@@ -1,0 +1,141 @@
+#include "soc/isa.hpp"
+
+namespace tp::soc {
+
+std::vector<Instr> demo_image(int table_size, int sweeps) {
+  // r1 = i, r2 = fib(i-1), r3 = fib(i), r4 = base address, r5 = limit,
+  // r6 = scratch, r7 = sum, r8 = sweep counter, r9 = sweep limit.
+  std::vector<Instr> p;
+
+  // --- phase 1: fill fib table ---
+  p.push_back(loadi(1, 0));            // i = 0
+  p.push_back(loadi(2, 0));            // fib(-1) = 0
+  p.push_back(loadi(3, 1));            // fib(0) = 1
+  p.push_back(loadi(4, 0x1000));       // base
+  p.push_back(loadi(5, table_size));   // limit
+  const std::int32_t fill_loop = static_cast<std::int32_t>(p.size());
+  p.push_back(store(3, 4, 0));         // mem[base] = fib
+  p.push_back(add(6, 2, 3));           // next = fib(i-1) + fib(i)
+  p.push_back(add(2, 3, 0 /*r0=0*/));  // shift (r0 stays 0)
+  p.push_back(add(3, 6, 0));
+  p.push_back(addi(4, 4, 4));          // base += 4
+  p.push_back(addi(1, 1, 1));          // ++i
+  p.push_back(bne(1, 5, fill_loop - static_cast<std::int32_t>(p.size()) - 1));
+
+  // --- phase 2: repeated sweeps summing the table ---
+  p.push_back(loadi(8, 0));           // sweep = 0
+  p.push_back(loadi(9, sweeps));      // sweep limit
+  const std::int32_t sweep_outer = static_cast<std::int32_t>(p.size());
+  p.push_back(loadi(4, 0x1000));      // base
+  p.push_back(loadi(1, 0));           // i = 0
+  p.push_back(loadi(7, 0));           // sum = 0
+  const std::int32_t sweep_inner = static_cast<std::int32_t>(p.size());
+  p.push_back(load(6, 4, 0));         // x = mem[base]
+  p.push_back(add(7, 7, 6));          // sum += x
+  p.push_back(addi(4, 4, 4));
+  p.push_back(addi(1, 1, 1));
+  p.push_back(nop());                 // compute slack between accesses
+  p.push_back(bne(1, 5, sweep_inner - static_cast<std::int32_t>(p.size()) - 1));
+  p.push_back(store(7, 4, 64));       // mem[end+64] = sum (varies per sweep)
+  p.push_back(addi(8, 8, 1));
+  p.push_back(bne(8, 9, sweep_outer - static_cast<std::int32_t>(p.size()) - 1));
+
+  p.push_back(halt());
+  return p;
+}
+
+std::vector<Instr> memcpy_image(int words) {
+  // r1 = i, r2 = src, r3 = dst, r4 = limit, r5 = scratch.
+  std::vector<Instr> p;
+  p.push_back(loadi(1, 0));
+  p.push_back(loadi(2, 0x2000));
+  p.push_back(loadi(4, words));
+  const std::int32_t init_loop = static_cast<std::int32_t>(p.size());
+  p.push_back(store(1, 2, 0));  // src[i] = i
+  p.push_back(addi(2, 2, 4));
+  p.push_back(addi(1, 1, 1));
+  p.push_back(bne(1, 4, init_loop - static_cast<std::int32_t>(p.size()) - 1));
+
+  p.push_back(loadi(1, 0));
+  p.push_back(loadi(2, 0x2000));
+  p.push_back(loadi(3, 0x3000));
+  const std::int32_t copy_loop = static_cast<std::int32_t>(p.size());
+  p.push_back(load(5, 2, 0));
+  p.push_back(store(5, 3, 0));
+  p.push_back(addi(2, 2, 4));
+  p.push_back(addi(3, 3, 4));
+  p.push_back(addi(1, 1, 1));
+  p.push_back(bne(1, 4, copy_loop - static_cast<std::int32_t>(p.size()) - 1));
+  p.push_back(halt());
+  return p;
+}
+
+std::vector<Instr> matmul_image(int n) {
+  // A at 0x4000, B at 0x5000, C at 0x6000, row-major, 4-byte words.
+  // r1 = i, r2 = j, r3 = l, r4 = n, r5 = acc, r6/r7 = operands,
+  // r8/r9/r10 = addresses, r11 = scratch.
+  std::vector<Instr> p;
+  p.push_back(loadi(4, n));
+
+  // Initialize A[i] = i+1 and B[i] = i+2 over n*n words.
+  p.push_back(loadi(1, 0));
+  p.push_back(loadi(8, 0x4000));
+  p.push_back(loadi(9, 0x5000));
+  p.push_back(loadi(11, n * n));
+  const std::int32_t init_loop = static_cast<std::int32_t>(p.size());
+  p.push_back(addi(5, 1, 1));
+  p.push_back(store(5, 8, 0));
+  p.push_back(addi(5, 1, 2));
+  p.push_back(store(5, 9, 0));
+  p.push_back(addi(8, 8, 4));
+  p.push_back(addi(9, 9, 4));
+  p.push_back(addi(1, 1, 1));
+  p.push_back(bne(1, 11, init_loop - static_cast<std::int32_t>(p.size()) - 1));
+
+  // Triple loop: C[i][j] = sum_l A[i][l] * ... (ISA has no multiply; use
+  // repeated addition of A-element via the l loop: acc += A[i][l] + B[l][j]
+  // — a deterministic stand-in that still walks both matrices.)
+  p.push_back(loadi(1, 0));  // i
+  const std::int32_t i_loop = static_cast<std::int32_t>(p.size());
+  p.push_back(loadi(2, 0));  // j
+  const std::int32_t j_loop = static_cast<std::int32_t>(p.size());
+  p.push_back(loadi(3, 0));  // l
+  p.push_back(loadi(5, 0));  // acc
+  const std::int32_t l_loop = static_cast<std::int32_t>(p.size());
+  // The ISA has no multiply, so addresses walk the first matrix rows
+  // linearly (r8 = 0x4000 + 4*l, r9 = 0x5000 + 4*l): the bus traffic
+  // pattern — interleaved double loads per inner iteration — is what the
+  // tracing experiments care about, not the arithmetic.
+  p.push_back(loadi(8, 0x4000));
+  p.push_back(add(8, 8, 3));
+  p.push_back(add(8, 8, 3));
+  p.push_back(add(8, 8, 3));
+  p.push_back(add(8, 8, 3));  // r8 = 0x4000 + 4*l
+  p.push_back(load(6, 8, 0));
+  p.push_back(loadi(9, 0x5000));
+  p.push_back(add(9, 9, 3));
+  p.push_back(add(9, 9, 3));
+  p.push_back(add(9, 9, 3));
+  p.push_back(add(9, 9, 3));
+  p.push_back(load(7, 9, 0));
+  p.push_back(add(5, 5, 6));
+  p.push_back(add(5, 5, 7));
+  p.push_back(addi(3, 3, 1));
+  p.push_back(bne(3, 4, l_loop - static_cast<std::int32_t>(p.size()) - 1));
+  // Result store: one write per (i, j) at 0x6000 + 4*j (row-overwriting —
+  // again, the store burst pattern is what matters downstream).
+  p.push_back(loadi(10, 0x6000));
+  p.push_back(add(10, 10, 2));
+  p.push_back(add(10, 10, 2));
+  p.push_back(add(10, 10, 2));
+  p.push_back(add(10, 10, 2));
+  p.push_back(store(5, 10, 0));
+  p.push_back(addi(2, 2, 1));
+  p.push_back(bne(2, 4, j_loop - static_cast<std::int32_t>(p.size()) - 1));
+  p.push_back(addi(1, 1, 1));
+  p.push_back(bne(1, 4, i_loop - static_cast<std::int32_t>(p.size()) - 1));
+  p.push_back(halt());
+  return p;
+}
+
+}  // namespace tp::soc

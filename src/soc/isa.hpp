@@ -1,0 +1,70 @@
+#pragma once
+// isa.hpp — the Lion3 mini-ISA.
+//
+// The §5.2.2 experiment runs a software image on a LEON3 and traces the
+// AHB address bus. Our stand-in core ("Lion3") executes a small
+// register-machine ISA that is rich enough to produce realistic,
+// program-dependent memory traffic: immediate loads, ALU ops, loads/stores
+// through the bus, and branches. Programs are deterministic, so two runs
+// of the same image produce identical bus activity unless the memory
+// system differs — which is exactly what the experiment detects.
+
+#include <cstdint>
+#include <vector>
+
+namespace tp::soc {
+
+/// Instruction opcodes.
+enum class Op : std::uint8_t {
+  Nop,    ///< do nothing (1 cycle)
+  Halt,   ///< stop the core
+  LoadI,  ///< rd = imm
+  Load,   ///< rd = mem[ra + imm] (issues a bus read)
+  Store,  ///< mem[ra + imm] = rb (issues a bus write)
+  Add,    ///< rd = ra + rb
+  Sub,    ///< rd = ra - rb
+  AddI,   ///< rd = ra + imm
+  Bne,    ///< if ra != rb: pc += imm (relative, in instructions)
+  Jmp,    ///< pc += imm
+};
+
+/// One instruction. Fields are used per-opcode (see Op).
+struct Instr {
+  Op op = Op::Nop;
+  int rd = 0;
+  int ra = 0;
+  int rb = 0;
+  std::int32_t imm = 0;
+};
+
+/// Number of general-purpose registers.
+inline constexpr int kNumRegs = 16;
+
+// Tiny assembler helpers (keep example programs readable).
+inline Instr nop() { return {Op::Nop, 0, 0, 0, 0}; }
+inline Instr halt() { return {Op::Halt, 0, 0, 0, 0}; }
+inline Instr loadi(int rd, std::int32_t imm) { return {Op::LoadI, rd, 0, 0, imm}; }
+inline Instr load(int rd, int ra, std::int32_t imm) { return {Op::Load, rd, ra, 0, imm}; }
+inline Instr store(int rb, int ra, std::int32_t imm) { return {Op::Store, 0, ra, rb, imm}; }
+inline Instr add(int rd, int ra, int rb) { return {Op::Add, rd, ra, rb, 0}; }
+inline Instr sub(int rd, int ra, int rb) { return {Op::Sub, rd, ra, rb, 0}; }
+inline Instr addi(int rd, int ra, std::int32_t imm) { return {Op::AddI, rd, ra, 0, imm}; }
+inline Instr bne(int ra, int rb, std::int32_t imm) { return {Op::Bne, 0, ra, rb, imm}; }
+inline Instr jmp(std::int32_t imm) { return {Op::Jmp, 0, 0, 0, imm}; }
+
+/// The experiment's demo image: writes a Fibonacci table to memory, then
+/// repeatedly sweeps it computing a running sum — a loop-heavy, load/store-
+/// dense workload whose bus traffic pattern varies over time.
+std::vector<Instr> demo_image(int table_size = 32, int sweeps = 64);
+
+/// Block-copy image: copies `words` words from 0x2000 to 0x3000 after
+/// initializing the source — a store/load-alternating traffic pattern
+/// distinct from demo_image's.
+std::vector<Instr> memcpy_image(int words = 64);
+
+/// Dense n×n integer matrix multiply (sources initialized to small
+/// deterministic values, result stored) — the most load-heavy pattern,
+/// with long bursts per result element.
+std::vector<Instr> matmul_image(int n = 6);
+
+}  // namespace tp::soc

@@ -1,0 +1,186 @@
+#include "soc/system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tp::soc {
+
+SocSystem::SocSystem(Config config)
+    : cfg_(std::move(config)),
+      regs_(kNumRegs, 0),
+      temp_c_(cfg_.mem.ambient_c) {
+  next_refresh_ = cfg_.mem.refresh_enabled
+                      ? cfg_.mem.refresh_phase + refresh_interval()
+                      : UINT64_MAX;
+}
+
+std::uint64_t SocSystem::refresh_interval() const {
+  const double excess = std::max(0.0, temp_c_ - 25.0);
+  const double interval =
+      static_cast<double>(cfg_.mem.refresh_base_interval) -
+      cfg_.mem.refresh_slope * excess;
+  const double floor_val = static_cast<double>(cfg_.mem.refresh_min_interval);
+  return static_cast<std::uint64_t>(std::max(interval, floor_val));
+}
+
+void SocSystem::issue_access(std::uint32_t addr, bool write, std::uint32_t wdata) {
+  // Refresh collision: the address-phase event becomes visible one cycle
+  // late; the access' completion is unaffected (absorbed by margin).
+  const bool refresh_now = cfg_.mem.refresh_enabled &&
+                           cycle_ >= next_refresh_ &&
+                           cycle_ < next_refresh_ + cfg_.mem.refresh_duration;
+  const bool changed = addr != bus_addr_;
+  bus_addr_ = addr;
+  if (changed) {
+    if (refresh_now) {
+      pending_change_ = true;  // visible next cycle
+      ++collisions_;
+    } else {
+      addr_changed_now_ = true;
+    }
+  }
+  mem_busy_ = true;
+  mem_done_at_ = cycle_ + 1 + cfg_.mem.wait_states;
+  mem_is_load_ = !write;
+  mem_addr_ = addr;
+  if (write) mem_[addr] = wdata;
+}
+
+void SocSystem::tick() {
+  // --- refresh scheduling & thermal bookkeeping happen every cycle ---
+  addr_changed_now_ = false;
+  if (pending_change_) {
+    addr_changed_now_ = true;
+    pending_change_ = false;
+  }
+
+  bool accessed = false;
+
+  if (!halted_) {
+    if (mem_busy_) {
+      if (cycle_ >= mem_done_at_) {
+        // Data phase completes this cycle.
+        if (mem_is_load_) {
+          auto it = mem_.find(mem_addr_);
+          if (mem_rd_ != 0) {
+            regs_[static_cast<std::size_t>(mem_rd_)] =
+                it == mem_.end() ? 0 : static_cast<std::int32_t>(it->second);
+          }
+        }
+        mem_busy_ = false;
+      }
+    }
+    if (!mem_busy_ && pc_ < cfg_.program.size()) {
+      const Instr& in = cfg_.program[pc_];
+      ++instructions_;
+      auto rr = [&](int r) { return r == 0 ? 0 : regs_[static_cast<std::size_t>(r)]; };
+      auto wr = [&](int r, std::int32_t v) {
+        if (r != 0) regs_[static_cast<std::size_t>(r)] = v;
+      };
+      switch (in.op) {
+        case Op::Nop:
+          ++pc_;
+          break;
+        case Op::Halt:
+          halted_ = true;
+          break;
+        case Op::LoadI:
+          wr(in.rd, in.imm);
+          ++pc_;
+          break;
+        case Op::Load:
+          mem_rd_ = in.rd;
+          issue_access(static_cast<std::uint32_t>(rr(in.ra) + in.imm), false, 0);
+          accessed = true;
+          ++pc_;
+          break;
+        case Op::Store:
+          issue_access(static_cast<std::uint32_t>(rr(in.ra) + in.imm), true,
+                       static_cast<std::uint32_t>(rr(in.rb)));
+          accessed = true;
+          ++pc_;
+          break;
+        case Op::Add:
+          wr(in.rd, rr(in.ra) + rr(in.rb));
+          ++pc_;
+          break;
+        case Op::Sub:
+          wr(in.rd, rr(in.ra) - rr(in.rb));
+          ++pc_;
+          break;
+        case Op::AddI:
+          wr(in.rd, rr(in.ra) + in.imm);
+          ++pc_;
+          break;
+        case Op::Bne:
+          if (rr(in.ra) != rr(in.rb)) {
+            pc_ = static_cast<std::size_t>(static_cast<std::int64_t>(pc_) + 1 + in.imm);
+          } else {
+            ++pc_;
+          }
+          break;
+        case Op::Jmp:
+          pc_ = static_cast<std::size_t>(static_cast<std::int64_t>(pc_) + 1 + in.imm);
+          break;
+      }
+      if (pc_ >= cfg_.program.size()) halted_ = true;
+    }
+  }
+
+  // Refresh slot bookkeeping (re-armed at the end of the slot).
+  if (cfg_.mem.refresh_enabled &&
+      cycle_ == next_refresh_ + cfg_.mem.refresh_duration - 1) {
+    ++refresh_count_;
+    next_refresh_ = cycle_ + 1 + refresh_interval();
+  }
+
+  // First-order thermal model.
+  temp_c_ += (accessed ? cfg_.mem.heat_per_access : 0.0) -
+             (temp_c_ - cfg_.mem.ambient_c) / cfg_.mem.tau_cycles;
+
+  ++cycle_;
+}
+
+SocRunResult run_soc(const SocSystem::Config& config,
+                     const core::TimestampEncoding& encoding,
+                     std::uint64_t max_cycles) {
+  SocSystem soc(config);
+  core::StreamingLogger logger(encoding);
+  const std::size_t m = encoding.m();
+
+  SocRunResult result{core::TraceLog(m, encoding.width()), {}, 0.0, 0, 0};
+  core::Signal current(m);
+  std::size_t phase = 0;
+
+  std::uint64_t cycles = 0;
+  while (cycles < max_cycles && !(soc.halted() && phase == 0)) {
+    soc.tick();
+    const bool change = soc.addr_changed();
+    logger.tick(change);
+    if (change) current.set_change(phase);
+    ++phase;
+    ++cycles;
+    if (phase == m) {
+      result.signals.push_back(current);
+      current = core::Signal(m);
+      phase = 0;
+    }
+  }
+  // Pad a partial trace-cycle so log and signals stay aligned.
+  while (phase != 0) {
+    logger.tick(false);
+    ++phase;
+    if (phase == m) {
+      result.signals.push_back(current);
+      phase = 0;
+    }
+  }
+
+  result.log = logger.log();
+  result.final_temperature = soc.temperature();
+  result.refresh_collisions = soc.refresh_collisions();
+  result.cycles = cycles;
+  return result;
+}
+
+}  // namespace tp::soc

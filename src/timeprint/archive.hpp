@@ -1,0 +1,106 @@
+#pragma once
+// archive.hpp — the postmortem-side timeprint database of Figure 3.
+//
+// During deployment, log entries stream at a constant rate to a central
+// store where "timeprints are stored until they wear out"; when a failure
+// is reported, the analyst retrieves the entries covering the suspect time
+// window ("Retrieve Timeprint"). This module provides that store: multiple
+// named channels (one per traced signal), absolute-time indexing (each
+// entry covers m clock cycles of its channel), a bounded retention window
+// with wear-out eviction, and round-trippable text serialization.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "timeprint/encoding.hpp"
+#include "timeprint/logger.hpp"
+
+namespace tp::core {
+
+/// One retrieved entry with its provenance.
+struct ArchivedEntry {
+  LogEntry entry;
+  std::uint64_t index = 0;        ///< trace-cycle index within the channel
+  std::uint64_t first_cycle = 0;  ///< absolute clock cycle the entry starts at
+};
+
+/// A bounded, time-indexed store of log entries for one traced signal.
+class TraceChannel {
+ public:
+  /// `m`/`b` describe the channel's encoding; `capacity` bounds the number
+  /// of retained entries (0 = unbounded). When full, the oldest entries
+  /// wear out.
+  TraceChannel(std::size_t m, std::size_t b, std::size_t capacity = 0);
+
+  /// Append the next trace-cycle's entry (entries arrive in order).
+  void append(LogEntry entry);
+
+  /// Number of retained entries.
+  std::size_t size() const { return entries_.size(); }
+
+  /// Index of the oldest retained entry (> 0 once wear-out has evicted).
+  std::uint64_t first_retained() const { return first_index_; }
+
+  /// Total entries ever appended (retained or worn out).
+  std::uint64_t total_appended() const { return first_index_ + entries_.size(); }
+
+  /// The entry for trace-cycle `index`, or nullopt if worn out / future.
+  std::optional<ArchivedEntry> at(std::uint64_t index) const;
+
+  /// The entry covering absolute clock cycle `cycle`, or nullopt.
+  std::optional<ArchivedEntry> covering_cycle(std::uint64_t cycle) const;
+
+  /// All retained entries overlapping the absolute clock-cycle window
+  /// [from_cycle, to_cycle), oldest first.
+  std::vector<ArchivedEntry> in_window(std::uint64_t from_cycle,
+                                       std::uint64_t to_cycle) const;
+
+  std::size_t m() const { return m_; }
+  std::size_t width() const { return b_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Retained bits (storage accounting; constant per entry by design).
+  std::size_t retained_bits() const;
+
+  /// Replace the channel content (deserialization support): the retained
+  /// entries start at trace-cycle `first_index`.
+  void restore(std::uint64_t first_index, std::vector<LogEntry> entries);
+
+ private:
+  std::size_t m_;
+  std::size_t b_;
+  std::size_t capacity_;
+  std::uint64_t first_index_ = 0;
+  std::vector<LogEntry> entries_;  // entries_[i] is trace-cycle first_index_+i
+};
+
+/// A collection of named channels plus (de)serialization.
+class TraceArchive {
+ public:
+  /// Create (or fetch) a channel. Creating an existing name with different
+  /// parameters throws std::invalid_argument.
+  TraceChannel& channel(const std::string& name, std::size_t m, std::size_t b,
+                        std::size_t capacity = 0);
+
+  /// Fetch an existing channel; nullptr if absent.
+  const TraceChannel* find(const std::string& name) const;
+  TraceChannel* find(const std::string& name);
+
+  /// Channel names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Serialize every channel (retained entries only).
+  void save(std::ostream& out) const;
+
+  /// Parse a serialized archive. Throws std::runtime_error on malformed
+  /// input.
+  static TraceArchive load(std::istream& in);
+
+ private:
+  std::map<std::string, TraceChannel> channels_;
+};
+
+}  // namespace tp::core

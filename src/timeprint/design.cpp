@@ -1,0 +1,37 @@
+#include "timeprint/design.hpp"
+
+#include <cmath>
+
+#include "timeprint/encoding.hpp"
+
+namespace tp::core {
+
+double log_rate_bps(std::size_t m, std::size_t b, double clock_hz) {
+  return static_cast<double>(b + counter_bits(m)) * clock_hz /
+         static_cast<double>(m);
+}
+
+std::size_t paper_width(std::size_t m) {
+  switch (m) {
+    case 64: return 13;
+    case 128: return 16;
+    case 512: return 22;
+    case 1024: return 24;
+    default: {
+      const double w = 2.2 * std::log2(static_cast<double>(m)) + 0.5;
+      return static_cast<std::size_t>(std::ceil(w));
+    }
+  }
+}
+
+double expected_solutions(std::size_t m, std::size_t k, std::size_t b) {
+  // log2(C(m, k)) - b, computed in logs to avoid overflow.
+  double log2_binom = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    log2_binom += std::log2(static_cast<double>(m - i)) -
+                  std::log2(static_cast<double>(i + 1));
+  }
+  return std::exp2(log2_binom - static_cast<double>(b));
+}
+
+}  // namespace tp::core

@@ -1,0 +1,29 @@
+#pragma once
+// design.hpp — timeprint design-parameter helpers (paper §5.1).
+//
+// The design space has three knobs: the trace-cycle length m (log rate vs
+// average k per trace-cycle), the timestamp width b (ambiguity vs bits
+// logged) and the LI depth d (paper fixes d = 4). These helpers compute
+// the derived quantities the paper reports: the logging bit-rate R and an
+// estimate of the reconstruction ambiguity.
+
+#include <cstddef>
+
+namespace tp::core {
+
+/// Logging bit-rate in bits/second: (b + ceil(log2(m+1))) / m × clock_hz
+/// (paper §5.1.1; the counter k needs ceil(log2(m+1)) bits).
+double log_rate_bps(std::size_t m, std::size_t b, double clock_hz);
+
+/// The timestamp widths the paper uses for its random-constrained LI-4
+/// encodings (Table 1): m=64 -> 13, 128 -> 16, 512 -> 22, 1024 -> 24.
+/// Other m fall back to a 2·log2(m)-ish heuristic consistent with those
+/// points.
+std::size_t paper_width(std::size_t m);
+
+/// Expected number of SR solutions for a random timeprint: C(m, k) / 2^b
+/// (each of the C(m, k) weight-k signals hits a uniformly random b-bit
+/// timeprint). Values below 1 indicate a likely-unique reconstruction.
+double expected_solutions(std::size_t m, std::size_t k, std::size_t b);
+
+}  // namespace tp::core

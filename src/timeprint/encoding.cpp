@@ -1,0 +1,136 @@
+#include "timeprint/encoding.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace tp::core {
+
+const char* to_string(EncodingScheme scheme) {
+  switch (scheme) {
+    case EncodingScheme::OneHot: return "one-hot";
+    case EncodingScheme::Binary: return "binary";
+    case EncodingScheme::RandomConstrained: return "random-constrained";
+    case EncodingScheme::Incremental: return "incremental";
+  }
+  return "?";
+}
+
+std::size_t counter_bits(std::size_t m) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < m + 1) ++bits;
+  return bits;
+}
+
+TimestampEncoding TimestampEncoding::one_hot(std::size_t m) {
+  assert(m > 0);
+  std::vector<f2::BitVec> ts;
+  ts.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) ts.push_back(f2::BitVec::unit(m, i));
+  return TimestampEncoding(std::move(ts), m, m, EncodingScheme::OneHot);
+}
+
+TimestampEncoding TimestampEncoding::binary(std::size_t m) {
+  assert(m > 0);
+  const std::size_t b = counter_bits(m);
+  std::vector<f2::BitVec> ts;
+  ts.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ts.push_back(f2::BitVec::from_uint(b, i + 1));
+  }
+  return TimestampEncoding(std::move(ts), b, 1, EncodingScheme::Binary);
+}
+
+TimestampEncoding TimestampEncoding::random_constrained(std::size_t m, std::size_t b,
+                                                        std::size_t depth,
+                                                        std::uint64_t seed,
+                                                        std::uint64_t max_attempts) {
+  assert(m > 0 && b > 0 && depth >= 1 && depth <= 4);
+  f2::Rng rng(seed);
+  f2::LiChecker li(b, depth);
+  std::uint64_t attempts = 0;
+  while (li.size() < m) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error(
+          "random_constrained: width b=" + std::to_string(b) +
+          " too small for m=" + std::to_string(m) + " at depth " +
+          std::to_string(depth));
+    }
+    f2::BitVec v = f2::BitVec::random(b, rng);
+    if (li.can_add(v)) li.add(v);
+  }
+  return TimestampEncoding(li.members(), b, depth, EncodingScheme::RandomConstrained);
+}
+
+TimestampEncoding TimestampEncoding::incremental(std::size_t m, std::size_t b,
+                                                 std::size_t depth) {
+  assert(m > 0 && b > 0 && depth >= 1 && depth <= 4);
+  f2::LiChecker li(b, depth);
+  f2::BitVec v(b);
+  v.increment();  // start from 1 (the smallest nonzero value)
+  while (li.size() < m) {
+    if (li.can_add(v)) li.add(v);
+    if (li.size() == m) break;
+    v.increment();
+    if (v.is_zero()) {  // wrapped: the whole b-bit space is exhausted
+      throw std::runtime_error("incremental: width b=" + std::to_string(b) +
+                               " too small for m=" + std::to_string(m) +
+                               " at depth " + std::to_string(depth));
+    }
+  }
+  return TimestampEncoding(li.members(), b, depth, EncodingScheme::Incremental);
+}
+
+TimestampEncoding TimestampEncoding::incremental_auto(std::size_t m,
+                                                      std::size_t depth) {
+  for (std::size_t b = counter_bits(m);; ++b) {
+    try {
+      return incremental(m, b, depth);
+    } catch (const std::runtime_error&) {
+      // width too small; grow
+    }
+  }
+}
+
+TimestampEncoding TimestampEncoding::random_constrained_auto(std::size_t m,
+                                                             std::size_t depth,
+                                                             std::uint64_t seed) {
+  for (std::size_t b = counter_bits(m);; ++b) {
+    try {
+      return random_constrained(m, b, depth, seed);
+    } catch (const std::runtime_error&) {
+      // width too small; grow
+    }
+  }
+}
+
+TimestampEncoding TimestampEncoding::from_vectors(std::vector<f2::BitVec> timestamps,
+                                                  std::size_t depth) {
+  assert(!timestamps.empty());
+  const std::size_t b = timestamps.front().size();
+  for (const f2::BitVec& v : timestamps) {
+    assert(v.size() == b);
+    (void)v;
+  }
+  return TimestampEncoding(std::move(timestamps), b, depth,
+                           EncodingScheme::RandomConstrained);
+}
+
+bool TimestampEncoding::verify_li(std::size_t depth) const {
+  f2::LiChecker li(width_, depth);
+  for (const f2::BitVec& v : timestamps_) {
+    if (!li.can_add(v)) return false;
+    li.add(v);
+  }
+  return true;
+}
+
+std::size_t TimestampEncoding::bits_per_trace_cycle() const {
+  return width_ + counter_bits(m());
+}
+
+double TimestampEncoding::log_rate_bps(double clock_hz) const {
+  return static_cast<double>(bits_per_trace_cycle()) * clock_hz /
+         static_cast<double>(m());
+}
+
+}  // namespace tp::core

@@ -1,0 +1,69 @@
+#include "timeprint/galois.hpp"
+
+#include <algorithm>
+
+namespace tp::core {
+
+namespace {
+
+bool contains_entry(const std::vector<LogEntry>& entries, const LogEntry& e) {
+  return std::find(entries.begin(), entries.end(), e) != entries.end();
+}
+
+bool contains_signal(const std::vector<Signal>& signals, const Signal& s) {
+  return std::find(signals.begin(), signals.end(), s) != signals.end();
+}
+
+}  // namespace
+
+std::vector<LogEntry> alpha(const TimestampEncoding& encoding,
+                            const std::vector<Signal>& signals) {
+  Logger logger(encoding);
+  std::vector<LogEntry> out;
+  for (const Signal& s : signals) {
+    LogEntry e = logger.log(s);
+    if (!contains_entry(out, e)) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<Signal> gamma(const TimestampEncoding& encoding, const LogEntry& entry) {
+  return Reconstructor::brute_force(encoding, entry);
+}
+
+std::vector<Signal> gamma(const TimestampEncoding& encoding,
+                          const std::vector<LogEntry>& entries) {
+  std::vector<Signal> out;
+  for (const LogEntry& e : entries) {
+    for (Signal& s : gamma(encoding, e)) {
+      if (!contains_signal(out, s)) out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+bool check_extensive(const TimestampEncoding& encoding,
+                     const std::vector<Signal>& signals) {
+  const std::vector<Signal> closure = gamma(encoding, alpha(encoding, signals));
+  for (const Signal& s : signals) {
+    if (!contains_signal(closure, s)) return false;
+  }
+  return true;
+}
+
+bool check_insertion(const TimestampEncoding& encoding,
+                     const std::vector<LogEntry>& entries) {
+  // Deduplicate the input set first (V is a set of log entries).
+  std::vector<LogEntry> v;
+  for (const LogEntry& e : entries) {
+    if (!contains_entry(v, e)) v.push_back(e);
+  }
+  const std::vector<LogEntry> round = alpha(encoding, gamma(encoding, v));
+  if (round.size() != v.size()) return false;
+  for (const LogEntry& e : v) {
+    if (!contains_entry(round, e)) return false;
+  }
+  return true;
+}
+
+}  // namespace tp::core

@@ -1,0 +1,40 @@
+#pragma once
+// galois.hpp — the abstraction/concretization pair (α, γ) of §4.1.
+//
+// The paper proves the logging procedure is a sound abstraction by
+// exhibiting a Galois insertion between P(Sig) and P(Log):
+//   * for every set F of signals,     F ⊆ γ(α(F));
+//   * for every set V of log entries, V = α(γ(V)).
+// These helpers compute α and γ explicitly (γ by exhaustive preimage, so
+// only for small m) and check both laws — used by tests and the
+// quickstart example to demonstrate Lemma 1 concretely.
+
+#include <vector>
+
+#include "timeprint/encoding.hpp"
+#include "timeprint/logger.hpp"
+#include "timeprint/reconstruct.hpp"
+#include "timeprint/signal.hpp"
+
+namespace tp::core {
+
+/// α lifted to sets: abstract every signal, deduplicate.
+std::vector<LogEntry> alpha(const TimestampEncoding& encoding,
+                            const std::vector<Signal>& signals);
+
+/// γ̃ of one log entry: the full preimage under α̃ (exhaustive; small m).
+std::vector<Signal> gamma(const TimestampEncoding& encoding, const LogEntry& entry);
+
+/// γ lifted to sets of log entries (deduplicated union of preimages).
+std::vector<Signal> gamma(const TimestampEncoding& encoding,
+                          const std::vector<LogEntry>& entries);
+
+/// Law 1 of the Galois insertion: F ⊆ γ(α(F)).
+bool check_extensive(const TimestampEncoding& encoding,
+                     const std::vector<Signal>& signals);
+
+/// Law 2 of the Galois insertion: V = α(γ(V)).
+bool check_insertion(const TimestampEncoding& encoding,
+                     const std::vector<LogEntry>& entries);
+
+}  // namespace tp::core

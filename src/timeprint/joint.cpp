@@ -1,0 +1,80 @@
+#include "timeprint/joint.hpp"
+
+#include <cassert>
+
+#include "sat/xor_to_cnf.hpp"
+
+namespace tp::core {
+
+using sat::Lit;
+using sat::mk_lit;
+using sat::Solver;
+using sat::Var;
+
+ReconstructionResult JointReconstructor::reconstruct(
+    const std::vector<LogEntry>& entries, const ReconstructionOptions& options) const {
+  assert(!entries.empty());
+  const std::size_t m = enc_->m();
+  const std::size_t b = enc_->width();
+  const std::size_t n = entries.size();
+
+  sat::SolverOptions so;
+  so.use_gauss = options.use_gauss && options.native_xor;
+  so.gauss_max_unassigned = options.gauss_gate;
+  Solver solver(so);
+  std::vector<Var> span_vars;
+  span_vars.reserve(n * m);
+  for (std::size_t i = 0; i < n * m; ++i) span_vars.push_back(solver.new_var());
+
+  for (std::size_t w = 0; w < n; ++w) {
+    assert(entries[w].tp.size() == b);
+    // XOR system of window w over its own m variables.
+    for (std::size_t j = 0; j < b; ++j) {
+      std::vector<Var> row;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (enc_->timestamp(i).get(j)) row.push_back(span_vars[w * m + i]);
+      }
+      const bool rhs = entries[w].tp.get(j);
+      if (options.native_xor) {
+        solver.add_xor(std::move(row), rhs);
+      } else {
+        sat::add_xor_as_cnf(solver, row, rhs);
+      }
+    }
+    // Cardinality of window w.
+    std::vector<Lit> lits;
+    lits.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) lits.push_back(mk_lit(span_vars[w * m + i]));
+    sat::encode_exactly(solver, lits, static_cast<int>(entries[w].k),
+                        options.card_encoding);
+  }
+
+  // Span-wide properties.
+  for (const Property* p : properties_) p->encode(solver, span_vars);
+
+  sat::AllSatOptions as;
+  as.max_models = options.max_solutions;
+  as.limits = options.limits;
+  const sat::AllSatResult models = sat::enumerate_models(solver, span_vars, as);
+
+  ReconstructionResult result;
+  result.final_status = models.final_status;
+  result.seconds_to_each = models.seconds_to_model;
+  result.seconds_total = models.seconds_total;
+  result.conflicts = solver.stats().conflicts;
+  result.decisions = solver.stats().decisions;
+  result.propagations = solver.stats().propagations;
+  result.num_vars = solver.num_vars();
+  result.num_clauses = solver.num_clauses();
+  result.num_xors = solver.num_xors();
+  for (const auto& model : models.models) {
+    Signal s(n * m);
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      if (model[i]) s.set_change(i);
+    }
+    result.signals.push_back(std::move(s));
+  }
+  return result;
+}
+
+}  // namespace tp::core

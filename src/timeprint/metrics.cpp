@@ -1,0 +1,50 @@
+#include "timeprint/metrics.hpp"
+
+#include <cmath>
+
+#include "f2/matrix.hpp"
+#include "timeprint/design.hpp"
+
+namespace tp::core {
+
+EncodingStats encoding_stats(const TimestampEncoding& encoding) {
+  EncodingStats s;
+  s.m = encoding.m();
+  s.b = encoding.width();
+  s.rank = f2::Matrix::from_columns(encoding.timestamps()).rank();
+
+  s.li_depth = 0;
+  for (std::size_t d = 1; d <= 4; ++d) {
+    if (encoding.verify_li(d)) {
+      s.li_depth = d;
+    } else {
+      break;
+    }
+  }
+
+  s.density = static_cast<double>(s.m) / std::exp2(static_cast<double>(s.b));
+
+  // Like design.hpp's expected_solutions but with the actual rank.
+  double log2_binom = 0.0;
+  const std::size_t k = 4;
+  for (std::size_t i = 0; i < k && i < s.m; ++i) {
+    log2_binom += std::log2(static_cast<double>(s.m - i)) -
+                  std::log2(static_cast<double>(i + 1));
+  }
+  s.expected_solutions_k4 = std::exp2(log2_binom - static_cast<double>(s.rank));
+
+  s.min_timestamp_weight = s.b + 1;
+  for (const auto& ts : encoding.timestamps()) {
+    s.min_timestamp_weight = std::min(s.min_timestamp_weight, ts.popcount());
+  }
+  s.min_pair_distance = s.b + 1;
+  for (std::size_t i = 0; i < s.m; ++i) {
+    for (std::size_t j = i + 1; j < s.m; ++j) {
+      const std::size_t w = (encoding.timestamp(i) ^ encoding.timestamp(j)).popcount();
+      s.min_pair_distance = std::min(s.min_pair_distance, w);
+    }
+  }
+  return s;
+}
+
+}  // namespace tp::core

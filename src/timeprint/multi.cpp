@@ -1,0 +1,79 @@
+#include "timeprint/multi.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tp::core {
+
+std::size_t MultiTracer::add_channel(const std::string& name,
+                                     const TimestampEncoding& encoding,
+                                     std::size_t capacity) {
+  if (cycles_ != 0) {
+    throw std::logic_error("MultiTracer: add channels before streaming");
+  }
+  if (m_ == 0) {
+    m_ = encoding.m();
+  } else if (encoding.m() != m_) {
+    throw std::invalid_argument(
+        "MultiTracer: all channels must share the trace-cycle length");
+  }
+  Chan c{name, StreamingLogger(encoding),
+         &archive_->channel(name, encoding.m(), encoding.width(), capacity), 0};
+  chans_.push_back(std::move(c));
+  return chans_.size() - 1;
+}
+
+void MultiTracer::tick(const std::vector<bool>& changes) {
+  assert(changes.size() == chans_.size());
+  for (std::size_t i = 0; i < chans_.size(); ++i) {
+    Chan& c = chans_[i];
+    c.logger.tick(changes[i]);
+    while (c.logger.log().size() > c.filed) {
+      c.store->append(c.logger.log()[c.filed++]);
+    }
+  }
+  ++cycles_;
+}
+
+std::optional<std::size_t> worst_latency(const Signal& requests,
+                                         const Signal& responses) {
+  assert(requests.length() == responses.length());
+  std::size_t worst = 0;
+  for (std::size_t a : requests.change_cycles()) {
+    bool answered = false;
+    for (std::size_t b = a; b < responses.length(); ++b) {
+      if (responses.has_change(b)) {
+        worst = std::max(worst, b - a);
+        answered = true;
+        break;
+      }
+    }
+    if (!answered) return std::nullopt;
+  }
+  return worst;
+}
+
+LatencyBounds latency_bounds(const std::vector<Signal>& request_candidates,
+                             const std::vector<Signal>& response_candidates) {
+  LatencyBounds bounds;
+  bool first = true;
+  for (const Signal& req : request_candidates) {
+    for (const Signal& resp : response_candidates) {
+      const auto w = worst_latency(req, resp);
+      if (!w.has_value()) {
+        bounds.unanswered = true;
+        continue;
+      }
+      if (first) {
+        bounds.min = bounds.max = *w;
+        first = false;
+      } else {
+        bounds.min = std::min(bounds.min, *w);
+        bounds.max = std::max(bounds.max, *w);
+      }
+    }
+  }
+  return bounds;
+}
+
+}  // namespace tp::core

@@ -1,0 +1,89 @@
+#pragma once
+// multi.hpp — tracing several on-chip signals in lockstep.
+//
+// The paper's motivating scenario involves signals exchanged *between*
+// modules (chip C1 sends St to chip C2): determining liability needs the
+// relative timing of more than one signal. MultiTracer drives one
+// agg-log datapath per traced signal off a shared clock and files every
+// completed entry into a TraceArchive channel, so the postmortem side can
+// retrieve time-aligned entries for any set of signals.
+//
+// Cross-channel analysis: given per-channel reconstruction sets for the
+// same trace-cycle, latency_bounds() computes the tightest interval that
+// the worst request→response latency between two channels is guaranteed
+// to lie in — over *every* combination of signals that can explain the
+// logs. If the upper bound beats the deadline, the deadline was met no
+// matter which signals actually occurred (the multi-signal analogue of
+// the paper's §3.3 argument).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "timeprint/archive.hpp"
+#include "timeprint/encoding.hpp"
+#include "timeprint/logger.hpp"
+#include "timeprint/signal.hpp"
+
+namespace tp::core {
+
+/// Drives one streaming logger per traced signal off a shared clock.
+class MultiTracer {
+ public:
+  /// Entries are filed into `archive` (must outlive the tracer).
+  explicit MultiTracer(TraceArchive& archive) : archive_(&archive) {}
+
+  /// Add a traced signal; the encoding must outlive the tracer. All
+  /// channels must share the same trace-cycle length m (one clock).
+  /// Returns the channel index.
+  std::size_t add_channel(const std::string& name, const TimestampEncoding& encoding,
+                          std::size_t capacity = 0);
+
+  /// Number of channels.
+  std::size_t channels() const { return chans_.size(); }
+
+  /// Advance one clock cycle; `changes[i]` is channel i's change bit.
+  void tick(const std::vector<bool>& changes);
+
+  /// Shared cycle count.
+  std::uint64_t cycles() const { return cycles_; }
+
+  /// Channel name by index.
+  const std::string& name(std::size_t channel) const { return chans_[channel].name; }
+
+ private:
+  struct Chan {
+    std::string name;
+    StreamingLogger logger;
+    TraceChannel* store;
+    std::size_t filed = 0;
+  };
+
+  TraceArchive* archive_;
+  std::vector<Chan> chans_;
+  std::uint64_t cycles_ = 0;
+  std::size_t m_ = 0;
+};
+
+/// Worst request→response latency of one signal pair: the maximum over
+/// request changes a of (first response change >= a) - a. nullopt if some
+/// request is never answered within the window (or there are no requests,
+/// which has no well-defined worst case: we return 0 latency).
+std::optional<std::size_t> worst_latency(const Signal& requests,
+                                         const Signal& responses);
+
+/// Bounds of the worst latency over every cross pair of candidate
+/// request/response signals. `unanswered` reports whether some pair leaves
+/// a request without a response (i.e. the latency bound does not hold
+/// unconditionally).
+struct LatencyBounds {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  bool unanswered = false;
+};
+
+LatencyBounds latency_bounds(const std::vector<Signal>& request_candidates,
+                             const std::vector<Signal>& response_candidates);
+
+}  // namespace tp::core

@@ -1,0 +1,277 @@
+#pragma once
+// properties.hpp — temporal properties of change-signals.
+//
+// Properties play two roles in the methodology (paper §2, §5.1.3):
+//  * *known* properties — verified at run-time by RV monitors or implied by
+//    the protocol — are encoded into the reconstruction SAT query to prune
+//    the search space;
+//  * *hypothesis* properties are checked against all reconstructions: if
+//    the query "reconstructions ∧ ¬hypothesis" is UNSAT, every signal that
+//    can explain the logged timeprint satisfies the hypothesis (e.g. "the
+//    message was sent before the deadline"), no matter which one actually
+//    occurred.
+//
+// Every property can (a) be evaluated on a concrete signal and (b) encode
+// itself as clauses over the m per-cycle change variables. Properties whose
+// complement is also expressible provide negation() for UNSAT-style proofs.
+//
+// The paper's two illustration properties are ExistsConsecutivePair (P2)
+// and MinChangesBefore (Dk); the didactic §3.3 property is
+// ChangesInConsecutivePairs; OneChangeDelayed drives the §5.2.2 experiment.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sat/cardinality.hpp"
+#include "sat/solver.hpp"
+#include "timeprint/signal.hpp"
+
+namespace tp::core {
+
+/// Abstract temporal property over one trace-cycle's change-signal.
+class Property {
+ public:
+  virtual ~Property() = default;
+
+  /// Evaluate on a concrete signal.
+  virtual bool holds(const Signal& signal) const = 0;
+
+  /// Add clauses over `cycle_vars` (one SAT variable per clock cycle,
+  /// cycle_vars[i] true <=> change in cycle i) constraining models to
+  /// signals satisfying the property. May create auxiliary variables.
+  /// Returns false iff the solver became unsatisfiable.
+  virtual bool encode(sat::Solver& solver,
+                      const std::vector<sat::Var>& cycle_vars) const = 0;
+
+  /// The complement property, or nullptr when not directly expressible.
+  virtual std::unique_ptr<Property> negation() const { return nullptr; }
+
+  /// One-line description for reports.
+  virtual std::string describe() const = 0;
+};
+
+/// P2 (paper §5.1.3): at least one pair of consecutive changes appears.
+class ExistsConsecutivePair final : public Property {
+ public:
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::unique_ptr<Property> negation() const override;
+  std::string describe() const override { return "P2: some two consecutive changes"; }
+};
+
+/// No two consecutive cycles both change (complement of P2).
+class NoConsecutivePair final : public Property {
+ public:
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::unique_ptr<Property> negation() const override;
+  std::string describe() const override { return "no two consecutive changes"; }
+};
+
+/// Didactic §3.3: changes always come as exactly two consecutive ones
+/// (every maximal run of 1s has length 2) — the "writes last one cycle"
+/// protocol property that isolates the actual signal in Figure 4.
+class ChangesInConsecutivePairs final : public Property {
+ public:
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::string describe() const override {
+    return "changes come as pairs of two consecutive ones";
+  }
+};
+
+/// Dk (paper §5.1.3): at least `min_changes` changes strictly before
+/// (0-based) cycle `deadline`.
+class MinChangesBefore final : public Property {
+ public:
+  MinChangesBefore(std::size_t deadline, std::size_t min_changes,
+                   sat::CardEncoding enc = sat::CardEncoding::SequentialCounter)
+      : deadline_(deadline), min_changes_(min_changes), card_(enc) {}
+
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::unique_ptr<Property> negation() const override;
+  std::string describe() const override;
+
+  std::size_t deadline() const { return deadline_; }
+  std::size_t min_changes() const { return min_changes_; }
+
+ private:
+  std::size_t deadline_;
+  std::size_t min_changes_;
+  sat::CardEncoding card_;
+};
+
+/// At most `max_changes` changes strictly before cycle `deadline`.
+class MaxChangesBefore final : public Property {
+ public:
+  MaxChangesBefore(std::size_t deadline, std::size_t max_changes,
+                   sat::CardEncoding enc = sat::CardEncoding::SequentialCounter)
+      : deadline_(deadline), max_changes_(max_changes), card_(enc) {}
+
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::unique_ptr<Property> negation() const override;
+  std::string describe() const override;
+
+ private:
+  std::size_t deadline_;
+  std::size_t max_changes_;
+  sat::CardEncoding card_;
+};
+
+/// At least one change in the half-open window [lo, hi).
+class ChangeInWindow final : public Property {
+ public:
+  ChangeInWindow(std::size_t lo, std::size_t hi) : lo_(lo), hi_(hi) {}
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::unique_ptr<Property> negation() const override;
+  std::string describe() const override;
+
+ private:
+  std::size_t lo_, hi_;
+};
+
+/// No change anywhere in the half-open window [lo, hi).
+class NoChangeInWindow final : public Property {
+ public:
+  NoChangeInWindow(std::size_t lo, std::size_t hi) : lo_(lo), hi_(hi) {}
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::unique_ptr<Property> negation() const override;
+  std::string describe() const override;
+
+ private:
+  std::size_t lo_, hi_;
+};
+
+/// Exactly `k` changes in the half-open window [lo, hi).
+class ExactlyKInWindow final : public Property {
+ public:
+  ExactlyKInWindow(std::size_t lo, std::size_t hi, std::size_t k,
+                   sat::CardEncoding enc = sat::CardEncoding::SequentialCounter)
+      : lo_(lo), hi_(hi), k_(k), card_(enc) {}
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::string describe() const override;
+
+ private:
+  std::size_t lo_, hi_, k_;
+  sat::CardEncoding card_;
+};
+
+/// Any two changes are at least `gap` cycles apart (a minimum inter-event
+/// separation, e.g. a protocol's minimum inter-frame space).
+class MinGap final : public Property {
+ public:
+  explicit MinGap(std::size_t gap) : gap_(gap) {}
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::string describe() const override;
+
+ private:
+  std::size_t gap_;
+};
+
+/// The change bit of one specific cycle is known (e.g. from another log).
+class KnownValue final : public Property {
+ public:
+  KnownValue(std::size_t cycle, bool changed) : cycle_(cycle), changed_(changed) {}
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::unique_ptr<Property> negation() const override;
+  std::string describe() const override;
+
+ private:
+  std::size_t cycle_;
+  bool changed_;
+};
+
+/// §5.2.2 delay hypothesis: the signal equals `reference` except that
+/// exactly one change instance is delayed by `delay` cycles. Encoded as a
+/// one-hot selection over the feasible delayed variants.
+class OneChangeDelayed final : public Property {
+ public:
+  explicit OneChangeDelayed(Signal reference, std::size_t delay = 1);
+
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::string describe() const override;
+
+  /// The feasible delayed variants of the reference signal.
+  const std::vector<Signal>& variants() const { return variants_; }
+
+ private:
+  Signal reference_;
+  std::size_t delay_;
+  std::vector<Signal> variants_;
+};
+
+/// A variant of the §5.2.2 hypothesis for pipeline-style stalls: the
+/// signal equals `reference` except that every change from some cycle c
+/// onward arrives `delay` cycles late (a stall shifts the whole suffix,
+/// not just one event). Encoded as a one-hot selection over the feasible
+/// cut points.
+class SuffixDelayed final : public Property {
+ public:
+  explicit SuffixDelayed(Signal reference, std::size_t delay = 1);
+
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::string describe() const override;
+
+  /// The feasible shifted variants (one per distinct cut point).
+  const std::vector<Signal>& variants() const { return variants_; }
+
+ private:
+  Signal reference_;
+  std::size_t delay_;
+  std::vector<Signal> variants_;
+};
+
+/// All gaps between consecutive changes are at most `gap` cycles (e.g. a
+/// heartbeat signal must keep toggling). Vacuously true for signals with
+/// fewer than two changes.
+class MaxGap final : public Property {
+ public:
+  explicit MaxGap(std::size_t gap) : gap_(gap) {}
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::string describe() const override;
+
+ private:
+  std::size_t gap_;
+};
+
+/// Conjunction of several properties.
+class Conjunction final : public Property {
+ public:
+  explicit Conjunction(std::vector<std::unique_ptr<Property>> parts)
+      : parts_(std::move(parts)) {}
+
+  bool holds(const Signal& signal) const override;
+  bool encode(sat::Solver& solver,
+              const std::vector<sat::Var>& cycle_vars) const override;
+  std::string describe() const override;
+
+ private:
+  std::vector<std::unique_ptr<Property>> parts_;
+};
+
+}  // namespace tp::core

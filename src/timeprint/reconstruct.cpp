@@ -1,0 +1,193 @@
+#include "timeprint/reconstruct.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+#include "sat/xor_to_cnf.hpp"
+
+namespace tp::core {
+
+using sat::Lit;
+using sat::mk_lit;
+using sat::Solver;
+using sat::Status;
+using sat::Var;
+
+const char* to_string(CheckVerdict v) {
+  switch (v) {
+    case CheckVerdict::HoldsForAll: return "holds-for-all";
+    case CheckVerdict::ViolatedBySome: return "violated-by-some";
+    case CheckVerdict::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+bool Reconstructor::encode_base(Solver& solver, std::vector<Var>& cycle_vars,
+                                const LogEntry& entry,
+                                const ReconstructionOptions& options) const {
+  const std::size_t m = enc_->m();
+  const std::size_t b = enc_->width();
+  assert(entry.tp.size() == b);
+
+  cycle_vars.clear();
+  cycle_vars.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) cycle_vars.push_back(solver.new_var());
+
+  bool ok = true;
+
+  // Linear system A·x = TP: one XOR clause per timeprint bit.
+  for (std::size_t j = 0; j < b; ++j) {
+    std::vector<Var> row;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (enc_->timestamp(i).get(j)) row.push_back(cycle_vars[i]);
+    }
+    const bool rhs = entry.tp.get(j);
+    if (options.native_xor) {
+      ok = solver.add_xor(std::move(row), rhs) && ok;
+    } else {
+      ok = sat::add_xor_as_cnf(solver, row, rhs) && ok;
+    }
+  }
+
+  // Cardinality |x| = k.
+  std::vector<Lit> lits;
+  lits.reserve(m);
+  for (Var v : cycle_vars) lits.push_back(mk_lit(v));
+  ok = sat::encode_exactly(solver, lits, static_cast<int>(entry.k),
+                           options.card_encoding) &&
+       ok;
+
+  // Known (verified) properties prune the space.
+  for (const Property* p : properties_) ok = p->encode(solver, cycle_vars) && ok;
+
+  return ok;
+}
+
+namespace {
+sat::SolverOptions solver_options_for(const ReconstructionOptions& options) {
+  sat::SolverOptions so;
+  so.use_gauss = options.use_gauss && options.native_xor;
+  so.gauss_max_unassigned = options.gauss_gate;
+  return so;
+}
+}  // namespace
+
+ReconstructionResult Reconstructor::reconstruct(
+    const LogEntry& entry, const ReconstructionOptions& options) const {
+  Solver solver(solver_options_for(options));
+  std::vector<Var> cycle_vars;
+  encode_base(solver, cycle_vars, entry, options);
+
+  sat::AllSatOptions as;
+  as.max_models = options.max_solutions;
+  as.limits = options.limits;
+  const sat::AllSatResult models = sat::enumerate_models(solver, cycle_vars, as);
+
+  ReconstructionResult result;
+  result.final_status = models.final_status;
+  result.seconds_to_each = models.seconds_to_model;
+  result.seconds_total = models.seconds_total;
+  result.conflicts = solver.stats().conflicts;
+  result.decisions = solver.stats().decisions;
+  result.propagations = solver.stats().propagations;
+  result.num_vars = solver.num_vars();
+  result.num_clauses = solver.num_clauses();
+  result.num_xors = solver.num_xors();
+  for (const auto& model : models.models) {
+    Signal s(enc_->m());
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      if (model[i]) s.set_change(i);
+    }
+    result.signals.push_back(std::move(s));
+  }
+  return result;
+}
+
+CheckResult Reconstructor::check_hypothesis(const LogEntry& entry,
+                                            const Property& hypothesis,
+                                            const ReconstructionOptions& options) const {
+  const std::unique_ptr<Property> negated = hypothesis.negation();
+  if (negated == nullptr) {
+    throw std::invalid_argument("check_hypothesis: property '" +
+                                hypothesis.describe() +
+                                "' does not provide a negation");
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  Solver solver(solver_options_for(options));
+  std::vector<Var> cycle_vars;
+  encode_base(solver, cycle_vars, entry, options);
+  negated->encode(solver, cycle_vars);
+
+  const Status st = solver.solve(options.limits);
+
+  CheckResult result;
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.conflicts = solver.stats().conflicts;
+  switch (st) {
+    case Status::Unsat:
+      result.verdict = CheckVerdict::HoldsForAll;
+      break;
+    case Status::Sat: {
+      result.verdict = CheckVerdict::ViolatedBySome;
+      Signal witness(enc_->m());
+      for (std::size_t i = 0; i < cycle_vars.size(); ++i) {
+        if (solver.model_value(cycle_vars[i]) == sat::LBool::True) {
+          witness.set_change(i);
+        }
+      }
+      result.witness = std::move(witness);
+      break;
+    }
+    case Status::Unknown:
+      result.verdict = CheckVerdict::Unknown;
+      break;
+  }
+  return result;
+}
+
+namespace {
+
+// Recursively choose the remaining changes of a k-subset, maintaining the
+// running timeprint, and collect matching signals.
+void brute_force_rec(const TimestampEncoding& enc, const LogEntry& entry,
+                     const std::vector<const Property*>& props, std::size_t next,
+                     std::size_t chosen, f2::BitVec& acc,
+                     std::vector<std::size_t>& picks, std::vector<Signal>& out) {
+  const std::size_t m = enc.m();
+  if (chosen == entry.k) {
+    if (acc == entry.tp) {
+      Signal s = Signal::from_change_cycles(m, picks);
+      for (const Property* p : props) {
+        if (!p->holds(s)) return;
+      }
+      out.push_back(std::move(s));
+    }
+    return;
+  }
+  if (m - next < entry.k - chosen) return;  // not enough cycles left
+  for (std::size_t i = next; i < m; ++i) {
+    acc ^= enc.timestamp(i);
+    picks.push_back(i);
+    brute_force_rec(enc, entry, props, i + 1, chosen + 1, acc, picks, out);
+    picks.pop_back();
+    acc ^= enc.timestamp(i);
+  }
+}
+
+}  // namespace
+
+std::vector<Signal> Reconstructor::brute_force(
+    const TimestampEncoding& encoding, const LogEntry& entry,
+    const std::vector<const Property*>& props) {
+  std::vector<Signal> out;
+  f2::BitVec acc(encoding.width());
+  std::vector<std::size_t> picks;
+  brute_force_rec(encoding, entry, props, 0, 0, acc, picks, out);
+  return out;
+}
+
+}  // namespace tp::core

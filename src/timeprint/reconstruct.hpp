@@ -1,0 +1,141 @@
+#pragma once
+// reconstruct.hpp — the Signal Reconstruction (SR) problem and its
+// SAT-based solution.
+//
+// SR (paper §4.2): given an encoding TS, a timeprint TP and a change count
+// k, find all signals S with α̃(S) = (TP, k). In linear-algebra form: all
+// x ∈ F2^m with A·x = TP and |x| = k, where A's columns are the
+// timestamps. SR is NP-hard (maximum-likelihood decoding, Berlekamp–
+// McEliece–van Tilborg 1978).
+//
+// The SAT encoding introduces one variable per clock cycle; each bit j of
+// the linear system becomes one XOR clause over the variables whose
+// timestamp has bit j set (negated when TP's bit j is 0); the cardinality
+// constraint |x| = k uses Sinz's sequential counter; known temporal
+// properties add their clauses to prune the search (paper §5.1.3). Models
+// are enumerated with blocking clauses, projected onto the cycle
+// variables.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sat/allsat.hpp"
+#include "sat/cardinality.hpp"
+#include "sat/solver.hpp"
+#include "timeprint/encoding.hpp"
+#include "timeprint/logger.hpp"
+#include "timeprint/properties.hpp"
+#include "timeprint/signal.hpp"
+
+namespace tp::core {
+
+/// Knobs of one reconstruction run.
+struct ReconstructionOptions {
+  /// Cardinality encoding for the |x| = k constraint.
+  sat::CardEncoding card_encoding = sat::CardEncoding::SequentialCounter;
+  /// true: native XOR constraints (CryptoMiniSat-style, the paper's path);
+  /// false: Tseitin-chained CNF (ablation).
+  bool native_xor = true;
+  /// Solve the XOR system with the Gaussian-elimination engine (implied
+  /// literals of linear *combinations* of rows are propagated — the
+  /// CryptoMiniSat capability that makes large m tractable). Requires
+  /// native_xor.
+  bool use_gauss = true;
+  /// Gate for the Gaussian engine (see SolverOptions::gauss_max_unassigned):
+  /// 0 = auto; SIZE_MAX = run the elimination at every fixpoint, which pays
+  /// off when strong structural properties (e.g. frame placements) assign
+  /// many cycle variables at once.
+  std::size_t gauss_gate = 0;
+  /// Stop after this many reconstructed signals (paper's .1/.10 columns).
+  std::uint64_t max_solutions = UINT64_MAX;
+  /// Resource limits for the whole run.
+  sat::SolveLimits limits;
+};
+
+/// Outcome of a reconstruction run.
+struct ReconstructionResult {
+  /// Reconstructed signals, in discovery order.
+  std::vector<Signal> signals;
+  /// Unsat => enumeration complete (`signals` is the full preimage).
+  sat::Status final_status = sat::Status::Unknown;
+  /// Wall-clock seconds until each signal was found.
+  std::vector<double> seconds_to_each;
+  /// Total wall-clock seconds.
+  double seconds_total = 0.0;
+  /// Solver effort.
+  std::int64_t conflicts = 0;
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  /// Encoded problem size.
+  int num_vars = 0;
+  std::size_t num_clauses = 0;
+  std::size_t num_xors = 0;
+
+  /// True iff every signal of the preimage was found.
+  bool complete() const { return final_status == sat::Status::Unsat; }
+};
+
+/// Verdict of a hypothesis check over all reconstructions.
+enum class CheckVerdict {
+  HoldsForAll,     ///< every signal explaining (TP, k) satisfies the hypothesis
+  ViolatedBySome,  ///< a counterexample reconstruction exists (see witness)
+  Unknown,         ///< resource limit hit
+};
+
+/// Human-readable verdict name.
+const char* to_string(CheckVerdict v);
+
+/// Result of Reconstructor::check_hypothesis.
+struct CheckResult {
+  CheckVerdict verdict = CheckVerdict::Unknown;
+  /// A reconstruction violating the hypothesis, when ViolatedBySome.
+  std::optional<Signal> witness;
+  double seconds = 0.0;
+  std::int64_t conflicts = 0;
+};
+
+/// Solves SR instances against one timestamp encoding, with optional known
+/// properties pruning the search space.
+class Reconstructor {
+ public:
+  /// The encoding must outlive the reconstructor.
+  explicit Reconstructor(const TimestampEncoding& encoding) : enc_(&encoding) {}
+
+  /// Register a known (verified) property; its clauses are added to every
+  /// query. The property must outlive the reconstructor.
+  void add_property(const Property& property) { properties_.push_back(&property); }
+
+  /// Currently registered properties.
+  const std::vector<const Property*>& properties() const { return properties_; }
+
+  /// Enumerate signals with α̃(S) = entry, subject to the registered
+  /// properties.
+  ReconstructionResult reconstruct(const LogEntry& entry,
+                                   const ReconstructionOptions& options = {}) const;
+
+  /// Decide whether *every* signal explaining `entry` (under the registered
+  /// properties) satisfies `hypothesis`: encodes the hypothesis' negation
+  /// and asks for a counterexample; UNSAT proves the hypothesis (the
+  /// paper's §5.2.1 deadline proof). Throws std::invalid_argument if the
+  /// hypothesis cannot provide a negation.
+  CheckResult check_hypothesis(const LogEntry& entry, const Property& hypothesis,
+                               const ReconstructionOptions& options = {}) const;
+
+  /// Exhaustive reference reconstruction: enumerate all C(m, k) subsets
+  /// (tests and the didactic Figure-4 example only; m must be small).
+  static std::vector<Signal> brute_force(const TimestampEncoding& encoding,
+                                         const LogEntry& entry,
+                                         const std::vector<const Property*>& props = {});
+
+ private:
+  /// Build solver + cycle variables with the SR encoding and registered
+  /// properties. Returns false iff trivially UNSAT.
+  bool encode_base(sat::Solver& solver, std::vector<sat::Var>& cycle_vars,
+                   const LogEntry& entry, const ReconstructionOptions& options) const;
+
+  const TimestampEncoding* enc_;
+  std::vector<const Property*> properties_;
+};
+
+}  // namespace tp::core

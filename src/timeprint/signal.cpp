@@ -1,0 +1,58 @@
+#include "timeprint/signal.hpp"
+
+#include <cassert>
+
+namespace tp::core {
+
+Signal Signal::from_change_cycles(std::size_t m,
+                                  const std::vector<std::size_t>& cycles) {
+  Signal s(m);
+  for (std::size_t c : cycles) {
+    assert(c < m);
+    s.set_change(c);
+  }
+  return s;
+}
+
+Signal Signal::random_with_changes(std::size_t m, std::size_t k, f2::Rng& rng) {
+  assert(k <= m);
+  // Floyd's algorithm for a uniform k-subset of [0, m).
+  Signal s(m);
+  for (std::size_t j = m - k; j < m; ++j) {
+    const std::size_t t = rng.below(j + 1);
+    if (s.has_change(t)) {
+      s.set_change(j);
+    } else {
+      s.set_change(t);
+    }
+  }
+  return s;
+}
+
+Signal Signal::from_waveform(const std::vector<bool>& samples, bool initial) {
+  Signal s(samples.size());
+  bool prev = initial;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i] != prev) s.set_change(i);
+    prev = samples[i];
+  }
+  return s;
+}
+
+std::vector<std::size_t> Signal::change_cycles() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < length(); ++i) {
+    if (has_change(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Signal::to_string() const {
+  std::string s(length(), '0');
+  for (std::size_t i = 0; i < length(); ++i) {
+    if (has_change(i)) s[i] = '1';
+  }
+  return s;
+}
+
+}  // namespace tp::core

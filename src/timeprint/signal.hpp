@@ -1,0 +1,70 @@
+#pragma once
+// signal.hpp — change-signals over one trace-cycle.
+//
+// Following the paper (§4), a signal is a map S : [1..m] -> {0,1} where
+// S(i) = 1 indicates that the traced on-chip signal changed its value in
+// the i-th clock cycle of the trace-cycle. We index cycles 0-based
+// internally; printed forms are cycle 1..m to match the paper.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "f2/bitvec.hpp"
+
+namespace tp::core {
+
+/// A change-signal over a trace-cycle of m clock cycles.
+class Signal {
+ public:
+  /// All-zero signal (no changes) over m cycles.
+  explicit Signal(std::size_t m) : changes_(m) {}
+
+  /// Build from the set of (0-based) cycles in which a change occurred.
+  static Signal from_change_cycles(std::size_t m,
+                                   const std::vector<std::size_t>& cycles);
+
+  /// Build from a bit vector (coordinate i = change in cycle i).
+  static Signal from_bits(f2::BitVec bits) { return Signal(std::move(bits)); }
+
+  /// Uniformly random signal with exactly k changes.
+  static Signal random_with_changes(std::size_t m, std::size_t k, f2::Rng& rng);
+
+  /// Derive the change-signal from a sampled waveform: `samples` holds the
+  /// traced signal's value at each of the m cycles, `initial` its value just
+  /// before the trace-cycle began. S(i) = 1 iff the value differs from the
+  /// previous cycle's.
+  static Signal from_waveform(const std::vector<bool>& samples, bool initial);
+
+  /// Trace-cycle length m.
+  std::size_t length() const { return changes_.size(); }
+
+  /// True iff a change occurred in cycle i (0-based).
+  bool has_change(std::size_t i) const { return changes_.get(i); }
+
+  /// Mark/unmark a change in cycle i.
+  void set_change(std::size_t i, bool value = true) { changes_.set(i, value); }
+
+  /// Number of changes k.
+  std::size_t num_changes() const { return changes_.popcount(); }
+
+  /// The (0-based) cycles with a change, ascending.
+  std::vector<std::size_t> change_cycles() const;
+
+  /// The underlying bit vector (coordinate i = change in cycle i).
+  const f2::BitVec& bits() const { return changes_; }
+
+  /// Cycle-0-first string of '0'/'1', one character per clock cycle. (Note:
+  /// unlike BitVec::to_string, which prints MSB first, this reads left to
+  /// right in time order.)
+  std::string to_string() const;
+
+  bool operator==(const Signal&) const = default;
+
+ private:
+  explicit Signal(f2::BitVec bits) : changes_(std::move(bits)) {}
+
+  f2::BitVec changes_;
+};
+
+}  // namespace tp::core

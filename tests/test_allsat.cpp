@@ -1,0 +1,130 @@
+// Tests for AllSAT enumeration: completeness against the brute-force
+// reference, projection behaviour, and limits.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "f2/bitvec.hpp"
+#include "sat/allsat.hpp"
+#include "sat/cardinality.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/reference.hpp"
+#include "sat/solver.hpp"
+
+namespace tp::sat {
+namespace {
+
+std::vector<Var> make_vars(Solver& s, int n) {
+  std::vector<Var> vars;
+  for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+  return vars;
+}
+
+TEST(AllSat, UnconstrainedEnumeratesAllAssignments) {
+  Solver s;
+  auto vars = make_vars(s, 4);
+  auto result = enumerate_models(s, vars);
+  ASSERT_TRUE(result.complete());
+  EXPECT_EQ(result.models.size(), 16u);
+  std::set<std::vector<bool>> unique(result.models.begin(), result.models.end());
+  EXPECT_EQ(unique.size(), 16u);  // no duplicates
+}
+
+TEST(AllSat, UnsatEnumeratesNothing) {
+  Solver s;
+  Var a = s.new_var();
+  s.add_clause({mk_lit(a)});
+  s.add_clause({~mk_lit(a)});
+  auto result = enumerate_models(s, {a});
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(result.models.empty());
+}
+
+TEST(AllSat, MaxModelsCapStopsEarly) {
+  Solver s;
+  auto vars = make_vars(s, 6);
+  auto result = enumerate_models(s, vars, {.max_models = 5, .limits = {}});
+  EXPECT_EQ(result.models.size(), 5u);
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.final_status, Status::Sat);
+}
+
+TEST(AllSat, ProjectionHidesAuxiliaryVariables) {
+  // exactly-1 of 4 vars, with sequential-counter auxiliaries present: the
+  // projected enumeration must yield exactly 4 models, not one per full
+  // assignment of the auxiliaries.
+  Solver s;
+  auto vars = make_vars(s, 4);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  ASSERT_TRUE(encode_exactly(s, lits, 1, CardEncoding::SequentialCounter));
+  auto result = enumerate_models(s, vars);
+  ASSERT_TRUE(result.complete());
+  EXPECT_EQ(result.models.size(), 4u);
+}
+
+TEST(AllSat, MatchesReferenceOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    f2::Rng rng(seed);
+    Cnf cnf;
+    cnf.num_vars = 10;
+    for (int i = 0; i < 14; ++i) {
+      std::vector<Lit> c;
+      const int len = 2 + static_cast<int>(rng.below(2));
+      for (int j = 0; j < len; ++j) {
+        c.push_back(Lit(static_cast<Var>(rng.below(10)), rng.flip()));
+      }
+      cnf.clauses.push_back(std::move(c));
+    }
+    for (int i = 0; i < 3; ++i) {
+      std::vector<Var> xv;
+      for (int j = 0; j < 4; ++j) xv.push_back(static_cast<Var>(rng.below(10)));
+      cnf.xors.emplace_back(std::move(xv), rng.flip());
+    }
+
+    const auto reference = reference_all_models(cnf);
+
+    Solver s;
+    cnf.load_into(s);
+    std::vector<Var> projection;
+    for (Var v = 0; v < cnf.num_vars; ++v) projection.push_back(v);
+    auto result = enumerate_models(s, projection);
+    ASSERT_TRUE(result.complete()) << "seed " << seed;
+
+    auto sorted_ref = reference;
+    auto sorted_got = result.models;
+    std::sort(sorted_ref.begin(), sorted_ref.end());
+    std::sort(sorted_got.begin(), sorted_got.end());
+    EXPECT_EQ(sorted_got, sorted_ref) << "seed " << seed;
+  }
+}
+
+TEST(AllSat, SecondsToModelIsMonotone) {
+  Solver s;
+  auto vars = make_vars(s, 5);
+  auto result = enumerate_models(s, vars, {.max_models = 10, .limits = {}});
+  ASSERT_EQ(result.seconds_to_model.size(), result.models.size());
+  for (std::size_t i = 1; i < result.seconds_to_model.size(); ++i) {
+    EXPECT_LE(result.seconds_to_model[i - 1], result.seconds_to_model[i]);
+  }
+  EXPECT_LE(result.seconds_to_model.back(), result.seconds_total);
+}
+
+TEST(AllSat, SolverRemainsUsableAfterEnumeration) {
+  Solver s;
+  auto vars = make_vars(s, 3);
+  auto r1 = enumerate_models(s, vars, {.max_models = 2, .limits = {}});
+  EXPECT_EQ(r1.models.size(), 2u);
+  // Add another constraint and keep enumerating the remaining models.
+  ASSERT_TRUE(s.add_clause({mk_lit(vars[0])}));
+  auto r2 = enumerate_models(s, vars);
+  EXPECT_TRUE(r2.complete());
+  // Total distinct models with x0=1 is 4; two may already be blocked.
+  EXPECT_LE(r2.models.size(), 4u);
+  for (const auto& m : r2.models) EXPECT_TRUE(m[0]);
+}
+
+}  // namespace
+}  // namespace tp::sat

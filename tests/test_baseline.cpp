@@ -1,0 +1,110 @@
+// Tests for the baseline tracing schemes and the storage-rate comparison.
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.hpp"
+#include "timeprint/design.hpp"
+#include "timeprint/logger.hpp"
+
+namespace tp::baseline {
+namespace {
+
+TEST(RawWaveform, StoresEverythingLosslessly) {
+  RawWaveformLogger logger(32);
+  f2::Rng rng(1);
+  std::vector<core::Signal> originals;
+  for (int i = 0; i < 5; ++i) {
+    originals.push_back(core::Signal::random_with_changes(32, rng.below(33), rng));
+    logger.log(originals.back());
+  }
+  EXPECT_EQ(logger.total_bits(), 5u * 32u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(logger.reconstruct(i), originals[i]);
+  }
+}
+
+TEST(EventLogger, LosslessReconstruction) {
+  EventLogger logger(64);
+  f2::Rng rng(2);
+  std::vector<core::Signal> originals;
+  for (int i = 0; i < 8; ++i) {
+    originals.push_back(core::Signal::random_with_changes(64, rng.below(65), rng));
+    logger.log(originals.back());
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(logger.reconstruct(i), originals[i]);
+  }
+}
+
+TEST(EventLogger, BitsGrowLinearlyWithChanges) {
+  EventLogger logger(64);
+  logger.log(core::Signal(64));  // k = 0
+  const std::size_t empty_bits = logger.total_bits();
+  logger.log(core::Signal::from_change_cycles(64, {1, 2, 3, 4}));  // k = 4
+  const std::size_t four_bits = logger.total_bits() - empty_bits;
+  // 4 events of 6 bits each plus the 7-bit counter field.
+  EXPECT_EQ(logger.bits_per_event(), 6u);
+  EXPECT_EQ(four_bits, 4u * 6u + core::counter_bits(64));
+  EXPECT_EQ(empty_bits, core::counter_bits(64));
+}
+
+TEST(EventLogger, PinBandwidthBound) {
+  // With one logging pin, at most m / log2(m) events fit per trace-cycle
+  // (paper §3): 64/6 ~ 10.67.
+  EXPECT_NEAR(EventLogger::max_loggable_events(64), 64.0 / 6.0, 1e-9);
+  EXPECT_NEAR(EventLogger::max_loggable_events(1024), 1024.0 / 10.0, 1e-9);
+}
+
+TEST(CompareRates, TimeprintIsConstantAndSmallest) {
+  // At realistic change densities the timeprint rate undercuts both
+  // baselines; the raw waveform always costs the full clock rate.
+  const auto rates = compare_rates(1024, 24, 100e6, /*density=*/0.2);
+  ASSERT_EQ(rates.size(), 3u);
+  const double raw = rates[0].bits_per_second;
+  const double events = rates[1].bits_per_second;
+  const double timeprint = rates[2].bits_per_second;
+  EXPECT_DOUBLE_EQ(raw, 100e6);
+  EXPECT_LT(timeprint, events);
+  EXPECT_LT(timeprint, raw);
+  // Timeprint rate is density-independent.
+  const auto denser = compare_rates(1024, 24, 100e6, 0.9);
+  EXPECT_DOUBLE_EQ(denser[2].bits_per_second, timeprint);
+  EXPECT_GT(denser[1].bits_per_second, events);
+}
+
+TEST(CompareRates, EventLogWinsOnlyWhenNearlySilent) {
+  // With almost no activity the event log can beat the timeprint — the
+  // paper's constant-rate pitch targets signals that do toggle.
+  const auto quiet = compare_rates(1024, 24, 100e6, 1e-5);
+  EXPECT_LT(quiet[1].bits_per_second, quiet[2].bits_per_second);
+}
+
+TEST(CompareRates, MeasuredBitsMatchRateFormulas) {
+  // Stream the same workload through all three loggers and compare the
+  // measured totals with the closed-form rates.
+  const std::size_t m = 128;
+  const std::size_t windows = 50;
+  f2::Rng rng(3);
+  RawWaveformLogger raw(m);
+  EventLogger events(m);
+  auto enc = core::TimestampEncoding::random_constrained(m, 16, 4, 9);
+  core::StreamingLogger tpr(enc);
+
+  std::size_t total_changes = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    core::Signal s = core::Signal::random_with_changes(m, rng.below(m / 4), rng);
+    total_changes += s.num_changes();
+    raw.log(s);
+    events.log(s);
+    for (std::size_t i = 0; i < m; ++i) tpr.tick(s.has_change(i));
+  }
+
+  EXPECT_EQ(raw.total_bits(), windows * m);
+  EXPECT_EQ(events.total_bits(),
+            total_changes * events.bits_per_event() +
+                windows * core::counter_bits(m));
+  EXPECT_EQ(tpr.log().total_bits(), windows * enc.bits_per_trace_cycle());
+}
+
+}  // namespace
+}  // namespace tp::baseline

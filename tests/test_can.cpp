@@ -1,0 +1,313 @@
+// Tests for the CAN substrate: frame codec (CRC-15, stuffing), bus
+// arbitration, the CANoe-demo traffic generator and the forensics
+// constraints.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "can/bus.hpp"
+#include "can/forensics.hpp"
+#include "can/frame.hpp"
+#include "can/traffic.hpp"
+#include "f2/bitvec.hpp"
+#include "sat/allsat.hpp"
+
+namespace tp::can {
+namespace {
+
+TEST(Crc15, EmptyIsZero) { EXPECT_EQ(crc15({}), 0u); }
+
+TEST(Crc15, SingleBit) {
+  // One 1-bit: register shifts once and XORs the polynomial.
+  EXPECT_EQ(crc15({true}), 0x4599);
+  EXPECT_EQ(crc15({false}), 0x0000);
+}
+
+TEST(Crc15, DetectsSingleBitErrors) {
+  f2::Rng rng(1);
+  std::vector<bool> bits;
+  for (int i = 0; i < 64; ++i) bits.push_back(rng.flip());
+  const std::uint16_t good = crc15(bits);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    auto corrupted = bits;
+    corrupted[i] = !corrupted[i];
+    EXPECT_NE(crc15(corrupted), good) << "undetected flip at " << i;
+  }
+}
+
+TEST(Crc15, IsLinearOverF2) {
+  // CRC of XOR = XOR of CRCs (it is a linear code).
+  f2::Rng rng(2);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<bool> a, b, x;
+    for (int i = 0; i < 48; ++i) {
+      a.push_back(rng.flip());
+      b.push_back(rng.flip());
+      x.push_back(a.back() ^ b.back());
+    }
+    EXPECT_EQ(crc15(x), crc15(a) ^ crc15(b));
+  }
+}
+
+TEST(Frame, GearBoxInfoMatchesPaperStructure) {
+  // The paper prints m1 = GearBoxInfo(1020) d 1 01 as a wire string. Its
+  // string omits the r0 control bit of ISO 11898-1 (and uses a
+  // non-standard CRC width); the SOF + 11-bit ID + RTR + IDE prefix and
+  // the DLC/data fields line up exactly once r0 is accounted for.
+  const std::string paper =
+      "00111111110000000100000001000000010110000110111111111111";
+  const auto wire = encode_frame(gearbox_info_frame(), /*stuffing=*/false);
+  const std::string mine = to_wire_string(wire);
+  // SOF + ID(01111111100) + RTR + IDE: identical.
+  EXPECT_EQ(mine.substr(0, 14), paper.substr(0, 14));
+  // Our frame inserts r0 at index 14; the paper's string continues with
+  // DLC directly. DLC(0001) + data(00000001) match at the shifted offset.
+  EXPECT_EQ(mine.substr(15, 12), paper.substr(14, 12));
+  // Unstuffed standard frame with DLC 1: 1+11+1+1+1+4+8+15+1+1+1+7 = 52.
+  EXPECT_EQ(wire.size(), 52u);
+}
+
+TEST(Frame, BitLengths) {
+  // DLC 0: 44 bits; each data byte adds 8.
+  EXPECT_EQ(frame_bit_length({5, {}}, false), 44u);
+  EXPECT_EQ(frame_bit_length({5, {0xAA}}, false), 52u);
+  EXPECT_EQ(frame_bit_length(engine_data_frame(), false), 44u + 64u);
+}
+
+TEST(Frame, RoundTripAllDlcsNoStuffing) {
+  f2::Rng rng(3);
+  for (std::size_t dlc = 0; dlc <= 8; ++dlc) {
+    CanFrame f;
+    f.id = static_cast<std::uint32_t>(rng.below(2048));
+    for (std::size_t i = 0; i < dlc; ++i) {
+      f.data.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    const auto wire = encode_frame(f, false);
+    const auto back = decode_frame(wire, false);
+    ASSERT_TRUE(back.has_value()) << "dlc " << dlc;
+    EXPECT_EQ(*back, f);
+  }
+}
+
+TEST(Frame, RoundTripWithStuffing) {
+  f2::Rng rng(4);
+  for (int iter = 0; iter < 50; ++iter) {
+    CanFrame f;
+    f.id = static_cast<std::uint32_t>(rng.below(2048));
+    const std::size_t dlc = rng.below(9);
+    for (std::size_t i = 0; i < dlc; ++i) {
+      f.data.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    const auto wire = encode_frame(f, true);
+    const auto back = decode_frame(wire, true);
+    ASSERT_TRUE(back.has_value()) << "iter " << iter;
+    EXPECT_EQ(*back, f);
+  }
+}
+
+TEST(Frame, StuffingPreventsLongRuns) {
+  // A frame full of zeros would have long dominant runs; stuffing must
+  // bound every run in the stuffed region to 5.
+  CanFrame f{0, {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}};
+  const auto wire = encode_frame(f, true);
+  // Check the region before the CRC delimiter (frame tail is fixed and
+  // contains the 7-bit EOF by design).
+  int run = 1;
+  for (std::size_t i = 1; i + 10 < wire.size(); ++i) {
+    run = wire[i] == wire[i - 1] ? run + 1 : 1;
+    EXPECT_LE(run, 5) << "at bit " << i;
+  }
+  EXPECT_GT(wire.size(), frame_bit_length(f, false));
+}
+
+TEST(Frame, CorruptedBitFailsDecode) {
+  const auto wire = encode_frame(engine_data_frame(), false);
+  // Flip a data bit: CRC check must fail.
+  auto corrupted = wire;
+  corrupted[25] = !corrupted[25];
+  EXPECT_FALSE(decode_frame(corrupted, false).has_value());
+}
+
+TEST(Frame, PaperMessageDefinitions) {
+  EXPECT_EQ(gearbox_info_frame().id, 1020u);
+  EXPECT_EQ(gearbox_info_frame().data, (std::vector<std::uint8_t>{0x01}));
+  EXPECT_EQ(engine_data_frame().id, 100u);
+  EXPECT_EQ(engine_data_frame().data.size(), 8u);
+  EXPECT_EQ(engine_data_frame().data[2], 0x19);
+  EXPECT_EQ(abs_data_frame().id, 201u);
+  EXPECT_EQ(abs_data_frame().data.size(), 6u);
+  EXPECT_EQ(ignition_info_frame().id, 103u);
+  EXPECT_EQ(ignition_info_frame().data, (std::vector<std::uint8_t>{0x01, 0x00}));
+}
+
+TEST(Bus, SingleMessageTransmits) {
+  CanBus bus(false);
+  const auto node = bus.add_node();
+  bus.schedule(node, {gearbox_info_frame(), 0, 0, "GearBoxInfo"});
+  bus.run(200);
+  ASSERT_EQ(bus.records().size(), 1u);
+  const BusRecord& r = bus.records()[0];
+  EXPECT_EQ(r.frame, gearbox_info_frame());
+  EXPECT_EQ(r.end_bit - r.start_bit, frame_bit_length(gearbox_info_frame(), false));
+  // The waveform at the start bit is the SOF (dominant).
+  EXPECT_FALSE(bus.waveform()[r.start_bit]);
+  // Decode the frame straight off the recorded waveform.
+  std::vector<bool> span(bus.waveform().begin() + static_cast<long>(r.start_bit),
+                         bus.waveform().begin() + static_cast<long>(r.end_bit));
+  auto decoded = decode_frame(span, false);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, gearbox_info_frame());
+}
+
+TEST(Bus, IdleLineIsRecessive) {
+  CanBus bus(false);
+  bus.add_node();
+  bus.run(50);
+  for (bool level : bus.waveform()) EXPECT_TRUE(level);
+}
+
+TEST(Bus, ArbitrationLowestIdWins) {
+  CanBus bus(false);
+  const auto n1 = bus.add_node();
+  const auto n2 = bus.add_node();
+  // Both due immediately; ABSdata (201) beats GearBoxInfo (1020).
+  bus.schedule(n1, {gearbox_info_frame(), 0, 0, "GearBoxInfo"});
+  bus.schedule(n2, {abs_data_frame(), 0, 0, "ABSdata"});
+  bus.run(400);
+  ASSERT_EQ(bus.records().size(), 2u);
+  EXPECT_EQ(bus.records()[0].name, "ABSdata");
+  EXPECT_EQ(bus.records()[1].name, "GearBoxInfo");
+  // The loser starts only after the winner's frame plus inter-frame space.
+  EXPECT_GE(bus.records()[1].start_bit,
+            bus.records()[0].end_bit + kInterFrameSpace);
+}
+
+TEST(Bus, PeriodicMessagesRepeat) {
+  CanBus bus(false);
+  const auto node = bus.add_node();
+  bus.schedule(node, {ignition_info_frame(), 10, 500, "Ignition_Info"});
+  bus.run(2600);
+  // Releases at 10, 510, 1010, 1510, 2010, 2510 -> at least 5 complete.
+  EXPECT_GE(bus.records().size(), 5u);
+  for (std::size_t i = 1; i < bus.records().size(); ++i) {
+    EXPECT_GE(bus.records()[i].start_bit, bus.records()[i - 1].end_bit);
+  }
+}
+
+TEST(Bus, CanoeDemoProducesAllFourMessages) {
+  CanBus bus = make_canoe_demo();
+  bus.run(200000);  // 40 ms of bus time
+  std::set<std::string> names;
+  for (const auto& r : bus.records()) names.insert(r.name);
+  EXPECT_TRUE(names.contains("EngineData"));
+  EXPECT_TRUE(names.contains("ABSdata"));
+  EXPECT_TRUE(names.contains("GearBoxInfo"));
+  EXPECT_TRUE(names.contains("Ignition_Info"));
+  // All recorded frames decode off the waveform.
+  for (const auto& r : bus.records()) {
+    std::vector<bool> span(bus.waveform().begin() + static_cast<long>(r.start_bit),
+                           bus.waveform().begin() + static_cast<long>(r.end_bit));
+    auto decoded = decode_frame(span, false);
+    ASSERT_TRUE(decoded.has_value()) << r.name << " at " << r.start_bit;
+    EXPECT_EQ(*decoded, r.frame);
+  }
+}
+
+TEST(Bus, EngineExtraDelayShiftsTransmission) {
+  CanoeDemoConfig base;
+  CanBus a = make_canoe_demo(base);
+  base.engine_extra_delay = 777;
+  CanBus b = make_canoe_demo(base);
+  a.run(60000);
+  b.run(60000);
+  auto first_engine = [](const CanBus& bus) -> std::uint64_t {
+    for (const auto& r : bus.records()) {
+      if (r.name == "EngineData") return r.start_bit;
+    }
+    return 0;
+  };
+  EXPECT_EQ(first_engine(b), first_engine(a) + 777);
+}
+
+TEST(Forensics, ChangePatternStartsWithSofEdge) {
+  const auto pattern = frame_change_pattern(engine_data_frame(), false);
+  EXPECT_EQ(pattern.size(), frame_bit_length(engine_data_frame(), false));
+  EXPECT_TRUE(pattern[0]);  // idle(1) -> SOF(0)
+}
+
+TEST(Forensics, PatternMatchesWaveformDerivedSignal) {
+  CanBus bus(false);
+  const auto node = bus.add_node();
+  bus.schedule(node, {engine_data_frame(), 40, 0, "EngineData"});
+  bus.run(300);
+  const auto& r = bus.records()[0];
+  core::Signal signal = core::Signal::from_waveform(bus.waveform(), true);
+  const auto pattern = frame_change_pattern(engine_data_frame(), false);
+  const auto hits = find_pattern(signal, pattern, 0, signal.length());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], r.start_bit);
+}
+
+TEST(Forensics, FrameAtUnknownStartHolds) {
+  // Small synthetic pattern inside a small trace-cycle.
+  std::vector<bool> pattern = {true, false, true};
+  FrameAtUnknownStart prop(8, pattern, 0, 8);
+  // Signal with pattern at position 2: changes at 2 and 4, none at 3.
+  core::Signal s = core::Signal::from_change_cycles(8, {2, 4});
+  EXPECT_TRUE(prop.holds(s));
+  // Changes at 2,3,4 break the pattern's middle zero everywhere it could
+  // start... except a match at position 4 would need changes at 4 and 6.
+  EXPECT_FALSE(prop.holds(core::Signal::from_change_cycles(8, {2, 3, 4})));
+}
+
+TEST(Forensics, FrameAtUnknownStartWindowClipping) {
+  std::vector<bool> pattern(5, true);
+  FrameAtUnknownStart prop(8, pattern, 0, 100);
+  EXPECT_EQ(prop.first_start(), 0u);
+  EXPECT_EQ(prop.last_start(), 4u);  // 8 - 5 + 1
+}
+
+TEST(Forensics, EncodeRestrictsModelsToPatternPlacements) {
+  // Every model of the encoding must contain the pattern in the window.
+  const std::size_t m = 8;
+  std::vector<bool> pattern = {true, true, false, true};
+  FrameAtUnknownStart prop(m, pattern, 1, 5);
+  sat::Solver solver;
+  std::vector<sat::Var> x;
+  for (std::size_t i = 0; i < m; ++i) x.push_back(solver.new_var());
+  ASSERT_TRUE(prop.encode(solver, x));
+  auto result = sat::enumerate_models(solver, x);
+  ASSERT_TRUE(result.complete());
+  ASSERT_FALSE(result.models.empty());
+  for (const auto& model : result.models) {
+    core::Signal s(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (model[i]) s.set_change(i);
+    }
+    EXPECT_TRUE(prop.holds(s)) << s.to_string();
+  }
+  // And every satisfying signal is a model (faithful encoding).
+  std::size_t holding = 0;
+  for (std::uint32_t bits = 0; bits < (1u << m); ++bits) {
+    core::Signal s(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (bits & (1u << i)) s.set_change(i);
+    }
+    if (prop.holds(s)) ++holding;
+  }
+  EXPECT_EQ(result.models.size(), holding);
+}
+
+TEST(Forensics, InfeasibleWindowIsUnsat) {
+  std::vector<bool> pattern(10, true);
+  FrameAtUnknownStart prop(8, pattern, 0, 8);  // pattern longer than cycle
+  sat::Solver solver;
+  std::vector<sat::Var> x;
+  for (int i = 0; i < 8; ++i) x.push_back(solver.new_var());
+  prop.encode(solver, x);
+  EXPECT_EQ(solver.solve(), sat::Status::Unsat);
+}
+
+}  // namespace
+}  // namespace tp::can

@@ -1,0 +1,98 @@
+// Tests for DIMACS(+XOR) parsing, writing, and Cnf utilities.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sat/dimacs.hpp"
+#include "sat/reference.hpp"
+#include "sat/solver.hpp"
+
+namespace tp::sat {
+namespace {
+
+TEST(Dimacs, ParsesPlainCnf) {
+  std::istringstream in(
+      "c a comment\n"
+      "p cnf 3 2\n"
+      "1 -2 0\n"
+      "2 3 0\n");
+  Cnf cnf = parse_dimacs(in);
+  EXPECT_EQ(cnf.num_vars, 3);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0], (std::vector<Lit>{mk_lit(0), ~mk_lit(1)}));
+  EXPECT_EQ(cnf.clauses[1], (std::vector<Lit>{mk_lit(1), mk_lit(2)}));
+  EXPECT_TRUE(cnf.xors.empty());
+}
+
+TEST(Dimacs, ParsesXorClauses) {
+  std::istringstream in(
+      "p cnf 3 2\n"
+      "x1 2 3 0\n"
+      "x-1 2 0\n");
+  Cnf cnf = parse_dimacs(in);
+  ASSERT_EQ(cnf.xors.size(), 2u);
+  EXPECT_EQ(cnf.xors[0].first, (std::vector<Var>{0, 1, 2}));
+  EXPECT_TRUE(cnf.xors[0].second);  // x1^x2^x3 = 1
+  EXPECT_EQ(cnf.xors[1].first, (std::vector<Var>{0, 1}));
+  EXPECT_FALSE(cnf.xors[1].second);  // ~x1^x2 = 1 <=> x1^x2 = 0
+}
+
+TEST(Dimacs, RejectsMalformedHeader) {
+  std::istringstream in("p sat 3 1\n1 0\n");
+  EXPECT_THROW(parse_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, RejectsUnterminatedClause) {
+  std::istringstream in("p cnf 2 1\n1 2\n");
+  EXPECT_THROW(parse_dimacs(in), std::runtime_error);
+}
+
+TEST(Dimacs, WriteParseRoundTrip) {
+  Cnf cnf;
+  cnf.num_vars = 5;
+  cnf.clauses = {{mk_lit(0), ~mk_lit(3)}, {mk_lit(4)}};
+  cnf.xors = {{{0, 1, 2}, true}, {{2, 4}, false}};
+
+  std::ostringstream out;
+  write_dimacs(cnf, out);
+  std::istringstream in(out.str());
+  Cnf parsed = parse_dimacs(in);
+
+  EXPECT_EQ(parsed.num_vars, cnf.num_vars);
+  EXPECT_EQ(parsed.clauses, cnf.clauses);
+  EXPECT_EQ(parsed.xors, cnf.xors);
+}
+
+TEST(Dimacs, SatisfiedByChecksClausesAndXors) {
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.clauses = {{mk_lit(0), mk_lit(1)}};
+  cnf.xors = {{{1, 2}, true}};
+  EXPECT_TRUE(cnf.satisfied_by({true, false, true}));
+  EXPECT_FALSE(cnf.satisfied_by({false, false, true}));   // clause fails
+  EXPECT_FALSE(cnf.satisfied_by({true, true, true}));     // xor fails
+}
+
+TEST(Dimacs, LoadIntoSolverAgreesWithReference) {
+  std::istringstream in(
+      "p cnf 4 3\n"
+      "1 2 0\n"
+      "-3 4 0\n"
+      "x1 3 4 0\n");
+  Cnf cnf = parse_dimacs(in);
+  const auto models = reference_all_models(cnf);
+  Solver s;
+  ASSERT_TRUE(cnf.load_into(s));
+  EXPECT_EQ(s.solve(), models.empty() ? Status::Unsat : Status::Sat);
+}
+
+TEST(Dimacs, GrowsVarCountFromLiterals) {
+  // Header says 2 vars but a clause mentions var 5.
+  std::istringstream in("p cnf 2 1\n5 0\n");
+  Cnf cnf = parse_dimacs(in);
+  EXPECT_EQ(cnf.num_vars, 5);
+}
+
+}  // namespace
+}  // namespace tp::sat

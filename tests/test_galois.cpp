@@ -1,0 +1,112 @@
+// Property tests for the Galois insertion of §4.1 (Lemma 1): exhaustive
+// checks of both laws on small trace-cycles for every encoding scheme.
+
+#include <gtest/gtest.h>
+
+#include "timeprint/galois.hpp"
+
+namespace tp::core {
+namespace {
+
+std::vector<Signal> random_signal_set(std::size_t m, std::size_t count,
+                                      f2::Rng& rng) {
+  std::vector<Signal> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(Signal::random_with_changes(m, rng.below(m + 1), rng));
+  }
+  return out;
+}
+
+TEST(Galois, AlphaDeduplicates) {
+  auto enc = TimestampEncoding::binary(8);
+  Signal a = Signal::from_change_cycles(8, {1});
+  std::vector<Signal> twice = {a, a};
+  EXPECT_EQ(alpha(enc, twice).size(), 1u);
+}
+
+TEST(Galois, GammaOfAlphaContainsOriginal) {
+  // γ̃(α̃(S)) always contains S (single-signal form of law 1).
+  auto enc = TimestampEncoding::binary(10);
+  Logger logger(enc);
+  f2::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    Signal s = Signal::random_with_changes(10, rng.below(11), rng);
+    auto pre = gamma(enc, logger.log(s));
+    EXPECT_NE(std::find(pre.begin(), pre.end(), s), pre.end());
+  }
+}
+
+TEST(Galois, GammaPreimageAllAbstractToEntry) {
+  auto enc = TimestampEncoding::random_constrained(12, 8, 4, 4);
+  Logger logger(enc);
+  f2::Rng rng(8);
+  Signal s = Signal::random_with_changes(12, 4, rng);
+  const LogEntry entry = logger.log(s);
+  for (const Signal& t : gamma(enc, entry)) {
+    EXPECT_EQ(logger.log(t), entry);
+  }
+}
+
+struct GaloisCase {
+  std::size_t m;
+  std::uint64_t seed;
+  EncodingScheme scheme;
+};
+
+class GaloisLawTest : public ::testing::TestWithParam<GaloisCase> {
+ protected:
+  TimestampEncoding make_encoding() const {
+    const auto& p = GetParam();
+    switch (p.scheme) {
+      case EncodingScheme::OneHot: return TimestampEncoding::one_hot(p.m);
+      case EncodingScheme::Binary: return TimestampEncoding::binary(p.m);
+      case EncodingScheme::RandomConstrained:
+        return TimestampEncoding::random_constrained(p.m, p.m / 2 + 4, 4, p.seed);
+      case EncodingScheme::Incremental:
+        return TimestampEncoding::incremental_auto(p.m, 4);
+    }
+    return TimestampEncoding::one_hot(p.m);
+  }
+};
+
+TEST_P(GaloisLawTest, ExtensiveLaw) {
+  // F ⊆ γ(α(F)) for random F.
+  auto enc = make_encoding();
+  f2::Rng rng(GetParam().seed + 100);
+  EXPECT_TRUE(check_extensive(enc, random_signal_set(GetParam().m, 6, rng)));
+}
+
+TEST_P(GaloisLawTest, InsertionLaw) {
+  // V = α(γ(V)) for V built from reachable log entries.
+  auto enc = make_encoding();
+  Logger logger(enc);
+  f2::Rng rng(GetParam().seed + 200);
+  std::vector<LogEntry> v;
+  for (int i = 0; i < 5; ++i) {
+    v.push_back(logger.log(Signal::random_with_changes(GetParam().m,
+                                                       rng.below(GetParam().m + 1), rng)));
+  }
+  EXPECT_TRUE(check_insertion(enc, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, GaloisLawTest,
+    ::testing::Values(GaloisCase{8, 1, EncodingScheme::OneHot},
+                      GaloisCase{8, 2, EncodingScheme::Binary},
+                      GaloisCase{10, 3, EncodingScheme::RandomConstrained},
+                      GaloisCase{10, 4, EncodingScheme::Incremental},
+                      GaloisCase{12, 5, EncodingScheme::Binary},
+                      GaloisCase{12, 6, EncodingScheme::RandomConstrained}));
+
+TEST(Galois, UnreachableEntryHasEmptyPreimage) {
+  // An entry with impossible (TP, k) has empty γ — and α(∅) = ∅, so the
+  // insertion law only holds for reachable entries, which is what Lemma 1
+  // ranges over (Log is defined as outputs of the logging procedure).
+  auto enc = TimestampEncoding::one_hot(6);
+  // k = 0 but a nonzero timeprint is unreachable.
+  LogEntry impossible{f2::BitVec::from_uint(6, 1), 0};
+  EXPECT_TRUE(gamma(enc, impossible).empty());
+}
+
+}  // namespace
+}  // namespace tp::core

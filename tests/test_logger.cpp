@@ -1,0 +1,157 @@
+// Tests for the logging procedure α̃, the streaming logger and TraceLog.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "timeprint/logger.hpp"
+
+namespace tp::core {
+namespace {
+
+// The 16 timestamps of the paper's Figure 4, MSB-first strings.
+const char* kFig4Timestamps[16] = {
+    "00010100", "00111010", "00001111", "01000100", "00000010", "10101110",
+    "01100000", "11110101", "00010111", "11100111", "10100000", "10101000",
+    "10011110", "10001111", "01110000", "01101100"};
+
+TEST(Logger, Figure4TimeprintByExplicitArithmetic) {
+  // Aggregate TS(4), TS(5), TS(10), TS(11) (1-based) by XOR: the paper's
+  // logged timeprint is 00000001.
+  f2::BitVec tp(8);
+  for (int i : {3, 4, 9, 10}) {
+    tp ^= f2::BitVec::from_string(kFig4Timestamps[i]);
+  }
+  EXPECT_EQ(tp.to_string(), "00000001");
+}
+
+TEST(Logger, LogMatchesDefinition) {
+  auto enc = TimestampEncoding::random_constrained(32, 12, 4, 7);
+  Logger logger(enc);
+  f2::Rng rng(3);
+  for (int iter = 0; iter < 20; ++iter) {
+    Signal s = Signal::random_with_changes(32, rng.below(33), rng);
+    LogEntry e = logger.log(s);
+    EXPECT_EQ(e.k, s.num_changes());
+    f2::BitVec expect(12);
+    for (std::size_t i : s.change_cycles()) expect ^= enc.timestamp(i);
+    EXPECT_EQ(e.tp, expect);
+  }
+}
+
+TEST(Logger, EmptySignalLogsZero) {
+  auto enc = TimestampEncoding::binary(16);
+  Logger logger(enc);
+  LogEntry e = logger.log(Signal(16));
+  EXPECT_TRUE(e.tp.is_zero());
+  EXPECT_EQ(e.k, 0u);
+}
+
+TEST(Logger, XorCancellationLosesChangePairs) {
+  // Two identical timestamp contributions cancel in TP but k still counts
+  // them — exactly why k is logged (paper §3.1).
+  auto enc = TimestampEncoding::one_hot(8);
+  Logger logger(enc);
+  Signal s(8);
+  s.set_change(3);
+  LogEntry one = logger.log(s);
+  EXPECT_EQ(one.tp.popcount(), 1u);
+  EXPECT_EQ(one.k, 1u);
+}
+
+TEST(StreamingLogger, EmitsOneEntryPerTraceCycle) {
+  auto enc = TimestampEncoding::random_constrained(16, 10, 4, 11);
+  StreamingLogger sl(enc);
+  f2::Rng rng(21);
+  std::vector<Signal> cycles;
+  for (int c = 0; c < 5; ++c) {
+    Signal s = Signal::random_with_changes(16, rng.below(17), rng);
+    cycles.push_back(s);
+    for (std::size_t i = 0; i < 16; ++i) sl.tick(s.has_change(i));
+  }
+  ASSERT_EQ(sl.log().size(), 5u);
+  Logger reference(enc);
+  for (std::size_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(sl.log()[c], reference.log(cycles[c])) << "trace-cycle " << c;
+  }
+  EXPECT_EQ(sl.cycles(), 80u);
+  EXPECT_EQ(sl.phase(), 0u);
+}
+
+TEST(StreamingLogger, FlushPadsPartialCycle) {
+  auto enc = TimestampEncoding::binary(8);
+  StreamingLogger sl(enc);
+  sl.tick(true);
+  sl.tick(false);
+  sl.tick(true);
+  EXPECT_EQ(sl.log().size(), 0u);
+  sl.flush();
+  ASSERT_EQ(sl.log().size(), 1u);
+  EXPECT_EQ(sl.log()[0].k, 2u);
+  sl.flush();  // no-op at a boundary
+  EXPECT_EQ(sl.log().size(), 1u);
+}
+
+TEST(TraceLog, TotalBitsIsConstantPerEntry) {
+  // m=1000, b=24: 34 bits per entry (paper §5.2.1's 24+10).
+  TraceLog log(1000, 24);
+  EXPECT_EQ(log.total_bits(), 0u);
+  log.append({f2::BitVec(24), 0});
+  log.append({f2::BitVec(24), 3});
+  EXPECT_EQ(log.total_bits(), 2u * 34u);
+}
+
+TEST(TraceLog, FirstMismatchFindsDivergence) {
+  TraceLog a(16, 8), b(16, 8);
+  for (int i = 0; i < 4; ++i) {
+    a.append({f2::BitVec::from_uint(8, static_cast<std::uint64_t>(i)), 1});
+    b.append({f2::BitVec::from_uint(8, static_cast<std::uint64_t>(i == 2 ? 99 : i)), 1});
+  }
+  EXPECT_EQ(a.first_mismatch(b), 2u);
+  EXPECT_EQ(a.first_count_mismatch(b), 4u);  // counts all equal
+}
+
+TEST(TraceLog, FirstCountMismatch) {
+  TraceLog a(16, 8), b(16, 8);
+  a.append({f2::BitVec(8), 2});
+  b.append({f2::BitVec(8), 2});
+  a.append({f2::BitVec(8), 3});
+  b.append({f2::BitVec(8), 5});
+  EXPECT_EQ(a.first_count_mismatch(b), 1u);
+}
+
+TEST(TraceLog, IdenticalLogsHaveNoMismatch) {
+  TraceLog a(16, 8), b(16, 8);
+  a.append({f2::BitVec::from_uint(8, 5), 1});
+  b.append({f2::BitVec::from_uint(8, 5), 1});
+  EXPECT_EQ(a.first_mismatch(b), 1u);  // == size(): no mismatch
+}
+
+TEST(TraceLog, SaveLoadRoundTrip) {
+  auto enc = TimestampEncoding::random_constrained(32, 12, 4, 13);
+  StreamingLogger sl(enc);
+  f2::Rng rng(31);
+  for (int i = 0; i < 96; ++i) sl.tick(rng.below(4) == 0);
+
+  std::ostringstream out;
+  sl.log().save(out);
+  std::istringstream in(out.str());
+  TraceLog loaded = TraceLog::load(in);
+
+  EXPECT_EQ(loaded.m(), 32u);
+  EXPECT_EQ(loaded.width(), 12u);
+  ASSERT_EQ(loaded.size(), sl.log().size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i], sl.log()[i]);
+  }
+}
+
+TEST(TraceLog, LoadRejectsGarbage) {
+  std::istringstream bad("not a log\n");
+  EXPECT_THROW(TraceLog::load(bad), std::runtime_error);
+  std::istringstream truncated("timeprint-log m=8 b=4 n=2\n0101 1\n");
+  EXPECT_THROW(TraceLog::load(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tp::core

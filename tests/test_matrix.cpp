@@ -1,0 +1,182 @@
+// Unit and property tests for tp::f2::Matrix and LiChecker.
+
+#include <gtest/gtest.h>
+
+#include "f2/matrix.hpp"
+
+namespace tp::f2 {
+namespace {
+
+TEST(Matrix, IdentityActsAsIdentity) {
+  Matrix id = Matrix::identity(8);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    BitVec x = BitVec::random(8, rng);
+    EXPECT_EQ(id.multiply(x), x);
+  }
+  EXPECT_EQ(id.rank(), 8u);
+}
+
+TEST(Matrix, FromColumnsLayout) {
+  // Columns (1,0), (1,1), (0,1): A = [1 1 0; 0 1 1].
+  std::vector<BitVec> cols = {BitVec::from_string("01"), BitVec::from_string("11"),
+                              BitVec::from_string("10")};
+  Matrix a = Matrix::from_columns(cols);
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 3u);
+  EXPECT_TRUE(a.get(0, 0));
+  EXPECT_TRUE(a.get(0, 1));
+  EXPECT_FALSE(a.get(0, 2));
+  EXPECT_FALSE(a.get(1, 0));
+  EXPECT_TRUE(a.get(1, 1));
+  EXPECT_TRUE(a.get(1, 2));
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(a.column(c), cols[c]);
+}
+
+TEST(Matrix, MultiplyMatchesColumnSum) {
+  Rng rng(5);
+  std::vector<BitVec> cols;
+  for (int i = 0; i < 10; ++i) cols.push_back(BitVec::random(6, rng));
+  Matrix a = Matrix::from_columns(cols);
+  BitVec x = BitVec::random(10, rng);
+  BitVec expect(6);
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (x.get(i)) expect ^= cols[i];
+  }
+  EXPECT_EQ(a.multiply(x), expect);
+}
+
+TEST(Matrix, RankOfDependentRows) {
+  Matrix m(3, 4);
+  m.row(0) = BitVec::from_string("1010");
+  m.row(1) = BitVec::from_string("0110");
+  m.row(2) = m.row(0) ^ m.row(1);  // dependent
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Matrix, SolveConsistentSystem) {
+  Rng rng(11);
+  Matrix a(5, 8);
+  for (std::size_t r = 0; r < 5; ++r) a.row(r) = BitVec::random(8, rng);
+  BitVec x_true = BitVec::random(8, rng);
+  BitVec b = a.multiply(x_true);
+  auto sol = a.solve(b);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(a.multiply(sol->particular), b);
+  for (const BitVec& n : sol->nullspace) {
+    EXPECT_TRUE(a.multiply(n).is_zero());
+    EXPECT_EQ(a.multiply(sol->particular ^ n), b);
+  }
+}
+
+TEST(Matrix, SolveInconsistentSystem) {
+  // x0 = 0 and x0 = 1 simultaneously.
+  Matrix a(2, 1);
+  a.set(0, 0, true);
+  a.set(1, 0, true);
+  BitVec b(2);
+  b.set(0, true);  // row0: x0 = 1, row1: x0 = 0
+  EXPECT_FALSE(a.solve(b).has_value());
+}
+
+TEST(Matrix, SolutionCountIsTwoToNullity) {
+  // 3 independent equations over 6 unknowns -> 2^3 = 8 solutions.
+  Rng rng(17);
+  Matrix a(3, 6);
+  a.row(0) = BitVec::from_string("100101");
+  a.row(1) = BitVec::from_string("010011");
+  a.row(2) = BitVec::from_string("001110");
+  ASSERT_EQ(a.rank(), 3u);
+  auto sol = a.solve(BitVec::from_string("101"));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->nullspace.size(), 3u);
+  EXPECT_EQ(sol->count(), 8u);
+}
+
+TEST(Matrix, NullspaceBasisIsIndependent) {
+  Rng rng(23);
+  Matrix a(4, 10);
+  for (std::size_t r = 0; r < 4; ++r) a.row(r) = BitVec::random(10, rng);
+  auto sol = a.solve(BitVec(4));
+  ASSERT_TRUE(sol.has_value());  // homogeneous is always consistent
+  EXPECT_TRUE(Matrix::linearly_independent(sol->nullspace));
+}
+
+TEST(Matrix, LinearlyIndependentDetectsDependence) {
+  std::vector<BitVec> vecs = {BitVec::from_string("1100"), BitVec::from_string("0110"),
+                              BitVec::from_string("1010")};  // v0 ^ v1 == v2
+  EXPECT_FALSE(Matrix::linearly_independent(vecs));
+  vecs.pop_back();
+  EXPECT_TRUE(Matrix::linearly_independent(vecs));
+}
+
+// ---- LiChecker ----
+
+TEST(LiChecker, RejectsZeroAndDuplicates) {
+  LiChecker li(8, 4);
+  EXPECT_FALSE(li.can_add(BitVec(8)));
+  BitVec v = BitVec::from_uint(8, 5);
+  EXPECT_TRUE(li.can_add(v));
+  li.add(v);
+  EXPECT_FALSE(li.can_add(v));
+}
+
+TEST(LiChecker, Depth3RejectsPairSum) {
+  LiChecker li(8, 3);
+  BitVec a = BitVec::from_uint(8, 0x03);
+  BitVec b = BitVec::from_uint(8, 0x05);
+  li.add(a);
+  li.add(b);
+  EXPECT_FALSE(li.can_add(a ^ b));
+  EXPECT_TRUE(li.can_add(BitVec::from_uint(8, 0x07)));
+}
+
+TEST(LiChecker, Depth4RejectsTripleSum) {
+  LiChecker li(10, 4);
+  BitVec a = BitVec::from_uint(10, 0x003);
+  BitVec b = BitVec::from_uint(10, 0x014);
+  BitVec c = BitVec::from_uint(10, 0x060);
+  li.add(a);
+  li.add(b);
+  li.add(c);
+  EXPECT_FALSE(li.can_add(a ^ b ^ c));
+  // Depth 3 checker accepts the same candidate (only pair sums excluded).
+  LiChecker li3(10, 3);
+  li3.add(a);
+  li3.add(b);
+  li3.add(c);
+  EXPECT_TRUE(li3.can_add(a ^ b ^ c));
+}
+
+// Property: any set accepted by LiChecker(depth d) has every subset of
+// size <= d linearly independent (cross-check against Gaussian rank).
+class LiCheckerPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LiCheckerPropertyTest, AllSmallSubsetsIndependent) {
+  const std::size_t depth = GetParam();
+  const std::size_t dim = 10;
+  Rng rng(depth * 101 + 7);
+  LiChecker li(dim, depth);
+  while (li.size() < 12) {
+    BitVec v = BitVec::random(dim, rng);
+    if (li.can_add(v)) li.add(v);
+  }
+  const auto& vecs = li.members();
+  const std::size_t n = vecs.size();
+  // Enumerate all subsets of size <= depth.
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const auto bits = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (bits > depth) continue;
+    std::vector<BitVec> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.push_back(vecs[i]);
+    }
+    EXPECT_TRUE(Matrix::linearly_independent(subset))
+        << "dependent subset mask=" << mask << " at depth " << depth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, LiCheckerPropertyTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace tp::f2

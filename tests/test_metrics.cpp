@@ -1,0 +1,67 @@
+// Tests for encoding quality metrics.
+
+#include <gtest/gtest.h>
+
+#include "timeprint/metrics.hpp"
+
+namespace tp::core {
+namespace {
+
+TEST(Metrics, OneHot) {
+  const auto s = encoding_stats(TimestampEncoding::one_hot(10));
+  EXPECT_EQ(s.m, 10u);
+  EXPECT_EQ(s.b, 10u);
+  EXPECT_EQ(s.rank, 10u);
+  EXPECT_EQ(s.li_depth, 4u);  // fully independent
+  EXPECT_EQ(s.min_timestamp_weight, 1u);
+  EXPECT_EQ(s.min_pair_distance, 2u);  // e_i ^ e_j has weight 2
+}
+
+TEST(Metrics, Binary) {
+  const auto s = encoding_stats(TimestampEncoding::binary(7));
+  EXPECT_EQ(s.b, 3u);
+  EXPECT_EQ(s.rank, 3u);
+  EXPECT_EQ(s.li_depth, 2u);   // 1 XOR 2 == 3
+  EXPECT_NEAR(s.density, 7.0 / 8.0, 1e-12);
+  EXPECT_EQ(s.min_pair_distance, 1u);  // 1 vs 3 differ in one bit
+}
+
+TEST(Metrics, RandomConstrainedLi4) {
+  const auto enc = TimestampEncoding::random_constrained(64, 13, 4, 1);
+  const auto s = encoding_stats(enc);
+  EXPECT_EQ(s.li_depth, 4u);
+  EXPECT_EQ(s.rank, 13u);  // 64 random-ish vectors span all of F2^13
+  // LI-4 means no pair XOR equals another pair XOR; individual pairs can
+  // still be close in Hamming distance but never zero.
+  EXPECT_GE(s.min_pair_distance, 1u);
+  EXPECT_GE(s.min_timestamp_weight, 1u);
+  EXPECT_GT(s.expected_solutions_k4, 0.0);
+}
+
+TEST(Metrics, ExpectedSolutionsUsesRankNotWidth) {
+  // Pad a binary encoding with constant-zero high bits: width grows, rank
+  // does not, and the ambiguity estimate must not change.
+  auto base = TimestampEncoding::binary(15);
+  std::vector<f2::BitVec> padded;
+  for (const auto& ts : base.timestamps()) {
+    f2::BitVec wide(base.width() + 6);
+    for (std::size_t i = 0; i < base.width(); ++i) wide.set(i, ts.get(i));
+    padded.push_back(wide);
+  }
+  const auto wide_enc = TimestampEncoding::from_vectors(std::move(padded), 1);
+  const auto s_base = encoding_stats(base);
+  const auto s_wide = encoding_stats(wide_enc);
+  EXPECT_EQ(s_base.rank, s_wide.rank);
+  EXPECT_NEAR(s_base.expected_solutions_k4, s_wide.expected_solutions_k4, 1e-12);
+  EXPECT_GT(s_wide.b, s_base.b);
+}
+
+TEST(Metrics, DenserDepthLowersAmbiguityEstimate) {
+  const auto d2 = encoding_stats(TimestampEncoding::incremental_auto(32, 2));
+  const auto d4 = encoding_stats(TimestampEncoding::incremental_auto(32, 4));
+  EXPECT_GE(d2.expected_solutions_k4, d4.expected_solutions_k4);
+  EXPECT_LE(d2.b, d4.b);
+}
+
+}  // namespace
+}  // namespace tp::core

@@ -1,0 +1,164 @@
+// Tests for the RV monitor subsystem: automaton-vs-property agreement and
+// the monitor->reconstruction pruning flow of Figure 3.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "monitor/monitor.hpp"
+#include "monitor/rtl_adapter.hpp"
+#include "rtlsim/agg_log.hpp"
+#include "timeprint/reconstruct.hpp"
+
+namespace tp::monitor {
+namespace {
+
+using core::Signal;
+
+// Property cross-check: the monitor's verdict must equal the certified
+// property's holds() on random signals.
+void check_agreement(const std::function<std::unique_ptr<WindowMonitor>()>& make,
+                     std::size_t m, std::uint64_t seed) {
+  f2::Rng rng(seed);
+  auto monitor = make();
+  const auto property = monitor->certified_property();
+  for (int iter = 0; iter < 200; ++iter) {
+    Signal s = Signal::random_with_changes(m, rng.below(m + 1), rng);
+    EXPECT_EQ(monitor->evaluate(s), property->holds(s))
+        << monitor->name() << " on " << s.to_string();
+  }
+}
+
+TEST(Monitors, NoConsecutiveAgreesWithProperty) {
+  check_agreement([] { return std::make_unique<NoConsecutiveMonitor>(); }, 16, 1);
+}
+
+TEST(Monitors, PairsAgreesWithProperty) {
+  check_agreement([] { return std::make_unique<PairsMonitor>(); }, 16, 2);
+}
+
+TEST(Monitors, MinGapAgreesWithProperty) {
+  for (std::size_t gap : {1u, 2u, 3u, 5u}) {
+    check_agreement([gap] { return std::make_unique<MinGapMonitor>(gap); }, 20,
+                    gap * 7 + 3);
+  }
+}
+
+TEST(Monitors, MaxGapAgreesWithProperty) {
+  for (std::size_t gap : {1u, 2u, 4u, 8u}) {
+    check_agreement([gap] { return std::make_unique<MaxGapMonitor>(gap); }, 20,
+                    gap * 11 + 5);
+  }
+}
+
+TEST(Monitors, DeadlineAgreesWithProperty) {
+  check_agreement([] { return std::make_unique<DeadlineMonitor>(8, 2); }, 24, 4);
+  check_agreement([] { return std::make_unique<DeadlineMonitor>(16, 5); }, 24, 5);
+}
+
+TEST(Monitors, WindowCountAgreesWithProperty) {
+  check_agreement([] { return std::make_unique<WindowCountMonitor>(4, 12, 3); }, 20, 6);
+  check_agreement([] { return std::make_unique<WindowCountMonitor>(0, 20, 0); }, 20, 7);
+}
+
+TEST(MonitorBank, VerdictsPerWindow) {
+  MonitorBank bank(8);
+  bank.add(std::make_unique<NoConsecutiveMonitor>());
+  bank.add(std::make_unique<DeadlineMonitor>(4, 1));
+  ASSERT_EQ(bank.size(), 2u);
+
+  // Window 0: changes at 1,2 (consecutive; one before cycle 4).
+  // Window 1: changes at 0,5 (spread; one before cycle 4).
+  const Signal w0 = Signal::from_change_cycles(8, {1, 2});
+  const Signal w1 = Signal::from_change_cycles(8, {0, 5});
+  for (std::size_t i = 0; i < 8; ++i) bank.tick(w0.has_change(i));
+  for (std::size_t i = 0; i < 8; ++i) bank.tick(w1.has_change(i));
+
+  ASSERT_EQ(bank.history().size(), 2u);
+  EXPECT_FALSE(bank.history()[0][0]);  // consecutive pair -> fail
+  EXPECT_TRUE(bank.history()[0][1]);
+  EXPECT_TRUE(bank.history()[1][0]);
+  EXPECT_TRUE(bank.history()[1][1]);
+
+  const auto certified0 = bank.certified_for(0);
+  const auto certified1 = bank.certified_for(1);
+  EXPECT_EQ(certified0.size(), 1u);
+  EXPECT_EQ(certified1.size(), 2u);
+  for (const auto& p : certified0) EXPECT_TRUE(p->holds(w0));
+  for (const auto& p : certified1) EXPECT_TRUE(p->holds(w1));
+}
+
+TEST(MonitorBank, NamesAreStable) {
+  MonitorBank bank(8);
+  bank.add(std::make_unique<MinGapMonitor>(3));
+  bank.add(std::make_unique<DeadlineMonitor>(4, 2));
+  const auto names = bank.names();
+  EXPECT_EQ(names[0], "min-gap(3)");
+  EXPECT_EQ(names[1], "deadline(D=4,k=2)");
+}
+
+TEST(MonitorFlow, CertifiedPropertiesPruneReconstruction) {
+  // The Figure 3 flow: deployment runs monitors alongside the agg-log;
+  // postmortem, the PASSed properties prune the SAT query — and never
+  // exclude the actual signal.
+  const std::size_t m = 24;
+  auto enc = core::TimestampEncoding::random_constrained(m, 11, 4, 5);
+  core::Logger logger(enc);
+
+  const Signal actual = Signal::from_change_cycles(m, {2, 3, 10, 11, 18, 19});
+  MonitorBank bank(m);
+  bank.add(std::make_unique<PairsMonitor>());
+  bank.add(std::make_unique<DeadlineMonitor>(8, 2));
+  bank.add(std::make_unique<MaxGapMonitor>(2));  // will FAIL on this signal
+  for (std::size_t i = 0; i < m; ++i) bank.tick(actual.has_change(i));
+
+  const auto certified = bank.certified_for(0);
+  ASSERT_EQ(certified.size(), 2u);  // pairs + deadline passed, max-gap failed
+
+  const core::LogEntry entry = logger.log(actual);
+  core::Reconstructor unpruned(enc);
+  const auto base = unpruned.reconstruct(entry);
+
+  core::Reconstructor pruned(enc);
+  for (const auto& p : certified) pruned.add_property(*p);
+  const auto refined = pruned.reconstruct(entry);
+
+  ASSERT_TRUE(refined.complete());
+  EXPECT_LE(refined.signals.size(), base.signals.size());
+  EXPECT_NE(std::find(refined.signals.begin(), refined.signals.end(), actual),
+            refined.signals.end());
+}
+
+TEST(MonitorRtl, BankAndAggLogShareTheClock) {
+  // Monitors and the agg-log hardware observe the same change stream from
+  // one Simulator; verdicts and log entries line up window for window.
+  const std::size_t m = 16;
+  auto enc = core::TimestampEncoding::random_constrained(m, 9, 4, 3);
+
+  MonitorBank bank(m);
+  bank.add(std::make_unique<NoConsecutiveMonitor>());
+  MonitorBankComponent mon(bank);
+  rtl::AggLogUnit agg(enc);
+  rtl::Simulator sim;
+  sim.add(agg);
+  sim.add(mon);
+
+  core::Logger ref(enc);
+  f2::Rng rng(12);
+  for (int w = 0; w < 5; ++w) {
+    Signal s = Signal::random_with_changes(m, rng.below(m / 2), rng);
+    for (std::size_t i = 0; i < m; ++i) {
+      const bool change = s.has_change(i);
+      agg.set_change(change);
+      mon.set_change(change);
+      sim.step();
+    }
+    ASSERT_EQ(bank.history().size(), static_cast<std::size_t>(w + 1));
+    ASSERT_EQ(agg.log().size(), static_cast<std::size_t>(w + 1));
+    EXPECT_EQ(agg.log()[static_cast<std::size_t>(w)], ref.log(s));
+    EXPECT_EQ(bank.history().back()[0], core::NoConsecutivePair{}.holds(s));
+  }
+}
+
+}  // namespace
+}  // namespace tp::monitor

@@ -1,0 +1,90 @@
+// Tests for tp::core::Signal.
+
+#include <gtest/gtest.h>
+
+#include "timeprint/signal.hpp"
+
+namespace tp::core {
+namespace {
+
+TEST(Signal, EmptyHasNoChanges) {
+  Signal s(16);
+  EXPECT_EQ(s.length(), 16u);
+  EXPECT_EQ(s.num_changes(), 0u);
+  EXPECT_TRUE(s.change_cycles().empty());
+}
+
+TEST(Signal, FromChangeCycles) {
+  // The paper's Figure 4 signal: changes at (1-based) cycles 4, 5, 10, 11.
+  Signal s = Signal::from_change_cycles(16, {3, 4, 9, 10});
+  EXPECT_EQ(s.num_changes(), 4u);
+  EXPECT_TRUE(s.has_change(3));
+  EXPECT_TRUE(s.has_change(4));
+  EXPECT_TRUE(s.has_change(9));
+  EXPECT_TRUE(s.has_change(10));
+  EXPECT_FALSE(s.has_change(0));
+  EXPECT_EQ(s.to_string(), "0001100001100000");
+  EXPECT_EQ(s.change_cycles(), (std::vector<std::size_t>{3, 4, 9, 10}));
+}
+
+TEST(Signal, SetAndClearChanges) {
+  Signal s(8);
+  s.set_change(2);
+  s.set_change(5);
+  EXPECT_EQ(s.num_changes(), 2u);
+  s.set_change(2, false);
+  EXPECT_EQ(s.num_changes(), 1u);
+  EXPECT_FALSE(s.has_change(2));
+}
+
+TEST(Signal, FromWaveformDetectsValueChanges) {
+  // Waveform 1,1,0,0,0,1 starting from initial value 1: changes at cycles
+  // 2 (1->0) and 5 (0->1).
+  Signal s = Signal::from_waveform({true, true, false, false, false, true}, true);
+  EXPECT_EQ(s.change_cycles(), (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(Signal, FromWaveformInitialValueMatters) {
+  // Same waveform, initial 0: extra change at cycle 0.
+  Signal s = Signal::from_waveform({true, true, false, false, false, true}, false);
+  EXPECT_EQ(s.change_cycles(), (std::vector<std::size_t>{0, 2, 5}));
+}
+
+TEST(Signal, RandomHasExactlyKChanges) {
+  f2::Rng rng(77);
+  for (std::size_t k : {0u, 1u, 5u, 16u, 64u}) {
+    Signal s = Signal::random_with_changes(64, k, rng);
+    EXPECT_EQ(s.num_changes(), k);
+    EXPECT_EQ(s.length(), 64u);
+  }
+}
+
+TEST(Signal, RandomIsReasonablyUniform) {
+  // Over many draws of 1-change signals, every cycle should be hit.
+  f2::Rng rng(5);
+  std::vector<int> hits(16, 0);
+  for (int i = 0; i < 2000; ++i) {
+    Signal s = Signal::random_with_changes(16, 1, rng);
+    ++hits[s.change_cycles()[0]];
+  }
+  for (int h : hits) EXPECT_GT(h, 50);
+}
+
+TEST(Signal, EqualityComparesContent) {
+  Signal a = Signal::from_change_cycles(10, {1, 2});
+  Signal b = Signal::from_change_cycles(10, {1, 2});
+  Signal c = Signal::from_change_cycles(10, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Signal, FromBitsRoundTrip) {
+  f2::Rng rng(9);
+  f2::BitVec bits = f2::BitVec::random(33, rng);
+  Signal s = Signal::from_bits(bits);
+  EXPECT_EQ(s.bits(), bits);
+  EXPECT_EQ(s.num_changes(), bits.popcount());
+}
+
+}  // namespace
+}  // namespace tp::core

@@ -1,0 +1,261 @@
+// Tests for the Lion3 SoC substrate and the §5.2.2 divergence analysis.
+
+#include <gtest/gtest.h>
+
+#include "soc/analysis.hpp"
+#include "soc/isa.hpp"
+#include "soc/system.hpp"
+
+namespace tp::soc {
+namespace {
+
+core::TimestampEncoding test_encoding() {
+  return core::TimestampEncoding::random_constrained(64, 13, 4, /*seed=*/1);
+}
+
+SocSystem::Config base_config() {
+  SocSystem::Config cfg;
+  cfg.program = demo_image(16, 8);
+  cfg.mem.wait_states = 1;
+  cfg.mem.refresh_enabled = false;
+  return cfg;
+}
+
+TEST(Lion3, RegisterZeroIsHardwired) {
+  SocSystem::Config cfg;
+  cfg.program = {loadi(0, 42), loadi(1, 7), halt()};
+  SocSystem soc(cfg);
+  while (!soc.halted()) soc.tick();
+  EXPECT_EQ(soc.reg(0), 0);
+  EXPECT_EQ(soc.reg(1), 7);
+}
+
+TEST(Lion3, AluAndBranches) {
+  // Sum 1..5 with a loop.
+  SocSystem::Config cfg;
+  cfg.program = {
+      loadi(1, 0),  // i
+      loadi(2, 0),  // sum
+      loadi(3, 5),  // limit
+      addi(1, 1, 1),
+      add(2, 2, 1),
+      bne(1, 3, -3),
+      halt(),
+  };
+  SocSystem soc(cfg);
+  while (!soc.halted()) soc.tick();
+  EXPECT_EQ(soc.reg(2), 15);
+}
+
+TEST(Lion3, LoadStoreRoundTrip) {
+  SocSystem::Config cfg;
+  cfg.program = {
+      loadi(1, 0x100),
+      loadi(2, 1234),
+      store(2, 1, 0),
+      load(3, 1, 0),
+      halt(),
+  };
+  SocSystem soc(cfg);
+  while (!soc.halted()) soc.tick();
+  EXPECT_EQ(soc.reg(3), 1234);
+  EXPECT_EQ(soc.memory().at(0x100), 1234u);
+}
+
+TEST(Lion3, DemoImageComputesFibonacci) {
+  SocSystem::Config cfg = base_config();
+  SocSystem soc(cfg);
+  for (int i = 0; i < 200000 && !soc.halted(); ++i) soc.tick();
+  ASSERT_TRUE(soc.halted());
+  // fib table at 0x1000: 1, 1, 2, 3, 5, 8, ...
+  EXPECT_EQ(soc.memory().at(0x1000), 1u);
+  EXPECT_EQ(soc.memory().at(0x1004), 1u);
+  EXPECT_EQ(soc.memory().at(0x1008), 2u);
+  EXPECT_EQ(soc.memory().at(0x100C), 3u);
+  EXPECT_EQ(soc.memory().at(0x1010), 5u);
+  EXPECT_EQ(soc.memory().at(0x103C), 987u);  // fib(16)
+}
+
+TEST(Lion3, WaitStatesSlowTheCore) {
+  auto run_cycles = [](unsigned ws) {
+    SocSystem::Config cfg = base_config();
+    cfg.mem.wait_states = ws;
+    SocSystem soc(cfg);
+    while (!soc.halted()) soc.tick();
+    return soc.cycle();
+  };
+  const auto fast = run_cycles(0);
+  const auto slow = run_cycles(3);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Soc, RunIsDeterministic) {
+  auto enc = test_encoding();
+  const auto a = run_soc(base_config(), enc, 20000);
+  const auto b = run_soc(base_config(), enc, 20000);
+  ASSERT_EQ(a.log.size(), b.log.size());
+  EXPECT_EQ(a.log.first_mismatch(b.log), a.log.size());
+  EXPECT_EQ(a.signals.size(), a.log.size());
+}
+
+TEST(Soc, GroundTruthSignalsMatchLog) {
+  auto enc = test_encoding();
+  const auto result = run_soc(base_config(), enc, 20000);
+  core::Logger logger(enc);
+  for (std::size_t i = 0; i < result.log.size(); ++i) {
+    EXPECT_EQ(logger.log(result.signals[i]), result.log[i]) << "trace-cycle " << i;
+  }
+}
+
+TEST(Soc, WrongWaitStatesShowUpAsCountMismatch) {
+  // The experiment's first finding: the simulation's wrong SRAM wait
+  // states are exposed by differing k values.
+  auto enc = test_encoding();
+  SocSystem::Config hw_cfg = base_config();
+  hw_cfg.mem.wait_states = 1;
+  SocSystem::Config sim_cfg = base_config();
+  sim_cfg.mem.wait_states = 0;  // the bug
+
+  const auto hw = run_soc(hw_cfg, enc, 20000);
+  const auto sim = run_soc(sim_cfg, enc, 20000);
+  const Divergence d = compare_logs(hw.log, sim.log);
+  EXPECT_LT(d.first_k_mismatch, d.compared);
+}
+
+TEST(Soc, FixedWaitStatesMatchWithoutRefresh) {
+  auto enc = test_encoding();
+  const auto hw = run_soc(base_config(), enc, 20000);
+  const auto sim = run_soc(base_config(), enc, 20000);
+  const Divergence d = compare_logs(hw.log, sim.log);
+  EXPECT_EQ(d.first_entry_mismatch, d.compared);  // no divergence at all
+}
+
+SocSystem::Config fpga_config(double ambient) {
+  SocSystem::Config cfg = base_config();
+  cfg.program = demo_image(16, 64);
+  cfg.mem.refresh_enabled = true;
+  cfg.mem.ambient_c = ambient;
+  cfg.mem.refresh_base_interval = 1500;
+  cfg.mem.refresh_slope = 20.0;
+  return cfg;
+}
+
+SocSystem::Config sim_config() {
+  SocSystem::Config cfg = base_config();
+  cfg.program = demo_image(16, 64);
+  cfg.mem.refresh_enabled = false;  // Gaisler SRAM model: no refresh
+  return cfg;
+}
+
+TEST(Soc, RefreshCausesEntryMismatchWithEqualCounts) {
+  auto enc = test_encoding();
+  const auto hw = run_soc(fpga_config(45.0), enc, 60000);
+  const auto sim = run_soc(sim_config(), enc, 60000);
+  ASSERT_GT(hw.refresh_collisions, 0u);
+  const Divergence d = compare_logs(hw.log, sim.log);
+  // k agrees everywhere (the refresh only delays events, never merges
+  // them in this workload), but the timeprints diverge.
+  EXPECT_EQ(d.first_k_mismatch, d.compared);
+  EXPECT_LT(d.first_entry_mismatch, d.compared);
+}
+
+TEST(Soc, LocalizeDelayFindsTheExactCycle) {
+  auto enc = test_encoding();
+  const auto hw = run_soc(fpga_config(45.0), enc, 60000);
+  const auto sim = run_soc(sim_config(), enc, 60000);
+  const Divergence d = compare_logs(hw.log, sim.log);
+  ASSERT_LT(d.first_entry_mismatch, d.compared);
+
+  const std::size_t t = d.first_entry_mismatch;
+  auto loc = localize_delay(enc, hw.log[t], sim.signals[t]);
+  ASSERT_TRUE(loc.has_value());
+  // Ground truth: the hardware's actual signal for that trace-cycle.
+  EXPECT_EQ(loc->hw_signal, hw.signals[t]);
+  // The reported cycle is a sim change that the hw moved one cycle later.
+  EXPECT_TRUE(sim.signals[t].has_change(loc->delayed_cycle));
+  EXPECT_FALSE(hw.signals[t].has_change(loc->delayed_cycle));
+  EXPECT_TRUE(hw.signals[t].has_change(loc->delayed_cycle + 1));
+}
+
+TEST(Soc, HigherTemperatureDivergesEarlier) {
+  // The paper's headline §5.2.2 observation: "this one clock-cycle delay
+  // happens earlier if temperature is higher". Like the paper, which
+  // re-ran the image several times per temperature, we average the first
+  // mismatching trace-cycle over several runs (modelled as different
+  // refresh-oscillator phases) per ambient temperature.
+  auto enc = test_encoding();
+  const auto sim = run_soc(sim_config(), enc, 60000);
+
+  std::vector<double> mean_mismatch;
+  for (double ambient : {25.0, 45.0, 65.0}) {
+    double total = 0;
+    int runs = 0;
+    for (std::uint64_t phase = 0; phase < 8; ++phase) {
+      SocSystem::Config cfg = fpga_config(ambient);
+      cfg.mem.refresh_phase = phase * 131;
+      const auto hw = run_soc(cfg, enc, 60000);
+      const Divergence d = compare_logs(hw.log, sim.log);
+      total += static_cast<double>(d.first_entry_mismatch);
+      ++runs;
+    }
+    mean_mismatch.push_back(total / runs);
+  }
+  // Hotter silicon refreshes more often, so the first collision lands in
+  // an earlier trace-cycle on average.
+  EXPECT_GT(mean_mismatch[0], mean_mismatch[1]);
+  EXPECT_GT(mean_mismatch[1], mean_mismatch[2]);
+}
+
+TEST(Soc, NoRefreshMeansNoCollisions) {
+  auto enc = test_encoding();
+  const auto result = run_soc(sim_config(), enc, 60000);
+  EXPECT_EQ(result.refresh_collisions, 0u);
+}
+
+TEST(Lion3, MemcpyImageCopiesCorrectly) {
+  SocSystem::Config cfg;
+  cfg.program = memcpy_image(16);
+  SocSystem soc(cfg);
+  for (int i = 0; i < 100000 && !soc.halted(); ++i) soc.tick();
+  ASSERT_TRUE(soc.halted());
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(soc.memory().at(0x3000 + i * 4), i) << i;
+  }
+}
+
+TEST(Lion3, MatmulImageRunsToCompletion) {
+  SocSystem::Config cfg;
+  cfg.program = matmul_image(4);
+  SocSystem soc(cfg);
+  for (int i = 0; i < 400000 && !soc.halted(); ++i) soc.tick();
+  ASSERT_TRUE(soc.halted());
+  // Inner loop: acc = sum_l (A[l] + B[l]) = sum_l (l+1 + l+2) for l<4 = 24.
+  EXPECT_EQ(soc.memory().at(0x6000), 24u);
+  EXPECT_GT(soc.instructions(), 100u);
+}
+
+TEST(Soc, WorkloadsProduceDistinctTraceSignatures) {
+  // Different software images must yield different timeprint streams —
+  // the premise of using timeprints to identify what ran.
+  auto enc = test_encoding();
+  auto run_with = [&](std::vector<Instr> prog) {
+    SocSystem::Config cfg = base_config();
+    cfg.program = std::move(prog);
+    return run_soc(cfg, enc, 20000);
+  };
+  const auto fib = run_with(demo_image(16, 8));
+  const auto copy = run_with(memcpy_image(64));
+  const auto mat = run_with(matmul_image(6));
+  EXPECT_LT(fib.log.first_mismatch(copy.log), std::min(fib.log.size(), copy.log.size()));
+  EXPECT_LT(copy.log.first_mismatch(mat.log), std::min(copy.log.size(), mat.log.size()));
+}
+
+TEST(Soc, TemperatureRisesWithActivity) {
+  SocSystem::Config cfg = fpga_config(25.0);
+  SocSystem soc(cfg);
+  for (int i = 0; i < 30000 && !soc.halted(); ++i) soc.tick();
+  EXPECT_GT(soc.temperature(), 25.0);
+}
+
+}  // namespace
+}  // namespace tp::soc

@@ -1,0 +1,250 @@
+// Feature-interaction tests for the SAT solver: XOR chunking, the
+// Gaussian engine combined with AllSAT/cardinality, stats and options.
+
+#include <gtest/gtest.h>
+
+#include "f2/bitvec.hpp"
+#include "sat/allsat.hpp"
+#include "sat/cardinality.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/reference.hpp"
+#include "sat/solver.hpp"
+
+namespace tp::sat {
+namespace {
+
+std::vector<Var> make_vars(Solver& s, int n) {
+  std::vector<Var> vars;
+  for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
+  return vars;
+}
+
+TEST(XorChunking, LongXorSplitsIntoShortOnes) {
+  SolverOptions opts;
+  opts.xor_chunk_size = 5;
+  Solver s(opts);
+  auto vars = make_vars(s, 20);
+  ASSERT_TRUE(s.add_xor(vars, true));
+  // Chunked: several constraints instead of one 20-variable row.
+  EXPECT_GT(s.num_xors(), 1u);
+  ASSERT_EQ(s.solve(), Status::Sat);
+  int ones = 0;
+  for (Var v : vars) ones += s.model_value(v) == LBool::True ? 1 : 0;
+  EXPECT_EQ(ones % 2, 1);
+}
+
+TEST(XorChunking, ChunkedAndUnchunkedAgree) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    f2::Rng rng(seed);
+    Cnf cnf;
+    cnf.num_vars = 14;
+    for (int i = 0; i < 6; ++i) {
+      std::vector<Var> xv;
+      for (int j = 0; j < 9; ++j) xv.push_back(static_cast<Var>(rng.below(14)));
+      cnf.xors.emplace_back(std::move(xv), rng.flip());
+    }
+    for (int i = 0; i < 8; ++i) {
+      cnf.clauses.push_back({Lit(static_cast<Var>(rng.below(14)), rng.flip()),
+                             Lit(static_cast<Var>(rng.below(14)), rng.flip())});
+    }
+    SolverOptions chunked;
+    chunked.xor_chunk_size = 4;
+    SolverOptions unchunked;
+    unchunked.xor_chunk_size = 0;
+    Solver a(chunked), b(unchunked);
+    cnf.load_into(a);
+    cnf.load_into(b);
+    EXPECT_EQ(a.solve(), b.solve()) << "seed " << seed;
+  }
+}
+
+TEST(XorChunking, ProjectedModelCountUnaffectedByAuxVars) {
+  // Chunking introduces auxiliary variables; enumeration over the original
+  // variables must still produce each solution exactly once.
+  SolverOptions opts;
+  opts.xor_chunk_size = 3;
+  Solver s(opts);
+  auto vars = make_vars(s, 8);
+  ASSERT_TRUE(s.add_xor(vars, false));
+  auto result = enumerate_models(s, vars);
+  ASSERT_TRUE(result.complete());
+  EXPECT_EQ(result.models.size(), 128u);  // 2^7 even-parity assignments
+}
+
+TEST(Gauss, AllSatEnumerationWorks) {
+  SolverOptions opts;
+  opts.use_gauss = true;
+  opts.gauss_max_unassigned = SIZE_MAX;
+  Solver s(opts);
+  auto vars = make_vars(s, 6);
+  ASSERT_TRUE(s.add_xor({vars[0], vars[1], vars[2]}, true));
+  ASSERT_TRUE(s.add_xor({vars[3], vars[4]}, false));
+  auto result = enumerate_models(s, vars);
+  ASSERT_TRUE(result.complete());
+  // 4 odd-parity triples x 2 equal pairs x 2 free = 16 models.
+  EXPECT_EQ(result.models.size(), 16u);
+  for (const auto& mo : result.models) {
+    EXPECT_TRUE(mo[0] ^ mo[1] ^ mo[2]);
+    EXPECT_EQ(mo[3], mo[4]);
+  }
+}
+
+TEST(Gauss, WithCardinalityMatchesReference) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    f2::Rng rng(seed);
+    const int n = 10;
+    Cnf cnf;
+    cnf.num_vars = n;
+    for (int i = 0; i < 4; ++i) {
+      std::vector<Var> xv;
+      for (int j = 0; j < 5; ++j) xv.push_back(static_cast<Var>(rng.below(n)));
+      cnf.xors.emplace_back(std::move(xv), rng.flip());
+    }
+    const auto reference = reference_all_models(cnf);
+    std::size_t ref_with_3 = 0;
+    for (const auto& mo : reference) {
+      int ones = 0;
+      for (bool v : mo) ones += v;
+      if (ones == 3) ++ref_with_3;
+    }
+
+    SolverOptions opts;
+    opts.use_gauss = true;
+    Solver s(opts);
+    cnf.load_into(s);
+    std::vector<Lit> lits;
+    std::vector<Var> proj;
+    for (Var v = 0; v < n; ++v) {
+      lits.push_back(mk_lit(v));
+      proj.push_back(v);
+    }
+    encode_exactly(s, lits, 3);
+    auto result = enumerate_models(s, proj);
+    ASSERT_TRUE(result.complete()) << "seed " << seed;
+    EXPECT_EQ(result.models.size(), ref_with_3) << "seed " << seed;
+  }
+}
+
+TEST(Gauss, GateThresholdDoesNotChangeAnswers) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    f2::Rng rng(seed * 3 + 1);
+    Cnf cnf;
+    cnf.num_vars = 12;
+    for (int i = 0; i < 5; ++i) {
+      std::vector<Var> xv;
+      for (int j = 0; j < 6; ++j) xv.push_back(static_cast<Var>(rng.below(12)));
+      cnf.xors.emplace_back(std::move(xv), rng.flip());
+    }
+    cnf.clauses.push_back({mk_lit(0), mk_lit(1)});
+
+    SolverOptions always;
+    always.use_gauss = true;
+    always.gauss_max_unassigned = SIZE_MAX;
+    SolverOptions gated;
+    gated.use_gauss = true;
+    gated.gauss_max_unassigned = 4;
+    Solver a(always), b(gated);
+    cnf.load_into(a);
+    cnf.load_into(b);
+    EXPECT_EQ(a.solve(), b.solve()) << "seed " << seed;
+  }
+}
+
+TEST(Gauss, XorFoldedAtLevelZero) {
+  SolverOptions opts;
+  opts.use_gauss = true;
+  Solver s(opts);
+  Var a = s.new_var(), b = s.new_var();
+  ASSERT_TRUE(s.add_clause({mk_lit(a)}));     // a fixed true
+  ASSERT_TRUE(s.add_xor({a, b}, true));       // folds to b = 0
+  ASSERT_EQ(s.solve(), Status::Sat);
+  EXPECT_EQ(s.model_value(b), LBool::False);
+}
+
+TEST(Assumptions, SatUnderCompatibleAssumptions) {
+  Solver s;
+  auto vars = make_vars(s, 4);
+  ASSERT_TRUE(s.add_clause({mk_lit(vars[0]), mk_lit(vars[1])}));
+  ASSERT_EQ(s.solve_assuming({~mk_lit(vars[0])}), Status::Sat);
+  EXPECT_EQ(s.model_value(vars[0]), LBool::False);
+  EXPECT_EQ(s.model_value(vars[1]), LBool::True);
+  // The solver is still usable with different assumptions afterwards.
+  ASSERT_EQ(s.solve_assuming({~mk_lit(vars[1])}), Status::Sat);
+  EXPECT_EQ(s.model_value(vars[0]), LBool::True);
+}
+
+TEST(Assumptions, UnsatUnderAssumptionsKeepsSolverUsable) {
+  Solver s;
+  auto vars = make_vars(s, 3);
+  ASSERT_TRUE(s.add_clause({mk_lit(vars[0]), mk_lit(vars[1])}));
+  EXPECT_EQ(s.solve_assuming({~mk_lit(vars[0]), ~mk_lit(vars[1])}), Status::Unsat);
+  EXPECT_TRUE(s.okay());  // not unconditionally unsat
+  // final_conflict is a clause over the failed assumptions.
+  EXPECT_FALSE(s.final_conflict().empty());
+  for (Lit l : s.final_conflict()) {
+    EXPECT_TRUE(l == mk_lit(vars[0]) || l == mk_lit(vars[1]));
+  }
+  EXPECT_EQ(s.solve(), Status::Sat);
+}
+
+TEST(Assumptions, PropagatedConflictFindsResponsibleSubset) {
+  // a -> b; assuming a and ~b is unsat; assuming a and an unrelated c is
+  // fine.
+  Solver s;
+  auto vars = make_vars(s, 3);
+  ASSERT_TRUE(s.add_clause({~mk_lit(vars[0]), mk_lit(vars[1])}));
+  EXPECT_EQ(s.solve_assuming({mk_lit(vars[0]), ~mk_lit(vars[1]), mk_lit(vars[2])}),
+            Status::Unsat);
+  // vars[2] must not be blamed.
+  for (Lit l : s.final_conflict()) EXPECT_NE(l.var(), vars[2]);
+  EXPECT_EQ(s.solve_assuming({mk_lit(vars[0]), mk_lit(vars[2])}), Status::Sat);
+}
+
+TEST(Assumptions, WithXorConstraints) {
+  SolverOptions opts;
+  opts.use_gauss = true;
+  Solver s(opts);
+  auto vars = make_vars(s, 4);
+  ASSERT_TRUE(s.add_xor({vars[0], vars[1], vars[2]}, true));
+  ASSERT_EQ(s.solve_assuming({mk_lit(vars[0]), mk_lit(vars[1])}), Status::Sat);
+  EXPECT_EQ(s.model_value(vars[2]), LBool::True);
+  EXPECT_EQ(s.solve_assuming({mk_lit(vars[0]), mk_lit(vars[1]),
+                              ~mk_lit(vars[2])}),
+            Status::Unsat);
+  EXPECT_TRUE(s.okay());
+}
+
+TEST(Assumptions, UnconditionalUnsatStillPoisonsSolver) {
+  Solver s;
+  Var a = s.new_var();
+  ASSERT_TRUE(s.add_clause({mk_lit(a)}));
+  s.add_clause({~mk_lit(a)});
+  EXPECT_EQ(s.solve_assuming({mk_lit(a)}), Status::Unsat);
+  EXPECT_FALSE(s.okay());
+}
+
+TEST(SolverStats, CountersIncrease) {
+  Solver s;
+  auto vars = make_vars(s, 12);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  encode_exactly(s, lits, 6);
+  s.add_xor({vars[0], vars[1], vars[2], vars[3]}, true);
+  ASSERT_EQ(s.solve(), Status::Sat);
+  EXPECT_GT(s.stats().decisions, 0);
+  EXPECT_GT(s.stats().propagations, 0);
+}
+
+TEST(SolverOptions, DefaultPolarityRespected) {
+  SolverOptions opts;
+  opts.default_polarity = true;
+  Solver s(opts);
+  auto vars = make_vars(s, 4);
+  (void)vars;
+  ASSERT_EQ(s.solve(), Status::Sat);
+  // With no constraints, the first decision polarity is the default.
+  for (Var v = 0; v < 4; ++v) EXPECT_EQ(s.model_value(v), LBool::True);
+}
+
+}  // namespace
+}  // namespace tp::sat
