@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_card.dir/bench_ablation_card.cpp.o"
+  "CMakeFiles/bench_ablation_card.dir/bench_ablation_card.cpp.o.d"
+  "bench_ablation_card"
+  "bench_ablation_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

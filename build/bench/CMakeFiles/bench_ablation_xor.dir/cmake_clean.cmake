@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_xor.dir/bench_ablation_xor.cpp.o"
+  "CMakeFiles/bench_ablation_xor.dir/bench_ablation_xor.cpp.o.d"
+  "bench_ablation_xor"
+  "bench_ablation_xor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_can_experiment.dir/bench_can_experiment.cpp.o"
+  "CMakeFiles/bench_can_experiment.dir/bench_can_experiment.cpp.o.d"
+  "bench_can_experiment"
+  "bench_can_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_can_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

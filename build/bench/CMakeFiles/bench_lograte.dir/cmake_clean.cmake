@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lograte.dir/bench_lograte.cpp.o"
+  "CMakeFiles/bench_lograte.dir/bench_lograte.cpp.o.d"
+  "bench_lograte"
+  "bench_lograte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lograte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_refresh_experiment.cpp" "bench/CMakeFiles/bench_refresh_experiment.dir/bench_refresh_experiment.cpp.o" "gcc" "bench/CMakeFiles/bench_refresh_experiment.dir/bench_refresh_experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/tp_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeprint/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/tp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/f2/CMakeFiles/tp_f2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

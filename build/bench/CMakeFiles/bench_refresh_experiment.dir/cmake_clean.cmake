@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refresh_experiment.dir/bench_refresh_experiment.cpp.o"
+  "CMakeFiles/bench_refresh_experiment.dir/bench_refresh_experiment.cpp.o.d"
+  "bench_refresh_experiment"
+  "bench_refresh_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refresh_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/can_forensics.dir/can_forensics.cpp.o"
+  "CMakeFiles/can_forensics.dir/can_forensics.cpp.o.d"
+  "can_forensics"
+  "can_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/can_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

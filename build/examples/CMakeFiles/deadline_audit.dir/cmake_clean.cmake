@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_audit.dir/deadline_audit.cpp.o"
+  "CMakeFiles/deadline_audit.dir/deadline_audit.cpp.o.d"
+  "deadline_audit"
+  "deadline_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_refresh.dir/temperature_refresh.cpp.o"
+  "CMakeFiles/temperature_refresh.dir/temperature_refresh.cpp.o.d"
+  "temperature_refresh"
+  "temperature_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

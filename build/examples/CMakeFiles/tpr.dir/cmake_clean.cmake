@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr.dir/tpr.cpp.o"
+  "CMakeFiles/tpr.dir/tpr.cpp.o.d"
+  "tpr"
+  "tpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_baseline.dir/baseline.cpp.o"
+  "CMakeFiles/tp_baseline.dir/baseline.cpp.o.d"
+  "libtp_baseline.a"
+  "libtp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

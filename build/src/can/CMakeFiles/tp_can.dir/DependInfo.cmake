@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/can/bus.cpp" "src/can/CMakeFiles/tp_can.dir/bus.cpp.o" "gcc" "src/can/CMakeFiles/tp_can.dir/bus.cpp.o.d"
+  "/root/repo/src/can/forensics.cpp" "src/can/CMakeFiles/tp_can.dir/forensics.cpp.o" "gcc" "src/can/CMakeFiles/tp_can.dir/forensics.cpp.o.d"
+  "/root/repo/src/can/frame.cpp" "src/can/CMakeFiles/tp_can.dir/frame.cpp.o" "gcc" "src/can/CMakeFiles/tp_can.dir/frame.cpp.o.d"
+  "/root/repo/src/can/traffic.cpp" "src/can/CMakeFiles/tp_can.dir/traffic.cpp.o" "gcc" "src/can/CMakeFiles/tp_can.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeprint/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/tp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/f2/CMakeFiles/tp_f2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_can.dir/bus.cpp.o"
+  "CMakeFiles/tp_can.dir/bus.cpp.o.d"
+  "CMakeFiles/tp_can.dir/forensics.cpp.o"
+  "CMakeFiles/tp_can.dir/forensics.cpp.o.d"
+  "CMakeFiles/tp_can.dir/frame.cpp.o"
+  "CMakeFiles/tp_can.dir/frame.cpp.o.d"
+  "CMakeFiles/tp_can.dir/traffic.cpp.o"
+  "CMakeFiles/tp_can.dir/traffic.cpp.o.d"
+  "libtp_can.a"
+  "libtp_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_f2.dir/bitvec.cpp.o"
+  "CMakeFiles/tp_f2.dir/bitvec.cpp.o.d"
+  "CMakeFiles/tp_f2.dir/matrix.cpp.o"
+  "CMakeFiles/tp_f2.dir/matrix.cpp.o.d"
+  "libtp_f2.a"
+  "libtp_f2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_f2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

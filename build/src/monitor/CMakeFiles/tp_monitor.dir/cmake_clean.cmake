@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/tp_monitor.dir/monitor.cpp.o.d"
+  "libtp_monitor.a"
+  "libtp_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

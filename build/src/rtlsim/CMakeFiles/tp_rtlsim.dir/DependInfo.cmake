@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtlsim/agg_log.cpp" "src/rtlsim/CMakeFiles/tp_rtlsim.dir/agg_log.cpp.o" "gcc" "src/rtlsim/CMakeFiles/tp_rtlsim.dir/agg_log.cpp.o.d"
+  "/root/repo/src/rtlsim/framing.cpp" "src/rtlsim/CMakeFiles/tp_rtlsim.dir/framing.cpp.o" "gcc" "src/rtlsim/CMakeFiles/tp_rtlsim.dir/framing.cpp.o.d"
+  "/root/repo/src/rtlsim/uart.cpp" "src/rtlsim/CMakeFiles/tp_rtlsim.dir/uart.cpp.o" "gcc" "src/rtlsim/CMakeFiles/tp_rtlsim.dir/uart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeprint/CMakeFiles/tp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/tp_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/f2/CMakeFiles/tp_f2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

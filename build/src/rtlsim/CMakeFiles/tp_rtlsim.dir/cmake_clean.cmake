@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_rtlsim.dir/agg_log.cpp.o"
+  "CMakeFiles/tp_rtlsim.dir/agg_log.cpp.o.d"
+  "CMakeFiles/tp_rtlsim.dir/framing.cpp.o"
+  "CMakeFiles/tp_rtlsim.dir/framing.cpp.o.d"
+  "CMakeFiles/tp_rtlsim.dir/uart.cpp.o"
+  "CMakeFiles/tp_rtlsim.dir/uart.cpp.o.d"
+  "libtp_rtlsim.a"
+  "libtp_rtlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_rtlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

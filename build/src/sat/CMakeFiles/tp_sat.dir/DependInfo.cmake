@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/allsat.cpp" "src/sat/CMakeFiles/tp_sat.dir/allsat.cpp.o" "gcc" "src/sat/CMakeFiles/tp_sat.dir/allsat.cpp.o.d"
+  "/root/repo/src/sat/cardinality.cpp" "src/sat/CMakeFiles/tp_sat.dir/cardinality.cpp.o" "gcc" "src/sat/CMakeFiles/tp_sat.dir/cardinality.cpp.o.d"
+  "/root/repo/src/sat/dimacs.cpp" "src/sat/CMakeFiles/tp_sat.dir/dimacs.cpp.o" "gcc" "src/sat/CMakeFiles/tp_sat.dir/dimacs.cpp.o.d"
+  "/root/repo/src/sat/reference.cpp" "src/sat/CMakeFiles/tp_sat.dir/reference.cpp.o" "gcc" "src/sat/CMakeFiles/tp_sat.dir/reference.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/sat/CMakeFiles/tp_sat.dir/solver.cpp.o" "gcc" "src/sat/CMakeFiles/tp_sat.dir/solver.cpp.o.d"
+  "/root/repo/src/sat/xor_to_cnf.cpp" "src/sat/CMakeFiles/tp_sat.dir/xor_to_cnf.cpp.o" "gcc" "src/sat/CMakeFiles/tp_sat.dir/xor_to_cnf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/f2/CMakeFiles/tp_f2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

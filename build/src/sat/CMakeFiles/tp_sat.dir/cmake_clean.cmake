@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_sat.dir/allsat.cpp.o"
+  "CMakeFiles/tp_sat.dir/allsat.cpp.o.d"
+  "CMakeFiles/tp_sat.dir/cardinality.cpp.o"
+  "CMakeFiles/tp_sat.dir/cardinality.cpp.o.d"
+  "CMakeFiles/tp_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/tp_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/tp_sat.dir/reference.cpp.o"
+  "CMakeFiles/tp_sat.dir/reference.cpp.o.d"
+  "CMakeFiles/tp_sat.dir/solver.cpp.o"
+  "CMakeFiles/tp_sat.dir/solver.cpp.o.d"
+  "CMakeFiles/tp_sat.dir/xor_to_cnf.cpp.o"
+  "CMakeFiles/tp_sat.dir/xor_to_cnf.cpp.o.d"
+  "libtp_sat.a"
+  "libtp_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

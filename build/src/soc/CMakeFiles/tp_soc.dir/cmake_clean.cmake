@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_soc.dir/analysis.cpp.o"
+  "CMakeFiles/tp_soc.dir/analysis.cpp.o.d"
+  "CMakeFiles/tp_soc.dir/isa.cpp.o"
+  "CMakeFiles/tp_soc.dir/isa.cpp.o.d"
+  "CMakeFiles/tp_soc.dir/system.cpp.o"
+  "CMakeFiles/tp_soc.dir/system.cpp.o.d"
+  "libtp_soc.a"
+  "libtp_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeprint/archive.cpp" "src/timeprint/CMakeFiles/tp_core.dir/archive.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/archive.cpp.o.d"
+  "/root/repo/src/timeprint/design.cpp" "src/timeprint/CMakeFiles/tp_core.dir/design.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/design.cpp.o.d"
+  "/root/repo/src/timeprint/encoding.cpp" "src/timeprint/CMakeFiles/tp_core.dir/encoding.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/encoding.cpp.o.d"
+  "/root/repo/src/timeprint/galois.cpp" "src/timeprint/CMakeFiles/tp_core.dir/galois.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/galois.cpp.o.d"
+  "/root/repo/src/timeprint/joint.cpp" "src/timeprint/CMakeFiles/tp_core.dir/joint.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/joint.cpp.o.d"
+  "/root/repo/src/timeprint/logger.cpp" "src/timeprint/CMakeFiles/tp_core.dir/logger.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/logger.cpp.o.d"
+  "/root/repo/src/timeprint/metrics.cpp" "src/timeprint/CMakeFiles/tp_core.dir/metrics.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/timeprint/multi.cpp" "src/timeprint/CMakeFiles/tp_core.dir/multi.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/multi.cpp.o.d"
+  "/root/repo/src/timeprint/parse.cpp" "src/timeprint/CMakeFiles/tp_core.dir/parse.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/parse.cpp.o.d"
+  "/root/repo/src/timeprint/properties.cpp" "src/timeprint/CMakeFiles/tp_core.dir/properties.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/properties.cpp.o.d"
+  "/root/repo/src/timeprint/reconstruct.cpp" "src/timeprint/CMakeFiles/tp_core.dir/reconstruct.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/timeprint/signal.cpp" "src/timeprint/CMakeFiles/tp_core.dir/signal.cpp.o" "gcc" "src/timeprint/CMakeFiles/tp_core.dir/signal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/f2/CMakeFiles/tp_f2.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/tp_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_core.dir/archive.cpp.o"
+  "CMakeFiles/tp_core.dir/archive.cpp.o.d"
+  "CMakeFiles/tp_core.dir/design.cpp.o"
+  "CMakeFiles/tp_core.dir/design.cpp.o.d"
+  "CMakeFiles/tp_core.dir/encoding.cpp.o"
+  "CMakeFiles/tp_core.dir/encoding.cpp.o.d"
+  "CMakeFiles/tp_core.dir/galois.cpp.o"
+  "CMakeFiles/tp_core.dir/galois.cpp.o.d"
+  "CMakeFiles/tp_core.dir/joint.cpp.o"
+  "CMakeFiles/tp_core.dir/joint.cpp.o.d"
+  "CMakeFiles/tp_core.dir/logger.cpp.o"
+  "CMakeFiles/tp_core.dir/logger.cpp.o.d"
+  "CMakeFiles/tp_core.dir/metrics.cpp.o"
+  "CMakeFiles/tp_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/tp_core.dir/multi.cpp.o"
+  "CMakeFiles/tp_core.dir/multi.cpp.o.d"
+  "CMakeFiles/tp_core.dir/parse.cpp.o"
+  "CMakeFiles/tp_core.dir/parse.cpp.o.d"
+  "CMakeFiles/tp_core.dir/properties.cpp.o"
+  "CMakeFiles/tp_core.dir/properties.cpp.o.d"
+  "CMakeFiles/tp_core.dir/reconstruct.cpp.o"
+  "CMakeFiles/tp_core.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/tp_core.dir/signal.cpp.o"
+  "CMakeFiles/tp_core.dir/signal.cpp.o.d"
+  "libtp_core.a"
+  "libtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

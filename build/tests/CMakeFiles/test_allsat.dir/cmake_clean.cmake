@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allsat.dir/test_allsat.cpp.o"
+  "CMakeFiles/test_allsat.dir/test_allsat.cpp.o.d"
+  "test_allsat"
+  "test_allsat.pdb"
+  "test_allsat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allsat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

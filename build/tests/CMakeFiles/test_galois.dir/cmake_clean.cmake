@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_galois.dir/test_galois.cpp.o"
+  "CMakeFiles/test_galois.dir/test_galois.cpp.o.d"
+  "test_galois"
+  "test_galois.pdb"
+  "test_galois[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_galois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logger.dir/test_logger.cpp.o"
+  "CMakeFiles/test_logger.dir/test_logger.cpp.o.d"
+  "test_logger"
+  "test_logger.pdb"
+  "test_logger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

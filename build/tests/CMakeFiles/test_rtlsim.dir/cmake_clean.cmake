@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtlsim.dir/test_rtlsim.cpp.o"
+  "CMakeFiles/test_rtlsim.dir/test_rtlsim.cpp.o.d"
+  "test_rtlsim"
+  "test_rtlsim.pdb"
+  "test_rtlsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

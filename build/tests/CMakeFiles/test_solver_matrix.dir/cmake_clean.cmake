@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_matrix.dir/test_solver_matrix.cpp.o"
+  "CMakeFiles/test_solver_matrix.dir/test_solver_matrix.cpp.o.d"
+  "test_solver_matrix"
+  "test_solver_matrix.pdb"
+  "test_solver_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitvec[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_cardinality[1]_include.cmake")
+include("/root/repo/build/tests/test_allsat[1]_include.cmake")
+include("/root/repo/build/tests/test_dimacs[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_features[1]_include.cmake")
+include("/root/repo/build/tests/test_signal[1]_include.cmake")
+include("/root/repo/build/tests/test_encoding[1]_include.cmake")
+include("/root/repo/build/tests/test_logger[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_reconstruct[1]_include.cmake")
+include("/root/repo/build/tests/test_galois[1]_include.cmake")
+include("/root/repo/build/tests/test_rtlsim[1]_include.cmake")
+include("/root/repo/build/tests/test_can[1]_include.cmake")
+include("/root/repo/build/tests/test_soc[1]_include.cmake")
+include("/root/repo/build/tests/test_joint[1]_include.cmake")
+include("/root/repo/build/tests/test_parse[1]_include.cmake")
+include("/root/repo/build/tests/test_archive[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_multi[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_matrix[1]_include.cmake")
