@@ -1,0 +1,68 @@
+// parallel_decode.cpp — decoding a backlog of log entries with the batch
+// engine, plus splitting one hard underdetermined entry across workers.
+//
+// A forensic analyst rarely has just one timeprint: a deployment dumps a
+// whole archive of (TP, k) entries, one per trace-cycle, and each preimage
+// computation is independent of the others. BatchReconstructor fans the
+// entries out over a work-stealing thread pool, reports progress as entries
+// finish, and merges results in entry order — the output is byte-identical
+// whatever the thread count.
+//
+// Run: ./parallel_decode
+
+#include <cstdio>
+
+#include "timeprint/batch.hpp"
+#include "timeprint/logger.hpp"
+#include "timeprint/properties.hpp"
+
+using namespace tp;
+
+int main() {
+  // A depth-4 random-constrained encoding for a 48-cycle trace-cycle.
+  const auto enc = core::TimestampEncoding::random_constrained_auto(48, 4, 21);
+  std::printf("== Parallel batch decode ==\n\n");
+  std::printf("trace-cycle m = %zu, timestamp width b = %zu, LI depth 4\n\n",
+              enc.m(), enc.width());
+
+  // Deployment phase: log eight trace-cycles of activity.
+  core::Logger logger(enc);
+  f2::Rng rng(3);
+  std::vector<core::LogEntry> archive;
+  for (int i = 0; i < 8; ++i) {
+    archive.push_back(
+        logger.log(core::Signal::random_with_changes(enc.m(), 3 + rng.below(2), rng)));
+  }
+
+  // Postmortem phase: decode the whole archive at once. The progress
+  // callback runs serialized, in completion order.
+  core::BatchReconstructor batch(enc);
+  core::BatchOptions opts;
+  opts.num_threads = 0;  // 0 = one worker per hardware thread
+  opts.on_progress = [](const core::BatchProgress& p) {
+    std::printf("  entry %zu done (%zu/%zu, %llu signals so far)\n", p.index,
+                p.completed, p.total,
+                static_cast<unsigned long long>(p.signals_found));
+  };
+  const core::BatchResult result = batch.reconstruct_all(archive, opts);
+
+  std::printf("\ndecoded %zu entries on %zu threads in %.3fs\n",
+              result.results.size(), result.threads_used, result.seconds_total);
+  std::printf("total signals: %llu   solver effort: %llu conflicts, %llu props\n\n",
+              static_cast<unsigned long long>(result.signals_total()),
+              static_cast<unsigned long long>(result.stats.conflicts),
+              static_cast<unsigned long long>(result.stats.propagations));
+
+  // A high-k entry has no uniqueness guarantee — its preimage can be
+  // large, and a single AllSAT call would hog one core. reconstruct_split
+  // carves the enumeration into cube-and-conquer guiding paths instead.
+  const core::LogEntry hard =
+      logger.log(core::Signal::random_with_changes(enc.m(), 5, rng));
+  core::BatchOptions split_opts;
+  split_opts.recon.max_solutions = 500;  // keep the demo snappy
+  const auto split = batch.reconstruct_split(hard, split_opts);
+  std::printf("hard entry (k = %zu): %zu candidate signals, %.3fs\n", hard.k,
+              split.signals.size(), split.seconds_total);
+  std::printf("(same list, same order, at any thread count)\n");
+  return 0;
+}

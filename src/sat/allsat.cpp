@@ -22,7 +22,9 @@ AllSatResult enumerate_models(Solver& solver, const std::vector<Var>& projection
         break;
       }
     }
-    const Status st = solver.solve(limits);
+    const Status st = options.assumptions.empty()
+                          ? solver.solve(limits)
+                          : solver.solve_assuming(options.assumptions, limits);
     result.final_status = st;
     if (st != Status::Sat) break;
 

@@ -25,6 +25,12 @@ struct AllSatOptions {
   std::uint64_t max_models = UINT64_MAX;
   /// Per-run resource limits (applied to the whole enumeration).
   SolveLimits limits;
+  /// Enumerate only models consistent with these literals (fixed for every
+  /// solve of the run, not encoded as clauses). This is the cube of a
+  /// cube-and-conquer split: disjoint cubes partition the model space, so
+  /// per-cube enumerations can run in parallel and merge without
+  /// deduplication.
+  std::vector<Lit> assumptions;
 };
 
 /// Result of an enumeration run.

@@ -28,6 +28,18 @@ double luby(double y, int i) {
   return std::pow(y, seq);
 }
 
+SolverStats& SolverStats::operator+=(const SolverStats& o) {
+  conflicts += o.conflicts;
+  decisions += o.decisions;
+  propagations += o.propagations;
+  xor_propagations += o.xor_propagations;
+  restarts += o.restarts;
+  learnt_clauses += o.learnt_clauses;
+  removed_clauses += o.removed_clauses;
+  minimized_literals += o.minimized_literals;
+  return *this;
+}
+
 // ---------------------------------------------------------------- heap ----
 
 void Solver::VarOrderHeap::insert(Var v, const std::vector<double>& act) {
@@ -94,6 +106,83 @@ Solver::Solver(const SolverOptions& options) : opts_(options) {
 }
 
 Solver::~Solver() = default;
+
+std::unique_ptr<Solver> Solver::clone() const {
+  assert(decision_level() == 0 && "clone() only between solve() calls");
+  auto c = std::make_unique<Solver>(opts_);
+
+  c->ok_ = ok_;
+  c->assigns_ = assigns_;
+  c->polarity_ = polarity_;
+  c->activity_ = activity_;
+  c->trail_ = trail_;
+  c->trail_lim_ = trail_lim_;
+  c->qhead_ = qhead_;
+  c->order_ = order_;
+  c->var_inc_ = var_inc_;
+  c->cla_inc_ = cla_inc_;
+  c->model_ = model_;
+  c->seen_.assign(seen_.size(), 0);
+  c->lbd_seen_.assign(lbd_seen_.size(), 0);
+  c->next_reduce_ = next_reduce_;
+  c->num_reduces_ = num_reduces_;
+
+  // Duplicate the clause databases and remember the address mapping so
+  // watch lists and level-0 reasons can be rewired to the copies.
+  std::unordered_map<const Clause*, Clause*> cmap;
+  auto copy_clauses = [&cmap](const std::vector<std::unique_ptr<Clause>>& from,
+                              std::vector<std::unique_ptr<Clause>>& to) {
+    to.reserve(from.size());
+    for (const auto& cl : from) {
+      auto copy = std::make_unique<Clause>(*cl);
+      cmap.emplace(cl.get(), copy.get());
+      to.push_back(std::move(copy));
+    }
+  };
+  copy_clauses(clauses_, c->clauses_);
+  copy_clauses(learnts_, c->learnts_);
+
+  std::unordered_map<const XorConstraint*, XorConstraint*> xmap;
+  c->xors_.reserve(xors_.size());
+  for (const auto& x : xors_) {
+    auto copy = std::make_unique<XorConstraint>(*x);
+    xmap.emplace(x.get(), copy.get());
+    c->xors_.push_back(std::move(copy));
+  }
+
+  // Watch lists are copied structurally (same order, same blockers) so the
+  // clone's propagation visits constraints exactly as the original would.
+  c->watches_.resize(watches_.size());
+  for (std::size_t i = 0; i < watches_.size(); ++i) {
+    c->watches_[i].reserve(watches_[i].size());
+    for (const Watcher& w : watches_[i]) {
+      c->watches_[i].push_back({cmap.at(w.clause), w.blocker});
+    }
+  }
+  c->xor_watch_.resize(xor_watch_.size());
+  for (std::size_t i = 0; i < xor_watch_.size(); ++i) {
+    c->xor_watch_[i].reserve(xor_watch_[i].size());
+    for (XorConstraint* x : xor_watch_[i]) {
+      c->xor_watch_[i].push_back(xmap.at(x));
+    }
+  }
+
+  c->vardata_ = vardata_;
+  for (VarData& vd : c->vardata_) {
+    if (vd.reason.clause != nullptr) vd.reason.clause = cmap.at(vd.reason.clause);
+    if (vd.reason.xr != nullptr) vd.reason.xr = xmap.at(vd.reason.xr);
+  }
+
+  c->gauss_rows_ = gauss_rows_;
+  c->gauss_raw_ = gauss_raw_;
+  c->gauss_dirty_ = gauss_dirty_;
+  c->gauss_cols_ = gauss_cols_;
+  c->gauss_col_of_ = gauss_col_of_;
+  c->gauss_reason_of_var_ = gauss_reason_of_var_;
+  c->gauss_conflict_ = gauss_conflict_;
+
+  return c;
+}
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
@@ -750,6 +839,11 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
   std::int64_t conflicts_here = 0;
 
   while (true) {
+    if (limits.interrupt != nullptr &&
+        limits.interrupt->load(std::memory_order_relaxed)) {
+      cancel_until(0);
+      return Status::Unknown;
+    }
     Reason conflict = propagate();
     if (!conflict.none()) {
       ++stats_.conflicts;
@@ -904,7 +998,12 @@ Status Solver::solve(const SolveLimits& limits) {
       if (!assumption_conflict_) ok_ = false;  // unconditional unsatisfiability
       return st;
     }
-    // Unknown: either a real limit or a restart.
+    // Unknown: either a real limit, an interrupt, or a restart.
+    if (limits.interrupt != nullptr &&
+        limits.interrupt->load(std::memory_order_relaxed)) {
+      cancel_until(0);
+      return Status::Unknown;
+    }
     if (limits.max_conflicts >= 0 &&
         stats_.conflicts - conflicts_at_start >= limits.max_conflicts) {
       cancel_until(0);

@@ -21,6 +21,7 @@
 // The solver is incremental in the AllSAT sense: after a Sat answer you may
 // add further (e.g. blocking) clauses and call solve() again.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -59,6 +60,11 @@ struct XorConstraint {
 struct SolveLimits {
   std::int64_t max_conflicts = -1;
   double max_seconds = -1.0;
+  /// Cooperative cancellation token: when non-null and set, the solve
+  /// returns Status::Unknown at the next conflict or decision. Shared by
+  /// every worker of a parallel batch so one worker hitting a global limit
+  /// stops the others. The pointee must outlive the solve() call.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 /// Counters accumulated over the lifetime of a Solver.
@@ -71,6 +77,9 @@ struct SolverStats {
   std::int64_t learnt_clauses = 0;
   std::int64_t removed_clauses = 0;
   std::int64_t minimized_literals = 0;
+
+  /// Element-wise accumulation (aggregating per-worker solvers of a batch).
+  SolverStats& operator+=(const SolverStats& o);
 };
 
 /// Tunable solver parameters (defaults follow MiniSat-era folklore).
@@ -110,6 +119,15 @@ class Solver {
 
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
+
+  /// Deep copy of the solver at decision level 0 (the state between
+  /// solve() calls): variables, level-0 assignments, problem and learnt
+  /// clauses, XOR constraints (watched and Gaussian), activities, phases
+  /// and watch lists are all duplicated, so the clone searches exactly as
+  /// the original would. Statistics start at zero in the clone. This is
+  /// the branching point for cube-and-conquer workers: encode once, clone
+  /// per cube, solve each clone under its guiding-path assumptions.
+  std::unique_ptr<Solver> clone() const;
 
   /// Create a fresh variable and return it.
   Var new_var();

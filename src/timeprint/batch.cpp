@@ -1,0 +1,239 @@
+#include "timeprint/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "sat/allsat.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tp::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Auto guiding-path depth: 2^6 = 64 cubes balance load for any sane
+/// worker count while staying instance-determined (never thread-count
+/// determined — that would change the merged output with parallelism).
+constexpr std::size_t kAutoCubeVars = 6;
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+sat::SolverOptions solver_options_for(const ReconstructionOptions& options) {
+  sat::SolverOptions so;
+  so.use_gauss = options.use_gauss;
+  so.gauss_max_unassigned = options.gauss_gate;
+  return so;
+}
+
+}  // namespace
+
+void BatchOptions::validate() const {
+  recon.validate();
+  if (cube_vars > 16) {
+    throw std::invalid_argument(
+        "BatchOptions: cube_vars > 16 would spawn over 65536 cubes");
+  }
+}
+
+std::uint64_t BatchResult::signals_total() const {
+  std::uint64_t n = 0;
+  for (const ReconstructionResult& r : results) n += r.signals.size();
+  return n;
+}
+
+bool BatchResult::complete() const {
+  return std::all_of(results.begin(), results.end(),
+                     [](const ReconstructionResult& r) { return r.complete(); });
+}
+
+BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& entries,
+                                                const BatchOptions& options) const {
+  options.validate();
+  const auto start = Clock::now();
+
+  BatchResult out;
+  out.results.resize(entries.size());
+  out.threads_used = resolve_threads(options.num_threads);
+
+  std::mutex mu;
+  std::size_t completed = 0;
+  std::uint64_t found = 0;
+  {
+    util::ThreadPool pool(out.threads_used);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      pool.submit([&, i] {
+        ReconstructionResult r = rec_.reconstruct(entries[i], options.recon);
+        std::lock_guard<std::mutex> lock(mu);
+        found += r.signals.size();
+        out.results[i] = std::move(r);
+        ++completed;
+        if (options.on_progress) {
+          options.on_progress({entries.size(), completed, i, found});
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  for (const ReconstructionResult& r : out.results) out.stats += r.stats;
+  out.seconds_total = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+ReconstructionResult BatchReconstructor::reconstruct_split(
+    const LogEntry& entry, const BatchOptions& options) const {
+  options.validate();
+  const ReconstructionOptions& ropts = options.recon;
+  const auto start = Clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  ReconstructionResult result;
+
+  // Encode the SR instance once; every cube branches from this state.
+  sat::Solver base(solver_options_for(ropts));
+  std::vector<sat::Var> cycle_vars;
+  const bool ok = rec_.encode_base(base, cycle_vars, entry, ropts);
+  result.num_vars = base.num_vars();
+  result.num_clauses = base.num_clauses();
+  result.num_xors = base.num_xors();
+  result.stats = base.stats();  // encode-time level-0 propagation effort
+  if (!ok || !base.okay()) {
+    result.final_status = sat::Status::Unsat;
+    result.seconds_total = elapsed();
+    return result;
+  }
+
+  const std::size_t m = cycle_vars.size();
+  const std::size_t g =
+      std::min(options.cube_vars != 0 ? options.cube_vars : kAutoCubeVars, m);
+  const std::size_t ncubes = std::size_t{1} << g;
+
+  // Guiding-path variables: evenly spaced cycle variables, so the cubes
+  // slice the trace-cycle rather than only its prefix.
+  std::vector<sat::Var> split;
+  split.reserve(g);
+  for (std::size_t j = 0; j < g; ++j) split.push_back(cycle_vars[j * m / g]);
+
+  struct Cube {
+    sat::AllSatResult models;
+    sat::SolverStats stats;
+    bool done = false;
+  };
+  std::vector<Cube> cubes(ncubes);
+
+  const std::uint64_t cap = ropts.max_solutions;
+  std::atomic<bool> cancel{false};   // stops in-flight solves cooperatively
+  bool cap_reached = false;          // guarded by `mu`
+  std::mutex mu;
+  std::size_t completed = 0;
+  std::uint64_t found = 0;
+
+  {
+    util::ThreadPool pool(resolve_threads(options.num_threads));
+    for (std::size_t ci = 0; ci < ncubes; ++ci) {
+      pool.submit([&, ci] {
+        // Fold an external cancellation into the shared token (polled at
+        // cube granularity; the token below is polled per conflict).
+        if (ropts.limits.interrupt != nullptr &&
+            ropts.limits.interrupt->load(std::memory_order_relaxed)) {
+          cancel.store(true, std::memory_order_relaxed);
+        }
+
+        sat::AllSatOptions as;
+        as.max_models = cap;
+        as.limits = ropts.limits;
+        as.limits.interrupt = &cancel;
+        if (ropts.limits.max_seconds > 0) {
+          // One global deadline: each cube gets what is left of it.
+          as.limits.max_seconds = ropts.limits.max_seconds - elapsed();
+        }
+        as.assumptions.reserve(g);
+        for (std::size_t j = 0; j < g; ++j) {
+          as.assumptions.push_back(
+              sat::Lit(split[j], /*negated=*/((ci >> j) & 1) == 0));
+        }
+
+        Cube cube;
+        const bool deadline_passed =
+            ropts.limits.max_seconds > 0 && as.limits.max_seconds <= 0;
+        if (deadline_passed || cancel.load(std::memory_order_relaxed)) {
+          cube.models.final_status = sat::Status::Unknown;
+        } else {
+          const std::unique_ptr<sat::Solver> worker = base.clone();
+          cube.models = sat::enumerate_models(*worker, cycle_vars, as);
+          cube.stats = worker->stats();
+        }
+        cube.done = true;
+
+        std::lock_guard<std::mutex> lock(mu);
+        found += cube.models.models.size();
+        cubes[ci] = std::move(cube);
+        ++completed;
+        // Prefix rule: once cubes 0..p are all finished and already supply
+        // `cap` models, later cubes cannot contribute to the (cube-ordered,
+        // truncated) output — stop them. Never triggered by partial results:
+        // before the first cancellation every finished cube ran to its own
+        // natural end, so the rule's decision is schedule-independent.
+        if (!cap_reached && !cancel.load(std::memory_order_relaxed)) {
+          std::uint64_t prefix = 0;
+          for (const Cube& q : cubes) {
+            if (!q.done) break;
+            prefix += q.models.models.size();
+            if (prefix >= cap) {
+              cap_reached = true;
+              cancel.store(true, std::memory_order_relaxed);
+              break;
+            }
+          }
+        }
+        if (options.on_progress) {
+          options.on_progress({ncubes, completed, ci, found});
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // Deterministic merge: cube index first, discovery order within a cube.
+  bool any_unknown = false;
+  for (const Cube& c : cubes) {
+    result.stats += c.stats;
+    if (c.models.final_status == sat::Status::Unknown) any_unknown = true;
+  }
+  for (const Cube& c : cubes) {
+    if (result.signals.size() >= cap) break;
+    for (std::size_t i = 0; i < c.models.models.size(); ++i) {
+      if (result.signals.size() >= cap) break;
+      const std::vector<bool>& model = c.models.models[i];
+      Signal s(m);
+      for (std::size_t j = 0; j < model.size(); ++j) {
+        if (model[j]) s.set_change(j);
+      }
+      result.signals.push_back(std::move(s));
+      result.seconds_to_each.push_back(c.models.seconds_to_model[i]);
+    }
+  }
+
+  if (cap_reached) {
+    result.final_status = sat::Status::Sat;  // cap hit, enumeration cut short
+  } else if (any_unknown) {
+    result.final_status = sat::Status::Unknown;  // a limit or interrupt fired
+  } else {
+    result.final_status = sat::Status::Unsat;  // every cube fully enumerated
+  }
+  result.seconds_total = elapsed();
+  return result;
+}
+
+}  // namespace tp::core

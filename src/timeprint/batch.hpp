@@ -1,0 +1,122 @@
+#pragma once
+// batch.hpp — the parallel batch reconstruction engine.
+//
+// Every realistic deployment of the paper's postmortem phase decodes
+// *many* (TP, k) log entries — a CAN forensics pass walks a whole trace
+// log, a deadline audit checks every window — and each decode is an
+// NP-hard SAT query (§4.2). This engine parallelizes on two axes:
+//
+//  1. reconstruct_all(): independent log entries fan out across a
+//     work-stealing thread pool, one SR instance per entry.
+//  2. reconstruct_split(): a single hard instance is split
+//     cube-and-conquer style — the SR encoding is built once, the solver
+//     is clone()d per cube, and each clone enumerates the subspace fixed
+//     by its guiding-path assumptions over cycle variables. Disjoint
+//     cubes partition the model space, so the per-cube enumerations
+//     merge without deduplication.
+//
+// Determinism: results merge by entry index (then per-entry discovery
+// order) or by cube index (then per-cube discovery order), never by
+// completion order, and the cube set depends only on the instance and
+// options — so the reconstructed signals and final status are identical
+// regardless of thread count or scheduling. Only the timing fields
+// (seconds_*) vary run to run. Resource limits (max_seconds,
+// max_conflicts, an external interrupt) trade this determinism for
+// bounded latency, exactly as they do on the single-threaded path.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "timeprint/reconstruct.hpp"
+
+namespace tp::core {
+
+/// Snapshot passed to the progress callback after each unit of work (one
+/// log entry of reconstruct_all, one cube of reconstruct_split) finishes.
+struct BatchProgress {
+  std::size_t total = 0;           ///< units in this run
+  std::size_t completed = 0;       ///< units finished so far (incl. this one)
+  std::size_t index = 0;           ///< unit that just finished
+  std::uint64_t signals_found = 0; ///< cumulative reconstructed signals
+};
+
+/// Observability hook. Invoked from worker threads but serialized by the
+/// engine (never concurrently), so the callback itself needs no locking.
+/// Keep it cheap: the engine's merge lock is held while it runs.
+using ProgressCallback = std::function<void(const BatchProgress&)>;
+
+/// Knobs of one batch run.
+struct BatchOptions {
+  /// Per-instance reconstruction options (encoding knobs, limits,
+  /// max_solutions, cancellation token — see ReconstructionOptions).
+  ReconstructionOptions recon;
+  /// Worker threads (0 = std::thread::hardware_concurrency).
+  std::size_t num_threads = 0;
+  /// Guiding-path depth g of reconstruct_split(): the search splits into
+  /// 2^g cubes over g evenly spaced cycle variables. 0 = auto. Kept
+  /// independent of num_threads so the cube set — and therefore the
+  /// merged result — does not change with the degree of parallelism.
+  std::size_t cube_vars = 0;
+  /// Progress hook; see ProgressCallback.
+  ProgressCallback on_progress;
+
+  /// Throws std::invalid_argument on inconsistent knobs (delegates to
+  /// ReconstructionOptions::validate, bounds cube_vars).
+  void validate() const;
+};
+
+/// Outcome of a reconstruct_all() run.
+struct BatchResult {
+  /// One result per input entry, in input order.
+  std::vector<ReconstructionResult> results;
+  /// Solver effort aggregated over every worker.
+  sat::SolverStats stats;
+  /// Wall-clock seconds for the whole batch.
+  double seconds_total = 0.0;
+  /// Worker threads used.
+  std::size_t threads_used = 0;
+
+  /// Total signals reconstructed across the batch.
+  std::uint64_t signals_total() const;
+  /// True iff every entry's enumeration ran to completion.
+  bool complete() const;
+};
+
+/// Decodes batches of log entries in parallel against one timestamp
+/// encoding. The unified front end to the paper's reconstruction: same
+/// encoding path as Reconstructor (which it embeds), plus the fan-out,
+/// splitting, cancellation and aggregation machinery.
+class BatchReconstructor {
+ public:
+  /// The encoding must outlive the reconstructor.
+  explicit BatchReconstructor(const TimestampEncoding& encoding) : rec_(encoding) {}
+
+  /// Register a known (verified) property for every query; must outlive
+  /// the reconstructor.
+  void add_property(const Property& property) { rec_.add_property(property); }
+
+  /// The embedded single-instance reconstructor (shared encoding and
+  /// properties).
+  const Reconstructor& reconstructor() const { return rec_; }
+
+  /// Decode every entry of an aggregated log, one SR instance per entry,
+  /// fanned out across the pool. Results keep input order.
+  BatchResult reconstruct_all(const std::vector<LogEntry>& entries,
+                              const BatchOptions& options = {}) const;
+
+  /// Decode one hard instance by cube-and-conquer: encode once, clone the
+  /// solver per cube, enumerate each cube's subspace under assumptions in
+  /// parallel. A cooperative cancellation token stops in-flight cubes as
+  /// soon as the cubes *preceding* them (in cube order) already supply
+  /// max_solutions models — later cubes can then no longer contribute to
+  /// the truncated, deterministic output.
+  ReconstructionResult reconstruct_split(const LogEntry& entry,
+                                         const BatchOptions& options = {}) const;
+
+ private:
+  Reconstructor rec_;
+};
+
+}  // namespace tp::core

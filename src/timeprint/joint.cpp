@@ -13,13 +13,14 @@ using sat::Var;
 
 ReconstructionResult JointReconstructor::reconstruct(
     const std::vector<LogEntry>& entries, const ReconstructionOptions& options) const {
+  options.validate();
   assert(!entries.empty());
   const std::size_t m = enc_->m();
   const std::size_t b = enc_->width();
   const std::size_t n = entries.size();
 
   sat::SolverOptions so;
-  so.use_gauss = options.use_gauss && options.native_xor;
+  so.use_gauss = options.use_gauss;
   so.gauss_max_unassigned = options.gauss_gate;
   Solver solver(so);
   std::vector<Var> span_vars;
@@ -61,9 +62,7 @@ ReconstructionResult JointReconstructor::reconstruct(
   result.final_status = models.final_status;
   result.seconds_to_each = models.seconds_to_model;
   result.seconds_total = models.seconds_total;
-  result.conflicts = solver.stats().conflicts;
-  result.decisions = solver.stats().decisions;
-  result.propagations = solver.stats().propagations;
+  result.stats = solver.stats();
   result.num_vars = solver.num_vars();
   result.num_clauses = solver.num_clauses();
   result.num_xors = solver.num_xors();

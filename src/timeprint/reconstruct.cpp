@@ -14,6 +14,22 @@ using sat::Solver;
 using sat::Status;
 using sat::Var;
 
+void ReconstructionOptions::validate() const {
+  if (use_gauss && !native_xor) {
+    throw std::invalid_argument(
+        "ReconstructionOptions: use_gauss requires native_xor (the Gaussian "
+        "engine operates on native XOR rows, not their CNF translation)");
+  }
+  if (gauss_gate != 0 && !use_gauss) {
+    throw std::invalid_argument(
+        "ReconstructionOptions: gauss_gate is set but use_gauss is false");
+  }
+  if (max_solutions == 0) {
+    throw std::invalid_argument(
+        "ReconstructionOptions: max_solutions must be at least 1");
+  }
+}
+
 const char* to_string(CheckVerdict v) {
   switch (v) {
     case CheckVerdict::HoldsForAll: return "holds-for-all";
@@ -67,7 +83,7 @@ bool Reconstructor::encode_base(Solver& solver, std::vector<Var>& cycle_vars,
 namespace {
 sat::SolverOptions solver_options_for(const ReconstructionOptions& options) {
   sat::SolverOptions so;
-  so.use_gauss = options.use_gauss && options.native_xor;
+  so.use_gauss = options.use_gauss;
   so.gauss_max_unassigned = options.gauss_gate;
   return so;
 }
@@ -75,6 +91,7 @@ sat::SolverOptions solver_options_for(const ReconstructionOptions& options) {
 
 ReconstructionResult Reconstructor::reconstruct(
     const LogEntry& entry, const ReconstructionOptions& options) const {
+  options.validate();
   Solver solver(solver_options_for(options));
   std::vector<Var> cycle_vars;
   encode_base(solver, cycle_vars, entry, options);
@@ -88,9 +105,7 @@ ReconstructionResult Reconstructor::reconstruct(
   result.final_status = models.final_status;
   result.seconds_to_each = models.seconds_to_model;
   result.seconds_total = models.seconds_total;
-  result.conflicts = solver.stats().conflicts;
-  result.decisions = solver.stats().decisions;
-  result.propagations = solver.stats().propagations;
+  result.stats = solver.stats();
   result.num_vars = solver.num_vars();
   result.num_clauses = solver.num_clauses();
   result.num_xors = solver.num_xors();
@@ -107,6 +122,7 @@ ReconstructionResult Reconstructor::reconstruct(
 CheckResult Reconstructor::check_hypothesis(const LogEntry& entry,
                                             const Property& hypothesis,
                                             const ReconstructionOptions& options) const {
+  options.validate();
   const std::unique_ptr<Property> negated = hypothesis.negation();
   if (negated == nullptr) {
     throw std::invalid_argument("check_hypothesis: property '" +
@@ -126,7 +142,7 @@ CheckResult Reconstructor::check_hypothesis(const LogEntry& entry,
 
   CheckResult result;
   result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
-  result.conflicts = solver.stats().conflicts;
+  result.stats = solver.stats();
   switch (st) {
     case Status::Unsat:
       result.verdict = CheckVerdict::HoldsForAll;

@@ -49,8 +49,16 @@ struct ReconstructionOptions {
   std::size_t gauss_gate = 0;
   /// Stop after this many reconstructed signals (paper's .1/.10 columns).
   std::uint64_t max_solutions = UINT64_MAX;
-  /// Resource limits for the whole run.
+  /// Resource limits for the whole run (including `limits.interrupt`, the
+  /// cooperative cancellation token honoured by every solve of the run).
   sat::SolveLimits limits;
+
+  /// Reject inconsistent knob combinations (throws std::invalid_argument):
+  /// the Gaussian engine only exists on the native-XOR path, a Gauss gate
+  /// without the Gauss engine is dead, and max_solutions == 0 would make
+  /// every run vacuously "complete". Called by reconstruct(),
+  /// check_hypothesis() and the batch engine before encoding anything.
+  void validate() const;
 };
 
 /// Outcome of a reconstruction run.
@@ -63,10 +71,8 @@ struct ReconstructionResult {
   std::vector<double> seconds_to_each;
   /// Total wall-clock seconds.
   double seconds_total = 0.0;
-  /// Solver effort.
-  std::int64_t conflicts = 0;
-  std::int64_t decisions = 0;
-  std::int64_t propagations = 0;
+  /// Solver effort (aggregated over all workers for a parallel run).
+  sat::SolverStats stats;
   /// Encoded problem size.
   int num_vars = 0;
   std::size_t num_clauses = 0;
@@ -92,7 +98,8 @@ struct CheckResult {
   /// A reconstruction violating the hypothesis, when ViolatedBySome.
   std::optional<Signal> witness;
   double seconds = 0.0;
-  std::int64_t conflicts = 0;
+  /// Solver effort.
+  sat::SolverStats stats;
 };
 
 /// Solves SR instances against one timestamp encoding, with optional known
@@ -128,12 +135,17 @@ class Reconstructor {
                                          const LogEntry& entry,
                                          const std::vector<const Property*>& props = {});
 
- private:
   /// Build solver + cycle variables with the SR encoding and registered
-  /// properties. Returns false iff trivially UNSAT.
+  /// properties. Returns false iff trivially UNSAT. Public so engines that
+  /// own the enumeration loop (the batch/cube engine, custom AllSAT
+  /// drivers) can encode once and branch the solver per worker.
   bool encode_base(sat::Solver& solver, std::vector<sat::Var>& cycle_vars,
                    const LogEntry& entry, const ReconstructionOptions& options) const;
 
+  /// The encoding this reconstructor solves against.
+  const TimestampEncoding& encoding() const { return *enc_; }
+
+ private:
   const TimestampEncoding* enc_;
   std::vector<const Property*> properties_;
 };

@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tp::util {
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;  ///< signalled on submit / shutdown
+  std::condition_variable idle_cv;  ///< signalled when pending_ hits 0
+
+  // One deque per worker; all guarded by `mu` (coarse tasks, see header).
+  std::vector<std::deque<std::function<void()>>> queues;
+  std::size_t pending = 0;  ///< queued + running tasks
+  std::size_t next_queue = 0;
+  bool stop = false;
+
+  std::vector<std::thread> workers;
+
+  /// Pop own deque from the back, else steal from the front of the others
+  /// (scanning forward from the neighbour). Requires `mu` held.
+  bool take(std::size_t self, std::function<void()>& out) {
+    if (!queues[self].empty()) {
+      out = std::move(queues[self].back());
+      queues[self].pop_back();
+      return true;
+    }
+    const std::size_t n = queues.size();
+    for (std::size_t step = 1; step < n; ++step) {
+      auto& victim = queues[(self + step) % n];
+      if (!victim.empty()) {
+        out = std::move(victim.front());
+        victim.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void run_worker(std::size_t self) {
+    std::unique_lock<std::mutex> lock(mu);
+    while (true) {
+      std::function<void()> task;
+      if (take(self, task)) {
+        lock.unlock();
+        task();
+        lock.lock();
+        if (--pending == 0) idle_cv.notify_all();
+        continue;
+      }
+      if (stop) return;
+      work_cv.wait(lock);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) : impl_(std::make_unique<Impl>()) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  impl_->queues.resize(num_threads);
+  impl_->workers.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    impl_->workers.emplace_back([this, i] { impl_->run_worker(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+std::size_t ThreadPool::num_workers() const { return impl_->workers.size(); }
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queues[impl_->next_queue].push_back(std::move(task));
+    impl_->next_queue = (impl_->next_queue + 1) % impl_->queues.size();
+    ++impl_->pending;
+  }
+  impl_->work_cv.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->idle_cv.wait(lock, [this] { return impl_->pending == 0; });
+}
+
+}  // namespace tp::util

@@ -1,0 +1,54 @@
+#pragma once
+// thread_pool.hpp — a work-stealing thread pool for coarse-grained tasks.
+//
+// The pool backs the parallel reconstruction engine: each task is one SAT
+// solve (an independent log entry, or one cube of a cube-and-conquer
+// split), i.e. milliseconds to minutes of work. Tasks land in per-worker
+// deques; a worker pops its own deque LIFO (cache-warm, depth-first) and
+// steals FIFO from the others when it runs dry (oldest task first, the
+// classic stealing order that grabs the biggest remaining subtree). At
+// this granularity a single mutex guarding the deques is not a
+// bottleneck, keeps the invariants obvious and the implementation clean
+// under ThreadSanitizer; the *stealing structure* is what balances load
+// when per-task cost varies by orders of magnitude, as SAT solves do.
+//
+// Determinism note: the pool promises nothing about execution order.
+// Callers that need a deterministic result (the batch engine does) must
+// make each task's output independent of scheduling and merge by task
+// index, never by completion order.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace tp::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (0 = std::thread::hardware_concurrency,
+  /// itself clamped to at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers; pending tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t num_workers() const;
+
+  /// Enqueue a task (round-robin across worker deques). Safe to call from
+  /// any thread, including from inside a task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. Safe to call
+  /// repeatedly; new submissions after it returns are allowed.
+  void wait_idle();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tp::util

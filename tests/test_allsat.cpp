@@ -126,5 +126,95 @@ TEST(AllSat, SolverRemainsUsableAfterEnumeration) {
   for (const auto& m : r2.models) EXPECT_TRUE(m[0]);
 }
 
+TEST(AllSat, AssumptionsRestrictTheEnumeration) {
+  Solver s;
+  auto vars = make_vars(s, 4);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  ASSERT_TRUE(encode_exactly(s, lits, 1, CardEncoding::SequentialCounter));
+
+  AllSatOptions opts;
+  opts.assumptions = {~mk_lit(vars[0])};
+  auto result = enumerate_models(s, vars, opts);
+  ASSERT_TRUE(result.complete());
+  EXPECT_EQ(result.models.size(), 3u);  // exactly-1 with v0 excluded
+  for (const auto& m : result.models) EXPECT_FALSE(m[0]);
+}
+
+TEST(AllSat, ConflictingAssumptionsEnumerateNothingButKeepSolverUsable) {
+  Solver s;
+  auto vars = make_vars(s, 3);
+  ASSERT_TRUE(s.add_clause({mk_lit(vars[0]), mk_lit(vars[1])}));
+
+  AllSatOptions opts;
+  opts.assumptions = {~mk_lit(vars[0]), ~mk_lit(vars[1])};
+  auto result = enumerate_models(s, vars, opts);
+  EXPECT_TRUE(result.complete());  // the cube is exhausted (it is empty)
+  EXPECT_TRUE(result.models.empty());
+  auto unconstrained = enumerate_models(s, vars);
+  EXPECT_TRUE(unconstrained.complete());
+  EXPECT_GT(unconstrained.models.size(), 0u);
+}
+
+TEST(AllSat, MaxModelsCapWinsOverGenerousLimits) {
+  // When the cap is hit first the run reports Sat (more models may remain),
+  // not Unknown — the limit never fired.
+  Solver s;
+  auto vars = make_vars(s, 6);
+  AllSatOptions opts;
+  opts.max_models = 3;
+  opts.limits.max_conflicts = 1 << 20;
+  opts.limits.max_seconds = 3600.0;
+  auto result = enumerate_models(s, vars, opts);
+  EXPECT_EQ(result.models.size(), 3u);
+  EXPECT_EQ(result.final_status, Status::Sat);
+}
+
+TEST(AllSat, ConflictLimitUnderTheCapReportsUnknown) {
+  // Random XOR-heavy instances under a zero conflict budget: every
+  // enumeration that needs a single conflict must stop with Unknown, and
+  // whatever models it did find must be genuine (a subset of the
+  // reference enumeration).
+  int unknowns = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    f2::Rng rng(seed);
+    Cnf cnf;
+    cnf.num_vars = 9;
+    for (int i = 0; i < 10; ++i) {
+      std::vector<Lit> c;
+      for (int j = 0; j < 2; ++j) {
+        c.push_back(Lit(static_cast<Var>(rng.below(9)), rng.flip()));
+      }
+      cnf.clauses.push_back(std::move(c));
+    }
+    for (int i = 0; i < 4; ++i) {
+      std::vector<Var> xv;
+      for (int j = 0; j < 4; ++j) xv.push_back(static_cast<Var>(rng.below(9)));
+      cnf.xors.emplace_back(std::move(xv), rng.flip());
+    }
+    const auto reference = reference_all_models(cnf);
+
+    Solver s;
+    cnf.load_into(s);
+    std::vector<Var> projection;
+    for (Var v = 0; v < cnf.num_vars; ++v) projection.push_back(v);
+    AllSatOptions opts;
+    opts.limits.max_conflicts = 0;
+    auto result = enumerate_models(s, projection, opts);
+
+    EXPECT_LE(result.models.size(), reference.size()) << "seed " << seed;
+    for (const auto& m : result.models) {
+      EXPECT_NE(std::find(reference.begin(), reference.end(), m), reference.end())
+          << "seed " << seed;
+    }
+    if (result.final_status == Status::Unknown) {
+      ++unknowns;
+      EXPECT_FALSE(result.complete());
+    }
+  }
+  // The budget must actually have bitten somewhere across the seeds.
+  EXPECT_GT(unknowns, 0);
+}
+
 }  // namespace
 }  // namespace tp::sat

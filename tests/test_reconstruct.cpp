@@ -195,6 +195,7 @@ TEST_P(ReconstructAgreementTest, SatMatchesBruteForce) {
   Reconstructor rec(enc);
   ReconstructionOptions opt;
   opt.native_xor = p.native_xor;
+  opt.use_gauss = p.native_xor;  // the Gaussian engine needs native XOR rows
   opt.card_encoding = p.card;
   auto result = rec.reconstruct(entry, opt);
   ASSERT_TRUE(result.complete());

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
+
 #include "f2/bitvec.hpp"
 #include "sat/allsat.hpp"
 #include "sat/cardinality.hpp"
@@ -244,6 +247,140 @@ TEST(SolverOptions, DefaultPolarityRespected) {
   ASSERT_EQ(s.solve(), Status::Sat);
   // With no constraints, the first decision polarity is the default.
   for (Var v = 0; v < 4; ++v) EXPECT_EQ(s.model_value(v), LBool::True);
+}
+
+TEST(Assumptions, IncrementalReSolveAfterBacktracking) {
+  // The cube-and-conquer loop of the batch engine: solve under one cube,
+  // block the model, re-solve the same cube, then switch cubes — the
+  // solver must backtrack out of the assumption prefix cleanly each time.
+  Solver s;
+  auto vars = make_vars(s, 6);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  ASSERT_TRUE(encode_exactly(s, lits, 2));
+  ASSERT_TRUE(s.add_xor({vars[0], vars[1], vars[2]}, true));
+
+  int models_cube0 = 0;
+  while (s.solve_assuming({mk_lit(vars[0])}) == Status::Sat) {
+    ++models_cube0;
+    std::vector<Lit> blocking;
+    for (Var v : vars) {
+      blocking.push_back(Lit(v, s.model_value(v) == LBool::True));
+    }
+    ASSERT_TRUE(s.add_clause(std::move(blocking)));
+    ASSERT_LE(models_cube0, 32);  // enumeration must terminate
+  }
+  EXPECT_TRUE(s.okay());  // only assumption-unsat, not unconditional
+  // v0=1 and exactly-2 with v0^v1^v2=1 forces the second change outside
+  // {v1, v2}: pairs (0,3), (0,4), (0,5).
+  EXPECT_EQ(models_cube0, 3);
+
+  // The complementary cube still enumerates (v0=0: v1^v2=1, one of the
+  // pair plus one free change — (1,3),(1,4),(1,5),(2,3),(2,4),(2,5)).
+  EXPECT_EQ(s.solve_assuming({~mk_lit(vars[0])}), Status::Sat);
+  EXPECT_EQ(s.model_value(vars[0]), LBool::False);
+  // And an unconstrained solve still works after all of it.
+  EXPECT_EQ(s.solve(), Status::Sat);
+}
+
+TEST(SolverClone, CloneSolvesLikeTheOriginal) {
+  SolverOptions opts;
+  opts.use_gauss = true;
+  Solver s(opts);
+  auto vars = make_vars(s, 10);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  ASSERT_TRUE(encode_exactly(s, lits, 4));
+  ASSERT_TRUE(s.add_xor({vars[0], vars[1], vars[2], vars[3]}, true));
+  ASSERT_TRUE(s.add_xor({vars[2], vars[5], vars[7]}, false));
+
+  auto c = s.clone();
+  ASSERT_EQ(s.solve(), Status::Sat);
+  ASSERT_EQ(c->solve(), Status::Sat);
+  // Identical state + deterministic search => identical model.
+  for (Var v : vars) EXPECT_EQ(s.model_value(v), c->model_value(v));
+}
+
+TEST(SolverClone, CloneIsIndependentOfTheOriginal) {
+  Solver s;
+  auto vars = make_vars(s, 4);
+  ASSERT_TRUE(s.add_clause({mk_lit(vars[0]), mk_lit(vars[1])}));
+
+  auto c = s.clone();
+  ASSERT_TRUE(c->add_clause({~mk_lit(vars[0])}));   // propagates v1 = true
+  EXPECT_FALSE(c->add_clause({~mk_lit(vars[1])}));  // contradiction: clone unsat
+  EXPECT_EQ(c->solve(), Status::Unsat);
+  EXPECT_FALSE(c->okay());
+  // The original never saw those clauses.
+  EXPECT_TRUE(s.okay());
+  EXPECT_EQ(s.solve(), Status::Sat);
+}
+
+TEST(SolverClone, CloneAfterSearchCarriesLearntState) {
+  // Clone mid-enumeration: learnt clauses, saved phases and level-0 units
+  // travel with the clone, and both copies enumerate the same remainder.
+  Solver s;
+  auto vars = make_vars(s, 8);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  ASSERT_TRUE(encode_exactly(s, lits, 3));
+  ASSERT_TRUE(s.add_xor({vars[0], vars[3], vars[6]}, true));
+  ASSERT_EQ(s.solve(), Status::Sat);
+  std::vector<Lit> blocking;
+  for (Var v : vars) blocking.push_back(Lit(v, s.model_value(v) == LBool::True));
+  ASSERT_TRUE(s.add_clause(std::move(blocking)));
+
+  auto c = s.clone();
+  auto rest_s = enumerate_models(s, vars);
+  auto rest_c = enumerate_models(*c, vars);
+  ASSERT_TRUE(rest_s.complete());
+  ASSERT_TRUE(rest_c.complete());
+  EXPECT_EQ(rest_s.models, rest_c.models);  // same models, same order
+}
+
+TEST(SolverClone, CloneUnderAssumptionsPartitionsTheModelSpace) {
+  // Enumerate a projection fully, then re-enumerate it as two cubes on
+  // fresh clones: the cubes are disjoint and their union is the whole set.
+  Solver s;
+  auto vars = make_vars(s, 5);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  ASSERT_TRUE(encode_exactly(s, lits, 2));
+
+  const auto whole = s.clone();
+  auto full = enumerate_models(*whole, vars);
+  ASSERT_TRUE(full.complete());
+
+  AllSatOptions cube0, cube1;
+  cube0.assumptions = {mk_lit(vars[0])};
+  cube1.assumptions = {~mk_lit(vars[0])};
+  auto r0 = enumerate_models(*s.clone(), vars, cube0);
+  auto r1 = enumerate_models(*s.clone(), vars, cube1);
+  ASSERT_TRUE(r0.complete());
+  ASSERT_TRUE(r1.complete());
+  EXPECT_EQ(r0.models.size() + r1.models.size(), full.models.size());
+  std::set<std::vector<bool>> all(r0.models.begin(), r0.models.end());
+  all.insert(r1.models.begin(), r1.models.end());
+  std::set<std::vector<bool>> expected(full.models.begin(), full.models.end());
+  EXPECT_EQ(all, expected);
+}
+
+TEST(SolverInterrupt, PreSetTokenStopsTheSolveImmediately) {
+  Solver s;
+  auto vars = make_vars(s, 10);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  ASSERT_TRUE(encode_exactly(s, lits, 5));
+
+  std::atomic<bool> stop{true};
+  SolveLimits limits;
+  limits.interrupt = &stop;
+  EXPECT_EQ(s.solve(limits), Status::Unknown);
+  EXPECT_TRUE(s.okay());
+
+  // Clearing the token makes the same solve succeed.
+  stop.store(false);
+  EXPECT_EQ(s.solve(limits), Status::Sat);
 }
 
 }  // namespace

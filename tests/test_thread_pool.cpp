@@ -1,0 +1,86 @@
+// Tests for the work-stealing thread pool backing the batch engine.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace tp::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { ++count; });
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, StealsWorkAcrossWorkers) {
+  // One long task pins a worker; the many short tasks queued round-robin
+  // behind it must be stolen and finished by the others long before the
+  // sleeper wakes. With stealing broken this would take ~1s; give the
+  // assertion plenty of slack but check the short tasks all ran.
+  ThreadPool pool(4);
+  std::atomic<int> short_done{0};
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&short_done] { short_done.fetch_add(1); });
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (short_done.load() < 64 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(short_done.load(), 64);
+  release.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&pool, &count] {
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+    ++count;
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPool, SingleWorkerDrainsSequentially) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(order.size(), 5u);
+}
+
+}  // namespace
+}  // namespace tp::util
