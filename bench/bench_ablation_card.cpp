@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
 #include "timeprint/design.hpp"
 #include "timeprint/reconstruct.hpp"
 
@@ -57,4 +58,6 @@ BENCHMARK(BM_Totalizer)
     ->Args({96, 4})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tp::bench::gbench_main("ablation_card", argc, argv);
+}

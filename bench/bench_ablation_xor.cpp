@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench.hpp"
 #include "timeprint/design.hpp"
 #include "timeprint/reconstruct.hpp"
 
@@ -65,4 +66,6 @@ BENCHMARK(BM_ChainedCnfXor)
     ->Args({96, 4})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tp::bench::gbench_main("ablation_xor", argc, argv);
+}

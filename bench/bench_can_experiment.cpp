@@ -38,6 +38,7 @@ struct Attempt {
   std::size_t found_start = 0;
   bool ok = false;
   sat::Status status = sat::Status::Unknown;
+  sat::SolverStats stats;
 };
 
 Attempt reconstruct_start(const core::TimestampEncoding& enc,
@@ -55,6 +56,7 @@ Attempt reconstruct_start(const core::TimestampEncoding& enc,
   Attempt a;
   a.status = result.final_status;
   a.seconds = result.seconds_total;
+  a.stats = result.stats;
   if (!result.signals.empty()) {
     const auto starts = can::find_pattern(result.signals[0], pattern, lo, hi);
     if (!starts.empty()) {
@@ -67,9 +69,14 @@ Attempt reconstruct_start(const core::TimestampEncoding& enc,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::size_t m = 1000;
   const std::size_t b = 24;
+  bench::JsonReport report("can_experiment", argc, argv);
+  report.config()
+      .set("m", static_cast<std::uint64_t>(m))
+      .set("b", static_cast<std::uint64_t>(b))
+      .set("budget_seconds", budget());
   const auto enc = core::TimestampEncoding::random_constrained(m, b, 4, 2019);
 
   std::printf("=== 5.2.1 CAN bus communication (budget %.0fs/query) ===\n\n", budget());
@@ -131,6 +138,11 @@ int main() {
               full.ok ? (full.found_start == start_rel ? "start recovered correctly"
                                                        : "WRONG start")
                       : "");
+  report.add_solver_stats(full.stats);
+  report.add_row(obs::Json::object()
+                     .set("query", "full_trace_cycle")
+                     .set("seconds", full.ok ? full.seconds : -1.0)
+                     .set("start_recovered", full.ok && full.found_start == start_rel));
 
   // --- (b) restricted to the known failure window (335 cycles, like the
   // paper's 67 us window) ---
@@ -143,6 +155,12 @@ int main() {
                                  ? "start recovered correctly"
                                  : "WRONG start")
                           : "");
+  report.add_solver_stats(windowed.stats);
+  report.add_row(
+      obs::Json::object()
+          .set("query", "failure_window")
+          .set("seconds", windowed.ok ? windowed.seconds : -1.0)
+          .set("start_recovered", windowed.ok && windowed.found_start == start_rel));
 
   // --- (c) deadline proof: "the transmission completed before the
   // deadline" is refuted by UNSAT ---
@@ -170,6 +188,14 @@ int main() {
               bench::fmt_time(refute.final_status == sat::Status::Unknown ? -1 : dt)
                   .c_str(),
               verdict);
+  report.add_solver_stats(refute.stats);
+  report.add_row(obs::Json::object()
+                     .set("query", "deadline_refutation")
+                     .set("seconds",
+                          refute.final_status == sat::Status::Unknown ? -1.0 : dt)
+                     .set("proved_unsat",
+                          refute.final_status == sat::Status::Unsat));
+  report.finish();
 
   std::printf("\nShape checks vs the paper: all three queries land in the same\n"
               "tens-of-seconds-to-minutes range the paper reports, recover the\n"

@@ -6,12 +6,14 @@
 
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "f2/matrix.hpp"
 #include "timeprint/reconstruct.hpp"
 
 using namespace tp;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("fig4", argc, argv);
   const char* kTimestamps[16] = {"00010100", "00111010", "00001111", "01000100",
                                  "00000010", "10101110", "01100000", "11110101",
                                  "00010111", "11100111", "10100000", "10101000",
@@ -27,13 +29,27 @@ int main() {
   std::printf("=== Figure 4 (didactic example), m=16 b=8 ===\n");
   std::printf("%-48s %8s %8s\n", "quantity", "paper", "ours");
 
+  report.config().set("m", 16).set("b", 8).set("k", 4);
+
   const auto linear = enc.to_matrix().solve(entry.tp);
+  const auto linear_count =
+      static_cast<std::uint64_t>(linear ? linear->count() : 0);
   std::printf("%-48s %8d %8llu\n", "signals whose timestamps sum to TP", 256,
-              static_cast<unsigned long long>(linear ? linear->count() : 0));
+              static_cast<unsigned long long>(linear_count));
+  report.add_row(obs::Json::object()
+                     .set("quantity", "linear_solutions")
+                     .set("paper", 256)
+                     .set("ours", linear_count));
 
   core::Reconstructor rec(enc);
   auto all = rec.reconstruct(entry);
   std::printf("%-48s %8d %8zu\n", "signals with k = 4", 8, all.signals.size());
+  report.add_solver_stats(all.stats);
+  report.add_row(obs::Json::object()
+                     .set("quantity", "signals_k4")
+                     .set("paper", 8)
+                     .set("ours", static_cast<std::uint64_t>(all.signals.size()))
+                     .set("seconds", all.seconds_total));
 
   core::ChangesInConsecutivePairs pairs;
   core::Reconstructor pruned(enc);
@@ -41,6 +57,13 @@ int main() {
   auto unique_result = pruned.reconstruct(entry);
   std::printf("%-48s %8d %8zu\n", "signals with the consecutive-pairs property",
               1, unique_result.signals.size());
+  report.add_solver_stats(unique_result.stats);
+  report.add_row(
+      obs::Json::object()
+          .set("quantity", "signals_with_pairs_property")
+          .set("paper", 1)
+          .set("ours", static_cast<std::uint64_t>(unique_result.signals.size()))
+          .set("seconds", unique_result.seconds_total));
   std::printf("%-48s %8s %8s\n", "unique reconstruction equals actual signal",
               "yes",
               (unique_result.signals.size() == 1 &&
@@ -53,5 +76,14 @@ int main() {
   std::printf("%-48s %8s %8s\n", "deadline (cycle 8) met by all candidates",
               "yes",
               check.verdict == core::CheckVerdict::HoldsForAll ? "yes" : "NO");
+  report.add_solver_stats(check.stats);
+  report.add_row(obs::Json::object()
+                     .set("quantity", "deadline_holds_for_all")
+                     .set("paper", "yes")
+                     .set("ours", check.verdict == core::CheckVerdict::HoldsForAll
+                                      ? "yes"
+                                      : "no")
+                     .set("seconds", check.seconds));
+  report.finish();
   return 0;
 }

@@ -1,0 +1,82 @@
+#pragma once
+// bench_gbench.hpp — bridges the google-benchmark binaries into the common
+// `--json <path>` report (see JsonReport in bench_util.hpp).
+//
+// google-benchmark owns argv parsing and rejects flags it does not know,
+// so gbench_main() strips `--json <path>` before benchmark::Initialize and
+// registers a pass-through reporter that copies every iteration run into
+// the shared schema ({name, iterations, real_seconds, cpu_seconds} per
+// row) while delegating the human-readable console output unchanged.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace tp::bench {
+
+/// A display reporter that tees: rows into a JsonReport, console output to
+/// the wrapped reporter.
+class GbenchJsonCollector : public benchmark::BenchmarkReporter {
+ public:
+  GbenchJsonCollector(JsonReport& report, benchmark::BenchmarkReporter& inner)
+      : report_(report), inner_(inner) {}
+
+  bool ReportContext(const Context& context) override {
+    report_.config().set("num_cpus", context.cpu_info.num_cpus);
+    report_.config().set("cpu_mhz", context.cpu_info.cycles_per_second / 1e6);
+    return inner_.ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      obs::Json row = obs::Json::object();
+      row.set("name", run.benchmark_name());
+      row.set("iterations", static_cast<std::int64_t>(run.iterations));
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.set("real_seconds", run.real_accumulated_time / iters);
+      row.set("cpu_seconds", run.cpu_accumulated_time / iters);
+      report_.add_row(std::move(row));
+    }
+    inner_.ReportRuns(runs);
+  }
+
+  void Finalize() override { inner_.Finalize(); }
+
+ private:
+  JsonReport& report_;
+  benchmark::BenchmarkReporter& inner_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body with --json support.
+inline int gbench_main(const std::string& bench_name, int argc, char** argv) {
+  JsonReport report(bench_name, argc, argv);
+
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered, args.data())) return 1;
+
+  benchmark::ConsoleReporter console;
+  GbenchJsonCollector collector(report, console);
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  benchmark::Shutdown();
+
+  report.finish();
+  return 0;
+}
+
+}  // namespace tp::bench

@@ -7,6 +7,7 @@
 
 #include <map>
 
+#include "bench_gbench.hpp"
 #include "rtlsim/agg_log.hpp"
 #include "rtlsim/sim.hpp"
 #include "timeprint/design.hpp"
@@ -85,4 +86,6 @@ BENCHMARK(BM_StreamingLogger)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond)
 BENCHMARK(BM_AggLogHardwareModel)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LogRateAccounting);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tp::bench::gbench_main("lograte", argc, argv);
+}

@@ -45,8 +45,8 @@ std::string flatten_one(const core::ReconstructionResult& r) {
   return out;
 }
 
-void report(std::size_t threads, double seconds, double base_seconds,
-            bool identical) {
+void report_line(std::size_t threads, double seconds, double base_seconds,
+                 bool identical) {
   std::printf("  %2zu threads: %-10s speedup %.2fx  output %s\n", threads,
               bench::fmt_time(seconds).c_str(),
               seconds > 0 ? base_seconds / seconds : 0.0,
@@ -56,7 +56,8 @@ void report(std::size_t threads, double seconds, double base_seconds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("parallel", argc, argv);
   const std::size_t kThreads[] = {1, 2, 4, 8};
 
   // ---- workload 1: independent entries ---------------------------------
@@ -72,6 +73,10 @@ int main() {
 
     std::printf("=== batch fan-out: %zu entries, m=%zu b=%zu k=%zu ===\n",
                 n_entries, m, enc.width(), k);
+    report.config()
+        .set("fanout_entries", static_cast<std::uint64_t>(n_entries))
+        .set("fanout_m", static_cast<std::uint64_t>(m))
+        .set("fanout_k", static_cast<std::uint64_t>(k));
     core::BatchReconstructor batch(enc);
     std::string reference;
     double base_seconds = 0;
@@ -84,7 +89,16 @@ int main() {
         reference = flat;
         base_seconds = r.seconds_total;
       }
-      report(t, r.seconds_total, base_seconds, flat == reference);
+      report_line(t, r.seconds_total, base_seconds, flat == reference);
+      report.add_solver_stats(r.stats);
+      report.add_row(obs::Json::object()
+                         .set("workload", "fanout")
+                         .set("threads", static_cast<std::uint64_t>(t))
+                         .set("seconds", r.seconds_total)
+                         .set("speedup", r.seconds_total > 0
+                                             ? base_seconds / r.seconds_total
+                                             : 0.0)
+                         .set("identical", flat == reference));
     }
   }
 
@@ -98,6 +112,9 @@ int main() {
 
     std::printf("\n=== single-instance split: m=%zu b=%zu k=%zu ===\n", m,
                 enc.width(), k);
+    report.config()
+        .set("split_m", static_cast<std::uint64_t>(m))
+        .set("split_k", static_cast<std::uint64_t>(k));
     core::BatchReconstructor batch(enc);
     std::string reference;
     double base_seconds = 0;
@@ -111,11 +128,21 @@ int main() {
         base_seconds = r.seconds_total;
         std::printf("  preimage: %zu signals\n", r.signals.size());
       }
-      report(t, r.seconds_total, base_seconds, flat == reference);
+      report_line(t, r.seconds_total, base_seconds, flat == reference);
+      report.add_solver_stats(r.stats);
+      report.add_row(obs::Json::object()
+                         .set("workload", "split")
+                         .set("threads", static_cast<std::uint64_t>(t))
+                         .set("seconds", r.seconds_total)
+                         .set("speedup", r.seconds_total > 0
+                                             ? base_seconds / r.seconds_total
+                                             : 0.0)
+                         .set("identical", flat == reference));
     }
   }
 
   std::printf("\nSpeedup is measured on this machine's cores; on a single-core\n"
               "host the parallel runs only verify the determinism contract.\n");
+  report.finish();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "baseline/baseline.hpp"
+#include "bench_util.hpp"
 #include "can/traffic.hpp"
 #include "soc/system.hpp"
 #include "timeprint/design.hpp"
@@ -16,13 +17,22 @@ using namespace tp;
 
 namespace {
 
-void print_rates(const char* title, std::size_t m, std::size_t b, double clock_hz,
-                 double density) {
+void print_rates(bench::JsonReport& report, const char* workload, const char* title,
+                 std::size_t m, std::size_t b, double clock_hz, double density) {
   std::printf("\n%s (m=%zu, b=%zu, clock %.0f MHz, change density %.3f)\n", title,
               m, b, clock_hz / 1e6, density);
   for (const auto& r : baseline::compare_rates(m, b, clock_hz, density)) {
     std::printf("  %-14s %12.1f kbps  (%.4fx raw)\n", r.scheme,
                 r.bits_per_second / 1e3, r.bits_per_second / clock_hz);
+    report.add_row(obs::Json::object()
+                       .set("workload", workload)
+                       .set("m", static_cast<std::uint64_t>(m))
+                       .set("b", static_cast<std::uint64_t>(b))
+                       .set("clock_mhz", clock_hz / 1e6)
+                       .set("density", density)
+                       .set("scheme", r.scheme)
+                       .set("kbps", r.bits_per_second / 1e3)
+                       .set("ratio_vs_raw", r.bits_per_second / clock_hz));
   }
 }
 
@@ -38,12 +48,14 @@ double measured_density(const std::vector<bool>& waveform) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("storage", argc, argv);
   std::printf("=== Storage rates: raw capture vs event log vs timeprints ===\n");
 
   // The paper's design points at a 100 MHz traced signal (Table 1's R).
   for (std::size_t m : {64u, 128u, 512u, 1024u}) {
-    print_rates("design point", m, core::paper_width(m), 100e6, 0.2);
+    print_rates(report, "design_point", "design point", m, core::paper_width(m),
+                100e6, 0.2);
   }
 
   // Workload 1: the CAN bus line of 5.2.1 (5 Mbps).
@@ -51,7 +63,7 @@ int main() {
     can::CanBus bus = can::make_canoe_demo();
     bus.run(200000);
     const double density = measured_density(bus.waveform());
-    print_rates("CAN bus line (5.2.1)", 1000, 24, 5e6, density);
+    print_rates(report, "can_bus", "CAN bus line (5.2.1)", 1000, 24, 5e6, density);
   }
 
   // Workload 2: the SoC AHB address-change signal of 5.2.2 (assume 50 MHz).
@@ -68,12 +80,14 @@ int main() {
       ++cycles;
     }
     const double density = static_cast<double>(changes) / static_cast<double>(cycles);
-    print_rates("AHB address changes (5.2.2)", 1024, 24, 50e6, density);
+    print_rates(report, "soc_ahb", "AHB address changes (5.2.2)", 1024, 24, 50e6,
+                density);
   }
 
   std::printf("\nShape checks vs the paper: the raw rate equals the clock rate\n"
               "(GB/s territory at SoC speeds); the event log scales with k and\n"
               "overruns a 1-bit pin beyond m/log2(m) events per trace-cycle;\n"
               "the timeprint rate is constant and orders of magnitude lower.\n");
+  report.finish();
   return 0;
 }

@@ -23,6 +23,7 @@ namespace {
 struct ColumnResult {
   double first = -1.0;  ///< seconds to first solution (-1 = budget exhausted)
   double tenth = -1.0;  ///< seconds to 10th solution / completion
+  sat::SolverStats stats;
 };
 
 ColumnResult run_column(const core::TimestampEncoding& enc,
@@ -43,12 +44,15 @@ ColumnResult run_column(const core::TimestampEncoding& enc,
   if (result.signals.size() == 10 || result.complete()) {
     col.tenth = result.seconds_total;
   }
+  col.stats = result.stats;
   return col;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("table1", argc, argv);
+  report.config().set("budget_seconds", bench::cell_budget_seconds());
   struct Row {
     std::size_t m;
     std::size_t k;
@@ -95,9 +99,25 @@ int main() {
                 bench::fmt_time(both.tenth).c_str(),
                 core::log_rate_bps(row.m, enc.width(), 100e6) / 1e6);
     std::fflush(stdout);
+    for (const auto& col : {c, p2, dk, both}) report.add_solver_stats(col.stats);
+    report.add_row(obs::Json::object()
+                       .set("m", static_cast<std::uint64_t>(row.m))
+                       .set("k", static_cast<std::uint64_t>(row.k))
+                       .set("b", static_cast<std::uint64_t>(enc.width()))
+                       .set("csat_first", c.first)
+                       .set("csat_tenth", c.tenth)
+                       .set("p2_first", p2.first)
+                       .set("p2_tenth", p2.tenth)
+                       .set("dk_first", dk.first)
+                       .set("dk_tenth", dk.tenth)
+                       .set("dkp2_first", both.first)
+                       .set("dkp2_tenth", both.tenth)
+                       .set("rate_mbps",
+                            core::log_rate_bps(row.m, enc.width(), 100e6) / 1e6));
   }
   std::printf("\nShape checks vs the paper: times grow with m; Dk prunes far "
               "more than P2 (which can even slow the search, cf. the paper's "
               "512/3 row); Dk+P2 is fastest on large m.\n");
+  report.finish();
   return 0;
 }

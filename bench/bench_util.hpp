@@ -1,10 +1,17 @@
 #pragma once
 // bench_util.hpp — shared helpers for the paper-table benchmark binaries.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sat/solver.hpp"
 #include "timeprint/properties.hpp"
 #include "timeprint/signal.hpp"
 
@@ -49,5 +56,119 @@ inline core::Signal table_signal(std::size_t m, std::size_t k, f2::Rng& rng) {
   while (s.num_changes() < k) s.set_change(rng.below(m));
   return s;
 }
+
+/// Machine-readable output for a bench binary: every bench accepts
+/// `--json <path>` and, when it is given, writes one JSON object
+///
+///   {"bench": <name>, "config": {...}, "rows": [...],
+///    "wall_seconds": <double>, "solver_stats": {...}}
+///
+/// next to its usual human-readable stdout. The human output is the paper
+/// artifact; the JSON file is what CI and regression tooling diff.
+///
+/// Usage: construct from argv (unrecognized arguments are left alone, so
+/// google-benchmark binaries can parse the rest), describe the run in
+/// config(), append one object per table row with add_row(), feed solver
+/// effort into add_solver_stats() where the bench has results in hand, and
+/// call finish() once. When no bench-level stats were provided, finish()
+/// falls back to the delta of the process-global solver metrics
+/// (obs::MetricsRegistry) over the report's lifetime, which covers benches
+/// that discard their ReconstructionResults.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, int argc, char** argv)
+      : bench_(std::move(bench_name)),
+        start_(std::chrono::steady_clock::now()),
+        config_(obs::Json::object()),
+        rows_(obs::Json::array()) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("--json requires a file path");
+        }
+        path_ = argv[i + 1];
+        break;
+      }
+    }
+    auto& reg = obs::MetricsRegistry::global();
+    for (const char* name : kGlobalCounters) {
+      baseline_.push_back(reg.counter_value(name));
+    }
+  }
+
+  /// True iff `--json <path>` was given. Benches may skip expensive
+  /// bookkeeping when reporting is off; add_row()/finish() are safe to
+  /// call regardless.
+  bool enabled() const { return !path_.empty(); }
+
+  /// The run's configuration object (budget, sizes, thread counts...).
+  obs::Json& config() { return config_; }
+
+  /// Append one result row (any JSON object; keys are bench-specific but
+  /// stable across runs of the same bench).
+  void add_row(obs::Json row) { rows_.push(std::move(row)); }
+
+  /// Accumulate solver effort measured by the bench itself.
+  void add_solver_stats(const sat::SolverStats& s) {
+    explicit_stats_ = true;
+    stats_ += s;
+  }
+
+  /// Write the report. No-op without --json.
+  void finish() {
+    if (!enabled()) return;
+    obs::Json root = obs::Json::object();
+    root.set("bench", bench_);
+    root.set("config", std::move(config_));
+    root.set("rows", std::move(rows_));
+    root.set("wall_seconds",
+             std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count());
+    obs::Json stats = obs::Json::object();
+    if (explicit_stats_) {
+      stats.set("source", "bench");
+      stats.set("conflicts", stats_.conflicts);
+      stats.set("decisions", stats_.decisions);
+      stats.set("propagations", stats_.propagations);
+      stats.set("xor_propagations", stats_.xor_propagations);
+      stats.set("restarts", stats_.restarts);
+      stats.set("gauss_runs", stats_.gauss_runs);
+    } else {
+      // Fallback: the process-global metrics delta since construction.
+      stats.set("source", "global-metrics");
+      auto& reg = obs::MetricsRegistry::global();
+      std::size_t i = 0;
+      for (const char* name : kGlobalCounters) {
+        // "solver.conflicts" -> "conflicts"
+        stats.set(std::string(name).substr(7),
+                  reg.counter_value(name) - baseline_[i++]);
+      }
+    }
+    root.set("solver_stats", std::move(stats));
+
+    std::ofstream out(path_, std::ios::out | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("JsonReport: cannot open '" + path_ + "'");
+    }
+    std::string text = root.dump();
+    text += '\n';
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  }
+
+ private:
+  static constexpr const char* kGlobalCounters[] = {
+      "solver.conflicts",  "solver.decisions", "solver.propagations",
+      "solver.xor_propagations", "solver.restarts"};
+
+  std::string bench_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  obs::Json config_;
+  obs::Json rows_;
+  sat::SolverStats stats_;
+  bool explicit_stats_ = false;
+  std::vector<std::int64_t> baseline_;
+};
 
 }  // namespace tp::bench

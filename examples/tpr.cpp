@@ -13,10 +13,15 @@
 //       Enumerate signals explaining (TP, k).
 //   tpr check <m> <b> <seed> <tp-bits> <k> --hypothesis "<prop>" [options]
 //       Prove or refute a hypothesis over all reconstructions.
+//   tpr trace <m> <b> <seed> <tp-bits> <k> [options]
+//       Replay a reconstruction with event tracing on and dump the JSONL
+//       trace (solver/encode/enumeration spans and events) to stdout or,
+//       with --out FILE, to a file; the solution summary goes to stderr.
 // Options:
 //   --prop "<p1>; <p2>; ..."   known properties pruning the search
 //   --max <n>                  stop after n solutions (default 10)
 //   --timeout <seconds>        solver budget (default unlimited)
+//   --out <file>               trace sink for `tpr trace` (default stdout)
 //
 // Example:
 //   tpr reconstruct 64 13 1 0101100110010 4 --prop "before 32 min 3" --max 5
@@ -24,9 +29,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "timeprint/parse.hpp"
 #include "timeprint/reconstruct.hpp"
 
@@ -42,7 +49,9 @@ int usage() {
                "  tpr reconstruct <m> <b> <seed> <tp-bits> <k> [--prop P] "
                "[--max N] [--timeout S]\n"
                "  tpr check <m> <b> <seed> <tp-bits> <k> --hypothesis P "
-               "[--prop P] [--timeout S]\n");
+               "[--prop P] [--timeout S]\n"
+               "  tpr trace <m> <b> <seed> <tp-bits> <k> [--prop P] [--max N] "
+               "[--timeout S] [--out FILE]\n");
   return 2;
 }
 
@@ -53,6 +62,7 @@ struct CommonOptions {
   std::unique_ptr<core::Property> hypothesis;
   std::uint64_t max_solutions = 10;
   double timeout = -1.0;
+  std::string trace_out;
 };
 
 bool parse_flags(int argc, char** argv, int first, CommonOptions& out) {
@@ -71,6 +81,8 @@ bool parse_flags(int argc, char** argv, int first, CommonOptions& out) {
       out.max_solutions = to_num(value);
     } else if (flag == "--timeout") {
       out.timeout = std::atof(value);
+    } else if (flag == "--out") {
+      out.trace_out = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -113,7 +125,7 @@ int main(int argc, char** argv) {
       std::printf("TP %s\nk %zu\n", e.tp.to_string().c_str(), e.k);
       return 0;
     }
-    if (cmd == "reconstruct" || cmd == "check") {
+    if (cmd == "reconstruct" || cmd == "check" || cmd == "trace") {
       if (argc < 7) return usage();
       const auto enc = core::TimestampEncoding::random_constrained(
           to_num(argv[2]), to_num(argv[3]), 4, to_num(argv[4]));
@@ -134,6 +146,20 @@ int main(int argc, char** argv) {
       ro.max_solutions = opts.max_solutions;
       ro.limits.max_seconds = opts.timeout;
 
+      if (cmd == "trace") {
+        // Replay the reconstruction with the event tracer armed; the JSONL
+        // trace is the primary output, so the human summary moves to stderr.
+        obs::Tracer tracer(std::cout);
+        if (!opts.trace_out.empty()) tracer.open(opts.trace_out);
+        ro.tracer = &tracer;
+        const auto result = rec.reconstruct(entry, ro);
+        std::fprintf(stderr, "# status=%s solutions=%zu seconds=%.3f%s%s\n",
+                     to_string(result.final_status), result.signals.size(),
+                     result.seconds_total,
+                     opts.trace_out.empty() ? "" : " trace=",
+                     opts.trace_out.c_str());
+        return result.final_status == sat::Status::Unknown ? 1 : 0;
+      }
       if (cmd == "reconstruct") {
         const auto result = rec.reconstruct(entry, ro);
         std::printf("# status=%s solutions=%zu seconds=%.3f\n",

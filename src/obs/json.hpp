@@ -1,0 +1,155 @@
+#pragma once
+// json.hpp — a minimal owned JSON value and serializer.
+//
+// The observability layer speaks one wire format: JSON objects, either one
+// per line (the tracer's JSONL event stream) or one per file (the bench
+// --json reports, the metrics snapshot). This header provides the small
+// value type both producers share. It is write-only by design — nothing in
+// the repo parses JSON at runtime — and deliberately tiny: ordered object
+// members (stable, diffable output), no DOM queries, no allocator games.
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tp::obs {
+
+/// Append `s` to `out` with JSON string escaping (quotes not included).
+inline void json_escape(std::string_view s, std::string& out) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+/// An owned JSON value: null, bool, integer, double, string, array or
+/// object (with insertion-ordered members).
+class Json {
+ public:
+  Json() : kind_(Kind::Null) {}
+  Json(bool v) : kind_(Kind::Bool), bool_(v) {}                       // NOLINT
+  Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}                 // NOLINT
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}                 // NOLINT
+  Json(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}              // NOLINT
+  Json(double v) : kind_(Kind::Double), double_(v) {}                 // NOLINT
+  Json(std::string v) : kind_(Kind::String), str_(std::move(v)) {}    // NOLINT
+  Json(std::string_view v) : Json(std::string(v)) {}                  // NOLINT
+  Json(const char* v) : Json(std::string(v)) {}                       // NOLINT
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+
+  /// Object member append (keeps insertion order). Returns *this.
+  Json& set(std::string key, Json value) {
+    assert(kind_ == Kind::Object);
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Array element append. Returns *this.
+  Json& push(Json value) {
+    assert(kind_ == Kind::Array);
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  void dump(std::string& out) const {
+    switch (kind_) {
+      case Kind::Null: out += "null"; return;
+      case Kind::Bool: out += bool_ ? "true" : "false"; return;
+      case Kind::Int: out += std::to_string(int_); return;
+      case Kind::Uint: out += std::to_string(uint_); return;
+      case Kind::Double: {
+        if (!std::isfinite(double_)) {  // JSON has no NaN/Inf
+          out += "null";
+          return;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", double_);
+        out += buf;
+        return;
+      }
+      case Kind::String:
+        out += '"';
+        json_escape(str_, out);
+        out += '"';
+        return;
+      case Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const Json& e : elements_) {
+          if (!first) out += ',';
+          first = false;
+          e.dump(out);
+        }
+        out += ']';
+        return;
+      }
+      case Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto& [k, v] : members_) {
+          if (!first) out += ',';
+          first = false;
+          out += '"';
+          json_escape(k, out);
+          out += "\":";
+          v.dump(out);
+        }
+        out += '}';
+        return;
+      }
+    }
+  }
+
+  std::string dump() const {
+    std::string out;
+    dump(out);
+    return out;
+  }
+
+ private:
+  enum class Kind { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace tp::obs

@@ -1,0 +1,109 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace tp::obs {
+
+void Timing::observe(double seconds) {
+  const std::int64_t n = count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20; emulate with a CAS loop to stay
+  // friendly to toolchains without native FP atomics.
+  double cur = total_.load(std::memory_order_relaxed);
+  while (!total_.compare_exchange_weak(cur, cur + seconds,
+                                       std::memory_order_relaxed)) {
+  }
+  if (n == 0) {
+    // First observation seeds min/max. Racy first observers both land here;
+    // the CAS loops below converge to the true extrema regardless.
+    double expected = 0.0;
+    min_.compare_exchange_strong(expected, seconds, std::memory_order_relaxed);
+    expected = 0.0;
+    max_.compare_exchange_strong(expected, seconds, std::memory_order_relaxed);
+  }
+  double mn = min_.load(std::memory_order_relaxed);
+  while (seconds < mn &&
+         !min_.compare_exchange_weak(mn, seconds, std::memory_order_relaxed)) {
+  }
+  double mx = max_.load(std::memory_order_relaxed);
+  while (seconds > mx &&
+         !max_.compare_exchange_weak(mx, seconds, std::memory_order_relaxed)) {
+  }
+}
+
+double Timing::min_seconds() const { return min_.load(std::memory_order_relaxed); }
+double Timing::max_seconds() const { return max_.load(std::memory_order_relaxed); }
+
+void Timing::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  if (it->second.counter == nullptr) {
+    throw std::logic_error("MetricsRegistry: '" + std::string(name) +
+                           "' is a timing, not a counter");
+  }
+  return *it->second.counter;
+}
+
+Timing& MetricsRegistry::timing(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.timing = std::make_unique<Timing>();
+  }
+  if (it->second.timing == nullptr) {
+    throw std::logic_error("MetricsRegistry: '" + std::string(name) +
+                           "' is a counter, not a timing");
+  }
+  return *it->second.timing;
+}
+
+std::int64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.counter == nullptr) return 0;
+  return it->second.counter->value();
+}
+
+Json MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::object();
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) {
+      out.set(name, entry.counter->value());
+    } else {
+      Json t = Json::object();
+      t.set("count", entry.timing->count());
+      t.set("total_seconds", entry.timing->total_seconds());
+      t.set("min_seconds", entry.timing->min_seconds());
+      t.set("max_seconds", entry.timing->max_seconds());
+      out.set(name, std::move(t));
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) entry.counter->reset();
+    if (entry.timing != nullptr) entry.timing->reset();
+  }
+}
+
+}  // namespace tp::obs

@@ -1,0 +1,92 @@
+#pragma once
+// metrics.hpp — a process-wide registry of named monotonic counters and
+// timing accumulators.
+//
+// Where the tracer (trace.hpp) answers "what happened when", the registry
+// answers "how much, in total": solves run, conflicts burned, models
+// enumerated, reconstructions finished. Producers resolve a metric once
+// (registration takes a mutex) and then update it lock-free — a Counter is
+// one relaxed atomic add, a Timing two adds and two CAS min/max updates —
+// so instrumentation stays cheap enough to be always-on. Updates happen at
+// coarse boundaries (per solve, per reconstruction), never per conflict.
+//
+// The global() registry is what the bench --json reports and the metrics
+// snapshot serialize; tests may construct private registries.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace tp::obs {
+
+/// A monotonically increasing counter. add() is lock-free.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// An accumulator of durations: count, total, min and max seconds.
+/// observe() is lock-free.
+class Timing {
+ public:
+  void observe(double seconds);
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_seconds() const { return total_.load(std::memory_order_relaxed); }
+  /// 0 when nothing was observed yet.
+  double min_seconds() const;
+  double max_seconds() const;
+  void reset();
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> total_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Thread-safe name -> metric registry. Metric objects live as long as the
+/// registry; the references returned by counter()/timing() stay valid.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry.
+  static MetricsRegistry& global();
+
+  /// Find-or-create. A name is either a counter or a timing, never both
+  /// (throws std::logic_error on a kind clash).
+  Counter& counter(std::string_view name);
+  Timing& timing(std::string_view name);
+
+  /// Current counter value, 0 if the name was never registered.
+  std::int64_t counter_value(std::string_view name) const;
+
+  /// Snapshot of every metric as one JSON object: counters serialize to
+  /// their value, timings to {count, total_seconds, min_seconds,
+  /// max_seconds}. Keys are sorted (std::map order) for stable output.
+  Json snapshot() const;
+  std::string to_json() const { return snapshot().dump(); }
+
+  /// Zero every registered metric (tests and bench warm-up isolation).
+  void reset();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Timing> timing;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace tp::obs

@@ -1,0 +1,110 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace tp::obs {
+
+namespace {
+
+// Dense per-process thread numbering: the first thread that traces gets 0,
+// the next 1, ... Stable for the lifetime of the process, cheap to read
+// (one thread_local load after the first use).
+std::atomic<int> g_next_thread{0};
+thread_local int t_thread_number = -1;
+
+int current_thread_number() {
+  if (t_thread_number < 0) {
+    t_thread_number = g_next_thread.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_number;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::Tracer(std::ostream& out) : Tracer() { sink_ = &out; }
+
+Tracer::~Tracer() = default;
+
+void Tracer::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_.open(path, std::ios::out | std::ios::trunc);
+  if (!file_) {
+    throw std::runtime_error("Tracer::open: cannot open '" + path + "'");
+  }
+  sink_ = &file_;
+}
+
+double Tracer::elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Tracer::thread_number() { return current_thread_number(); }
+
+void Tracer::write_line(std::string_view kind, std::string_view name, double ts,
+                        double dur, bool has_dur,
+                        const std::vector<std::pair<std::string, Json>>& fields) {
+  // Format outside the lock; the critical section is one stream write.
+  std::string line;
+  line.reserve(96 + 24 * fields.size());
+  line += "{\"ts\":";
+  Json(ts).dump(line);
+  line += ",\"tid\":";
+  line += std::to_string(thread_number());
+  line += ",\"kind\":\"";
+  json_escape(kind, line);
+  line += "\",\"name\":\"";
+  json_escape(name, line);
+  line += '"';
+  if (has_dur) {
+    line += ",\"dur\":";
+    Json(dur).dump(line);
+  }
+  for (const auto& [key, value] : fields) {
+    line += ",\"";
+    json_escape(key, line);
+    line += "\":";
+    value.dump(line);
+  }
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ == nullptr) return;  // sink detached after the producer checked
+  sink_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  sink_->flush();
+}
+
+void Tracer::event(std::string_view name, std::initializer_list<Field> fields) {
+  if (!enabled()) return;
+  std::vector<std::pair<std::string, Json>> fs;
+  fs.reserve(fields.size());
+  for (const Field& f : fields) fs.emplace_back(std::string(f.key), f.value);
+  write_line("event", name, elapsed(), 0.0, /*has_dur=*/false, fs);
+}
+
+Tracer::Span::Span(Tracer* tracer, std::string_view name,
+                   std::initializer_list<Field> fields)
+    : tracer_(tracer), name_(name), start_(tracer->elapsed()) {
+  fields_.reserve(fields.size() + 4);
+  for (const Field& f : fields) fields_.emplace_back(std::string(f.key), f.value);
+}
+
+void Tracer::Span::finish() {
+  if (tracer_ == nullptr) return;
+  Tracer* t = tracer_;
+  tracer_ = nullptr;
+  t->write_line("span", name_, start_, t->elapsed() - start_, /*has_dur=*/true,
+                fields_);
+  fields_.clear();
+}
+
+Tracer::Span Tracer::span(std::string_view name,
+                          std::initializer_list<Field> fields) {
+  if (!enabled()) return {};
+  return Span(this, name, fields);
+}
+
+}  // namespace tp::obs

@@ -1,6 +1,8 @@
 #include "rtlsim/framing.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace tp::rtl {
 
@@ -21,13 +23,26 @@ std::vector<bool> serialize_entry(const core::LogEntry& entry, std::size_t m) {
 
 core::LogEntry deserialize_entry(const std::vector<bool>& bits, std::size_t m,
                                  std::size_t b) {
+  // Frames come off a wire (the RTL stream, a saved capture): a wrong
+  // payload size or an impossible counter is data corruption, which must
+  // surface in release builds too — not only under NDEBUG-off asserts.
   const std::size_t kb = core::counter_bits(m);
-  assert(bits.size() == b + kb);
+  if (bits.size() != b + kb) {
+    throw std::runtime_error(
+        "deserialize_entry: payload is " + std::to_string(bits.size()) +
+        " bits, expected " + std::to_string(b + kb) + " (b=" +
+        std::to_string(b) + " + counter=" + std::to_string(kb) + ")");
+  }
   f2::BitVec tp(b);
   for (std::size_t i = 0; i < b; ++i) tp.set(i, bits[i]);
   std::size_t k = 0;
   for (std::size_t i = 0; i < kb; ++i) {
     if (bits[b + i]) k |= std::size_t{1} << i;
+  }
+  if (k > m) {
+    throw std::runtime_error("deserialize_entry: change count k=" +
+                             std::to_string(k) + " exceeds trace-cycle length m=" +
+                             std::to_string(m));
   }
   return {std::move(tp), k};
 }

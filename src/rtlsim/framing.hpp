@@ -15,8 +15,10 @@ namespace tp::rtl {
 /// Serialize an entry into the fixed-width payload (b + counter bits).
 std::vector<bool> serialize_entry(const core::LogEntry& entry, std::size_t m);
 
-/// Inverse of serialize_entry. `bits` must be exactly
-/// b + counter_bits(m) long.
+/// Inverse of serialize_entry. Throws std::runtime_error if `bits` is not
+/// exactly b + counter_bits(m) long, or if the decoded change count
+/// exceeds m (a counter pattern no legal trace-cycle can produce —
+/// corruption, a framing slip, or a width mismatch).
 core::LogEntry deserialize_entry(const std::vector<bool>& bits, std::size_t m,
                                  std::size_t b);
 

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tp::sat {
 
 AllSatResult enumerate_models(Solver& solver, const std::vector<Var>& projection,
@@ -11,6 +14,22 @@ AllSatResult enumerate_models(Solver& solver, const std::vector<Var>& projection
   auto elapsed = [&] {
     return std::chrono::duration<double>(Clock::now() - start).count();
   };
+
+  static obs::Counter& runs = obs::MetricsRegistry::global().counter("allsat.runs");
+  static obs::Counter& models_total =
+      obs::MetricsRegistry::global().counter("allsat.models");
+  runs.add(1);
+
+  obs::Tracer::Span span;
+  if (options.tracer != nullptr) {
+    span = options.tracer->span(
+        "allsat.enumerate",
+        {{"projection", static_cast<std::uint64_t>(projection.size())},
+         {"max_models", options.max_models == UINT64_MAX
+                            ? obs::Json()
+                            : obs::Json(options.max_models)},
+         {"assumptions", static_cast<std::uint64_t>(options.assumptions.size())}});
+  }
 
   AllSatResult result;
   while (result.models.size() < options.max_models) {
@@ -39,6 +58,12 @@ AllSatResult enumerate_models(Solver& solver, const std::vector<Var>& projection
     }
     result.models.push_back(std::move(model));
     result.seconds_to_model.push_back(elapsed());
+    if (options.tracer != nullptr) {
+      options.tracer->event(
+          "allsat.model",
+          {{"index", static_cast<std::uint64_t>(result.models.size() - 1)},
+           {"seconds", result.seconds_to_model.back()}});
+    }
 
     if (!solver.add_clause(std::move(blocking))) {
       // Blocking clause made the instance unsatisfiable: enumeration done.
@@ -47,6 +72,12 @@ AllSatResult enumerate_models(Solver& solver, const std::vector<Var>& projection
     }
   }
   result.seconds_total = elapsed();
+  models_total.add(static_cast<std::int64_t>(result.models.size()));
+  if (span.active()) {
+    span.add("models", static_cast<std::uint64_t>(result.models.size()));
+    span.add("status", to_string(result.final_status));
+    span.finish();
+  }
   return result;
 }
 

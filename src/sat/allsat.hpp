@@ -31,6 +31,11 @@ struct AllSatOptions {
   /// per-cube enumerations can run in parallel and merge without
   /// deduplication.
   std::vector<Lit> assumptions;
+  /// Event tracer, or null for no tracing. When attached, the run emits
+  /// one "allsat.enumerate" span plus one "allsat.model" event per model
+  /// (with its index and seconds-to-model latency). Independent of the
+  /// solver's own tracer — usually both point at the same obs::Tracer.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Result of an enumeration run.

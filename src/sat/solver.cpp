@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace tp::sat {
 
 namespace {
@@ -37,6 +39,7 @@ SolverStats& SolverStats::operator+=(const SolverStats& o) {
   learnt_clauses += o.learnt_clauses;
   removed_clauses += o.removed_clauses;
   minimized_literals += o.minimized_literals;
+  gauss_runs += o.gauss_runs;
   return *this;
 }
 
@@ -478,6 +481,15 @@ bool Solver::gauss_propagate(Reason& conflict) {
                                : 4 * gauss_rows_.size() + 32;
   if (unassigned > gate) return false;
 
+  ++stats_.gauss_runs;
+  if (opts_.tracer != nullptr && (stats_.gauss_runs & 1023) == 0) {
+    opts_.tracer->event(
+        "solver.gauss",
+        {{"runs", stats_.gauss_runs},
+         {"unassigned", static_cast<std::uint64_t>(unassigned)},
+         {"rows", static_cast<std::uint64_t>(gauss_rows_.size())}});
+  }
+
   // Working rows: residual mask (unassigned vars), full combination mask,
   // residual parity.
   struct Working {
@@ -848,6 +860,15 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
     if (!conflict.none()) {
       ++stats_.conflicts;
       ++conflicts_here;
+      if (opts_.tracer != nullptr && (stats_.conflicts & 4095) == 0) {
+        opts_.tracer->event(
+            "solver.progress",
+            {{"conflicts", stats_.conflicts},
+             {"decisions", stats_.decisions},
+             {"propagations", stats_.propagations},
+             {"learnts", static_cast<std::uint64_t>(learnts_.size())},
+             {"trail", static_cast<std::uint64_t>(trail_.size())}});
+      }
       if (decision_level() == 0) return Status::Unsat;
 
       // The gated Gauss engine can detect a conflict whose literals were
@@ -966,6 +987,50 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
 }
 
 Status Solver::solve(const SolveLimits& limits) {
+  static obs::Counter& solves = obs::MetricsRegistry::global().counter("solver.solves");
+  static obs::Counter& conflicts = obs::MetricsRegistry::global().counter("solver.conflicts");
+  static obs::Counter& decisions = obs::MetricsRegistry::global().counter("solver.decisions");
+  static obs::Counter& propagations =
+      obs::MetricsRegistry::global().counter("solver.propagations");
+  static obs::Counter& xor_props =
+      obs::MetricsRegistry::global().counter("solver.xor_propagations");
+  static obs::Counter& restarts_m = obs::MetricsRegistry::global().counter("solver.restarts");
+  static obs::Timing& solve_time =
+      obs::MetricsRegistry::global().timing("solver.solve_seconds");
+
+  const SolverStats before = stats_;
+  obs::Tracer::Span span;
+  if (opts_.tracer != nullptr) {
+    span = opts_.tracer->span(
+        "solver.solve",
+        {{"vars", static_cast<std::int64_t>(num_vars())},
+         {"clauses", static_cast<std::uint64_t>(num_clauses())},
+         {"xors", static_cast<std::uint64_t>(num_xors())}});
+  }
+  const auto t0 = Clock::now();
+  const Status st = solve_main(limits);
+  const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  solves.add(1);
+  conflicts.add(stats_.conflicts - before.conflicts);
+  decisions.add(stats_.decisions - before.decisions);
+  propagations.add(stats_.propagations - before.propagations);
+  xor_props.add(stats_.xor_propagations - before.xor_propagations);
+  restarts_m.add(stats_.restarts - before.restarts);
+  solve_time.observe(seconds);
+
+  if (span.active()) {
+    span.add("status", std::string(to_string(st)));
+    span.add("conflicts", stats_.conflicts - before.conflicts);
+    span.add("decisions", stats_.decisions - before.decisions);
+    span.add("propagations", stats_.propagations - before.propagations);
+    span.add("restarts", stats_.restarts - before.restarts);
+    span.finish();
+  }
+  return st;
+}
+
+Status Solver::solve_main(const SolveLimits& limits) {
   if (!ok_) return Status::Unsat;
   assumption_conflict_ = false;
   final_conflict_.clear();
@@ -1019,6 +1084,13 @@ Status Solver::solve(const SolveLimits& limits) {
     }
     ++restarts;
     ++stats_.restarts;
+    if (opts_.tracer != nullptr) {
+      opts_.tracer->event(
+          "solver.restart",
+          {{"restart", restarts},
+           {"conflicts", stats_.conflicts - conflicts_at_start},
+           {"learnts", static_cast<std::uint64_t>(learnts_.size())}});
+    }
     cancel_until(0);
   }
 }

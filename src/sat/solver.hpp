@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "f2/bitvec.hpp"
+#include "obs/trace.hpp"
 #include "sat/types.hpp"
 
 namespace tp::sat {
@@ -77,6 +78,9 @@ struct SolverStats {
   std::int64_t learnt_clauses = 0;
   std::int64_t removed_clauses = 0;
   std::int64_t minimized_literals = 0;
+  /// Invocations of the Gaussian elimination engine (propagation fixpoints
+  /// at which the gate let the row reduction run).
+  std::int64_t gauss_runs = 0;
 
   /// Element-wise accumulation (aggregating per-worker solvers of a batch).
   SolverStats& operator+=(const SolverStats& o);
@@ -108,6 +112,15 @@ struct SolverOptions {
   /// combination can only become unit near the endgame anyway. 0 = auto
   /// (4·rows + 32); SIZE_MAX = always run.
   std::size_t gauss_max_unassigned = 0;
+  /// Event tracer (obs/trace.hpp), or null for no tracing. When attached,
+  /// every solve() emits a "solver.solve" span with its stats delta, each
+  /// restart a "solver.restart" event, and the search loop emits sampled
+  /// "solver.progress" / "solver.gauss" events (every 4096 conflicts /
+  /// 1024 eliminations, so tracing never dominates the inner loop). The
+  /// tracer is shared by clone()s — it is thread-safe — and must outlive
+  /// the solver. When null the only cost is one pointer test per sample
+  /// site.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// CDCL SAT solver with XOR-constraint support. See file comment.
@@ -266,6 +279,9 @@ class Solver {
   void reduce_db();
   bool locked(const Clause* c) const;
 
+  /// The restart/search driver behind solve(), which wraps it with
+  /// observability (span emission and metrics accounting).
+  Status solve_main(const SolveLimits& limits);
   Status search(const SolveLimits& limits, std::int64_t conflict_budget,
                 std::int64_t conflicts_at_start);
   /// Collect the assumptions responsible for forcing ~p (into

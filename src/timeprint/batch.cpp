@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "sat/allsat.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,6 +32,7 @@ sat::SolverOptions solver_options_for(const ReconstructionOptions& options) {
   sat::SolverOptions so;
   so.use_gauss = options.use_gauss;
   so.gauss_max_unassigned = options.gauss_gate;
+  so.tracer = options.tracer;
   return so;
 }
 
@@ -64,6 +66,15 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
   out.results.resize(entries.size());
   out.threads_used = resolve_threads(options.num_threads);
 
+  obs::Tracer* const tracer = options.recon.tracer;
+  obs::Tracer::Span span;
+  if (tracer != nullptr) {
+    span = tracer->span(
+        "batch.reconstruct_all",
+        {{"entries", static_cast<std::uint64_t>(entries.size())},
+         {"threads", static_cast<std::uint64_t>(out.threads_used)}});
+  }
+
   std::mutex mu;
   std::size_t completed = 0;
   std::uint64_t found = 0;
@@ -76,6 +87,13 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
         found += r.signals.size();
         out.results[i] = std::move(r);
         ++completed;
+        if (tracer != nullptr) {
+          tracer->event("batch.progress",
+                        {{"done", static_cast<std::uint64_t>(completed)},
+                         {"total", static_cast<std::uint64_t>(entries.size())},
+                         {"entry", static_cast<std::uint64_t>(i)},
+                         {"signals", found}});
+        }
         if (options.on_progress) {
           options.on_progress({entries.size(), completed, i, found});
         }
@@ -86,6 +104,11 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
 
   for (const ReconstructionResult& r : out.results) out.stats += r.stats;
   out.seconds_total = std::chrono::duration<double>(Clock::now() - start).count();
+  if (span.active()) {
+    span.add("signals", out.signals_total());
+    span.add("complete", out.complete());
+    span.finish();
+  }
   return out;
 }
 
@@ -100,6 +123,13 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
 
   ReconstructionResult result;
 
+  obs::Tracer* const tracer = ropts.tracer;
+  obs::Tracer::Span span;
+  if (tracer != nullptr) {
+    span = tracer->span("batch.reconstruct_split",
+                        {{"k", static_cast<std::uint64_t>(entry.k)}});
+  }
+
   // Encode the SR instance once; every cube branches from this state.
   sat::Solver base(solver_options_for(ropts));
   std::vector<sat::Var> cycle_vars;
@@ -111,6 +141,12 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
   if (!ok || !base.okay()) {
     result.final_status = sat::Status::Unsat;
     result.seconds_total = elapsed();
+    if (tracer != nullptr) tracer->event("sr.trivial_unsat");
+    if (span.active()) {
+      span.add("signals", 0);
+      span.add("status", sat::to_string(result.final_status));
+      span.finish();
+    }
     return result;
   }
 
@@ -154,6 +190,7 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
         as.max_models = cap;
         as.limits = ropts.limits;
         as.limits.interrupt = &cancel;
+        as.tracer = tracer;
         if (ropts.limits.max_seconds > 0) {
           // One global deadline: each cube gets what is left of it.
           as.limits.max_seconds = ropts.limits.max_seconds - elapsed();
@@ -175,6 +212,14 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
           cube.stats = worker->stats();
         }
         cube.done = true;
+        if (tracer != nullptr) {
+          tracer->event(
+              "batch.cube",
+              {{"cube", static_cast<std::uint64_t>(ci)},
+               {"models", static_cast<std::uint64_t>(cube.models.models.size())},
+               {"status", sat::to_string(cube.models.final_status)},
+               {"seconds", cube.models.seconds_total}});
+        }
 
         std::lock_guard<std::mutex> lock(mu);
         found += cube.models.models.size();
@@ -233,6 +278,12 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
     result.final_status = sat::Status::Unsat;  // every cube fully enumerated
   }
   result.seconds_total = elapsed();
+  if (span.active()) {
+    span.add("cubes", static_cast<std::uint64_t>(ncubes));
+    span.add("signals", static_cast<std::uint64_t>(result.signals.size()));
+    span.add("status", sat::to_string(result.final_status));
+    span.finish();
+  }
   return result;
 }
 

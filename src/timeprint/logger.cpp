@@ -1,6 +1,7 @@
 #include "timeprint/logger.hpp"
 
 #include <cassert>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -53,8 +54,14 @@ TraceLog TraceLog::load(std::istream& in) {
   std::string header;
   std::getline(in, header);
   std::size_t m = 0, b = 0, n = 0;
-  if (std::sscanf(header.c_str(), "timeprint-log m=%zu b=%zu n=%zu", &m, &b, &n) != 3) {
+  int consumed = 0;
+  if (std::sscanf(header.c_str(), "timeprint-log m=%zu b=%zu n=%zu%n", &m, &b,
+                  &n, &consumed) != 3 ||
+      static_cast<std::size_t>(consumed) != header.size()) {
     throw std::runtime_error("TraceLog::load: bad header: " + header);
+  }
+  if (m == 0 || b == 0) {
+    throw std::runtime_error("TraceLog::load: header requires m > 0 and b > 0");
   }
   TraceLog log(m, b);
   for (std::size_t i = 0; i < n; ++i) {
@@ -66,7 +73,27 @@ TraceLog TraceLog::load(std::istream& in) {
     if (bits.size() != b) {
       throw std::runtime_error("TraceLog::load: timeprint width mismatch");
     }
+    for (const char c : bits) {
+      // BitVec::from_string only asserts on bad characters; a corrupt file
+      // must fail in release builds too.
+      if (c != '0' && c != '1') {
+        throw std::runtime_error("TraceLog::load: bad timeprint bit '" +
+                                 std::string(1, c) + "'");
+      }
+    }
+    if (k > m) {
+      throw std::runtime_error(
+          "TraceLog::load: change count k=" + std::to_string(k) +
+          " exceeds trace-cycle length m=" + std::to_string(m));
+    }
     log.append({f2::BitVec::from_string(bits), k});
+  }
+  // The format is exactly n entries; anything else is a corrupt or
+  // mislabelled file, not an extended one.
+  std::string extra;
+  if (in >> extra) {
+    throw std::runtime_error("TraceLog::load: trailing garbage after " +
+                             std::to_string(n) + " entries: '" + extra + "'");
   }
   return log;
 }

@@ -21,6 +21,12 @@ std::vector<std::string> tokenize(std::string_view text) {
 }
 
 std::size_t parse_number(const std::string& text, const std::string& token) {
+  // std::stoull is more liberal than the grammar: it skips whitespace and
+  // accepts a sign, silently wrapping "-3" to 2^64-3. Only an unsigned
+  // digit string is a number here.
+  if (token.empty() || token[0] < '0' || token[0] > '9') {
+    fail(text, "expected a number, got '" + token + "'");
+  }
   try {
     std::size_t pos = 0;
     const unsigned long long v = std::stoull(token, &pos);

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sat/xor_to_cnf.hpp"
 
 namespace tp::core {
@@ -85,6 +87,7 @@ sat::SolverOptions solver_options_for(const ReconstructionOptions& options) {
   sat::SolverOptions so;
   so.use_gauss = options.use_gauss;
   so.gauss_max_unassigned = options.gauss_gate;
+  so.tracer = options.tracer;
   return so;
 }
 }  // namespace
@@ -92,29 +95,79 @@ sat::SolverOptions solver_options_for(const ReconstructionOptions& options) {
 ReconstructionResult Reconstructor::reconstruct(
     const LogEntry& entry, const ReconstructionOptions& options) const {
   options.validate();
+  static obs::Counter& runs =
+      obs::MetricsRegistry::global().counter("sr.reconstructions");
+  static obs::Counter& signals_total =
+      obs::MetricsRegistry::global().counter("sr.signals");
+  static obs::Timing& run_time =
+      obs::MetricsRegistry::global().timing("sr.reconstruct_seconds");
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  obs::Tracer::Span span;
+  if (options.tracer != nullptr) {
+    span = options.tracer->span(
+        "sr.reconstruct",
+        {{"m", static_cast<std::uint64_t>(enc_->m())},
+         {"k", static_cast<std::uint64_t>(entry.k)},
+         {"properties", static_cast<std::uint64_t>(properties_.size())}});
+  }
+
   Solver solver(solver_options_for(options));
   std::vector<Var> cycle_vars;
-  encode_base(solver, cycle_vars, entry, options);
-
-  sat::AllSatOptions as;
-  as.max_models = options.max_solutions;
-  as.limits = options.limits;
-  const sat::AllSatResult models = sat::enumerate_models(solver, cycle_vars, as);
+  obs::Tracer::Span encode_span;
+  if (options.tracer != nullptr) encode_span = options.tracer->span("sr.encode");
+  const bool encode_ok = encode_base(solver, cycle_vars, entry, options);
+  if (encode_span.active()) {
+    encode_span.add("ok", encode_ok);
+    encode_span.add("vars", static_cast<std::int64_t>(solver.num_vars()));
+    encode_span.add("clauses", static_cast<std::uint64_t>(solver.num_clauses()));
+    encode_span.add("xors", static_cast<std::uint64_t>(solver.num_xors()));
+    encode_span.finish();
+  }
 
   ReconstructionResult result;
-  result.final_status = models.final_status;
-  result.seconds_to_each = models.seconds_to_model;
-  result.seconds_total = models.seconds_total;
-  result.stats = solver.stats();
   result.num_vars = solver.num_vars();
   result.num_clauses = solver.num_clauses();
   result.num_xors = solver.num_xors();
-  for (const auto& model : models.models) {
-    Signal s(enc_->m());
-    for (std::size_t i = 0; i < model.size(); ++i) {
-      if (model[i]) s.set_change(i);
+
+  if (!encode_ok || !solver.okay()) {
+    // The encoding itself is contradictory (e.g. k > m, or a property that
+    // cannot coexist with the cardinality bound): the preimage is empty and
+    // complete. Don't spin up the enumeration machinery.
+    result.final_status = Status::Unsat;
+    result.stats = solver.stats();
+    result.seconds_total =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (options.tracer != nullptr) options.tracer->event("sr.trivial_unsat");
+  } else {
+    sat::AllSatOptions as;
+    as.max_models = options.max_solutions;
+    as.limits = options.limits;
+    as.tracer = options.tracer;
+    const sat::AllSatResult models =
+        sat::enumerate_models(solver, cycle_vars, as);
+
+    result.final_status = models.final_status;
+    result.seconds_to_each = models.seconds_to_model;
+    result.seconds_total = models.seconds_total;
+    result.stats = solver.stats();
+    for (const auto& model : models.models) {
+      Signal s(enc_->m());
+      for (std::size_t i = 0; i < model.size(); ++i) {
+        if (model[i]) s.set_change(i);
+      }
+      result.signals.push_back(std::move(s));
     }
-    result.signals.push_back(std::move(s));
+  }
+
+  runs.add(1);
+  signals_total.add(static_cast<std::int64_t>(result.signals.size()));
+  run_time.observe(result.seconds_total);
+  if (span.active()) {
+    span.add("signals", static_cast<std::uint64_t>(result.signals.size()));
+    span.add("status", sat::to_string(result.final_status));
+    span.finish();
   }
   return result;
 }
@@ -132,15 +185,42 @@ CheckResult Reconstructor::check_hypothesis(const LogEntry& entry,
 
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
+  obs::Tracer::Span span;
+  if (options.tracer != nullptr) {
+    span = options.tracer->span(
+        "sr.check",
+        {{"m", static_cast<std::uint64_t>(enc_->m())},
+         {"k", static_cast<std::uint64_t>(entry.k)},
+         {"hypothesis", hypothesis.describe()}});
+  }
 
   Solver solver(solver_options_for(options));
   std::vector<Var> cycle_vars;
-  encode_base(solver, cycle_vars, entry, options);
-  negated->encode(solver, cycle_vars);
+  bool encode_ok = encode_base(solver, cycle_vars, entry, options);
+  encode_ok = negated->encode(solver, cycle_vars) && encode_ok;
+
+  CheckResult result;
+  result.num_vars = solver.num_vars();
+  result.num_clauses = solver.num_clauses();
+  result.num_xors = solver.num_xors();
+
+  if (!encode_ok || !solver.okay()) {
+    // No assignment satisfies the encoding plus the negated hypothesis —
+    // vacuously, every reconstruction satisfies the hypothesis. Skip the
+    // solve (which would only rediscover the root-level conflict).
+    result.verdict = CheckVerdict::HoldsForAll;
+    result.stats = solver.stats();
+    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    if (options.tracer != nullptr) options.tracer->event("sr.trivial_unsat");
+    if (span.active()) {
+      span.add("verdict", to_string(result.verdict));
+      span.finish();
+    }
+    return result;
+  }
 
   const Status st = solver.solve(options.limits);
 
-  CheckResult result;
   result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
   result.stats = solver.stats();
   switch (st) {
@@ -161,6 +241,10 @@ CheckResult Reconstructor::check_hypothesis(const LogEntry& entry,
     case Status::Unknown:
       result.verdict = CheckVerdict::Unknown;
       break;
+  }
+  if (span.active()) {
+    span.add("verdict", to_string(result.verdict));
+    span.finish();
   }
   return result;
 }

@@ -52,6 +52,12 @@ struct ReconstructionOptions {
   /// Resource limits for the whole run (including `limits.interrupt`, the
   /// cooperative cancellation token honoured by every solve of the run).
   sat::SolveLimits limits;
+  /// Event tracer (obs/trace.hpp), or null for no tracing. Propagated to
+  /// the SAT solver and enumeration layers, so a traced run yields
+  /// "sr.reconstruct"/"sr.encode" spans wrapping "allsat.enumerate",
+  /// "allsat.model" and "solver.*" lines. The tracer is thread-safe and
+  /// shared by every worker of a batch run; it must outlive the run.
+  obs::Tracer* tracer = nullptr;
 
   /// Reject inconsistent knob combinations (throws std::invalid_argument):
   /// the Gaussian engine only exists on the native-XOR path, a Gauss gate
@@ -100,6 +106,10 @@ struct CheckResult {
   double seconds = 0.0;
   /// Solver effort.
   sat::SolverStats stats;
+  /// Encoded problem size (same meaning as in ReconstructionResult).
+  int num_vars = 0;
+  std::size_t num_clauses = 0;
+  std::size_t num_xors = 0;
 };
 
 /// Solves SR instances against one timestamp encoding, with optional known

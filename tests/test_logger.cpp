@@ -153,5 +153,35 @@ TEST(TraceLog, LoadRejectsGarbage) {
   EXPECT_THROW(TraceLog::load(truncated), std::runtime_error);
 }
 
+TEST(TraceLog, LoadRejectsImpossibleChangeCount) {
+  // k is the number of changes in an m-cycle trace-cycle, so k > m cannot
+  // come from the logger — only from corruption.
+  std::istringstream bad("timeprint-log m=8 b=4 n=1\n0101 9\n");
+  EXPECT_THROW(TraceLog::load(bad), std::runtime_error);
+  std::istringstream edge("timeprint-log m=8 b=4 n=1\n0101 8\n");
+  EXPECT_NO_THROW(TraceLog::load(edge));
+}
+
+TEST(TraceLog, LoadRejectsMalformedHeader) {
+  std::istringstream zero_m("timeprint-log m=0 b=4 n=0\n");
+  EXPECT_THROW(TraceLog::load(zero_m), std::runtime_error);
+  std::istringstream zero_b("timeprint-log m=8 b=0 n=0\n");
+  EXPECT_THROW(TraceLog::load(zero_b), std::runtime_error);
+  std::istringstream trailing("timeprint-log m=8 b=4 n=0 extra\n");
+  EXPECT_THROW(TraceLog::load(trailing), std::runtime_error);
+}
+
+TEST(TraceLog, LoadRejectsTrailingEntries) {
+  // The header promises exactly n entries; more data means the header and
+  // body disagree, and silently dropping the tail would hide corruption.
+  std::istringstream extra("timeprint-log m=8 b=4 n=1\n0101 1\n1111 2\n");
+  EXPECT_THROW(TraceLog::load(extra), std::runtime_error);
+}
+
+TEST(TraceLog, LoadRejectsNonBinaryTimeprint) {
+  std::istringstream bad("timeprint-log m=8 b=4 n=1\n01x1 1\n");
+  EXPECT_THROW(TraceLog::load(bad), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace tp::core

@@ -1,0 +1,241 @@
+// Tests for the observability layer: the JSONL tracer (line format, span
+// lifecycle, thread ids), the Json value type, and the metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace tp;
+
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Json --
+
+TEST(Json, ScalarsAndEscaping) {
+  EXPECT_EQ(obs::Json().dump(), "null");
+  EXPECT_EQ(obs::Json(true).dump(), "true");
+  EXPECT_EQ(obs::Json(false).dump(), "false");
+  EXPECT_EQ(obs::Json(42).dump(), "42");
+  EXPECT_EQ(obs::Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(obs::Json(std::uint64_t{18446744073709551615u}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(obs::Json(0.5).dump(), "0.5");
+  EXPECT_EQ(obs::Json("plain").dump(), "\"plain\"");
+  EXPECT_EQ(obs::Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(obs::Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(obs::Json(INFINITY).dump(), "null");
+}
+
+TEST(Json, ObjectsAndArrays) {
+  obs::Json obj = obs::Json::object();
+  obj.set("b", 1).set("a", "x");
+  obs::Json arr = obs::Json::array();
+  arr.push(obs::Json(true));
+  arr.push(obj);
+  // Object keys keep insertion order; nesting round-trips through dump().
+  EXPECT_EQ(arr.dump(), "[true,{\"b\":1,\"a\":\"x\"}]");
+}
+
+// -------------------------------------------------------------- Tracer --
+
+TEST(Tracer, DisabledTracerEmitsNothing) {
+  obs::Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.event("ev", {{"x", 1}});
+  auto span = tracer.span("sp");
+  EXPECT_FALSE(span.active());
+  span.add("y", 2);
+  span.finish();
+  // Nothing to assert beyond "does not crash": there is no sink.
+}
+
+TEST(Tracer, EventLineFormat) {
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  ASSERT_TRUE(tracer.enabled());
+  tracer.event("solver.restart",
+               {{"restart", 3}, {"ok", true}, {"note", "he\"llo"}, {"none", obs::Json()}});
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& l = lines[0];
+  EXPECT_EQ(l.front(), '{');
+  EXPECT_EQ(l.back(), '}');
+  EXPECT_NE(l.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(l.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(l.find("\"kind\":\"event\""), std::string::npos);
+  EXPECT_NE(l.find("\"name\":\"solver.restart\""), std::string::npos);
+  EXPECT_NE(l.find("\"restart\":3"), std::string::npos);
+  EXPECT_NE(l.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(l.find("\"note\":\"he\\\"llo\""), std::string::npos);
+  EXPECT_NE(l.find("\"none\":null"), std::string::npos);
+  EXPECT_EQ(l.find("\"dur\":"), std::string::npos);  // events carry no dur
+}
+
+TEST(Tracer, SpanEmitsOnceWithDuration) {
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  {
+    auto span = tracer.span("sr.encode", {{"vars", 10}});
+    EXPECT_TRUE(span.active());
+    span.add("ok", true);
+    EXPECT_TRUE(lines_of(out.str()).empty());  // emitted at close, not open
+    span.finish();
+    span.finish();  // idempotent
+  }  // destructor must not re-emit after an explicit finish()
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"kind\":\"span\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"name\":\"sr.encode\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"dur\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"vars\":10"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+}
+
+TEST(Tracer, SpanEmitsOnDestruction) {
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  { auto span = tracer.span("scoped"); }
+  EXPECT_EQ(lines_of(out.str()).size(), 1u);
+}
+
+TEST(Tracer, MovedFromSpanDoesNotEmit) {
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  {
+    auto a = tracer.span("only-once");
+    auto b = std::move(a);
+    EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.active());
+  }
+  EXPECT_EQ(lines_of(out.str()).size(), 1u);
+}
+
+TEST(Tracer, NestedSpansCloseInnerFirst) {
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  {
+    auto outer = tracer.span("outer");
+    { auto inner = tracer.span("inner"); }
+    tracer.event("between");
+  }
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"between\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"name\":\"outer\""), std::string::npos);
+}
+
+TEST(Tracer, ConcurrentWritersKeepLinesIntact) {
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        tracer.event("tick", {{"thread", t}, {"i", i}});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kEvents));
+  for (const auto& l : lines) {
+    // Every line is one complete object — no interleaved writes.
+    ASSERT_FALSE(l.empty());
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+    EXPECT_NE(l.find("\"name\":\"tick\""), std::string::npos);
+  }
+}
+
+TEST(Tracer, ElapsedIsMonotonic) {
+  obs::Tracer tracer;
+  const double a = tracer.elapsed();
+  const double b = tracer.elapsed();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+// ------------------------------------------------------------- Metrics --
+
+TEST(Metrics, CounterAddValueReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Metrics, TimingTracksCountTotalMinMax) {
+  obs::Timing t;
+  EXPECT_EQ(t.count(), 0);
+  EXPECT_EQ(t.min_seconds(), 0.0);
+  EXPECT_EQ(t.max_seconds(), 0.0);
+  t.observe(0.5);
+  t.observe(0.25);
+  t.observe(2.0);
+  EXPECT_EQ(t.count(), 3);
+  EXPECT_DOUBLE_EQ(t.total_seconds(), 2.75);
+  EXPECT_DOUBLE_EQ(t.min_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(t.max_seconds(), 2.0);
+}
+
+TEST(Metrics, RegistryFindOrCreateReturnsStableReferences) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x.count");
+  obs::Counter& b = reg.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  EXPECT_EQ(reg.counter_value("x.count"), 5);
+  EXPECT_EQ(reg.counter_value("never.registered"), 0);
+}
+
+TEST(Metrics, RegistryRejectsKindClash) {
+  obs::MetricsRegistry reg;
+  reg.counter("name");
+  EXPECT_THROW(reg.timing("name"), std::logic_error);
+  reg.timing("other");
+  EXPECT_THROW(reg.counter("other"), std::logic_error);
+}
+
+TEST(Metrics, SnapshotSerializesBothKinds) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.timing("b.time").observe(1.5);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"b.time\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_seconds\":1.5"), std::string::npos);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("a.count"), 0);
+}
+
+TEST(Metrics, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&obs::MetricsRegistry::global(), &obs::MetricsRegistry::global());
+}

@@ -55,6 +55,26 @@ TEST(Parse, WhitespaceTolerance) {
   EXPECT_NO_THROW(parse_properties(" p2 ;; pairs ; "));
 }
 
+TEST(Parse, RejectsNegativeAndSignedNumbers) {
+  // std::stoull accepts a leading '-' and wraps modulo 2^64, so "before -3
+  // min 1" used to parse with deadline 18446744073709551613. Any signed or
+  // non-digit-leading token must be an error.
+  EXPECT_THROW(parse_property("before -3 min 1"), std::invalid_argument);
+  EXPECT_THROW(parse_property("before 32 min -1"), std::invalid_argument);
+  EXPECT_THROW(parse_property("gap -2"), std::invalid_argument);
+  EXPECT_THROW(parse_property("window -1 5 any"), std::invalid_argument);
+  EXPECT_THROW(parse_property("window 0 8 exactly -2"), std::invalid_argument);
+  EXPECT_THROW(parse_property("known -1 0"), std::invalid_argument);
+  EXPECT_THROW(parse_property("gap +2"), std::invalid_argument);
+}
+
+TEST(Parse, RejectsOverflowingNumbers) {
+  EXPECT_THROW(parse_property("gap 99999999999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_property("before 18446744073709551616 min 1"),
+               std::invalid_argument);
+}
+
 TEST(Parse, Errors) {
   EXPECT_THROW(parse_property(""), std::invalid_argument);
   EXPECT_THROW(parse_property("bogus"), std::invalid_argument);

@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
 #include "f2/matrix.hpp"
+#include "obs/trace.hpp"
 #include "timeprint/galois.hpp"
 #include "timeprint/reconstruct.hpp"
 
@@ -272,6 +274,61 @@ TEST(Reconstruct, StatsArePopulated) {
   EXPECT_GT(result.num_clauses, 0u);
   EXPECT_GE(result.seconds_total, 0.0);
   EXPECT_EQ(result.seconds_to_each.size(), result.signals.size());
+}
+
+TEST(Reconstruct, TrivialUnsatEncodingShortCircuitsEnumeration) {
+  // k > m makes the cardinality constraint contradictory at encode time;
+  // reconstruct() must report a complete empty preimage without spinning
+  // up the enumeration loop (observable as the missing "allsat.enumerate"
+  // span), and must still report the encoded problem size.
+  auto enc = fig4_encoding();
+  Reconstructor rec(enc);
+  std::ostringstream trace;
+  obs::Tracer tracer(trace);
+  ReconstructionOptions opt;
+  opt.tracer = &tracer;
+  auto result = rec.reconstruct({f2::BitVec::from_string("00000001"), 17}, opt);
+  EXPECT_EQ(result.final_status, sat::Status::Unsat);
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(result.signals.empty());
+  EXPECT_GT(result.num_vars, 0);
+  EXPECT_GE(result.seconds_total, 0.0);
+  const std::string lines = trace.str();
+  EXPECT_NE(lines.find("sr.trivial_unsat"), std::string::npos);
+  EXPECT_EQ(lines.find("allsat.enumerate"), std::string::npos);
+}
+
+TEST(Reconstruct, CheckHypothesisShortCircuitsOnTrivialUnsat) {
+  // With an encode-time contradiction there is no reconstruction at all,
+  // so every hypothesis holds vacuously — without a solve.
+  auto enc = fig4_encoding();
+  Reconstructor rec(enc);
+  MinChangesBefore hyp(/*deadline=*/8, /*min_changes=*/1);
+  std::ostringstream trace;
+  obs::Tracer tracer(trace);
+  ReconstructionOptions opt;
+  opt.tracer = &tracer;
+  auto check = rec.check_hypothesis({f2::BitVec::from_string("00000001"), 17},
+                                    hyp, opt);
+  EXPECT_EQ(check.verdict, CheckVerdict::HoldsForAll);
+  EXPECT_FALSE(check.witness.has_value());
+  const std::string lines = trace.str();
+  EXPECT_NE(lines.find("sr.trivial_unsat"), std::string::npos);
+  EXPECT_EQ(lines.find("solver.solve"), std::string::npos);
+}
+
+TEST(Reconstruct, CheckResultReportsProblemSize) {
+  // CheckResult carries the same encoded-size fields as
+  // ReconstructionResult.
+  auto enc = fig4_encoding();
+  Reconstructor rec(enc);
+  MinChangesBefore hyp(/*deadline=*/8, /*min_changes=*/1);
+  auto check =
+      rec.check_hypothesis({f2::BitVec::from_string("00000001"), 4}, hyp);
+  EXPECT_EQ(check.verdict, CheckVerdict::HoldsForAll);
+  EXPECT_EQ(check.num_xors, 8u);
+  EXPECT_GT(check.num_vars, 16);
+  EXPECT_GT(check.num_clauses, 0u);
 }
 
 TEST(Reconstruct, TimeLimitReturnsUnknown) {

@@ -153,6 +153,33 @@ TEST(Framing, PaperCanPayloadIs34Bits) {
   EXPECT_EQ(entry_payload_bits(1000, 24), 34u);
 }
 
+TEST(Framing, DeserializeRejectsWrongPayloadSize) {
+  // A truncated or over-long frame must be a hard error in release builds,
+  // not a debug-only assert: a framing slip otherwise decodes to a
+  // plausible-looking entry.
+  const std::size_t m = 16, b = 8;  // payload = 8 + 5 bits
+  std::vector<bool> bits(entry_payload_bits(m, b), false);
+  EXPECT_NO_THROW(deserialize_entry(bits, m, b));
+  bits.pop_back();
+  EXPECT_THROW(deserialize_entry(bits, m, b), std::runtime_error);
+  bits.push_back(false);
+  bits.push_back(false);
+  EXPECT_THROW(deserialize_entry(bits, m, b), std::runtime_error);
+  EXPECT_THROW(deserialize_entry({}, m, b), std::runtime_error);
+}
+
+TEST(Framing, DeserializeRejectsImpossibleChangeCount) {
+  // counter_bits(16) = 5, so the counter field can encode up to 31 — but
+  // only 0..16 changes are possible in a 16-cycle trace-cycle.
+  const std::size_t m = 16, b = 8;
+  LogEntry e{f2::BitVec(b), m};  // k = m is the legal maximum
+  auto bits = serialize_entry(e, m);
+  EXPECT_NO_THROW(deserialize_entry(bits, m, b));
+  // Patch the counter field (LSB-first, after the b timeprint bits) to 17.
+  for (std::size_t i = b; i < bits.size(); ++i) bits[i] = ((17u >> (i - b)) & 1) != 0;
+  EXPECT_THROW(deserialize_entry(bits, m, b), std::runtime_error);
+}
+
 class UartRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(UartRoundTripTest, FramesSurviveTheWire) {

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable bench report schema.
+
+Every bench binary accepts `--json <path>` and writes one object:
+
+    {
+      "bench": "<name>",                  # non-empty string
+      "config": { ... },                  # object (may be empty)
+      "rows": [ { ... }, ... ],           # list of objects
+      "wall_seconds": 1.23,               # non-negative number
+      "solver_stats": {                   # object with a source marker
+        "source": "bench" | "global-metrics",
+        "<counter>": <int >= 0>, ...
+      }
+    }
+
+Usage: check_bench_json.py report.json [report2.json ...]
+Exits non-zero with a per-file message on the first violation.
+No third-party dependencies — CI runs it with a stock python3.
+"""
+
+import json
+import numbers
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def check_report(data):
+    if not isinstance(data, dict):
+        raise SchemaError("top level is not an object")
+
+    required = {"bench", "config", "rows", "wall_seconds", "solver_stats"}
+    missing = required - data.keys()
+    if missing:
+        raise SchemaError(f"missing keys: {sorted(missing)}")
+
+    if not isinstance(data["bench"], str) or not data["bench"]:
+        raise SchemaError("'bench' must be a non-empty string")
+
+    if not isinstance(data["config"], dict):
+        raise SchemaError("'config' must be an object")
+
+    if not isinstance(data["rows"], list):
+        raise SchemaError("'rows' must be a list")
+    for i, row in enumerate(data["rows"]):
+        if not isinstance(row, dict):
+            raise SchemaError(f"rows[{i}] is not an object")
+        if not row:
+            raise SchemaError(f"rows[{i}] is empty")
+
+    wall = data["wall_seconds"]
+    if not isinstance(wall, numbers.Real) or isinstance(wall, bool):
+        raise SchemaError("'wall_seconds' must be a number")
+    if wall < 0:
+        raise SchemaError(f"'wall_seconds' is negative: {wall}")
+
+    stats = data["solver_stats"]
+    if not isinstance(stats, dict):
+        raise SchemaError("'solver_stats' must be an object")
+    source = stats.get("source")
+    if source not in ("bench", "global-metrics"):
+        raise SchemaError(f"solver_stats.source is {source!r}, expected "
+                          "'bench' or 'global-metrics'")
+    for key, value in stats.items():
+        if key == "source":
+            continue
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise SchemaError(f"solver_stats[{key!r}] is not an integer")
+        if value < 0:
+            raise SchemaError(f"solver_stats[{key!r}] is negative: {value}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            check_report(data)
+        except (OSError, json.JSONDecodeError, SchemaError) as err:
+            print(f"{path}: FAIL: {err}", file=sys.stderr)
+            failed = True
+            continue
+        print(f"{path}: OK ({data['bench']}, {len(data['rows'])} rows, "
+              f"stats from {data['solver_stats']['source']})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
