@@ -1,0 +1,191 @@
+// bench_incremental — fresh-solver vs. template (incremental) decoding
+// throughput over a stream of log entries.
+//
+// The deployment workload the incremental engine targets: one decoder,
+// one encoding, a long stream of (TP, k) entries. For each configuration
+// the same stream is decoded twice — once with a fresh solver per entry
+// (Reconstructor::reconstruct, the reference path) and once through a
+// single warm TemplateReconstructor — and the bench reports both
+// entries/second rates, their ratio, and whether the reconstructed signal
+// sets were identical entry for entry (they must be; both paths enumerate
+// to completion).
+//
+//   bench_incremental [--entries N] [--json out.json]
+//
+// The primary configuration (m=64, b=16, depth 4, k ≤ 4) is the PR's
+// acceptance point; the others probe the paper widths and a
+// property-pruned stream.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "f2/bitvec.hpp"
+#include "timeprint/incremental.hpp"
+#include "timeprint/logger.hpp"
+#include "timeprint/properties.hpp"
+#include "timeprint/reconstruct.hpp"
+
+namespace {
+
+using namespace tp;
+using Clock = std::chrono::steady_clock;
+
+std::string signal_key(const std::vector<core::Signal>& signals) {
+  std::vector<std::string> keys;
+  keys.reserve(signals.size());
+  for (const core::Signal& s : signals) keys.push_back(s.to_string());
+  std::sort(keys.begin(), keys.end());
+  std::string out;
+  for (const std::string& k : keys) {
+    out += k;
+    out += '|';
+  }
+  return out;
+}
+
+struct Config {
+  const char* name;
+  std::size_t m;
+  std::size_t b;
+  std::size_t depth;
+  std::size_t k_max;       // stream draws k in [1, k_max]
+  bool with_properties;    // P2 + Dk pruned stream (table_signal instances)
+  std::size_t divisor;     // this config decodes max(1, --entries / divisor)
+};
+
+struct PhaseResult {
+  double seconds = 0.0;
+  std::uint64_t signals = 0;
+  sat::SolverStats stats;
+  std::vector<std::string> keys;  // per-entry sorted signal-set fingerprint
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_entries = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--entries") == 0 && i + 1 < argc) {
+      num_entries = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    }
+  }
+
+  bench::JsonReport report("incremental", argc, argv);
+  report.config().set("entries", static_cast<std::uint64_t>(num_entries));
+  report.config().set("budget_seconds", bench::cell_budget_seconds());
+
+  // The m=128 stream costs seconds per entry on the fresh path; it rides
+  // along at 1/50 of the requested entry count so the full 1000-entry
+  // acceptance run stays in minutes, not hours.
+  const Config configs[] = {
+      {"m64_b16", 64, 16, 4, 3, false, 1},       // acceptance point
+      {"m64_b13_paper", 64, 13, 4, 3, false, 1}, // paper's width for m=64
+      {"m128_b16", 128, 16, 4, 3, false, 50},
+      {"m64_b16_props", 64, 16, 4, 4, true, 1},
+  };
+
+  std::printf("%-16s %8s %10s %10s %10s %8s %6s\n", "config", "entries",
+              "fresh_eps", "tmpl_eps", "speedup", "signals", "same");
+
+  for (const Config& cfg : configs) {
+    const std::size_t cfg_entries = std::max<std::size_t>(1, num_entries / cfg.divisor);
+    const core::TimestampEncoding enc = core::TimestampEncoding::random_constrained(
+        cfg.m, cfg.b, cfg.depth, /*seed=*/42);
+    const core::Logger logger(enc);
+    const core::ExistsConsecutivePair p2;
+    const core::MinChangesBefore dk(32, 3);
+
+    // One fixed stream per configuration: logged entries of random signals,
+    // so every instance is satisfiable and both paths enumerate the full
+    // preimage.
+    f2::Rng rng(42 + cfg.m);
+    std::vector<core::LogEntry> entries;
+    entries.reserve(cfg_entries);
+    std::size_t stream_k_max = 0;
+    for (std::size_t i = 0; i < cfg_entries; ++i) {
+      const std::size_t k = 1 + rng.below(cfg.k_max);
+      const core::Signal s = cfg.with_properties
+                                 ? bench::table_signal(cfg.m, k, rng)
+                                 : core::Signal::random_with_changes(cfg.m, k, rng);
+      entries.push_back(logger.log(s));
+      stream_k_max = std::max(stream_k_max, entries.back().k);
+    }
+
+    core::Reconstructor fresh(enc);
+    if (cfg.with_properties) {
+      fresh.add_property(p2);
+      fresh.add_property(dk);
+    }
+    core::ReconstructionOptions opts;
+
+    PhaseResult fr;
+    {
+      const auto t0 = Clock::now();
+      for (const core::LogEntry& e : entries) {
+        const core::ReconstructionResult r = fresh.reconstruct(e, opts);
+        fr.signals += r.signals.size();
+        fr.stats += r.stats;
+        fr.keys.push_back(signal_key(r.signals));
+      }
+      fr.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+
+    PhaseResult tr;
+    {
+      core::TemplateReconstructor tmpl(fresh, opts, stream_k_max);
+      const auto t0 = Clock::now();
+      for (const core::LogEntry& e : entries) {
+        const core::ReconstructionResult r = tmpl.reconstruct(e);
+        tr.signals += r.signals.size();
+        tr.stats += r.stats;
+        tr.keys.push_back(signal_key(r.signals));
+      }
+      tr.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+
+    const bool identical = fr.keys == tr.keys;
+    const double fresh_eps = fr.seconds > 0 ? cfg_entries / fr.seconds : 0.0;
+    const double tmpl_eps = tr.seconds > 0 ? cfg_entries / tr.seconds : 0.0;
+    const double speedup = tr.seconds > 0 ? fr.seconds / tr.seconds : 0.0;
+
+    std::printf("%-16s %8zu %10.1f %10.1f %9.2fx %8llu %6s\n", cfg.name,
+                cfg_entries, fresh_eps, tmpl_eps, speedup,
+                static_cast<unsigned long long>(tr.signals),
+                identical ? "yes" : "NO");
+
+    report.add_solver_stats(fr.stats);
+    report.add_solver_stats(tr.stats);
+    report.add_row(obs::Json::object()
+                       .set("config", cfg.name)
+                       .set("m", static_cast<std::uint64_t>(cfg.m))
+                       .set("b", static_cast<std::uint64_t>(cfg.b))
+                       .set("depth", static_cast<std::uint64_t>(cfg.depth))
+                       .set("properties", cfg.with_properties)
+                       .set("entries", static_cast<std::uint64_t>(cfg_entries))
+                       .set("k_max", static_cast<std::uint64_t>(stream_k_max))
+                       .set("fresh_seconds", fr.seconds)
+                       .set("template_seconds", tr.seconds)
+                       .set("fresh_entries_per_sec", fresh_eps)
+                       .set("template_entries_per_sec", tmpl_eps)
+                       .set("speedup", speedup)
+                       .set("signals", static_cast<std::uint64_t>(tr.signals))
+                       .set("identical_signal_sets", identical));
+
+    if (!identical) {
+      std::fprintf(stderr,
+                   "bench_incremental: signal-set mismatch in config %s\n",
+                   cfg.name);
+      report.finish();
+      return 1;
+    }
+  }
+
+  report.finish();
+  return 0;
+}

@@ -22,6 +22,10 @@
 //   --max <n>                  stop after n solutions (default 10)
 //   --timeout <seconds>        solver budget (default unlimited)
 //   --out <file>               trace sink for `tpr trace` (default stdout)
+//   --incremental              decode through the template engine
+//                              (timeprint/incremental.hpp) instead of a
+//                              fresh solver; `tpr trace` reports the
+//                              incremental.* counters on stderr
 //
 // Example:
 //   tpr reconstruct 64 13 1 0101100110010 4 --prop "before 32 min 3" --max 5
@@ -33,7 +37,9 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "timeprint/incremental.hpp"
 #include "timeprint/parse.hpp"
 #include "timeprint/reconstruct.hpp"
 
@@ -47,11 +53,11 @@ int usage() {
                "  tpr encode <m> <b> <depth> <seed>\n"
                "  tpr log <m> <b> <seed> <signal-bits>\n"
                "  tpr reconstruct <m> <b> <seed> <tp-bits> <k> [--prop P] "
-               "[--max N] [--timeout S]\n"
+               "[--max N] [--timeout S] [--incremental]\n"
                "  tpr check <m> <b> <seed> <tp-bits> <k> --hypothesis P "
                "[--prop P] [--timeout S]\n"
                "  tpr trace <m> <b> <seed> <tp-bits> <k> [--prop P] [--max N] "
-               "[--timeout S] [--out FILE]\n");
+               "[--timeout S] [--out FILE] [--incremental]\n");
   return 2;
 }
 
@@ -63,11 +69,16 @@ struct CommonOptions {
   std::uint64_t max_solutions = 10;
   double timeout = -1.0;
   std::string trace_out;
+  bool incremental = false;
 };
 
 bool parse_flags(int argc, char** argv, int first, CommonOptions& out) {
   for (int i = first; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--incremental") {  // valueless
+      out.incremental = true;
+      continue;
+    }
     if (i + 1 >= argc) {
       std::fprintf(stderr, "missing value for %s\n", flag.c_str());
       return false;
@@ -145,6 +156,18 @@ int main(int argc, char** argv) {
       core::ReconstructionOptions ro;
       ro.max_solutions = opts.max_solutions;
       ro.limits.max_seconds = opts.timeout;
+      ro.incremental = opts.incremental;
+
+      // One entry, either engine: --incremental builds a template and
+      // serves the entry from it (the counters it bumps are reported by
+      // `tpr trace` below); otherwise the classic fresh-solver path.
+      const auto run = [&]() {
+        if (opts.incremental) {
+          core::TemplateReconstructor tmpl(rec, ro);
+          return tmpl.reconstruct(entry);
+        }
+        return rec.reconstruct(entry, ro);
+      };
 
       if (cmd == "trace") {
         // Replay the reconstruction with the event tracer armed; the JSONL
@@ -152,16 +175,25 @@ int main(int argc, char** argv) {
         obs::Tracer tracer(std::cout);
         if (!opts.trace_out.empty()) tracer.open(opts.trace_out);
         ro.tracer = &tracer;
-        const auto result = rec.reconstruct(entry, ro);
+        const auto result = run();
         std::fprintf(stderr, "# status=%s solutions=%zu seconds=%.3f%s%s\n",
                      to_string(result.final_status), result.signals.size(),
                      result.seconds_total,
                      opts.trace_out.empty() ? "" : " trace=",
                      opts.trace_out.c_str());
+        auto& reg = obs::MetricsRegistry::global();
+        std::fprintf(
+            stderr,
+            "# incremental template_builds=%lld template_hits=%lld "
+            "template_misses=%lld learnt_retained=%lld\n",
+            static_cast<long long>(reg.counter_value("incremental.template_builds")),
+            static_cast<long long>(reg.counter_value("incremental.template_hits")),
+            static_cast<long long>(reg.counter_value("incremental.template_misses")),
+            static_cast<long long>(reg.counter_value("incremental.learnt_retained")));
         return result.final_status == sat::Status::Unknown ? 1 : 0;
       }
       if (cmd == "reconstruct") {
-        const auto result = rec.reconstruct(entry, ro);
+        const auto result = run();
         std::printf("# status=%s solutions=%zu seconds=%.3f\n",
                     to_string(result.final_status), result.signals.size(),
                     result.seconds_total);

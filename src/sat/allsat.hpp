@@ -9,8 +9,27 @@
 // complete) or a limit is reached. Auxiliary variables (cardinality
 // registers, Tseitin variables) are not part of the projection, so each
 // reconstructed signal is reported exactly once.
+//
+// Two refinements make the enumeration solver-reuse friendly:
+//
+//  * *Guard literals* — with AllSatOptions::guard set, every blocking
+//    clause is (~guard ∨ blocking...) and `guard` is assumed during the
+//    run. The caller retires the run afterwards with
+//    solver.add_clause({~guard}): all of its blocking clauses become
+//    level-0 satisfied and the solver is reusable for the next query
+//    (the incremental reconstruction engine's per-entry scoping). Runs
+//    with assumptions but no explicit guard get an internal one, so an
+//    assumption-restricted enumeration never leaks permanent blocking
+//    clauses into later solves on the same solver.
+//  * *Weight-aware blocking* — when the caller declares that every model
+//    has the same projection Hamming weight (AllSatOptions::fixed_weight,
+//    e.g. the |x| = k cardinality of a reconstruction query), the
+//    blocking clause needs only the k true literals: any other
+//    fixed-weight model must already clear one of them. Shorter clauses,
+//    faster propagation.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sat/solver.hpp"
@@ -31,6 +50,18 @@ struct AllSatOptions {
   /// per-cube enumerations can run in parallel and merge without
   /// deduplication.
   std::vector<Lit> assumptions;
+  /// Entry-scoping guard (see file comment). When not lit_undef, the
+  /// literal is assumed for every solve of the run and ~guard is prepended
+  /// to every blocking clause. The *caller* owns retirement: adding the
+  /// unit clause {~guard} permanently satisfies the run's blocking clauses
+  /// without poisoning later queries. When left lit_undef but `assumptions`
+  /// is non-empty, the run creates and retires an internal guard itself.
+  Lit guard = lit_undef;
+  /// Declared projection Hamming weight: every model of the current
+  /// constraints has exactly this many true projection variables (the
+  /// caller's promise — e.g. an encoded |x| = k constraint). Blocking
+  /// clauses then contain only the true literals' negations.
+  std::optional<std::size_t> fixed_weight;
   /// Event tracer, or null for no tracing. When attached, the run emits
   /// one "allsat.enumerate" span plus one "allsat.model" event per model
   /// (with its index and seconds-to-model latency). Independent of the
@@ -57,8 +88,11 @@ struct AllSatResult {
 };
 
 /// Enumerate models of `solver` projected onto `projection`. The solver is
-/// left in a usable state (with the blocking clauses added), so callers can
-/// continue adding constraints afterwards.
+/// left in a usable state, so callers can continue adding constraints
+/// afterwards. Without a guard and without assumptions the blocking
+/// clauses stay in force (later solves see the enumerated models
+/// excluded); guarded runs — explicit or internal — leave no lasting
+/// constraints once their guard is retired.
 AllSatResult enumerate_models(Solver& solver, const std::vector<Var>& projection,
                               const AllSatOptions& options = {});
 

@@ -845,6 +845,30 @@ void Solver::reduce_db() {
                  learnts_.end());
 }
 
+bool Solver::simplify() {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  auto satisfied = [this](const Clause& c) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (value(c[i]) == LBool::True) return true;
+    }
+    return false;
+  };
+  auto sweep = [&](std::vector<std::unique_ptr<Clause>>& db) {
+    const std::size_t before = db.size();
+    for (auto& c : db) {
+      if (satisfied(*c) && !locked(c.get())) {
+        detach_clause(c.get());
+        c.reset();
+      }
+    }
+    db.erase(std::remove(db.begin(), db.end(), nullptr), db.end());
+    return before - db.size();
+  };
+  stats_.removed_clauses += static_cast<std::int64_t>(sweep(learnts_) + sweep(clauses_));
+  return true;
+}
+
 Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
                       std::int64_t conflicts_at_start) {
   const auto start = Clock::now();

@@ -198,6 +198,20 @@ class Solver {
   /// Number of XOR constraints currently held (watched + Gaussian rows).
   std::size_t num_xors() const { return xors_.size() + gauss_raw_.size(); }
 
+  /// Number of learnt clauses currently held (the warm-start capital an
+  /// incremental engine carries from one query to the next).
+  std::size_t num_learnts() const { return learnts_.size(); }
+
+  /// Root-level database simplification (MiniSat's simplify()): remove
+  /// clauses satisfied by the level-0 assignment from both the problem and
+  /// learnt databases and their watch lists. The workhorse of guard-literal
+  /// retirement — once a run's guard g is fixed false, every blocking or
+  /// learnt clause containing ¬g is root-satisfied ballast that would
+  /// otherwise slow propagation for the rest of the solver's life. Clauses
+  /// currently locked as a propagation reason are kept. Only callable
+  /// between solves (decision level 0). Returns okay().
+  bool simplify();
+
  private:
   struct Reason {
     Clause* clause = nullptr;

@@ -7,8 +7,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sat/allsat.hpp"
+#include "timeprint/incremental.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tp::core {
@@ -26,14 +28,6 @@ std::size_t resolve_threads(std::size_t requested) {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
-}
-
-sat::SolverOptions solver_options_for(const ReconstructionOptions& options) {
-  sat::SolverOptions so;
-  so.use_gauss = options.use_gauss;
-  so.gauss_max_unassigned = options.gauss_gate;
-  so.tracer = options.tracer;
-  return so;
 }
 
 }  // namespace
@@ -75,6 +69,49 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
          {"threads", static_cast<std::uint64_t>(out.threads_used)}});
   }
 
+  // Incremental mode: one immutable master template (clone source only —
+  // it is never solved on, so concurrent clone() reads race-free) feeding
+  // a free-list of per-worker templates. A task pops a warm template (hit)
+  // or clones the master (miss, at most one per worker thread) and returns
+  // it afterwards, so learnt clauses and heuristic state accumulate across
+  // the entries each worker serves.
+  std::unique_ptr<TemplateReconstructor> master;
+  std::vector<std::unique_ptr<TemplateReconstructor>> idle_templates;
+  std::mutex template_mu;
+  static obs::Counter& template_hits =
+      obs::MetricsRegistry::global().counter("incremental.template_hits");
+  static obs::Counter& template_misses =
+      obs::MetricsRegistry::global().counter("incremental.template_misses");
+  if (options.recon.incremental && !entries.empty()) {
+    std::size_t k_max = 0;
+    for (const LogEntry& e : entries) k_max = std::max(k_max, e.k);
+    k_max = std::min(k_max, rec_.encoding().m());
+    master = std::make_unique<TemplateReconstructor>(
+        rec_.encoding(), rec_.properties(), options.recon,
+        k_max == 0 ? rec_.encoding().m() : k_max);
+  }
+  auto run_entry = [&](const LogEntry& entry) -> ReconstructionResult {
+    if (master == nullptr) return rec_.reconstruct(entry, options.recon);
+    std::unique_ptr<TemplateReconstructor> tmpl;
+    {
+      std::lock_guard<std::mutex> lock(template_mu);
+      if (!idle_templates.empty()) {
+        tmpl = std::move(idle_templates.back());
+        idle_templates.pop_back();
+      }
+    }
+    if (tmpl != nullptr) {
+      template_hits.add(1);
+    } else {
+      template_misses.add(1);
+      tmpl = master->clone();
+    }
+    ReconstructionResult r = tmpl->reconstruct(entry);
+    std::lock_guard<std::mutex> lock(template_mu);
+    idle_templates.push_back(std::move(tmpl));
+    return r;
+  };
+
   std::mutex mu;
   std::size_t completed = 0;
   std::uint64_t found = 0;
@@ -82,7 +119,7 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
     util::ThreadPool pool(out.threads_used);
     for (std::size_t i = 0; i < entries.size(); ++i) {
       pool.submit([&, i] {
-        ReconstructionResult r = rec_.reconstruct(entries[i], options.recon);
+        ReconstructionResult r = run_entry(entries[i]);
         std::lock_guard<std::mutex> lock(mu);
         found += r.signals.size();
         out.results[i] = std::move(r);
@@ -131,7 +168,7 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
   }
 
   // Encode the SR instance once; every cube branches from this state.
-  sat::Solver base(solver_options_for(ropts));
+  sat::Solver base(ropts.solver_options());
   std::vector<sat::Var> cycle_vars;
   const bool ok = rec_.encode_base(base, cycle_vars, entry, ropts);
   result.num_vars = base.num_vars();

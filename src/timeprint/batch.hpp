@@ -23,6 +23,18 @@
 // (seconds_*) vary run to run. Resource limits (max_seconds,
 // max_conflicts, an external interrupt) trade this determinism for
 // bounded latency, exactly as they do on the single-threaded path.
+//
+// Incremental mode (ReconstructionOptions::incremental): reconstruct_all
+// routes entries through per-worker TemplateReconstructors
+// (timeprint/incremental.hpp) — the SR base is encoded once into an
+// immutable master template, each worker clones it on first use (cache
+// miss) and reuses its warm clone for every further entry it serves
+// (cache hit), so learnt clauses, saved phases and activity scores carry
+// across the stream. Complete enumerations still yield exactly the fresh
+// path's signal *sets*; a warm solver may discover them in a different
+// *order*, so with a max_solutions cap the truncated subset can differ
+// from the fresh path's and vary with scheduling. reconstruct_split
+// ignores the flag (it already encodes once and branches per cube).
 
 #include <cstddef>
 #include <cstdint>
@@ -102,7 +114,10 @@ class BatchReconstructor {
   const Reconstructor& reconstructor() const { return rec_; }
 
   /// Decode every entry of an aggregated log, one SR instance per entry,
-  /// fanned out across the pool. Results keep input order.
+  /// fanned out across the pool. Results keep input order. With
+  /// options.recon.incremental, entries are served by warm per-worker
+  /// template solvers instead of fresh per-entry solvers (see the file
+  /// comment's determinism caveat).
   BatchResult reconstruct_all(const std::vector<LogEntry>& entries,
                               const BatchOptions& options = {}) const;
 

@@ -1,0 +1,246 @@
+#include "timeprint/incremental.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sat/allsat.hpp"
+#include "sat/cardinality.hpp"
+#include "sat/xor_to_cnf.hpp"
+
+namespace tp::core {
+
+using sat::Lit;
+using sat::mk_lit;
+using sat::Solver;
+using sat::Status;
+using sat::Var;
+
+namespace {
+
+// stats() is cumulative over the solver's lifetime; an entry's effort is
+// the difference against the snapshot taken before its solve.
+sat::SolverStats stats_delta(const sat::SolverStats& after,
+                             const sat::SolverStats& before) {
+  sat::SolverStats d;
+  d.conflicts = after.conflicts - before.conflicts;
+  d.decisions = after.decisions - before.decisions;
+  d.propagations = after.propagations - before.propagations;
+  d.xor_propagations = after.xor_propagations - before.xor_propagations;
+  d.restarts = after.restarts - before.restarts;
+  d.learnt_clauses = after.learnt_clauses - before.learnt_clauses;
+  d.removed_clauses = after.removed_clauses - before.removed_clauses;
+  d.minimized_literals = after.minimized_literals - before.minimized_literals;
+  d.gauss_runs = after.gauss_runs - before.gauss_runs;
+  return d;
+}
+
+}  // namespace
+
+TemplateReconstructor::TemplateReconstructor(
+    const TimestampEncoding& encoding, std::vector<const Property*> properties,
+    const ReconstructionOptions& options, std::size_t k_max)
+    : enc_(&encoding),
+      properties_(std::move(properties)),
+      options_(options),
+      k_max_(k_max == 0 ? encoding.m() : k_max) {
+  options_.validate();
+  build();
+}
+
+TemplateReconstructor::TemplateReconstructor(const Reconstructor& reconstructor,
+                                             const ReconstructionOptions& options,
+                                             std::size_t k_max)
+    : TemplateReconstructor(reconstructor.encoding(), reconstructor.properties(),
+                            options, k_max) {}
+
+TemplateReconstructor::TemplateReconstructor(const TemplateReconstructor& other)
+    : enc_(other.enc_),
+      properties_(other.properties_),
+      options_(other.options_),
+      k_max_(other.k_max_),
+      solver_(other.solver_->clone()),
+      cycle_vars_(other.cycle_vars_),
+      selectors_(other.selectors_),
+      card_outs_(other.card_outs_),
+      encode_ok_(other.encode_ok_) {}
+
+std::unique_ptr<TemplateReconstructor> TemplateReconstructor::clone() const {
+  return std::unique_ptr<TemplateReconstructor>(new TemplateReconstructor(*this));
+}
+
+void TemplateReconstructor::build() {
+  static obs::Counter& builds =
+      obs::MetricsRegistry::global().counter("incremental.template_builds");
+
+  const std::size_t m = enc_->m();
+  const std::size_t b = enc_->width();
+
+  solver_ = std::make_unique<Solver>(options_.solver_options());
+  cycle_vars_.clear();
+  selectors_.clear();
+  card_outs_.clear();
+  bool ok = true;
+
+  cycle_vars_.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) cycle_vars_.push_back(solver_->new_var());
+
+  // Linear system with per-row selector RHS: parity(row_j) = s_j, encoded
+  // as (row_j ∪ {s_j}) with constant RHS 0. An all-zero row degrades to
+  // the unit clause ~s_j — an entry whose timeprint sets that bit then
+  // fails at the assumption level, the correct (conditional) Unsat.
+  selectors_.reserve(b);
+  for (std::size_t j = 0; j < b; ++j) {
+    std::vector<Var> row;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (enc_->timestamp(i).get(j)) row.push_back(cycle_vars_[i]);
+    }
+    const Var s = solver_->new_var();
+    selectors_.push_back(s);
+    row.push_back(s);
+    if (options_.native_xor) {
+      ok = solver_->add_xor(std::move(row), false) && ok;
+    } else {
+      ok = sat::add_xor_as_cnf(*solver_, row, false) && ok;
+    }
+  }
+
+  // One shared totalizer to k_max; per-entry |x| = k becomes the two
+  // assumptions o[k-1] ("at least k") and ~o[k] ("not at least k+1").
+  // cap = k_max+1 so the upper-bound literal exists for k = k_max.
+  std::vector<Lit> lits;
+  lits.reserve(m);
+  for (Var v : cycle_vars_) lits.push_back(mk_lit(v));
+  const std::size_t cap = k_max_ + 1 < m ? k_max_ + 1 : m;
+  card_outs_ = sat::totalizer_outputs(*solver_, lits, static_cast<int>(cap));
+
+  for (const Property* p : properties_) {
+    ok = p->encode(*solver_, cycle_vars_) && ok;
+  }
+
+  encode_ok_ = ok && solver_->okay();
+  ++stats_.builds;
+  builds.add(1);
+}
+
+ReconstructionResult TemplateReconstructor::reconstruct(const LogEntry& entry) {
+  static obs::Counter& learnt_retained =
+      obs::MetricsRegistry::global().counter("incremental.learnt_retained");
+
+  assert(entry.tp.size() == enc_->width());
+  const std::size_t m = enc_->m();
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  obs::Tracer::Span span;
+  if (options_.tracer != nullptr) {
+    span = options_.tracer->span(
+        "sr.reconstruct",
+        {{"m", static_cast<std::uint64_t>(m)},
+         {"k", static_cast<std::uint64_t>(entry.k)},
+         {"properties", static_cast<std::uint64_t>(properties_.size())},
+         {"engine", "template"}});
+  }
+
+  ++stats_.entries;
+  if (stats_.entries > 1) {
+    const auto retained = static_cast<std::int64_t>(solver_->num_learnts());
+    stats_.learnt_retained += retained;
+    learnt_retained.add(retained);
+  }
+
+  // A change count above k_max needs totalizer outputs the template never
+  // built: rebuild once at the safe maximum and keep serving from there.
+  // k > m needs no solver at all — the preimage is empty.
+  if (entry.k > m) {
+    ReconstructionResult result;
+    result.final_status = Status::Unsat;
+    result.num_vars = solver_->num_vars();
+    result.num_clauses = solver_->num_clauses();
+    result.num_xors = solver_->num_xors();
+    result.seconds_total =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (options_.tracer != nullptr) options_.tracer->event("sr.trivial_unsat");
+    if (span.active()) {
+      span.add("signals", std::uint64_t{0});
+      span.add("status", sat::to_string(result.final_status));
+      span.finish();
+    }
+    return result;
+  }
+  if (entry.k > k_max_) {
+    k_max_ = m;
+    build();
+  }
+
+  ReconstructionResult result;
+  result.num_vars = solver_->num_vars();
+  result.num_clauses = solver_->num_clauses();
+  result.num_xors = solver_->num_xors();
+
+  if (!encode_ok_) {
+    // The base itself (properties vs. structure) is contradictory: every
+    // entry has an empty, complete preimage.
+    result.final_status = Status::Unsat;
+    result.seconds_total =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (options_.tracer != nullptr) options_.tracer->event("sr.trivial_unsat");
+    if (span.active()) {
+      span.add("signals", std::uint64_t{0});
+      span.add("status", sat::to_string(result.final_status));
+      span.finish();
+    }
+    return result;
+  }
+
+  sat::AllSatOptions as;
+  as.max_models = options_.max_solutions;
+  as.limits = options_.limits;
+  as.tracer = options_.tracer;
+  as.fixed_weight = entry.k;
+  as.assumptions.reserve(selectors_.size() + 2);
+  for (std::size_t j = 0; j < selectors_.size(); ++j) {
+    as.assumptions.push_back(Lit(selectors_[j], /*negated=*/!entry.tp.get(j)));
+  }
+  if (entry.k >= 1) as.assumptions.push_back(card_outs_[entry.k - 1]);
+  if (entry.k < card_outs_.size()) as.assumptions.push_back(~card_outs_[entry.k]);
+
+  // Fresh guard per entry; retired below so this entry's blocking clauses
+  // cannot constrain the next one.
+  const Lit guard = mk_lit(solver_->new_var());
+  as.guard = guard;
+
+  const sat::SolverStats before = solver_->stats();
+  const sat::AllSatResult models =
+      sat::enumerate_models(*solver_, cycle_vars_, as);
+  // Retire the entry: fixing ¬guard root-satisfies this run's blocking
+  // clauses (and any learnt clause carrying ¬guard); simplify() then sweeps
+  // that ballast out of the databases so the solver's propagation cost
+  // stays flat over arbitrarily long entry streams.
+  solver_->add_clause({~guard});
+  solver_->simplify();
+  result.stats = stats_delta(solver_->stats(), before);
+
+  result.final_status = models.final_status;
+  result.seconds_to_each = models.seconds_to_model;
+  result.seconds_total =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  for (const auto& model : models.models) {
+    Signal s(m);
+    for (std::size_t i = 0; i < model.size(); ++i) {
+      if (model[i]) s.set_change(i);
+    }
+    result.signals.push_back(std::move(s));
+  }
+
+  if (span.active()) {
+    span.add("signals", static_cast<std::uint64_t>(result.signals.size()));
+    span.add("status", sat::to_string(result.final_status));
+    span.finish();
+  }
+  return result;
+}
+
+}  // namespace tp::core

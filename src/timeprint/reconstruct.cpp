@@ -32,6 +32,14 @@ void ReconstructionOptions::validate() const {
   }
 }
 
+sat::SolverOptions ReconstructionOptions::solver_options() const {
+  sat::SolverOptions so;
+  so.use_gauss = use_gauss;
+  so.gauss_max_unassigned = gauss_gate;
+  so.tracer = tracer;
+  return so;
+}
+
 const char* to_string(CheckVerdict v) {
   switch (v) {
     case CheckVerdict::HoldsForAll: return "holds-for-all";
@@ -82,16 +90,6 @@ bool Reconstructor::encode_base(Solver& solver, std::vector<Var>& cycle_vars,
   return ok;
 }
 
-namespace {
-sat::SolverOptions solver_options_for(const ReconstructionOptions& options) {
-  sat::SolverOptions so;
-  so.use_gauss = options.use_gauss;
-  so.gauss_max_unassigned = options.gauss_gate;
-  so.tracer = options.tracer;
-  return so;
-}
-}  // namespace
-
 ReconstructionResult Reconstructor::reconstruct(
     const LogEntry& entry, const ReconstructionOptions& options) const {
   options.validate();
@@ -113,7 +111,7 @@ ReconstructionResult Reconstructor::reconstruct(
          {"properties", static_cast<std::uint64_t>(properties_.size())}});
   }
 
-  Solver solver(solver_options_for(options));
+  Solver solver(options.solver_options());
   std::vector<Var> cycle_vars;
   obs::Tracer::Span encode_span;
   if (options.tracer != nullptr) encode_span = options.tracer->span("sr.encode");
@@ -194,7 +192,7 @@ CheckResult Reconstructor::check_hypothesis(const LogEntry& entry,
          {"hypothesis", hypothesis.describe()}});
   }
 
-  Solver solver(solver_options_for(options));
+  Solver solver(options.solver_options());
   std::vector<Var> cycle_vars;
   bool encode_ok = encode_base(solver, cycle_vars, entry, options);
   encode_ok = negated->encode(solver, cycle_vars) && encode_ok;

@@ -49,6 +49,17 @@ struct ReconstructionOptions {
   std::size_t gauss_gate = 0;
   /// Stop after this many reconstructed signals (paper's .1/.10 columns).
   std::uint64_t max_solutions = UINT64_MAX;
+  /// Decode streams through the incremental template engine
+  /// (timeprint/incremental.hpp): the SR base is encoded once per worker
+  /// and every further entry is just assumption literals, with learnt
+  /// clauses, phases and activities warm-started across entries. Consumed
+  /// by BatchReconstructor::reconstruct_all (per-worker template cache);
+  /// Reconstructor::reconstruct and reconstruct_split keep the
+  /// fresh-solver path regardless (the reference oracle). The template
+  /// engine always uses the totalizer cardinality internally (the only
+  /// encoding whose bound can vary under assumptions); card_encoding
+  /// still selects the fresh path's encoding.
+  bool incremental = false;
   /// Resource limits for the whole run (including `limits.interrupt`, the
   /// cooperative cancellation token honoured by every solve of the run).
   sat::SolveLimits limits;
@@ -65,6 +76,11 @@ struct ReconstructionOptions {
   /// every run vacuously "complete". Called by reconstruct(),
   /// check_hypothesis() and the batch engine before encoding anything.
   void validate() const;
+
+  /// The SolverOptions these knobs induce (Gauss engine, gate, tracer) —
+  /// the single source of truth for every engine that builds a Solver for
+  /// an SR query (fresh, split and template paths).
+  sat::SolverOptions solver_options() const;
 };
 
 /// Outcome of a reconstruction run.

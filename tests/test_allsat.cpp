@@ -216,5 +216,113 @@ TEST(AllSat, ConflictLimitUnderTheCapReportsUnknown) {
   EXPECT_GT(unknowns, 0);
 }
 
+TEST(AllSat, AssumptionEnumerationDoesNotPoisonLaterSolves) {
+  // Regression: an assumption-restricted enumeration used to add its
+  // blocking clauses permanently, so the models it found stayed excluded
+  // from every later solve on the same solver. The internal guard must
+  // retire them: the follow-up unrestricted enumeration sees the full
+  // model space again.
+  Solver s;
+  auto vars = make_vars(s, 3);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  ASSERT_TRUE(encode_exactly(s, lits, 1, CardEncoding::SequentialCounter));
+
+  AllSatOptions restricted;
+  restricted.assumptions = {~mk_lit(vars[0])};
+  auto r1 = enumerate_models(s, vars, restricted);
+  ASSERT_TRUE(r1.complete());
+  EXPECT_EQ(r1.models.size(), 2u);  // exactly-1 among {v1, v2}
+
+  auto r2 = enumerate_models(s, vars);
+  ASSERT_TRUE(r2.complete());
+  EXPECT_EQ(r2.models.size(), 3u);  // all three unit models, none blocked
+}
+
+TEST(AllSat, ExplicitGuardScopesBlockingClausesToTheRun) {
+  // Caller-owned guard: the run's blocking clauses stay conditional on the
+  // guard, so retiring it restores the full model space — while *not*
+  // retiring it keeps the blocks in force for guarded re-runs.
+  Solver s;
+  auto vars = make_vars(s, 3);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  ASSERT_TRUE(encode_exactly(s, lits, 1, CardEncoding::SequentialCounter));
+
+  const Lit guard = mk_lit(s.new_var());
+  AllSatOptions guarded;
+  guarded.guard = guard;
+  auto r1 = enumerate_models(s, vars, guarded);
+  ASSERT_TRUE(r1.complete());
+  EXPECT_EQ(r1.models.size(), 3u);
+
+  // Same guard still assumed: the previous blocks hold, nothing is left.
+  auto r2 = enumerate_models(s, vars, guarded);
+  ASSERT_TRUE(r2.complete());
+  EXPECT_TRUE(r2.models.empty());
+
+  // Retire the guard: all of its blocking clauses become level-0
+  // satisfied and the full space is visible again.
+  ASSERT_TRUE(s.add_clause({~guard}));
+  auto r3 = enumerate_models(s, vars);
+  ASSERT_TRUE(r3.complete());
+  EXPECT_EQ(r3.models.size(), 3u);
+}
+
+TEST(AllSat, WeightAwareBlockingFindsTheSameModels) {
+  // With a declared fixed projection weight the blocking clauses shrink to
+  // the k true literals; the enumeration must still be exhaustive and
+  // duplicate-free. Cross-check against the brute-force count C(6, k).
+  for (std::size_t k = 0; k <= 6; ++k) {
+    Solver s;
+    auto vars = make_vars(s, 6);
+    std::vector<Lit> lits;
+    for (Var v : vars) lits.push_back(mk_lit(v));
+    ASSERT_TRUE(encode_exactly(s, lits, static_cast<int>(k),
+                               CardEncoding::SequentialCounter));
+
+    AllSatOptions opts;
+    opts.fixed_weight = k;
+    auto result = enumerate_models(s, vars, opts);
+    ASSERT_TRUE(result.complete()) << "k = " << k;
+
+    std::size_t expected = 1;  // C(6, k)
+    for (std::size_t i = 0; i < k; ++i) expected = expected * (6 - i) / (i + 1);
+    std::set<std::vector<bool>> unique(result.models.begin(), result.models.end());
+    EXPECT_EQ(unique.size(), result.models.size()) << "k = " << k;
+    EXPECT_EQ(result.models.size(), expected) << "k = " << k;
+    for (const auto& m : result.models) {
+      EXPECT_EQ(static_cast<std::size_t>(std::count(m.begin(), m.end(), true)), k);
+    }
+  }
+}
+
+TEST(AllSat, WeightAwareBlockingComposesWithGuardAndAssumptions) {
+  // The incremental engine's exact shape: guard + assumptions +
+  // fixed_weight in one run, retired afterwards, repeated with a
+  // different cube. Each run must be exhaustive within its cube and leave
+  // no residue for the next.
+  Solver s;
+  auto vars = make_vars(s, 5);
+  std::vector<Lit> lits;
+  for (Var v : vars) lits.push_back(mk_lit(v));
+  ASSERT_TRUE(encode_exactly(s, lits, 2, CardEncoding::SequentialCounter));
+
+  for (int round = 0; round < 3; ++round) {
+    const Lit guard = mk_lit(s.new_var());
+    AllSatOptions opts;
+    opts.guard = guard;
+    opts.fixed_weight = 2;
+    opts.assumptions = {mk_lit(vars[0])};
+    auto with_v0 = enumerate_models(s, vars, opts);
+    ASSERT_TRUE(with_v0.complete()) << "round " << round;
+    EXPECT_EQ(with_v0.models.size(), 4u) << "round " << round;  // v0 + one of 4
+    ASSERT_TRUE(s.add_clause({~guard}));
+  }
+  auto all = enumerate_models(s, vars, {.fixed_weight = 2});
+  ASSERT_TRUE(all.complete());
+  EXPECT_EQ(all.models.size(), 10u);  // C(5, 2), nothing poisoned
+}
+
 }  // namespace
 }  // namespace tp::sat

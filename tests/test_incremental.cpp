@@ -1,0 +1,256 @@
+// Tests for the incremental (template) reconstruction engine: differential
+// equivalence against the fresh-solver path and the brute-force reference
+// over random encodings and random (TP, k) streams, across encoding knobs
+// and properties, plus the template lifecycle edges (k = 0, k > k_max
+// rebuild, k > m) and the batch engine's incremental mode.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "f2/bitvec.hpp"
+#include "timeprint/batch.hpp"
+#include "timeprint/incremental.hpp"
+#include "timeprint/logger.hpp"
+#include "timeprint/properties.hpp"
+#include "timeprint/reconstruct.hpp"
+
+namespace tp::core {
+namespace {
+
+std::set<std::string> signal_set(const std::vector<Signal>& signals) {
+  std::set<std::string> out;
+  for (const Signal& s : signals) out.insert(s.to_string());
+  return out;
+}
+
+// A stream mixing genuinely-logged entries (SAT by construction) with
+// random timeprints (frequently UNSAT), so both outcomes are exercised.
+std::vector<LogEntry> random_stream(const TimestampEncoding& enc,
+                                    std::size_t n, f2::Rng& rng) {
+  Logger logger(enc);
+  std::vector<LogEntry> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = rng.below(5);
+    if (rng.flip()) {
+      entries.push_back(logger.log(Signal::random_with_changes(enc.m(), k, rng)));
+    } else {
+      entries.push_back({f2::BitVec::random(enc.width(), rng), k});
+    }
+  }
+  return entries;
+}
+
+TEST(Incremental, MatchesFreshAndBruteForceOnRandomStreams) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    f2::Rng rng(seed * 101);
+    const std::size_t m = 10 + rng.below(8);
+    const TimestampEncoding enc =
+        TimestampEncoding::random_constrained_auto(m, 3, seed);
+    Reconstructor fresh(enc);
+    ReconstructionOptions opts;
+    TemplateReconstructor tmpl(enc, {}, opts);
+
+    for (const LogEntry& entry : random_stream(enc, 8, rng)) {
+      const ReconstructionResult t = tmpl.reconstruct(entry);
+      const ReconstructionResult f = fresh.reconstruct(entry, opts);
+      ASSERT_TRUE(t.complete()) << "seed " << seed;
+      ASSERT_TRUE(f.complete()) << "seed " << seed;
+      EXPECT_EQ(signal_set(t.signals), signal_set(f.signals)) << "seed " << seed;
+      EXPECT_EQ(signal_set(t.signals),
+                signal_set(Reconstructor::brute_force(enc, entry)))
+          << "seed " << seed;
+    }
+    EXPECT_EQ(tmpl.stats().entries, 8);
+    EXPECT_EQ(tmpl.stats().builds, 1);  // k < 5 ≤ m: no rebuild ever needed
+  }
+}
+
+TEST(Incremental, MatchesFreshAcrossEncodingKnobs) {
+  // The template path always uses the totalizer internally and native XOR
+  // per the knob; the fresh path varies both. Signal sets must agree in
+  // every combination (use_gauss requires native_xor, hence 3 XOR configs).
+  struct Knobs {
+    bool native_xor;
+    bool use_gauss;
+  };
+  const Knobs xor_knobs[] = {{true, true}, {true, false}, {false, false}};
+  const sat::CardEncoding cards[] = {sat::CardEncoding::SequentialCounter,
+                                     sat::CardEncoding::Totalizer};
+
+  const TimestampEncoding enc = TimestampEncoding::random_constrained_auto(12, 3, 7);
+  f2::Rng rng(77);
+  const std::vector<LogEntry> entries = random_stream(enc, 5, rng);
+
+  for (const Knobs& kn : xor_knobs) {
+    for (const sat::CardEncoding card : cards) {
+      ReconstructionOptions opts;
+      opts.native_xor = kn.native_xor;
+      opts.use_gauss = kn.use_gauss;
+      opts.card_encoding = card;
+      Reconstructor fresh(enc);
+      TemplateReconstructor tmpl(enc, {}, opts);
+      for (const LogEntry& entry : entries) {
+        const ReconstructionResult t = tmpl.reconstruct(entry);
+        const ReconstructionResult f = fresh.reconstruct(entry, opts);
+        ASSERT_TRUE(t.complete());
+        ASSERT_TRUE(f.complete());
+        EXPECT_EQ(signal_set(t.signals), signal_set(f.signals))
+            << "native_xor=" << kn.native_xor << " gauss=" << kn.use_gauss;
+      }
+    }
+  }
+}
+
+TEST(Incremental, PropertiesPruneIdentically) {
+  const TimestampEncoding enc = TimestampEncoding::random_constrained_auto(14, 3, 11);
+  const ExistsConsecutivePair p2;
+  const MinChangesBefore dk(10, 2);
+  const std::vector<const Property*> props = {&p2, &dk};
+
+  Reconstructor fresh(enc);
+  fresh.add_property(p2);
+  fresh.add_property(dk);
+  ReconstructionOptions opts;
+  TemplateReconstructor tmpl(fresh, opts);
+
+  f2::Rng rng(5);
+  for (const LogEntry& entry : random_stream(enc, 6, rng)) {
+    const ReconstructionResult t = tmpl.reconstruct(entry);
+    const ReconstructionResult f = fresh.reconstruct(entry, opts);
+    ASSERT_TRUE(t.complete());
+    ASSERT_TRUE(f.complete());
+    EXPECT_EQ(signal_set(t.signals), signal_set(f.signals));
+    EXPECT_EQ(signal_set(t.signals),
+              signal_set(Reconstructor::brute_force(enc, entry, props)));
+  }
+}
+
+TEST(Incremental, KZeroDecodesTheEmptySignal) {
+  const TimestampEncoding enc = TimestampEncoding::random_constrained_auto(10, 2, 3);
+  TemplateReconstructor tmpl(enc, {}, {});
+
+  // k = 0 with the zero timeprint: exactly the all-quiet signal.
+  const ReconstructionResult quiet =
+      tmpl.reconstruct({f2::BitVec(enc.width()), 0});
+  ASSERT_TRUE(quiet.complete());
+  ASSERT_EQ(quiet.signals.size(), 1u);
+  EXPECT_EQ(quiet.signals[0].num_changes(), 0u);
+
+  // k = 0 with a nonzero timeprint: contradiction, empty preimage.
+  f2::BitVec tp(enc.width());
+  tp.flip(0);
+  const ReconstructionResult none = tmpl.reconstruct({tp, 0});
+  ASSERT_TRUE(none.complete());
+  EXPECT_TRUE(none.signals.empty());
+}
+
+TEST(Incremental, RebuildsOnceWhenKExceedsKmax) {
+  const TimestampEncoding enc = TimestampEncoding::random_constrained_auto(10, 2, 3);
+  Reconstructor fresh(enc);
+  ReconstructionOptions opts;
+  TemplateReconstructor tmpl(enc, {}, opts, /*k_max=*/2);
+  EXPECT_EQ(tmpl.k_max(), 2u);
+  Logger logger(enc);
+  f2::Rng rng(9);
+
+  const LogEntry small = logger.log(Signal::random_with_changes(enc.m(), 2, rng));
+  const LogEntry big = logger.log(Signal::random_with_changes(enc.m(), 5, rng));
+
+  EXPECT_EQ(signal_set(tmpl.reconstruct(small).signals),
+            signal_set(fresh.reconstruct(small, opts).signals));
+  EXPECT_EQ(tmpl.stats().builds, 1);
+
+  // k = 5 > k_max = 2: one rebuild at the safe maximum, then served.
+  EXPECT_EQ(signal_set(tmpl.reconstruct(big).signals),
+            signal_set(fresh.reconstruct(big, opts).signals));
+  EXPECT_EQ(tmpl.stats().builds, 2);
+  EXPECT_EQ(tmpl.k_max(), enc.m());
+
+  // Both k regimes keep working against the rebuilt template.
+  EXPECT_EQ(signal_set(tmpl.reconstruct(small).signals),
+            signal_set(fresh.reconstruct(small, opts).signals));
+  EXPECT_EQ(tmpl.stats().builds, 2);
+}
+
+TEST(Incremental, KAboveMIsTriviallyUnsatWithoutRebuild) {
+  const TimestampEncoding enc = TimestampEncoding::random_constrained_auto(8, 2, 13);
+  TemplateReconstructor tmpl(enc, {}, {}, /*k_max=*/3);
+  const ReconstructionResult r =
+      tmpl.reconstruct({f2::BitVec(enc.width()), enc.m() + 3});
+  ASSERT_TRUE(r.complete());
+  EXPECT_TRUE(r.signals.empty());
+  EXPECT_EQ(tmpl.stats().builds, 1);  // no rebuild for an impossible k
+}
+
+TEST(Incremental, CloneCarriesTheTemplateButCountsItsOwnStats) {
+  const TimestampEncoding enc = TimestampEncoding::random_constrained_auto(12, 3, 21);
+  Reconstructor fresh(enc);
+  ReconstructionOptions opts;
+  TemplateReconstructor tmpl(enc, {}, opts);
+  f2::Rng rng(3);
+  const std::vector<LogEntry> entries = random_stream(enc, 4, rng);
+
+  for (const LogEntry& e : entries) tmpl.reconstruct(e);  // warm the original
+  const std::unique_ptr<TemplateReconstructor> copy = tmpl.clone();
+  EXPECT_EQ(copy->stats().entries, 0);
+  EXPECT_EQ(copy->stats().builds, 0);  // inherited the base, never re-encoded
+
+  for (const LogEntry& e : entries) {
+    EXPECT_EQ(signal_set(copy->reconstruct(e).signals),
+              signal_set(fresh.reconstruct(e, opts).signals));
+  }
+  EXPECT_EQ(copy->stats().entries, 4);
+}
+
+TEST(Incremental, BatchIncrementalMatchesFreshBatch) {
+  const TimestampEncoding enc = TimestampEncoding::random_constrained_auto(16, 3, 31);
+  const ExistsConsecutivePair p2;
+  BatchReconstructor batch(enc);
+  batch.add_property(p2);
+
+  f2::Rng rng(17);
+  std::vector<LogEntry> entries = random_stream(enc, 24, rng);
+  entries.push_back({f2::BitVec(enc.width()), 0});          // trivial entries
+  entries.push_back({f2::BitVec(enc.width()), enc.m() + 1});  // in-stream too
+
+  BatchOptions fresh_opts;
+  fresh_opts.num_threads = 4;
+  BatchOptions incr_opts = fresh_opts;
+  incr_opts.recon.incremental = true;
+
+  const BatchResult fresh = batch.reconstruct_all(entries, fresh_opts);
+  const BatchResult incr = batch.reconstruct_all(entries, incr_opts);
+
+  ASSERT_EQ(fresh.results.size(), entries.size());
+  ASSERT_EQ(incr.results.size(), entries.size());
+  EXPECT_TRUE(fresh.complete());
+  EXPECT_TRUE(incr.complete());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(signal_set(incr.results[i].signals),
+              signal_set(fresh.results[i].signals))
+        << "entry " << i;
+    EXPECT_EQ(incr.results[i].final_status, fresh.results[i].final_status)
+        << "entry " << i;
+  }
+}
+
+TEST(Incremental, LearntClauseCapitalAccumulates) {
+  // Not a semantic requirement, but the whole point of the engine: after a
+  // non-trivial stream the retained-learnts counter must have moved (the
+  // fresh path would have thrown every one of those clauses away).
+  const TimestampEncoding enc = TimestampEncoding::random_constrained_auto(18, 3, 41);
+  TemplateReconstructor tmpl(enc, {}, {});
+  Logger logger(enc);
+  f2::Rng rng(29);
+  for (int i = 0; i < 10; ++i) {
+    tmpl.reconstruct(logger.log(Signal::random_with_changes(enc.m(), 4, rng)));
+  }
+  EXPECT_EQ(tmpl.stats().entries, 10);
+  EXPECT_GE(tmpl.stats().learnt_retained, 0);
+}
+
+}  // namespace
+}  // namespace tp::core

@@ -383,5 +383,42 @@ TEST(SolverInterrupt, PreSetTokenStopsTheSolveImmediately) {
   EXPECT_EQ(s.solve(limits), Status::Sat);
 }
 
+TEST(Simplify, SweepsRootSatisfiedClausesAndKeepsSemantics) {
+  // A guard-style scenario: clauses conditional on g become root-satisfied
+  // ballast once g is fixed false; simplify() must drop them from the
+  // database while leaving the solver's answers unchanged.
+  Solver s;
+  auto vars = make_vars(s, 4);
+  const Lit g = mk_lit(s.new_var());
+  ASSERT_TRUE(s.add_clause({mk_lit(vars[0]), mk_lit(vars[1])}));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s.add_clause({~g, Lit(vars[2], i % 2 == 0), mk_lit(vars[3])}));
+  }
+  const std::size_t before = s.num_clauses();
+  ASSERT_TRUE(s.add_clause({~g}));  // retire: the 3 guarded clauses die
+  ASSERT_TRUE(s.simplify());
+  EXPECT_EQ(s.num_clauses(), before - 3);
+
+  ASSERT_EQ(s.solve(), Status::Sat);
+  EXPECT_TRUE(s.model_value(vars[0]) == LBool::True ||
+              s.model_value(vars[1]) == LBool::True);
+  // The unguarded clause survived: forcing both of its literals false must
+  // hit the root conflict (the second unit is rejected at level 0, since
+  // the first one already propagated vars[1] true through that clause).
+  ASSERT_TRUE(s.add_clause({~mk_lit(vars[0])}));
+  EXPECT_FALSE(s.add_clause({~mk_lit(vars[1])}));
+  EXPECT_EQ(s.solve(), Status::Unsat);
+}
+
+TEST(Simplify, IsANoOpWithoutRootAssignments) {
+  Solver s;
+  auto vars = make_vars(s, 3);
+  ASSERT_TRUE(s.add_clause({mk_lit(vars[0]), mk_lit(vars[1]), mk_lit(vars[2])}));
+  const std::size_t before = s.num_clauses();
+  ASSERT_TRUE(s.simplify());
+  EXPECT_EQ(s.num_clauses(), before);
+  EXPECT_EQ(s.solve(), Status::Sat);
+}
+
 }  // namespace
 }  // namespace tp::sat
