@@ -17,6 +17,15 @@
 //       Replay a reconstruction with event tracing on and dump the JSONL
 //       trace (solver/encode/enumeration spans and events) to stdout or,
 //       with --out FILE, to a file; the solution summary goes to stderr.
+//   tpr solve <cnf-file> [--proof FILE] [--binary-proof]
+//       Solve an extended-DIMACS instance with the CDCL core. With --proof,
+//       every learnt/deleted clause is streamed as a DRAT proof (text by
+//       default, binary with --binary-proof); an UNSAT run's proof ends
+//       with the empty clause. Exit 0 = SAT, 1 = UNSAT, 2 = error.
+//   tpr check-proof <cnf-file> <proof-file> [--binary-proof]
+//       Replay a DRAT proof against the instance with the independent
+//       RUP/RAT checker (shares no code with the solver). Exit 0 iff the
+//       proof is valid AND derives the empty clause.
 // Options:
 //   --prop "<p1>; <p2>; ..."   known properties pruning the search
 //   --max <n>                  stop after n solutions (default 10)
@@ -33,12 +42,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/drat.hpp"
 #include "timeprint/incremental.hpp"
 #include "timeprint/parse.hpp"
 #include "timeprint/reconstruct.hpp"
@@ -57,8 +69,102 @@ int usage() {
                "  tpr check <m> <b> <seed> <tp-bits> <k> --hypothesis P "
                "[--prop P] [--timeout S]\n"
                "  tpr trace <m> <b> <seed> <tp-bits> <k> [--prop P] [--max N] "
-               "[--timeout S] [--out FILE] [--incremental]\n");
+               "[--timeout S] [--out FILE] [--incremental]\n"
+               "  tpr solve <cnf-file> [--proof FILE] [--binary-proof]\n"
+               "  tpr check-proof <cnf-file> <proof-file> [--binary-proof]\n");
   return 2;
+}
+
+sat::Cnf read_cnf(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  return sat::parse_dimacs(in);
+}
+
+// tpr solve: DIMACS in, verdict (and optionally a DRAT proof) out.
+int cmd_solve(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string proof_path;
+  bool binary = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--binary-proof") {
+      binary = true;
+    } else if (flag == "--proof" && i + 1 < argc) {
+      proof_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  const sat::Cnf cnf = read_cnf(argv[2]);
+
+  std::ofstream proof_out;
+  std::unique_ptr<sat::ProofSink> sink;
+  if (!proof_path.empty()) {
+    proof_out.open(proof_path,
+                   binary ? std::ios::out | std::ios::binary : std::ios::out);
+    if (!proof_out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", proof_path.c_str());
+      return 2;
+    }
+    if (binary) {
+      sink = std::make_unique<sat::BinaryDratWriter>(proof_out);
+    } else {
+      sink = std::make_unique<sat::TextDratWriter>(proof_out);
+    }
+  }
+
+  sat::SolverOptions so;
+  so.proof = sink.get();
+  sat::Solver solver(so);
+  sat::Status status = sat::Status::Unsat;
+  if (cnf.load_into(solver)) status = solver.solve();
+  std::printf("s %s\n", status == sat::Status::Sat     ? "SATISFIABLE"
+                        : status == sat::Status::Unsat ? "UNSATISFIABLE"
+                                                       : "UNKNOWN");
+  if (status == sat::Status::Sat) {
+    std::string line = "v";
+    for (int v = 0; v < cnf.num_vars; ++v) {
+      line += ' ';
+      line += std::to_string(
+          solver.model_value(sat::Var(v)) == sat::LBool::True ? v + 1
+                                                              : -(v + 1));
+    }
+    std::printf("%s 0\n", line.c_str());
+  }
+  return status == sat::Status::Sat ? 0 : status == sat::Status::Unsat ? 1 : 2;
+}
+
+// tpr check-proof: replay a DRAT proof with the independent checker.
+int cmd_check_proof(int argc, char** argv) {
+  if (argc < 4) return usage();
+  bool binary = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::string(argv[i]) == "--binary-proof") {
+      binary = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  const sat::Cnf cnf = read_cnf(argv[2]);
+  std::ifstream pin(argv[3],
+                    binary ? std::ios::in | std::ios::binary : std::ios::in);
+  if (!pin) {
+    std::fprintf(stderr, "cannot open %s\n", argv[3]);
+    return 2;
+  }
+  const auto proof =
+      binary ? sat::parse_drat_binary(pin) : sat::parse_drat_text(pin);
+
+  sat::DratChecker checker;
+  for (const auto& c : sat::clausal_view(cnf)) checker.add_clause(c);
+  const auto res = checker.check(proof);
+  std::printf("ops %zu\nvalid %s\nproved-unsat %s\n", res.ops_checked,
+              res.valid ? "yes" : "no", res.proved_unsat ? "yes" : "no");
+  if (!res.error.empty()) std::printf("error %s\n", res.error.c_str());
+  return res.valid && res.proved_unsat ? 0 : 1;
 }
 
 std::size_t to_num(const char* s) { return std::strtoull(s, nullptr, 10); }
@@ -108,6 +214,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "solve") return cmd_solve(argc, argv);
+    if (cmd == "check-proof") return cmd_check_proof(argc, argv);
     if (cmd == "encode") {
       if (argc != 6) return usage();
       const auto enc = core::TimestampEncoding::random_constrained(

@@ -1,0 +1,289 @@
+#include "sat/audit.hpp"
+
+#include <cstdlib>
+#include <unordered_set>
+#include <vector>
+
+#include "sat/drat.hpp"
+#include "sat/solver.hpp"
+
+namespace tp::sat {
+
+const char* to_string(AuditPoint p) {
+  switch (p) {
+    case AuditPoint::PostPropagate: return "post-propagate";
+    case AuditPoint::PostBacktrack: return "post-backtrack";
+    case AuditPoint::PostSimplify: return "post-simplify";
+    case AuditPoint::Manual: return "manual";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(AuditPoint p, const std::string& what) {
+  throw AuditFailure(std::string("sat audit [") + to_string(p) + "]: " + what);
+}
+
+}  // namespace
+
+Auditor* Auditor::debug_env() {
+  static Auditor* instance = [] {
+    const char* env = std::getenv("TP_SAT_AUDIT");
+    if (env == nullptr || env[0] == '\0' ||
+        (env[0] == '0' && env[1] == '\0')) {
+      return static_cast<Auditor*>(nullptr);
+    }
+    AuditOptions opts;
+    opts.period = 64;
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 1) opts.period = static_cast<std::uint64_t>(parsed);
+    static Auditor global(opts);
+    return &global;
+  }();
+  return instance;
+}
+
+void Auditor::checkpoint(const Solver& solver, AuditPoint point) {
+  const std::uint64_t n = seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (opts_.period > 1 && (n % opts_.period) != 0) return;
+  audit(solver, point);
+}
+
+void Auditor::audit(const Solver& solver, AuditPoint point) {
+  runs_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.check_trail) check_trail(solver, point);
+  if (opts_.check_watches) check_watches(solver, point);
+  if (opts_.check_xor_watches) check_xor_watches(solver, point);
+  if (opts_.check_fixpoint && point == AuditPoint::PostPropagate) {
+    check_fixpoint(solver, point);
+  }
+  if (opts_.check_learnt_rup && point == AuditPoint::PostBacktrack) {
+    check_learnt_rup(solver, point);
+  }
+}
+
+void Auditor::check_trail(const Solver& s, AuditPoint p) const {
+  const std::size_t n = s.trail_.size();
+  if (s.qhead_ > n) fail(p, "qhead past the end of the trail");
+  std::size_t prev = 0;
+  for (std::size_t lim : s.trail_lim_) {
+    if (lim < prev) fail(p, "trail level boundaries not monotone");
+    if (lim > n) fail(p, "trail level boundary past the end of the trail");
+    prev = lim;
+  }
+
+  std::vector<char> on_trail(s.assigns_.size(), 0);
+  std::size_t lvl = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Lit l = s.trail_[i];
+    const auto v = static_cast<std::size_t>(l.var());
+    if (v >= s.assigns_.size()) fail(p, "trail literal over an unknown variable");
+    if (on_trail[v]) fail(p, "variable appears twice on the trail");
+    on_trail[v] = 1;
+    if (s.assigns_[v] == LBool::Undef) fail(p, "trail literal unassigned");
+    if ((s.assigns_[v] == LBool::True) != !l.negated()) {
+      fail(p, "trail literal contradicts the assignment");
+    }
+    // Advance past every level opened at or before this position. Equal
+    // boundaries are dummy levels (assumptions already true).
+    while (lvl < s.trail_lim_.size() && s.trail_lim_[lvl] <= i) ++lvl;
+    if (static_cast<std::size_t>(s.vardata_[v].level) != lvl) {
+      fail(p, "trail literal's level does not match its trail segment");
+    }
+    const Solver::Reason r = s.vardata_[v].reason;
+    if (lvl > 0 && r.none() && i != s.trail_lim_[lvl - 1]) {
+      fail(p, "reason-less literal above level 0 is not a decision");
+    }
+    if (r.clause != nullptr && r.clause->lits[0] != l) {
+      fail(p, "reason clause does not have the implied literal first");
+    }
+  }
+  std::size_t assigned = 0;
+  for (const LBool a : s.assigns_) {
+    if (a != LBool::Undef) ++assigned;
+  }
+  if (assigned != n) fail(p, "assigned variables not in bijection with the trail");
+}
+
+void Auditor::check_watches(const Solver& s, AuditPoint p) const {
+  std::unordered_set<const Clause*> live;
+  for (const auto& c : s.clauses_) live.insert(c.get());
+  for (const auto& c : s.learnts_) live.insert(c.get());
+
+  std::size_t total = 0;
+  for (std::size_t code = 0; code < s.watches_.size(); ++code) {
+    const Lit watched = ~Lit::from_code(static_cast<std::int32_t>(code));
+    for (const Solver::Watcher& w : s.watches_[code]) {
+      ++total;
+      if (live.find(w.clause) == live.end()) {
+        fail(p, "watcher points at a detached clause");
+      }
+      const Clause& c = *w.clause;
+      if (c.size() < 2) fail(p, "watched clause shorter than two literals");
+      if (c[0] != watched && c[1] != watched) {
+        fail(p, "watch-list entry does not match the clause's watched literals");
+      }
+      bool blocker_in_clause = false;
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        if (c[i] == w.blocker) {
+          blocker_in_clause = true;
+          break;
+        }
+      }
+      if (!blocker_in_clause) fail(p, "blocker is not a literal of its clause");
+    }
+  }
+  if (total != 2 * live.size()) {
+    fail(p, "global watcher count is not twice the clause count");
+  }
+  // The total being exact still allows one clause to be watched twice on
+  // the same literal while another lost a watcher; pin each clause down.
+  for (const Clause* c : live) {
+    for (int i = 0; i < 2; ++i) {
+      const Lit l = (*c)[static_cast<std::size_t>(i)];
+      const auto& wl = s.watches_[static_cast<std::size_t>((~l).code())];
+      std::size_t count = 0;
+      for (const Solver::Watcher& w : wl) {
+        if (w.clause == c) ++count;
+      }
+      if (count != 1) fail(p, "clause not watched exactly once per watched literal");
+    }
+  }
+}
+
+void Auditor::check_xor_watches(const Solver& s, AuditPoint p) const {
+  std::unordered_set<const XorConstraint*> live;
+  for (const auto& x : s.xors_) live.insert(x.get());
+
+  for (const auto& wl : s.xor_watch_) {
+    for (const XorConstraint* x : wl) {
+      // Stale entries (the constraint moved its watch away and the lazy
+      // sweep has not visited this list since) are legal; dangling
+      // pointers are not.
+      if (live.find(x) == live.end()) {
+        fail(p, "XOR watch list holds a dangling constraint pointer");
+      }
+    }
+  }
+  for (const auto& x : s.xors_) {
+    if (x->vars.size() < 2) fail(p, "XOR constraint with fewer than two variables");
+    if (x->w0 == x->w1) fail(p, "XOR watch positions coincide");
+    if (x->w0 >= x->vars.size() || x->w1 >= x->vars.size()) {
+      fail(p, "XOR watch position out of range");
+    }
+    for (const std::size_t w : {x->w0, x->w1}) {
+      const auto v = static_cast<std::size_t>(x->vars[w]);
+      const auto& wl = s.xor_watch_[v];
+      bool found = false;
+      for (const XorConstraint* entry : wl) {
+        if (entry == x.get()) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) fail(p, "XOR constraint missing from its watched variable's list");
+    }
+  }
+}
+
+void Auditor::check_fixpoint(const Solver& s, AuditPoint p) const {
+  auto clause_check = [&](const Clause& c) {
+    std::size_t unassigned = 0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const LBool v = s.value(c[i]);
+      if (v == LBool::True) return;
+      if (v == LBool::Undef) ++unassigned;
+    }
+    if (unassigned == 0) fail(p, "clause falsified at a propagation fixpoint");
+    if (unassigned == 1) fail(p, "unit clause unpropagated at a fixpoint");
+  };
+  for (const auto& c : s.clauses_) clause_check(*c);
+  for (const auto& c : s.learnts_) clause_check(*c);
+
+  for (const auto& x : s.xors_) {
+    std::size_t unassigned = 0;
+    bool parity = false;
+    for (const Var v : x->vars) {
+      const LBool a = s.value(v);
+      if (a == LBool::Undef) {
+        ++unassigned;
+        if (unassigned > 1) break;
+      } else if (a == LBool::True) {
+        parity = !parity;
+      }
+    }
+    if (unassigned == 0 && parity != x->rhs) {
+      fail(p, "XOR constraint violated at a propagation fixpoint");
+    }
+    if (unassigned == 1) fail(p, "unit XOR constraint unpropagated at a fixpoint");
+  }
+}
+
+void Auditor::check_learnt_rup(const Solver& s, AuditPoint p) const {
+  // Row-combination reasons from the Gaussian engine cannot be replayed by
+  // a clausal RUP check.
+  if (s.opts_.use_gauss) return;
+  for (const auto& x : s.xors_) {
+    if (x->vars.size() > opts_.rup_max_xor_arity) return;
+  }
+
+  // Identify what this conflict just produced: a stored clause (it is the
+  // reason of the newly asserted trail literal) or a unit (asserted with
+  // no reason after a backjump to level 0).
+  if (s.trail_.empty()) return;
+  const Lit asserted = s.trail_.back();
+  const Solver::Reason reason =
+      s.vardata_[static_cast<std::size_t>(asserted.var())].reason;
+  const Clause* candidate = nullptr;
+  if (!s.learnts_.empty() && reason.clause == s.learnts_.back().get()) {
+    candidate = s.learnts_.back().get();
+  } else if (!reason.none()) {
+    return;  // checkpoint fired somewhere unexpected; nothing to certify
+  }
+
+  DratChecker checker(/*check_rat=*/false);
+  auto feed = [&checker](const Clause& c) {
+    IntClause ic;
+    ic.reserve(c.size());
+    for (std::size_t i = 0; i < c.size(); ++i) ic.push_back(lit_to_dimacs(c[i]));
+    checker.add_clause(ic);
+  };
+  for (const auto& c : s.clauses_) feed(*c);
+  for (const auto& c : s.learnts_) {
+    if (c.get() != candidate) feed(*c);
+  }
+  for (const auto& x : s.xors_) {
+    std::vector<int> vars;
+    vars.reserve(x->vars.size());
+    for (const Var v : x->vars) vars.push_back(v + 1);
+    for (const auto& clause : xor_clauses(vars, x->rhs)) {
+      checker.add_clause(clause);
+    }
+  }
+  // Level-0 facts take part in conflict analysis but are dropped from the
+  // learnt clause, so the independent derivation needs them as units. The
+  // just-asserted unit itself (the candidate in the backjump-to-0 case) is
+  // excluded — it is the claim under test.
+  const std::size_t level0_end =
+      s.trail_lim_.empty() ? s.trail_.size() : s.trail_lim_[0];
+  for (std::size_t i = 0; i < level0_end; ++i) {
+    if (candidate == nullptr && i + 1 == s.trail_.size()) continue;
+    checker.add_clause({lit_to_dimacs(s.trail_[i])});
+  }
+
+  ProofOp claim;
+  if (candidate != nullptr) {
+    for (std::size_t i = 0; i < candidate->size(); ++i) {
+      claim.lits.push_back(lit_to_dimacs((*candidate)[i]));
+    }
+  } else {
+    claim.lits.push_back(lit_to_dimacs(asserted));
+  }
+  const DratChecker::Result res = checker.check({claim});
+  if (!res.valid) {
+    fail(p, "learnt clause is not RUP against the database: " + res.error);
+  }
+}
+
+}  // namespace tp::sat

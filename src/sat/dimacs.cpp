@@ -38,24 +38,35 @@ bool Cnf::satisfied_by(const std::vector<bool>& assignment) const {
 Cnf parse_dimacs(std::istream& in) {
   Cnf cnf;
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == 'c') continue;
     if (line[0] == 'p') {
       std::istringstream ss(line);
       std::string p, fmt;
-      int vars = 0, clauses = 0;
-      ss >> p >> fmt >> vars >> clauses;
-      if (fmt != "cnf") throw std::runtime_error("dimacs: expected 'p cnf'");
-      cnf.num_vars = vars;
+      long vars = 0, clauses = 0;
+      if (!(ss >> p >> fmt >> vars >> clauses)) {
+        throw DimacsError(lineno, "malformed problem line, expected 'p cnf <vars> <clauses>'");
+      }
+      if (fmt != "cnf") throw DimacsError(lineno, "expected 'p cnf'");
+      if (vars < 0 || clauses < 0) {
+        throw DimacsError(lineno, "negative count in problem line");
+      }
+      cnf.num_vars = static_cast<int>(vars);
       continue;
     }
     const bool is_xor = line[0] == 'x';
     std::istringstream ss(is_xor ? line.substr(1) : line);
     std::vector<Lit> lits;
     bool parity = true;  // an XOR clause asserts XOR of its literals = true
+    bool terminated = false;
     long v = 0;
     while (ss >> v) {
-      if (v == 0) break;
+      if (v == 0) {
+        terminated = true;
+        break;
+      }
       const Var var = static_cast<Var>(std::labs(v)) - 1;
       cnf.ensure_var(var);
       if (is_xor) {
@@ -65,7 +76,21 @@ Cnf parse_dimacs(std::istream& in) {
         lits.push_back(Lit(var, v < 0));
       }
     }
-    if (v != 0) throw std::runtime_error("dimacs: clause not 0-terminated");
+    if (!terminated) {
+      // Distinguish "ran out of tokens" from "hit a non-numeric token":
+      // both leave the extraction failed, but the messages should differ.
+      ss.clear();
+      std::string junk;
+      if (ss >> junk) {
+        throw DimacsError(lineno, "expected a literal, got '" + junk + "'");
+      }
+      throw DimacsError(lineno, "clause not 0-terminated");
+    }
+    std::string trailing;
+    if (ss >> trailing) {
+      throw DimacsError(lineno, "unexpected token '" + trailing +
+                                    "' after the terminating 0");
+    }
     if (is_xor) {
       std::vector<Var> vars;
       vars.reserve(lits.size());
@@ -86,7 +111,13 @@ void write_dimacs(const Cnf& cnf, std::ostream& out) {
     out << "0\n";
   }
   for (const auto& [vars, rhs] : cnf.xors) {
-    if (vars.empty()) continue;
+    if (vars.empty()) {
+      // An empty XOR asserting parity 1 is plain falsity: keep the
+      // round-trip lossless by writing it as the empty clause. Parity 0 is
+      // a tautology and can be dropped.
+      if (rhs) out << "0\n";
+      continue;
+    }
     out << 'x';
     for (std::size_t i = 0; i < vars.size(); ++i) {
       // Express the parity on the first literal: a negated first literal

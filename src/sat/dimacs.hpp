@@ -6,7 +6,10 @@
 // Negating a literal flips the parity of the constraint, so every XOR
 // clause normalizes to (set of variables, required parity).
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -14,6 +17,21 @@
 #include "sat/types.hpp"
 
 namespace tp::sat {
+
+/// Parse failure with the 1-based input line it occurred on. what() is
+/// "dimacs: line N: <detail>"; line() gives N for programmatic use.
+class DimacsError : public std::runtime_error {
+ public:
+  DimacsError(std::size_t line, const std::string& detail)
+      : std::runtime_error("dimacs: line " + std::to_string(line) + ": " +
+                           detail),
+        line_(line) {}
+
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
 
 /// A problem in memory: plain clauses plus normalized XOR constraints.
 /// Used as the neutral exchange format between DIMACS files, the CDCL
@@ -37,7 +55,10 @@ struct Cnf {
   bool satisfied_by(const std::vector<bool>& assignment) const;
 };
 
-/// Parse extended DIMACS. Throws std::runtime_error on malformed input.
+/// Parse extended DIMACS. Throws DimacsError (a std::runtime_error whose
+/// message carries the offending 1-based line number) on malformed input:
+/// a bad problem line, a clause without its terminating 0, non-numeric
+/// junk inside a clause, or tokens after the terminating 0.
 Cnf parse_dimacs(std::istream& in);
 
 /// Write extended DIMACS.

@@ -1,0 +1,382 @@
+#include "sat/drat.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sat/dimacs.hpp"
+
+namespace tp::sat {
+
+ProofSink::~ProofSink() = default;
+
+void ProofSink::axiom(const std::vector<Lit>& /*lits*/) {}
+
+namespace {
+
+void write_text_clause(std::ostream& out, const std::vector<Lit>& lits) {
+  for (Lit l : lits) out << lit_to_dimacs(l) << ' ';
+  out << "0\n";
+}
+
+// Binary DRAT literal mapping (drat-trim): v>0 -> 2v, v<0 -> -2v+1, then
+// 7-bit groups, high bit set on all but the last byte.
+void write_binary_lit(std::ostream& out, int lit) {
+  auto u = static_cast<std::uint64_t>(lit > 0 ? 2L * lit : -2L * lit + 1);
+  while (u >= 0x80) {
+    out.put(static_cast<char>((u & 0x7f) | 0x80));
+    u >>= 7;
+  }
+  out.put(static_cast<char>(u));
+}
+
+void write_binary_clause(std::ostream& out, const std::vector<Lit>& lits) {
+  for (Lit l : lits) write_binary_lit(out, lit_to_dimacs(l));
+  out.put('\0');
+}
+
+}  // namespace
+
+void TextDratWriter::add(const std::vector<Lit>& lits) {
+  write_text_clause(*out_, lits);
+}
+
+void TextDratWriter::del(const std::vector<Lit>& lits) {
+  *out_ << "d ";
+  write_text_clause(*out_, lits);
+}
+
+void BinaryDratWriter::add(const std::vector<Lit>& lits) {
+  out_->put('a');
+  write_binary_clause(*out_, lits);
+}
+
+void BinaryDratWriter::del(const std::vector<Lit>& lits) {
+  out_->put('d');
+  write_binary_clause(*out_, lits);
+}
+
+namespace {
+
+IntClause to_int_clause(const std::vector<Lit>& lits) {
+  IntClause out;
+  out.reserve(lits.size());
+  for (Lit l : lits) out.push_back(lit_to_dimacs(l));
+  return out;
+}
+
+}  // namespace
+
+void MemoryProof::axiom(const std::vector<Lit>& lits) {
+  formula_.push_back(to_int_clause(lits));
+}
+
+void MemoryProof::add(const std::vector<Lit>& lits) {
+  ops_.push_back({ProofOp::Kind::Add, to_int_clause(lits)});
+}
+
+void MemoryProof::del(const std::vector<Lit>& lits) {
+  ops_.push_back({ProofOp::Kind::Delete, to_int_clause(lits)});
+}
+
+void MemoryProof::clear() {
+  formula_.clear();
+  ops_.clear();
+}
+
+std::vector<ProofOp> parse_drat_text(std::istream& in) {
+  std::vector<ProofOp> ops;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ss(line);
+    std::string tok;
+    if (!(ss >> tok)) continue;  // blank line
+    if (tok == "c") continue;
+    ProofOp op;
+    bool have = true;
+    if (tok == "d") {
+      op.kind = ProofOp::Kind::Delete;
+      have = static_cast<bool>(ss >> tok);
+    }
+    // Token-by-token with full validation: a stream extraction straight
+    // into a number writes 0 on failure, which would make junk look like
+    // the clause terminator.
+    bool terminated = false;
+    while (have) {
+      if (terminated) {
+        throw std::runtime_error("drat: line " + std::to_string(lineno) +
+                                 ": trailing tokens after terminating 0");
+      }
+      std::istringstream ts(tok);
+      long v = 0;
+      if (!(ts >> v) || !ts.eof()) {
+        throw std::runtime_error("drat: line " + std::to_string(lineno) +
+                                 ": expected a literal, got '" + tok + "'");
+      }
+      if (v == 0) {
+        terminated = true;
+      } else {
+        op.lits.push_back(static_cast<int>(v));
+      }
+      have = static_cast<bool>(ss >> tok);
+    }
+    if (!terminated) {
+      throw std::runtime_error("drat: line " + std::to_string(lineno) +
+                               ": clause not 0-terminated");
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::vector<ProofOp> parse_drat_binary(std::istream& in) {
+  std::vector<ProofOp> ops;
+  int c = 0;
+  while ((c = in.get()) != std::char_traits<char>::eof()) {
+    ProofOp op;
+    if (c == 'a') {
+      op.kind = ProofOp::Kind::Add;
+    } else if (c == 'd') {
+      op.kind = ProofOp::Kind::Delete;
+    } else {
+      throw std::runtime_error("drat: binary record must start with 'a' or 'd'");
+    }
+    while (true) {
+      std::uint64_t u = 0;
+      int shift = 0;
+      int byte = 0;
+      do {
+        byte = in.get();
+        if (byte == std::char_traits<char>::eof()) {
+          throw std::runtime_error("drat: truncated binary literal");
+        }
+        u |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        shift += 7;
+        if (shift > 63) throw std::runtime_error("drat: binary literal overflow");
+      } while ((byte & 0x80) != 0);
+      if (u == 0) break;  // end of clause
+      const auto mag = static_cast<long>(u >> 1);
+      op.lits.push_back(static_cast<int>((u & 1) != 0 ? -mag : mag));
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::vector<IntClause> xor_clauses(const std::vector<int>& vars, bool rhs) {
+  const std::size_t n = vars.size();
+  if (n == 0) {
+    return rhs ? std::vector<IntClause>{{}} : std::vector<IntClause>{};
+  }
+  if (n > 24) {
+    throw std::invalid_argument("xor_clauses: arity too large to expand");
+  }
+  std::vector<IntClause> out;
+  out.reserve(std::size_t{1} << (n - 1));
+  for (std::uint32_t mask = 0; mask < (std::uint32_t{1} << n); ++mask) {
+    // `mask` bit i set = variable i true. Forbid assignments whose parity
+    // violates the constraint with the clause of their negations.
+    bool parity = false;
+    for (std::size_t i = 0; i < n; ++i) parity ^= ((mask >> i) & 1) != 0;
+    if (parity == rhs) continue;
+    IntClause clause;
+    clause.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      clause.push_back(((mask >> i) & 1) != 0 ? -vars[i] : vars[i]);
+    }
+    out.push_back(std::move(clause));
+  }
+  return out;
+}
+
+std::vector<IntClause> clausal_view(const Cnf& cnf, std::size_t max_xor_arity) {
+  std::vector<IntClause> out;
+  out.reserve(cnf.clauses.size());
+  for (const auto& c : cnf.clauses) {
+    IntClause ic;
+    ic.reserve(c.size());
+    for (Lit l : c) ic.push_back(lit_to_dimacs(l));
+    out.push_back(std::move(ic));
+  }
+  for (const auto& [vars, rhs] : cnf.xors) {
+    if (vars.size() > max_xor_arity) {
+      throw std::invalid_argument(
+          "clausal_view: XOR arity " + std::to_string(vars.size()) +
+          " exceeds the expansion cap of " + std::to_string(max_xor_arity));
+    }
+    std::vector<int> ivars;
+    ivars.reserve(vars.size());
+    for (Var v : vars) ivars.push_back(v + 1);
+    // Duplicate variables cancel pairwise; the expansion needs them distinct.
+    std::sort(ivars.begin(), ivars.end());
+    std::vector<int> distinct;
+    bool parity = rhs;
+    for (std::size_t i = 0; i < ivars.size();) {
+      if (i + 1 < ivars.size() && ivars[i] == ivars[i + 1]) {
+        i += 2;
+        continue;
+      }
+      distinct.push_back(ivars[i]);
+      ++i;
+    }
+    for (auto& clause : xor_clauses(distinct, parity)) {
+      out.push_back(std::move(clause));
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ checker ----
+
+int DratChecker::val(int lit) const {
+  const auto v = static_cast<std::size_t>(std::abs(lit));
+  if (v >= assign_.size()) return 0;
+  const int a = assign_[v];
+  return lit > 0 ? a : -a;
+}
+
+void DratChecker::assign_true(int lit) {
+  const int v = std::abs(lit);
+  ensure_var(v);
+  assign_[static_cast<std::size_t>(v)] = lit > 0 ? 1 : -1;
+  touched_.push_back(v);
+}
+
+void DratChecker::ensure_var(int var) {
+  if (static_cast<std::size_t>(var) >= assign_.size()) {
+    assign_.resize(static_cast<std::size_t>(var) + 1, 0);
+  }
+}
+
+void DratChecker::reset_assignment() {
+  for (int v : touched_) assign_[static_cast<std::size_t>(v)] = 0;
+  touched_.clear();
+}
+
+void DratChecker::add_clause(const IntClause& lits) { store(lits); }
+
+void DratChecker::store(const IntClause& lits) {
+  for (int l : lits) ensure_var(std::abs(l));
+  clauses_.push_back({lits, true});
+}
+
+bool DratChecker::erase(const IntClause& lits) {
+  IntClause key = lits;
+  std::sort(key.begin(), key.end());
+  for (auto& c : clauses_) {
+    if (!c.active || c.lits.size() != key.size()) continue;
+    IntClause have = c.lits;
+    std::sort(have.begin(), have.end());
+    if (have == key) {
+      c.active = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DratChecker::propagate_to_conflict() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& c : clauses_) {
+      if (!c.active) continue;
+      int unassigned = 0;
+      int unit = 0;
+      bool satisfied = false;
+      for (int l : c.lits) {
+        const int v = val(l);
+        if (v > 0) {
+          satisfied = true;
+          break;
+        }
+        // Count *distinct* unassigned literals: logged axioms are the raw
+        // input clauses, which may repeat a literal.
+        if (v == 0 && l != unit) {
+          ++unassigned;
+          unit = l;
+          if (unassigned > 1) break;
+        }
+      }
+      if (satisfied || unassigned > 1) continue;
+      if (unassigned == 0) return true;  // fully falsified clause
+      assign_true(unit);
+      changed = true;
+    }
+  }
+  return false;
+}
+
+bool DratChecker::rup(const IntClause& clause) {
+  reset_assignment();
+  for (int l : clause) {
+    if (val(l) > 0) return true;  // negation self-contradicts: tautology
+    assign_true(-l);
+  }
+  return propagate_to_conflict();
+}
+
+bool DratChecker::rat(const IntClause& clause) {
+  if (clause.empty()) return false;
+  const int pivot = clause[0];
+  // Snapshot indices first: rup() below never mutates the clause list, but
+  // iterate by index anyway so the logic survives future reordering.
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (!clauses_[i].active) continue;
+    const IntClause& other = clauses_[i].lits;
+    if (std::find(other.begin(), other.end(), -pivot) == other.end()) continue;
+    IntClause resolvent;
+    resolvent.reserve(clause.size() + other.size() - 2);
+    for (int l : clause) {
+      if (l != pivot) resolvent.push_back(l);
+    }
+    bool tautology = false;
+    for (int l : other) {
+      if (l == -pivot) continue;
+      if (std::find(resolvent.begin(), resolvent.end(), -l) != resolvent.end()) {
+        tautology = true;
+        break;
+      }
+      resolvent.push_back(l);
+    }
+    if (tautology) continue;
+    if (!rup(resolvent)) return false;
+  }
+  return true;
+}
+
+DratChecker::Result DratChecker::check(const std::vector<ProofOp>& proof) {
+  Result res;
+  for (const ProofOp& op : proof) {
+    ++res.ops_checked;
+    if (op.kind == ProofOp::Kind::Delete) {
+      // The solver's stored clause may differ from any logged axiom after
+      // level-0 simplification; an unmatched deletion is harmless (keeping
+      // a clause only adds propagation power) and is counted, not failed.
+      if (!erase(op.lits)) ++res.ignored_deletions;
+      continue;
+    }
+    if (!rup(op.lits) && !(check_rat_ && rat(op.lits))) {
+      std::string text;
+      for (int l : op.lits) text += std::to_string(l) + ' ';
+      res.error = "addition " + std::to_string(res.ops_checked) +
+                  " is neither RUP nor RAT: " + text + "0";
+      return res;
+    }
+    if (op.lits.empty()) {
+      res.valid = true;
+      res.proved_unsat = true;
+      return res;  // anything after a verified empty clause is irrelevant
+    }
+    store(op.lits);
+  }
+  res.valid = true;
+  return res;
+}
+
+}  // namespace tp::sat

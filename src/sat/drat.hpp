@@ -1,0 +1,202 @@
+#pragma once
+// drat.hpp — DRAT proof logging and an independent RUP/RAT proof checker.
+//
+// A wrong UNSAT from the solver silently truncates a reconstruction's
+// candidate set, which is exactly the failure mode post-silicon debug cannot
+// tolerate. This header provides the two halves of the certification story:
+//
+//  * ProofSink — the solver-facing emission interface. The solver reports
+//    three kinds of events: `axiom` (an input clause of the formula being
+//    solved, including the CNF expansion of every attached XOR constraint),
+//    `add` (a clause the solver claims is implied — learnt clauses and
+//    assumption-failure clauses), and `del` (a clause dropped by
+//    reduce_db()/simplify()). Writers serialize the add/del stream in the
+//    standard DRAT formats (text and binary, as consumed by drat-trim);
+//    MemoryProof keeps everything in memory for in-process checking.
+//
+//  * DratChecker — a self-contained RUP/RAT checker over int literals
+//    (DIMACS convention: variable v > 0, negation -v). It shares *no* code
+//    or data structures with the solver: clauses are plain vectors, unit
+//    propagation is a naive repeated scan, deletion matching is by sorted
+//    literal multiset. Slow and obviously correct, which is the point.
+//
+// Scope and trust boundary:
+//  * Proof logging is incompatible with the Gaussian XOR engine: DRAT
+//    cannot express row-combination reasoning (the same restriction
+//    CryptoMiniSat has; its BIRD/Frat work exists precisely because of it).
+//    Solver construction throws when both are requested.
+//  * In proof mode the solver attaches XOR constraints whole (no chunk
+//    splitting — the auxiliary link variables would need RAT-checked
+//    definition clauses that the direct expansion avoids) and emits the
+//    2^(n-1)-clause CNF expansion of each attached constraint as axioms;
+//    the arity is capped to keep that expansion small.
+//  * Axioms emitted after level-0 folding (of already-fixed variables into
+//    an XOR's parity) are logically implied by earlier axioms via unit
+//    propagation, so a checker seeded with the *original* formula still
+//    accepts the proof: extra UP-implied clauses only add propagation power.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace tp::sat {
+
+struct Cnf;
+
+/// A DIMACS-convention clause: positive ints are positive literals,
+/// negative ints negated ones. Zero never appears.
+using IntClause = std::vector<int>;
+
+/// Lit -> DIMACS int (variable v becomes v+1, negation flips the sign).
+inline int lit_to_dimacs(Lit l) {
+  const int v = l.var() + 1;
+  return l.negated() ? -v : v;
+}
+
+/// Receives the solver's proof-relevant events. Implementations must not
+/// throw from the emission hooks; they are called from the solver's inner
+/// loop. One sink serves exactly one solver (clone() detaches the copy).
+class ProofSink {
+ public:
+  virtual ~ProofSink();
+
+  /// An input clause of the formula (original clause, or one clause of an
+  /// attached XOR constraint's CNF expansion). File-based DRAT writers
+  /// ignore this — their formula is the caller's input file.
+  virtual void axiom(const std::vector<Lit>& lits);
+
+  /// A clause the solver claims is RUP-implied by the formula plus all
+  /// previously added (and not deleted) clauses.
+  virtual void add(const std::vector<Lit>& lits) = 0;
+
+  /// A clause the solver no longer uses for propagation.
+  virtual void del(const std::vector<Lit>& lits) = 0;
+};
+
+/// Streams add/del lines in the textual DRAT format ("1 -2 0", "d 3 4 0").
+class TextDratWriter : public ProofSink {
+ public:
+  /// The stream must outlive the writer. The caller flushes/closes it.
+  explicit TextDratWriter(std::ostream& out) : out_(&out) {}
+
+  void add(const std::vector<Lit>& lits) override;
+  void del(const std::vector<Lit>& lits) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Streams add/del records in the binary DRAT format: 'a' / 'd' prefix,
+/// then each literal as a 7-bit variable-length unsigned (v>0 -> 2v,
+/// v<0 -> -2v+1), clause terminated by a 0x00 byte.
+class BinaryDratWriter : public ProofSink {
+ public:
+  explicit BinaryDratWriter(std::ostream& out) : out_(&out) {}
+
+  void add(const std::vector<Lit>& lits) override;
+  void del(const std::vector<Lit>& lits) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// One step of a DRAT proof.
+struct ProofOp {
+  enum class Kind { Add, Delete };
+  Kind kind = Kind::Add;
+  IntClause lits;
+};
+
+/// In-memory sink: records the axiom stream (the formula as the solver saw
+/// it) and the add/del proof ops, ready to feed a DratChecker. Used by the
+/// test suites for end-to-end certification without touching the disk.
+class MemoryProof : public ProofSink {
+ public:
+  void axiom(const std::vector<Lit>& lits) override;
+  void add(const std::vector<Lit>& lits) override;
+  void del(const std::vector<Lit>& lits) override;
+
+  const std::vector<IntClause>& formula() const { return formula_; }
+  const std::vector<ProofOp>& ops() const { return ops_; }
+  std::vector<ProofOp>& mutable_ops() { return ops_; }
+  void clear();
+
+ private:
+  std::vector<IntClause> formula_;
+  std::vector<ProofOp> ops_;
+};
+
+/// Parse a textual DRAT proof. Lines starting with 'c' are comments;
+/// 'd' starts a deletion. Throws std::runtime_error on malformed input.
+std::vector<ProofOp> parse_drat_text(std::istream& in);
+
+/// Parse a binary DRAT proof. Throws std::runtime_error on malformed input.
+std::vector<ProofOp> parse_drat_binary(std::istream& in);
+
+/// The CNF expansion of an XOR constraint over DIMACS variables: one clause
+/// per parity-violating assignment (2^(n-1) clauses). `vars` must be
+/// positive and distinct. An empty XOR with rhs=true yields the empty
+/// clause.
+std::vector<IntClause> xor_clauses(const std::vector<int>& vars, bool rhs);
+
+/// A purely clausal view of a parsed DIMACS instance: plain clauses plus
+/// the expansion of every x-line. Throws std::invalid_argument when an
+/// XOR's arity exceeds `max_xor_arity` (the expansion would be huge).
+std::vector<IntClause> clausal_view(const Cnf& cnf,
+                                    std::size_t max_xor_arity = 20);
+
+/// Self-contained RUP/DRAT proof checker. Feed the formula with
+/// add_clause(), then verify a proof with check(). Intentionally naive:
+/// unit propagation is a repeated full scan, so keep instances small
+/// (tests and spot-checks, not competition-scale proofs).
+class DratChecker {
+ public:
+  /// When `check_rat` is set (the default), an addition that fails the RUP
+  /// test falls back to the full RAT test on its first literal.
+  explicit DratChecker(bool check_rat = true) : check_rat_(check_rat) {}
+
+  /// Add one clause of the input formula.
+  void add_clause(const IntClause& lits);
+
+  struct Result {
+    bool valid = false;        ///< every addition passed RUP (or RAT)
+    bool proved_unsat = false;  ///< a valid empty clause was derived
+    std::size_t ops_checked = 0;
+    std::size_t ignored_deletions = 0;  ///< deletions of unknown clauses
+    std::string error;  ///< first failure, empty when valid
+  };
+
+  /// Verify the proof against the formula fed so far. Mutates checker
+  /// state (clauses are added/deleted as the proof replays); construct a
+  /// fresh checker per verification.
+  Result check(const std::vector<ProofOp>& proof);
+
+ private:
+  struct StoredClause {
+    IntClause lits;
+    bool active = true;
+  };
+
+  int val(int lit) const;
+  void assign_true(int lit);
+  void ensure_var(int var);
+  void reset_assignment();
+  /// Seed the negation of `clause` and propagate. True iff a conflict is
+  /// derived (i.e. `clause` is RUP).
+  bool rup(const IntClause& clause);
+  bool rat(const IntClause& clause);
+  bool propagate_to_conflict();
+  void store(const IntClause& lits);
+  bool erase(const IntClause& lits);
+
+  bool check_rat_ = true;
+  std::vector<StoredClause> clauses_;
+  std::vector<signed char> assign_;  ///< 1-based by variable; -1/0/+1
+  std::vector<int> touched_;         ///< variables assigned since last reset
+};
+
+}  // namespace tp::sat

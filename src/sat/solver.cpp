@@ -4,8 +4,11 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "sat/audit.hpp"
+#include "sat/drat.hpp"
 
 namespace tp::sat {
 
@@ -105,7 +108,19 @@ void Solver::VarOrderHeap::sift_down(std::size_t i, const std::vector<double>& a
 Solver::Solver() : Solver(SolverOptions{}) {}
 
 Solver::Solver(const SolverOptions& options) : opts_(options) {
+  if (opts_.proof != nullptr && opts_.use_gauss) {
+    // A Gaussian conflict/implication comes from a *combination* of rows,
+    // which DRAT's clause-redundancy checks cannot express (the same
+    // restriction CryptoMiniSat documents for its BIRD work).
+    throw std::invalid_argument(
+        "SolverOptions: proof logging is incompatible with use_gauss");
+  }
   next_reduce_ = opts_.reduce_base;
+#ifndef NDEBUG
+  // Debug builds can force an auditor onto every solver in the process via
+  // the environment — the sanitizer CI job runs the whole suite this way.
+  audit_ = Auditor::debug_env();
+#endif
 }
 
 Solver::~Solver() = default;
@@ -113,6 +128,12 @@ Solver::~Solver() = default;
 std::unique_ptr<Solver> Solver::clone() const {
   assert(decision_level() == 0 && "clone() only between solve() calls");
   auto c = std::make_unique<Solver>(opts_);
+
+  // A proof certifies one solver's derivation stream; interleaving a
+  // clone's additions would corrupt it, so the copy starts unlogged (and
+  // unaudited — attach a fresh auditor explicitly if wanted).
+  c->opts_.proof = nullptr;
+  c->proof_empty_done_ = false;
 
   c->ok_ = ok_;
   c->assigns_ = assigns_;
@@ -212,9 +233,49 @@ LBool Solver::fixed_value(Var v) const {
   return LBool::Undef;
 }
 
+// ----------------------------------------------------- proof emission ----
+
+void Solver::proof_axiom(const std::vector<Lit>& lits) {
+  if (opts_.proof != nullptr) opts_.proof->axiom(lits);
+}
+
+void Solver::proof_add(const std::vector<Lit>& lits) {
+  if (opts_.proof != nullptr) opts_.proof->add(lits);
+}
+
+void Solver::proof_del(const std::vector<Lit>& lits) {
+  if (opts_.proof != nullptr) opts_.proof->del(lits);
+}
+
+void Solver::proof_empty() {
+  if (opts_.proof == nullptr || proof_empty_done_) return;
+  proof_empty_done_ = true;
+  opts_.proof->add({});
+}
+
+void Solver::proof_xor_axioms(const std::vector<Var>& vars, bool rhs) {
+  // One axiom per parity-violating assignment: 2^(n-1) clauses forbidding
+  // exactly the assignments whose parity differs from rhs. Arity is capped
+  // by add_xor before this is reached.
+  const std::size_t n = vars.size();
+  std::vector<Lit> clause(n, lit_undef);
+  for (std::uint32_t mask = 0; mask < (std::uint32_t{1} << n); ++mask) {
+    bool parity = false;
+    for (std::size_t i = 0; i < n; ++i) parity ^= ((mask >> i) & 1) != 0;
+    if (parity == rhs) continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      clause[i] = Lit(vars[i], /*negated=*/((mask >> i) & 1) != 0);
+    }
+    opts_.proof->axiom(clause);
+  }
+}
+
+// ------------------------------------------------------- constraints -----
+
 bool Solver::add_clause(std::vector<Lit> lits) {
   assert(decision_level() == 0);
   if (!ok_) return false;
+  proof_axiom(lits);
 
   // Level-0 simplification: drop false literals, detect satisfied clauses,
   // merge duplicates, detect tautologies.
@@ -230,12 +291,16 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   }
 
   if (out.empty()) {
+    // Every literal of the logged axiom is false at level 0, so the empty
+    // clause is derivable by unit propagation alone.
     ok_ = false;
+    proof_empty();
     return false;
   }
   if (out.size() == 1) {
     unchecked_enqueue(out[0], {});
     ok_ = propagate().none();
+    if (!ok_) proof_empty();
     return ok_;
   }
   auto c = std::make_unique<Clause>();
@@ -269,18 +334,45 @@ bool Solver::add_xor(std::vector<Var> vars, bool rhs) {
   }
 
   if (out.empty()) {
-    if (rhs) ok_ = false;
+    if (rhs) {
+      // Degenerate fold: the constraint contradicts the level-0 fixings.
+      // The contradiction lives in the *folded-away* literals, which the
+      // proof's clausal axioms cannot see, so the empty clause is emitted
+      // as an axiom (a documented trust boundary — covered by the
+      // differential fuzz suites, not by the checker).
+      proof_axiom({});
+      ok_ = false;
+      proof_empty();  // RUP against the axiom just logged
+    }
     return ok_;
   }
   if (out.size() == 1) {
-    unchecked_enqueue(Lit(out[0], /*negated=*/!rhs), {});
+    // Same trust boundary as above: the folded unit is an axiom.
+    const Lit unit(out[0], /*negated=*/!rhs);
+    proof_axiom({unit});
+    unchecked_enqueue(unit, {});
     ok_ = propagate().none();
+    if (!ok_) proof_empty();
     return ok_;
   }
 
   if (opts_.use_gauss) {
     gauss_add_row(out, rhs);
     return true;
+  }
+
+  if (opts_.proof != nullptr) {
+    // Proof mode attaches the constraint whole: chunk splitting introduces
+    // definitional link variables whose clauses are only RAT in an order
+    // the emission stream cannot promise once chains get long. The direct
+    // expansion needs no new variables, at the cost of a 2^(n-1) axiom
+    // fan-out — hence the arity cap.
+    if (out.size() > kProofMaxXorArity) {
+      throw std::invalid_argument(
+          "add_xor: XOR arity exceeds kProofMaxXorArity under proof logging");
+    }
+    proof_xor_axioms(out, rhs);
+    return attach_xor(std::move(out), rhs);
   }
 
   // Split long constraints into a chain of short XORs linked by fresh
@@ -500,7 +592,7 @@ bool Solver::gauss_propagate(Reason& conflict) {
   std::vector<Working> rows;
   rows.reserve(gauss_rows_.size());
   for (const GaussRow& g : gauss_rows_) {
-    Working w{g.mask, g.mask, g.rhs ^ g.mask.dot(value)};
+    Working w{g.mask, g.mask, g.rhs != g.mask.dot(value)};
     w.res.and_not(assigned);
     rows.push_back(std::move(w));
   }
@@ -834,6 +926,7 @@ void Solver::reduce_db() {
     Clause* c = sorted[i];
     if (c->size() <= 2 || c->lbd <= 2 || locked(c)) continue;
     detach_clause(c);
+    proof_del(c->lits);
     to_remove.push_back(c);
   }
   if (to_remove.empty()) return;
@@ -859,6 +952,7 @@ bool Solver::simplify() {
     for (auto& c : db) {
       if (satisfied(*c) && !locked(c.get())) {
         detach_clause(c.get());
+        proof_del(c->lits);
         c.reset();
       }
     }
@@ -866,6 +960,7 @@ bool Solver::simplify() {
     return before - db.size();
   };
   stats_.removed_clauses += static_cast<std::int64_t>(sweep(learnts_) + sweep(clauses_));
+  if (audit_ != nullptr) audit_->checkpoint(*this, AuditPoint::PostSimplify);
   return true;
 }
 
@@ -881,6 +976,9 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
       return Status::Unknown;
     }
     Reason conflict = propagate();
+    if (audit_ != nullptr && conflict.none()) {
+      audit_->checkpoint(*this, AuditPoint::PostPropagate);
+    }
     if (!conflict.none()) {
       ++stats_.conflicts;
       ++conflicts_here;
@@ -893,7 +991,10 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
              {"learnts", static_cast<std::uint64_t>(learnts_.size())},
              {"trail", static_cast<std::uint64_t>(trail_.size())}});
       }
-      if (decision_level() == 0) return Status::Unsat;
+      if (decision_level() == 0) {
+        proof_empty();
+        return Status::Unsat;
+      }
 
       // The gated Gauss engine can detect a conflict whose literals were
       // all assigned below the current decision level (the violated row
@@ -907,12 +1008,19 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
       conflict_literals(conflict, confl_lits);
       int max_level = 0;
       for (Lit q : confl_lits) max_level = std::max(max_level, level(q.var()));
-      if (max_level == 0) return Status::Unsat;
+      if (max_level == 0) {
+        proof_empty();  // unreachable in proof mode (Gauss is excluded)
+        return Status::Unsat;
+      }
       if (max_level < decision_level()) cancel_until(max_level);
 
       std::vector<Lit> learnt;
       const int bt = analyze(conflict, learnt);
       cancel_until(bt);
+      // The 1UIP clause (minimization included) is derived by resolution
+      // over stored clauses and materialized XOR implications, all of which
+      // were logged as axioms or earlier additions — so it is RUP here.
+      proof_add(learnt);
 
       if (learnt.size() == 1) {
         unchecked_enqueue(learnt[0], {});
@@ -927,6 +1035,7 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
         learnts_.push_back(std::move(c));
         ++stats_.learnt_clauses;
       }
+      if (audit_ != nullptr) audit_->checkpoint(*this, AuditPoint::PostBacktrack);
       decay_var_activity();
       decay_clause_activity();
 
@@ -957,6 +1066,12 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
         } else if (value(a) == LBool::False) {
           analyze_final(~a);
           assumption_conflict_ = true;
+          // The failure clause resolves only stored constraints (the
+          // assumptions enter as decisions, never as resolution inputs),
+          // so it is RUP against the database alone. A certifier of the
+          // conditional UNSAT appends the assumptions as unit clauses and
+          // then derives the empty clause by unit propagation.
+          proof_add(final_conflict_);
           return Status::Unsat;
         } else {
           next = a;
@@ -1061,6 +1176,7 @@ Status Solver::solve_main(const SolveLimits& limits) {
   cancel_until(0);
   if (!propagate().none()) {
     ok_ = false;
+    proof_empty();
     return Status::Unsat;
   }
 

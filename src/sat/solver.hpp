@@ -33,6 +33,9 @@
 
 namespace tp::sat {
 
+class Auditor;     // audit.hpp — debug invariant auditor
+class ProofSink;   // drat.hpp — DRAT proof logging
+
 /// A disjunctive clause. Stored on the heap; the first two literals are the
 /// watched ones.
 struct Clause {
@@ -121,7 +124,24 @@ struct SolverOptions {
   /// the solver. When null the only cost is one pointer test per sample
   /// site.
   obs::Tracer* tracer = nullptr;
+  /// DRAT proof sink (drat.hpp), or null for no proof logging. When
+  /// attached, every input clause (and the CNF expansion of every attached
+  /// XOR constraint) is reported as an axiom, every learnt clause and
+  /// assumption-failure clause as an addition, and every clause dropped by
+  /// reduce_db()/simplify() as a deletion, so an UNSAT answer can be
+  /// certified by an independent checker. Restrictions: incompatible with
+  /// use_gauss (DRAT cannot express row-combination reasoning; the
+  /// constructor throws), disables xor_chunk_size splitting (XORs attach
+  /// whole) and caps XOR arity at kProofMaxXorArity (add_xor throws above
+  /// it, since the logged expansion is 2^(n-1) clauses). The sink serves
+  /// exactly one solver — clone() detaches it from the copy — and must
+  /// outlive the solver.
+  ProofSink* proof = nullptr;
 };
+
+/// Largest XOR arity (after level-0 canonicalization) accepted while proof
+/// logging: the axiom stream carries the 2^(n-1)-clause CNF expansion.
+inline constexpr std::size_t kProofMaxXorArity = 20;
 
 /// CDCL SAT solver with XOR-constraint support. See file comment.
 class Solver {
@@ -212,7 +232,20 @@ class Solver {
   /// between solves (decision level 0). Returns okay().
   bool simplify();
 
+  /// Attach (or detach, with null) an invariant auditor. The auditor is
+  /// consulted at the search-loop checkpoints (post-propagate fixpoint,
+  /// post-backtrack, post-simplify); it observes the solver read-only and
+  /// throws AuditFailure on an invariant violation. Not owned; must outlive
+  /// the solver. One auditor may serve many solvers (its counters are
+  /// atomic), but a clone() starts detached. In debug builds (NDEBUG unset)
+  /// a process-wide auditor is auto-attached at construction when the
+  /// TP_SAT_AUDIT environment variable is set (see Auditor::debug_env).
+  void set_auditor(Auditor* auditor) { audit_ = auditor; }
+  Auditor* auditor() const { return audit_; }
+
  private:
+  friend class Auditor;  // read-only invariant sweeps over the internals
+
   struct Reason {
     Clause* clause = nullptr;
     XorConstraint* xr = nullptr;
@@ -330,6 +363,18 @@ class Solver {
   std::vector<Lit> assumptions_;
   std::vector<Lit> final_conflict_;
   bool assumption_conflict_ = false;
+
+  // --- certification hooks (no-ops when opts_.proof / audit_ are null) ---
+  Auditor* audit_ = nullptr;
+  bool proof_empty_done_ = false;  ///< the empty clause is emitted only once
+  void proof_axiom(const std::vector<Lit>& lits);
+  void proof_add(const std::vector<Lit>& lits);
+  void proof_del(const std::vector<Lit>& lits);
+  /// Record the empty clause: the point where ok_ turns false is always a
+  /// level-0 propagation conflict, from which the empty clause is RUP.
+  void proof_empty();
+  /// Emit the CNF expansion of an attached XOR constraint as axioms.
+  void proof_xor_axioms(const std::vector<Var>& vars, bool rhs);
 
   // scratch buffers for analyze()
   std::vector<char> seen_;

@@ -11,6 +11,7 @@
 #include "obs/trace.hpp"
 #include "sat/allsat.hpp"
 #include "timeprint/incremental.hpp"
+#include "timeprint/verify.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tp::core {
@@ -37,6 +38,15 @@ void BatchOptions::validate() const {
   if (cube_vars > 16) {
     throw std::invalid_argument(
         "BatchOptions: cube_vars > 16 would spawn over 65536 cubes");
+  }
+  if (recon.proof != nullptr) {
+    // One DRAT stream certifies one solver's derivations; the batch
+    // engines clone solvers per worker/cube, which would leave the stream
+    // truncated at the branch point. Certify through the single-solver
+    // engines instead.
+    throw std::invalid_argument(
+        "BatchOptions: proof logging is not supported by the batch engines "
+        "(worker clones detach from the proof stream)");
   }
 }
 
@@ -305,6 +315,14 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
       result.signals.push_back(std::move(s));
       result.seconds_to_each.push_back(c.models.seconds_to_model[i]);
     }
+  }
+  if (ropts.verify_models) {
+    // The split path materializes signals in its own merge loop, so it
+    // carries its own verification hook (the other engines verify inside
+    // Reconstructor/TemplateReconstructor). Also catches a cube overlap —
+    // two cubes can only yield the same signal if the guiding-path
+    // assumptions were mis-built — via the duplicate check.
+    require_verified(rec_.encoding(), entry, result.signals, rec_.properties());
   }
 
   if (cap_reached) {

@@ -9,6 +9,7 @@
 #include "sat/allsat.hpp"
 #include "sat/cardinality.hpp"
 #include "sat/xor_to_cnf.hpp"
+#include "timeprint/verify.hpp"
 
 namespace tp::core {
 
@@ -233,6 +234,9 @@ ReconstructionResult TemplateReconstructor::reconstruct(const LogEntry& entry) {
       if (model[i]) s.set_change(i);
     }
     result.signals.push_back(std::move(s));
+  }
+  if (options_.verify_models) {
+    require_verified(*enc_, entry, result.signals, properties_);
   }
 
   if (span.active()) {

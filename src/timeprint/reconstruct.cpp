@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sat/xor_to_cnf.hpp"
+#include "timeprint/verify.hpp"
 
 namespace tp::core {
 
@@ -30,6 +31,11 @@ void ReconstructionOptions::validate() const {
     throw std::invalid_argument(
         "ReconstructionOptions: max_solutions must be at least 1");
   }
+  if (proof != nullptr && use_gauss) {
+    throw std::invalid_argument(
+        "ReconstructionOptions: proof logging is incompatible with use_gauss "
+        "(DRAT cannot express Gaussian row-combination reasoning)");
+  }
 }
 
 sat::SolverOptions ReconstructionOptions::solver_options() const {
@@ -37,6 +43,7 @@ sat::SolverOptions ReconstructionOptions::solver_options() const {
   so.use_gauss = use_gauss;
   so.gauss_max_unassigned = gauss_gate;
   so.tracer = tracer;
+  so.proof = proof;
   return so;
 }
 
@@ -157,6 +164,9 @@ ReconstructionResult Reconstructor::reconstruct(
       }
       result.signals.push_back(std::move(s));
     }
+    if (options.verify_models) {
+      require_verified(*enc_, entry, result.signals, properties_);
+    }
   }
 
   runs.add(1);
@@ -231,6 +241,16 @@ CheckResult Reconstructor::check_hypothesis(const LogEntry& entry,
       for (std::size_t i = 0; i < cycle_vars.size(); ++i) {
         if (solver.model_value(cycle_vars[i]) == sat::LBool::True) {
           witness.set_change(i);
+        }
+      }
+      if (options.verify_models) {
+        // The witness must be a genuine preimage member that violates the
+        // hypothesis; re-check both halves independently of the encoding.
+        require_verified(*enc_, entry, {witness}, properties_);
+        if (hypothesis.holds(witness)) {
+          throw std::logic_error(
+              "model verification failed: check_hypothesis witness satisfies "
+              "the hypothesis it should violate");
         }
       }
       result.witness = std::move(witness);

@@ -69,6 +69,22 @@ struct ReconstructionOptions {
   /// "allsat.model" and "solver.*" lines. The tracer is thread-safe and
   /// shared by every worker of a batch run; it must outlive the run.
   obs::Tracer* tracer = nullptr;
+  /// DRAT proof sink (sat/drat.hpp), or null for no proof logging. When
+  /// attached, the solver logs every axiom/learnt/deleted clause of the
+  /// run so an UNSAT or enumeration-complete answer can be certified by
+  /// the independent checker (blocking clauses enter the axiom stream:
+  /// the final UNSAT certifies "no models beyond the enumerated ones").
+  /// Requires use_gauss = false (validate() throws otherwise — DRAT
+  /// cannot express row-combination reasoning) and serves exactly one
+  /// engine instance: the batch engines refuse it (their clones would
+  /// interleave one stream).
+  sat::ProofSink* proof = nullptr;
+  /// Re-validate every enumerated signal (and every hypothesis-check
+  /// witness) against A·x = TP, |x| = k and the registered properties
+  /// using only f2::Matrix arithmetic (timeprint/verify.hpp), independent
+  /// of the SAT encoding. A violation throws std::logic_error — it means
+  /// the encoding or solver is wrong, never the input.
+  bool verify_models = false;
 
   /// Reject inconsistent knob combinations (throws std::invalid_argument):
   /// the Gaussian engine only exists on the native-XOR path, a Gauss gate

@@ -1,0 +1,71 @@
+#include "timeprint/verify.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "f2/matrix.hpp"
+
+namespace tp::core {
+
+VerifyResult verify_signals(const TimestampEncoding& encoding,
+                            const LogEntry& entry,
+                            const std::vector<Signal>& signals,
+                            const std::vector<const Property*>& properties) {
+  VerifyResult res;
+  const f2::Matrix a = encoding.to_matrix();
+  std::set<std::vector<bool>> seen;
+  for (const Signal& s : signals) {
+    if (s.bits().size() != encoding.m()) {
+      res.ok = false;
+      res.failure = "signal " + std::to_string(res.checked) + " has " +
+                    std::to_string(s.bits().size()) + " cycles, encoding has " +
+                    std::to_string(encoding.m());
+      return res;
+    }
+    if (a.multiply(s.bits()) != entry.tp) {
+      res.ok = false;
+      res.failure = "signal " + std::to_string(res.checked) +
+                    " does not reproduce the timeprint (A·x != TP)";
+      return res;
+    }
+    if (s.num_changes() != entry.k) {
+      res.ok = false;
+      res.failure = "signal " + std::to_string(res.checked) + " has " +
+                    std::to_string(s.num_changes()) + " changes, entry says " +
+                    std::to_string(entry.k);
+      return res;
+    }
+    for (const Property* p : properties) {
+      if (!p->holds(s)) {
+        res.ok = false;
+        res.failure = "signal " + std::to_string(res.checked) +
+                      " violates property '" + p->describe() + "'";
+        return res;
+      }
+    }
+    std::vector<bool> key;
+    key.reserve(encoding.m());
+    for (std::size_t i = 0; i < encoding.m(); ++i) key.push_back(s.bits().get(i));
+    if (!seen.insert(std::move(key)).second) {
+      res.ok = false;
+      res.failure =
+          "signal " + std::to_string(res.checked) + " enumerated twice";
+      return res;
+    }
+    ++res.checked;
+  }
+  return res;
+}
+
+void require_verified(const TimestampEncoding& encoding, const LogEntry& entry,
+                      const std::vector<Signal>& signals,
+                      const std::vector<const Property*>& properties) {
+  const VerifyResult res =
+      verify_signals(encoding, entry, signals, properties);
+  if (!res.ok) {
+    throw std::logic_error("model verification failed: " + res.failure);
+  }
+}
+
+}  // namespace tp::core

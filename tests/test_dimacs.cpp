@@ -38,14 +38,68 @@ TEST(Dimacs, ParsesXorClauses) {
   EXPECT_FALSE(cnf.xors[1].second);  // ~x1^x2 = 1 <=> x1^x2 = 0
 }
 
+// Parse `text`, which must fail, and return the thrown DimacsError.
+DimacsError parse_error(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    parse_dimacs(in);
+  } catch (const DimacsError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected DimacsError for: " << text;
+  return DimacsError(0, "no error");
+}
+
 TEST(Dimacs, RejectsMalformedHeader) {
   std::istringstream in("p sat 3 1\n1 0\n");
   EXPECT_THROW(parse_dimacs(in), std::runtime_error);
+
+  const DimacsError wrong_fmt = parse_error("p sat 3 1\n1 0\n");
+  EXPECT_EQ(wrong_fmt.line(), 1u);
+  EXPECT_NE(std::string(wrong_fmt.what()).find("expected 'p cnf'"),
+            std::string::npos);
+
+  const DimacsError truncated = parse_error("p cnf 3\n");
+  EXPECT_EQ(truncated.line(), 1u);
+  EXPECT_NE(std::string(truncated.what()).find("malformed problem line"),
+            std::string::npos);
+
+  const DimacsError negative = parse_error("p cnf -3 1\n1 0\n");
+  EXPECT_EQ(negative.line(), 1u);
+  EXPECT_NE(std::string(negative.what()).find("negative count"),
+            std::string::npos);
 }
 
 TEST(Dimacs, RejectsUnterminatedClause) {
   std::istringstream in("p cnf 2 1\n1 2\n");
   EXPECT_THROW(parse_dimacs(in), std::runtime_error);
+
+  // The error names the offending 1-based line, with and without a
+  // trailing newline and regardless of what follows the broken clause.
+  const DimacsError eof = parse_error("p cnf 2 1\n1 2");
+  EXPECT_EQ(eof.line(), 2u);
+  EXPECT_NE(std::string(eof.what()).find("not 0-terminated"),
+            std::string::npos);
+  EXPECT_NE(std::string(eof.what()).find("line 2"), std::string::npos);
+
+  const DimacsError mid_file = parse_error("p cnf 2 3\n1 0\n1 2\n-1 0\n");
+  EXPECT_EQ(mid_file.line(), 3u);
+
+  const DimacsError in_xor = parse_error("p cnf 2 1\nx1 2\n");
+  EXPECT_EQ(in_xor.line(), 2u);
+}
+
+TEST(Dimacs, RejectsJunkLiteral) {
+  const DimacsError junk = parse_error("p cnf 2 1\n1 z 0\n");
+  EXPECT_EQ(junk.line(), 2u);
+  EXPECT_NE(std::string(junk.what()).find("got 'z'"), std::string::npos);
+}
+
+TEST(Dimacs, RejectsTrailingTokens) {
+  const DimacsError trailing = parse_error("p cnf 2 1\n1 0 2\n");
+  EXPECT_EQ(trailing.line(), 2u);
+  EXPECT_NE(std::string(trailing.what()).find("after the terminating 0"),
+            std::string::npos);
 }
 
 TEST(Dimacs, WriteParseRoundTrip) {
@@ -62,6 +116,21 @@ TEST(Dimacs, WriteParseRoundTrip) {
   EXPECT_EQ(parsed.num_vars, cnf.num_vars);
   EXPECT_EQ(parsed.clauses, cnf.clauses);
   EXPECT_EQ(parsed.xors, cnf.xors);
+}
+
+TEST(Dimacs, WritesEmptyXorWithParityAsEmptyClause) {
+  // An empty XOR asserting parity 1 is plain falsity; the writer must not
+  // silently drop it or the round-trip flips UNSAT to SAT.
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.xors = {{{}, true}, {{}, false}};
+  std::ostringstream out;
+  write_dimacs(cnf, out);
+  std::istringstream in(out.str());
+  const Cnf parsed = parse_dimacs(in);
+  ASSERT_EQ(parsed.clauses.size(), 1u);
+  EXPECT_TRUE(parsed.clauses[0].empty());
+  EXPECT_FALSE(parsed.satisfied_by({false}));
 }
 
 TEST(Dimacs, SatisfiedByChecksClausesAndXors) {

@@ -9,8 +9,10 @@
 
 #include "f2/matrix.hpp"
 #include "obs/trace.hpp"
+#include "sat/drat.hpp"
 #include "timeprint/galois.hpp"
 #include "timeprint/reconstruct.hpp"
+#include "timeprint/verify.hpp"
 
 namespace tp::core {
 namespace {
@@ -329,6 +331,149 @@ TEST(Reconstruct, CheckResultReportsProblemSize) {
   EXPECT_EQ(check.num_xors, 8u);
   EXPECT_GT(check.num_vars, 16);
   EXPECT_GT(check.num_clauses, 0u);
+}
+
+// ---- proof round-trips and solver-independent model verification ----
+
+// Replay a reconstruction's recorded proof with the independent checker
+// and require a verified refutation.
+void expect_certified_refutation(const sat::MemoryProof& proof) {
+  sat::DratChecker checker;
+  for (const auto& c : proof.formula()) checker.add_clause(c);
+  const auto res = checker.check(proof.ops());
+  EXPECT_TRUE(res.valid) << res.error;
+  EXPECT_TRUE(res.proved_unsat);
+}
+
+ReconstructionOptions proof_options(sat::MemoryProof& proof) {
+  ReconstructionOptions opt;
+  opt.use_gauss = false;  // DRAT cannot express Gaussian reasoning
+  opt.proof = &proof;
+  return opt;
+}
+
+TEST(ReconstructProof, CardinalityConflictCertified) {
+  // k = 1 with a timeprint matching no single timestamp: the refutation
+  // needs the interplay of the XOR system and the cardinality counter.
+  auto enc = fig4_encoding();
+  Reconstructor rec(enc);
+  sat::MemoryProof proof;
+  auto result = rec.reconstruct({f2::BitVec::from_string("11111111"), 1},
+                                proof_options(proof));
+  EXPECT_TRUE(result.complete());
+  EXPECT_TRUE(result.signals.empty());
+  expect_certified_refutation(proof);
+}
+
+TEST(ReconstructProof, PureXorConflictCertified) {
+  // Two identical nonzero rows forced to different parities: the timeprint
+  // lies outside the encoding's column space, so the XOR system alone is
+  // contradictory (the cardinality layer plays no part).
+  std::vector<f2::BitVec> ts;
+  for (int i = 0; i < 4; ++i) ts.push_back(f2::BitVec::from_string("110"));
+  auto enc = TimestampEncoding::from_vectors(std::move(ts), 2);
+  Reconstructor rec(enc);
+  sat::MemoryProof proof;
+  auto result =
+      rec.reconstruct({f2::BitVec::from_string("100"), 2}, proof_options(proof));
+  EXPECT_EQ(result.final_status, sat::Status::Unsat);
+  EXPECT_TRUE(result.signals.empty());
+  expect_certified_refutation(proof);
+}
+
+TEST(ReconstructProof, TrivialUnsatAtEncodeTimeCertified) {
+  // k > m contradicts the cardinality constraint while it is being
+  // encoded; the proof must close (empty clause) before any search.
+  auto enc = fig4_encoding();
+  Reconstructor rec(enc);
+  sat::MemoryProof proof;
+  auto result = rec.reconstruct({f2::BitVec::from_string("00000001"), 17},
+                                proof_options(proof));
+  EXPECT_EQ(result.final_status, sat::Status::Unsat);
+  expect_certified_refutation(proof);
+}
+
+TEST(ReconstructProof, CompletedEnumerationCertified) {
+  // A SAT entry enumerated to completion: the blocking clauses are logged
+  // as axioms, so the final "no further models" UNSAT certifies that the
+  // enumerated preimage is exhaustive.
+  auto enc = fig4_encoding();
+  Reconstructor rec(enc);
+  sat::MemoryProof proof;
+  ReconstructionOptions opt = proof_options(proof);
+  opt.verify_models = true;
+  auto result =
+      rec.reconstruct({f2::BitVec::from_string("00000001"), 4}, opt);
+  ASSERT_TRUE(result.complete());
+  EXPECT_EQ(result.signals.size(), 8u);
+  expect_certified_refutation(proof);
+}
+
+TEST(ReconstructProof, ProofRequiresNonGaussEngine) {
+  auto enc = fig4_encoding();
+  Reconstructor rec(enc);
+  sat::MemoryProof proof;
+  ReconstructionOptions opt;
+  opt.use_gauss = true;
+  opt.proof = &proof;
+  EXPECT_THROW(rec.reconstruct({f2::BitVec::from_string("00000001"), 4}, opt),
+               std::invalid_argument);
+}
+
+TEST(ReconstructVerify, AcceptsGenuinePreimage) {
+  auto enc = fig4_encoding();
+  const LogEntry entry{f2::BitVec::from_string("00000001"), 4};
+  Reconstructor rec(enc);
+  auto result = rec.reconstruct(entry);
+  ASSERT_TRUE(result.complete());
+  const auto verdict = verify_signals(enc, entry, result.signals);
+  EXPECT_TRUE(verdict.ok) << verdict.failure;
+  EXPECT_EQ(verdict.checked, result.signals.size());
+}
+
+TEST(ReconstructVerify, RejectsCorruptedSignals) {
+  auto enc = fig4_encoding();
+  const LogEntry entry{f2::BitVec::from_string("00000001"), 4};
+  Reconstructor rec(enc);
+  auto result = rec.reconstruct(entry);
+  ASSERT_TRUE(result.complete());
+  ASSERT_GE(result.signals.size(), 2u);
+
+  // Flipping one change bit breaks A·x = TP (or |x| = k).
+  auto corrupted = result.signals;
+  Signal& victim = corrupted[0];
+  Signal flipped(enc.m());
+  for (std::size_t i = 0; i < enc.m(); ++i) {
+    const bool bit = victim.bits().get(i);
+    if (bit != (i == 0)) flipped.set_change(i);
+  }
+  corrupted[0] = flipped;
+  const auto bad_bits = verify_signals(enc, entry, corrupted);
+  EXPECT_FALSE(bad_bits.ok);
+  EXPECT_FALSE(bad_bits.failure.empty());
+
+  // A duplicated signal is rejected even though each copy verifies.
+  auto duplicated = result.signals;
+  duplicated.push_back(duplicated[0]);
+  const auto dupes = verify_signals(enc, entry, duplicated);
+  EXPECT_FALSE(dupes.ok);
+
+  EXPECT_THROW(require_verified(enc, entry, duplicated), std::logic_error);
+}
+
+TEST(ReconstructVerify, CheckHypothesisWitnessIsVerified) {
+  // Same setup as Figure4.FalseHypothesisYieldsWitness, with the
+  // solver-independent witness re-validation switched on.
+  auto enc = fig4_encoding();
+  Reconstructor rec(enc);
+  MinChangesBefore hyp(/*deadline=*/2, /*min_changes=*/1);
+  ReconstructionOptions opt;
+  opt.verify_models = true;
+  auto check = rec.check_hypothesis({f2::BitVec::from_string("00000001"), 4},
+                                    hyp, opt);
+  EXPECT_EQ(check.verdict, CheckVerdict::ViolatedBySome);
+  ASSERT_TRUE(check.witness.has_value());
+  EXPECT_FALSE(hyp.holds(*check.witness));
 }
 
 TEST(Reconstruct, TimeLimitReturnsUnknown) {

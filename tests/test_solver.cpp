@@ -4,6 +4,7 @@
 
 #include "f2/bitvec.hpp"
 #include "sat/dimacs.hpp"
+#include "sat/drat.hpp"
 #include "sat/reference.hpp"
 #include "sat/solver.hpp"
 #include "sat/xor_to_cnf.hpp"
@@ -15,6 +16,46 @@ std::vector<Var> make_vars(Solver& s, int n) {
   std::vector<Var> vars;
   for (int i = 0; i < n; ++i) vars.push_back(s.new_var());
   return vars;
+}
+
+// Re-solve the instance on a proof-logging solver and certify the UNSAT
+// verdict with the independent DRAT checker. Every UNSAT answer asserted in
+// this file funnels through here, so a wrong refutation cannot hide behind
+// an agreeing (but equally wrong) second search: the checker re-derives the
+// empty clause by unit propagation alone.
+void expect_certified_unsat(const Cnf& cnf) {
+  MemoryProof proof;
+  SolverOptions opts;
+  opts.proof = &proof;
+  Solver s(opts);
+  const bool ok = cnf.load_into(s);
+  ASSERT_EQ(ok ? s.solve() : Status::Unsat, Status::Unsat);
+  DratChecker checker;
+  for (const auto& c : proof.formula()) checker.add_clause(c);
+  const auto res = checker.check(proof.ops());
+  EXPECT_TRUE(res.valid) << res.error;
+  EXPECT_TRUE(res.proved_unsat);
+}
+
+Cnf pigeonhole_cnf(int pigeons, int holes) {
+  Cnf cnf;
+  cnf.num_vars = pigeons * holes;
+  const auto var = [holes](int i, int j) {
+    return static_cast<Var>(i * holes + j);
+  };
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> c;
+    for (int j = 0; j < holes; ++j) c.push_back(mk_lit(var(i, j)));
+    cnf.clauses.push_back(std::move(c));
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i1 = 0; i1 < pigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2) {
+        cnf.clauses.push_back({~mk_lit(var(i1, j)), ~mk_lit(var(i2, j))});
+      }
+    }
+  }
+  return cnf;
 }
 
 TEST(Solver, EmptyProblemIsSat) {
@@ -36,6 +77,11 @@ TEST(Solver, ContradictingUnitsAreUnsat) {
   ASSERT_TRUE(s.add_clause({mk_lit(a)}));
   EXPECT_FALSE(s.add_clause({~mk_lit(a)}));
   EXPECT_EQ(s.solve(), Status::Unsat);
+
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.clauses = {{mk_lit(0)}, {~mk_lit(0)}};
+  expect_certified_unsat(cnf);
 }
 
 TEST(Solver, EmptyClauseIsUnsat) {
@@ -43,6 +89,10 @@ TEST(Solver, EmptyClauseIsUnsat) {
   EXPECT_FALSE(s.add_clause({}));
   EXPECT_EQ(s.solve(), Status::Unsat);
   EXPECT_FALSE(s.okay());
+
+  Cnf cnf;
+  cnf.clauses = {{}};
+  expect_certified_unsat(cnf);
 }
 
 TEST(Solver, TautologyIsDropped) {
@@ -77,26 +127,11 @@ TEST(Solver, FixedValueAtLevelZero) {
 
 TEST(Solver, PigeonholeUnsat) {
   // 4 pigeons into 3 holes: classic small UNSAT requiring real search.
-  const int pigeons = 4, holes = 3;
+  const Cnf cnf = pigeonhole_cnf(4, 3);
   Solver s;
-  std::vector<std::vector<Var>> p(pigeons);
-  for (int i = 0; i < pigeons; ++i) {
-    for (int j = 0; j < holes; ++j) p[static_cast<std::size_t>(i)].push_back(s.new_var());
-  }
-  for (int i = 0; i < pigeons; ++i) {
-    std::vector<Lit> c;
-    for (int j = 0; j < holes; ++j) c.push_back(mk_lit(p[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]));
-    ASSERT_TRUE(s.add_clause(std::move(c)));
-  }
-  for (int j = 0; j < holes; ++j) {
-    for (int i1 = 0; i1 < pigeons; ++i1) {
-      for (int i2 = i1 + 1; i2 < pigeons; ++i2) {
-        ASSERT_TRUE(s.add_clause({~mk_lit(p[static_cast<std::size_t>(i1)][static_cast<std::size_t>(j)]),
-                                  ~mk_lit(p[static_cast<std::size_t>(i2)][static_cast<std::size_t>(j)])}));
-      }
-    }
-  }
+  ASSERT_TRUE(cnf.load_into(s));
   EXPECT_EQ(s.solve(), Status::Unsat);
+  expect_certified_unsat(cnf);
 }
 
 TEST(Solver, XorUnitPropagation) {
@@ -117,6 +152,11 @@ TEST(Solver, XorParityConflict) {
   ASSERT_TRUE(s.add_xor({a, c}, true));
   ASSERT_TRUE(s.add_xor({b, c}, true));
   EXPECT_EQ(s.solve(), Status::Unsat);
+
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.xors = {{{a, b}, true}, {{a, c}, true}, {{b, c}, true}};
+  expect_certified_unsat(cnf);
 }
 
 TEST(Solver, XorDuplicateVariablesCancel) {
@@ -134,6 +174,11 @@ TEST(Solver, XorEmptyAfterCancellation) {
   ASSERT_TRUE(s.add_xor({a, a}, false));  // 0 = 0, fine
   EXPECT_FALSE(s.add_xor({a, a}, true));  // 0 = 1, contradiction
   EXPECT_EQ(s.solve(), Status::Unsat);
+
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.xors = {{{a, a}, false}, {{a, a}, true}};
+  expect_certified_unsat(cnf);
 }
 
 TEST(Solver, LongXorChainSat) {
@@ -169,30 +214,15 @@ TEST(Solver, XorSystemWithUniqueSolution) {
 
 TEST(Solver, ConflictLimitReturnsUnknown) {
   // A hard-enough pigeonhole with a tiny conflict budget.
-  const int pigeons = 8, holes = 7;
+  const Cnf cnf = pigeonhole_cnf(8, 7);
   Solver s;
-  std::vector<std::vector<Var>> p(pigeons);
-  for (auto& row : p) {
-    for (int j = 0; j < holes; ++j) row.push_back(s.new_var());
-  }
-  for (const auto& row : p) {
-    std::vector<Lit> c;
-    for (Var x : row) c.push_back(mk_lit(x));
-    ASSERT_TRUE(s.add_clause(std::move(c)));
-  }
-  for (int j = 0; j < holes; ++j) {
-    for (int i1 = 0; i1 < pigeons; ++i1) {
-      for (int i2 = i1 + 1; i2 < pigeons; ++i2) {
-        ASSERT_TRUE(s.add_clause({~mk_lit(p[static_cast<std::size_t>(i1)][static_cast<std::size_t>(j)]),
-                                  ~mk_lit(p[static_cast<std::size_t>(i2)][static_cast<std::size_t>(j)])}));
-      }
-    }
-  }
+  ASSERT_TRUE(cnf.load_into(s));
   SolveLimits limits;
   limits.max_conflicts = 10;
   EXPECT_EQ(s.solve(limits), Status::Unknown);
   // Without the limit the instance resolves (to UNSAT).
   EXPECT_EQ(s.solve(), Status::Unsat);
+  expect_certified_unsat(cnf);
 }
 
 TEST(Solver, IncrementalSolveAfterSat) {
@@ -259,6 +289,7 @@ TEST_P(SolverFuzzTest, AgreesWithReferenceOnSatisfiability) {
   const Status st = s.solve();
   if (reference.empty()) {
     EXPECT_EQ(st, Status::Unsat);
+    expect_certified_unsat(cnf);
   } else {
     ASSERT_EQ(st, Status::Sat);
     // The model must actually satisfy the instance.
@@ -281,6 +312,10 @@ TEST_P(SolverFuzzTest, GaussEngineAgreesWithReference) {
   const Status st = s.solve();
   if (reference.empty()) {
     EXPECT_EQ(st, Status::Unsat);
+    // DRAT cannot express the Gaussian engine's row combinations, so its
+    // UNSAT verdict is certified through a proof-logging twin solve on the
+    // watched-XOR engine.
+    expect_certified_unsat(cnf);
   } else {
     ASSERT_EQ(st, Status::Sat);
     std::vector<bool> model;
@@ -317,6 +352,13 @@ TEST(Solver, GaussFindsCombinationConflicts) {
   ASSERT_TRUE(s.add_xor({b, c}, true));
   ASSERT_TRUE(s.add_xor({a, c}, true));
   EXPECT_EQ(s.solve(), Status::Unsat);
+
+  // Certify via the watched-XOR twin (the Gaussian derivation itself has
+  // no DRAT representation).
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.xors = {{{a, b}, true}, {{b, c}, true}, {{a, c}, true}};
+  expect_certified_unsat(cnf);
 }
 
 TEST_P(SolverFuzzTest, CnfChainedXorAgreesWithNative) {
@@ -330,7 +372,9 @@ TEST_P(SolverFuzzTest, CnfChainedXorAgreesWithNative) {
   for (const auto& c : cnf.clauses) chained.add_clause(c);
   for (const auto& [vars, rhs] : cnf.xors) add_xor_as_cnf(chained, vars, rhs);
 
-  EXPECT_EQ(native.solve(), chained.solve());
+  const Status st = native.solve();
+  EXPECT_EQ(st, chained.solve());
+  if (st == Status::Unsat) expect_certified_unsat(cnf);
 }
 
 std::vector<RandomInstanceParams> fuzz_params() {
