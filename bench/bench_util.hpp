@@ -134,6 +134,11 @@ class JsonReport {
       stats.set("xor_propagations", stats_.xor_propagations);
       stats.set("restarts", stats_.restarts);
       stats.set("gauss_runs", stats_.gauss_runs);
+      stats.set("vivified_literals", stats_.vivified_literals);
+      stats.set("subsumed_clauses", stats_.subsumed_clauses);
+      stats.set("arena_gc_runs", stats_.arena_gc_runs);
+      stats.set("arena_bytes_reclaimed", stats_.arena_bytes_reclaimed);
+      stats.set("props_per_sec", stats_.propagations_per_sec());
     } else {
       // Fallback: the process-global metrics delta since construction.
       stats.set("source", "global-metrics");

@@ -54,9 +54,23 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   }
   if (it->second.counter == nullptr) {
     throw std::logic_error("MetricsRegistry: '" + std::string(name) +
-                           "' is a timing, not a counter");
+                           "' is not a counter");
   }
   return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  if (it->second.gauge == nullptr) {
+    throw std::logic_error("MetricsRegistry: '" + std::string(name) +
+                           "' is not a gauge");
+  }
+  return *it->second.gauge;
 }
 
 Timing& MetricsRegistry::timing(std::string_view name) {
@@ -68,7 +82,7 @@ Timing& MetricsRegistry::timing(std::string_view name) {
   }
   if (it->second.timing == nullptr) {
     throw std::logic_error("MetricsRegistry: '" + std::string(name) +
-                           "' is a counter, not a timing");
+                           "' is not a timing");
   }
   return *it->second.timing;
 }
@@ -80,12 +94,21 @@ std::int64_t MetricsRegistry::counter_value(std::string_view name) const {
   return it->second.counter->value();
 }
 
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.gauge == nullptr) return 0;
+  return it->second.gauge->value();
+}
+
 Json MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Json out = Json::object();
   for (const auto& [name, entry] : entries_) {
     if (entry.counter != nullptr) {
       out.set(name, entry.counter->value());
+    } else if (entry.gauge != nullptr) {
+      out.set(name, entry.gauge->value());
     } else {
       Json t = Json::object();
       t.set("count", entry.timing->count());
@@ -102,6 +125,7 @@ void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, entry] : entries_) {
     if (entry.counter != nullptr) entry.counter->reset();
+    if (entry.gauge != nullptr) entry.gauge->reset();
     if (entry.timing != nullptr) entry.timing->reset();
   }
 }

@@ -36,6 +36,18 @@ class Counter {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// A last-value gauge for levels that move both ways (bytes of a clause
+/// arena currently live, workers currently busy). set() is lock-free.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 /// An accumulator of durations: count, total, min and max seconds.
 /// observe() is lock-free.
 class Timing {
@@ -62,17 +74,22 @@ class MetricsRegistry {
   /// The process-wide registry.
   static MetricsRegistry& global();
 
-  /// Find-or-create. A name is either a counter or a timing, never both
-  /// (throws std::logic_error on a kind clash).
+  /// Find-or-create. A name has exactly one kind — counter, gauge or
+  /// timing (throws std::logic_error on a kind clash).
   Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   Timing& timing(std::string_view name);
 
   /// Current counter value, 0 if the name was never registered.
   std::int64_t counter_value(std::string_view name) const;
 
-  /// Snapshot of every metric as one JSON object: counters serialize to
-  /// their value, timings to {count, total_seconds, min_seconds,
-  /// max_seconds}. Keys are sorted (std::map order) for stable output.
+  /// Current gauge value, 0 if the name was never registered.
+  std::int64_t gauge_value(std::string_view name) const;
+
+  /// Snapshot of every metric as one JSON object: counters and gauges
+  /// serialize to their value, timings to {count, total_seconds,
+  /// min_seconds, max_seconds}. Keys are sorted (std::map order) for
+  /// stable output.
   Json snapshot() const;
   std::string to_json() const { return snapshot().dump(); }
 
@@ -82,6 +99,7 @@ class MetricsRegistry {
  private:
   struct Entry {
     std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Timing> timing;
   };
 

@@ -1,0 +1,62 @@
+#include "sat/arena.hpp"
+
+namespace tp::sat {
+
+ClauseRef ClauseArena::alloc(const std::vector<Lit>& lits, bool learnt) {
+  const std::size_t n = lits.size();
+  assert(n >= 2 && "arena clauses carry at least two literals");
+  ClauseRef r;
+  if (n < free_.size() && !free_[n].empty()) {
+    r = free_[n].back();
+    free_[n].pop_back();
+    wasted_words_ -= kHeaderWords + n;
+  } else {
+    r = static_cast<ClauseRef>(buf_.size());
+    buf_.resize(buf_.size() + kHeaderWords + n);
+  }
+  buf_[r] = static_cast<std::uint32_t>(n) << 3 | (learnt ? kLearntBit : 0u);
+  buf_[r + 1] = 0;  // LBD
+  buf_[r + 2] = 0;  // activity bits of 0.0f
+  for (std::size_t i = 0; i < n; ++i) {
+    buf_[r + kHeaderWords + i] = static_cast<std::uint32_t>(lits[i].code());
+  }
+  return r;
+}
+
+void ClauseArena::free_clause(ClauseRef r) {
+  assert(!dead(r));
+  const std::size_t n = size(r);
+  buf_[r] |= kDeadBit;
+  wasted_words_ += kHeaderWords + n;
+  if (n < free_.size()) free_[n].push_back(r);
+}
+
+void ClauseArena::gc_begin() {
+  assert(from_.empty());
+  from_.swap(buf_);
+  buf_.reserve(from_.size() - wasted_words_);
+  for (auto& bucket : free_) bucket.clear();
+}
+
+ClauseRef ClauseArena::gc_move(ClauseRef r) {
+  if ((from_[r] & kRelocBit) != 0) return from_[r + 1];
+  assert((from_[r] & kDeadBit) == 0 && "moving a dead clause");
+  const std::size_t words = kHeaderWords + (from_[r] >> 3);
+  const auto nr = static_cast<ClauseRef>(buf_.size());
+  buf_.insert(buf_.end(), from_.begin() + r, from_.begin() + r + words);
+  from_[r] |= kRelocBit;
+  from_[r + 1] = nr;
+  return nr;
+}
+
+std::size_t ClauseArena::gc_end() {
+  const std::size_t reclaimed =
+      (from_.size() - buf_.size()) * sizeof(std::uint32_t);
+  from_ = std::vector<std::uint32_t>();
+  wasted_words_ = 0;
+  ++gc_runs_;
+  bytes_reclaimed_ += static_cast<std::int64_t>(reclaimed);
+  return reclaimed;
+}
+
+}  // namespace tp::sat

@@ -1,0 +1,146 @@
+#pragma once
+// arena.hpp — flat clause storage for the CDCL hot path.
+//
+// Clauses live back-to-back in one contiguous uint32_t buffer and are
+// addressed by 32-bit ClauseRef offsets instead of pointers, the layout
+// MiniSat-lineage solvers (including the paper's CryptoMiniSat [21]) use:
+//
+//     word 0   size << 3 | reloc << 2 | dead << 1 | learnt
+//     word 1   LBD  — or the forwarding ClauseRef while reloc is set
+//     word 2   activity (IEEE-754 float bits)
+//     word 3+  literal codes (Lit::code), one per word
+//
+// Propagation then walks cache-line-adjacent words rather than chasing
+// per-clause heap allocations, watcher entries shrink to 8 bytes, and
+// clone() of a whole database is a flat buffer copy with every reference
+// still valid.
+//
+// Lifetime protocol (the Auditor checks these invariants):
+//  * alloc() returns a ref that stays valid until free_clause(ref);
+//    freeing only marks the clause dead and recycles the slot through a
+//    size-bucketed free list, so the caller must have removed every
+//    watcher/DB/reason reference first — a reused slot aliases a new
+//    clause.
+//  * Dead slots that no bucket fits accumulate as waste; when want_gc()
+//    turns true the owner runs the mark-and-compact cycle
+//    gc_begin() → gc_move(ref) for every live root → reloc(ref) for every
+//    remaining reference → gc_end(), which drops the old buffer. Moving is
+//    idempotent (the first move installs a forwarding ref in word 1).
+//  * GC never runs concurrently with propagation; the solver triggers it
+//    only from reduce_db()/simplify().
+//
+// The arena is copyable (clone support) and keeps its own reclamation
+// statistics for the observability layer.
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace tp::sat {
+
+/// Word offset of a clause header inside the arena buffer.
+using ClauseRef = std::uint32_t;
+
+/// Sentinel "no clause" reference.
+inline constexpr ClauseRef kCRefUndef = 0xFFFFFFFFu;
+
+class ClauseArena {
+ public:
+  static constexpr std::size_t kHeaderWords = 3;
+
+  /// Append (or recycle a freed slot for) a clause. The literals are
+  /// copied; LBD starts at 0 and activity at 0.0f.
+  ClauseRef alloc(const std::vector<Lit>& lits, bool learnt);
+
+  /// Mark a clause dead and recycle its slot. The caller guarantees no
+  /// watcher, database or reason reference to `r` survives this call.
+  void free_clause(ClauseRef r);
+
+  std::size_t size(ClauseRef r) const { return buf_[r] >> 3; }
+  bool learnt(ClauseRef r) const { return (buf_[r] & kLearntBit) != 0; }
+  /// Clear the learnt flag: the clause was promoted to the irredundant
+  /// database (it subsumed a problem clause and now carries its constraint).
+  void promote(ClauseRef r) { buf_[r] &= ~kLearntBit; }
+  bool dead(ClauseRef r) const { return (buf_[r] & kDeadBit) != 0; }
+
+  std::uint32_t lbd(ClauseRef r) const { return buf_[r + 1]; }
+  void set_lbd(ClauseRef r, std::uint32_t lbd) { buf_[r + 1] = lbd; }
+
+  float activity(ClauseRef r) const {
+    float a;
+    std::memcpy(&a, &buf_[r + 2], sizeof a);
+    return a;
+  }
+  void set_activity(ClauseRef r, float a) {
+    std::memcpy(&buf_[r + 2], &a, sizeof a);
+  }
+
+  Lit lit(ClauseRef r, std::size_t i) const {
+    return Lit::from_code(static_cast<std::int32_t>(buf_[r + kHeaderWords + i]));
+  }
+  void set_lit(ClauseRef r, std::size_t i, Lit l) {
+    buf_[r + kHeaderWords + i] = static_cast<std::uint32_t>(l.code());
+  }
+  void swap_lits(ClauseRef r, std::size_t i, std::size_t j) {
+    std::swap(buf_[r + kHeaderWords + i], buf_[r + kHeaderWords + j]);
+  }
+  /// Raw literal-code words of a clause; valid until the next alloc()/GC.
+  std::uint32_t* lits(ClauseRef r) { return buf_.data() + r + kHeaderWords; }
+  const std::uint32_t* lits(ClauseRef r) const {
+    return buf_.data() + r + kHeaderWords;
+  }
+
+  // --- occupancy and reclamation statistics ---
+  std::size_t bytes_used() const { return buf_.size() * sizeof(std::uint32_t); }
+  std::size_t bytes_live() const {
+    return (buf_.size() - wasted_words_) * sizeof(std::uint32_t);
+  }
+  std::size_t wasted_bytes() const { return wasted_words_ * sizeof(std::uint32_t); }
+  std::size_t wasted_words() const { return wasted_words_; }
+  std::size_t buffer_words() const { return buf_.size(); }
+  std::int64_t gc_runs() const { return gc_runs_; }
+  std::int64_t bytes_reclaimed() const { return bytes_reclaimed_; }
+
+  /// True once enough of the buffer is dead to be worth compacting
+  /// (a quarter of the buffer, with a floor so tiny databases never GC).
+  bool want_gc() const {
+    return wasted_words_ >= kMinGcWords && 4 * wasted_words_ >= buf_.size();
+  }
+
+  // --- mark-and-compact cycle (see file comment for the protocol) ---
+  void gc_begin();
+
+  /// Copy a live clause into the new buffer (idempotent) and return its
+  /// new reference.
+  ClauseRef gc_move(ClauseRef r);
+
+  /// Forwarded reference of a clause already moved by gc_move().
+  ClauseRef reloc(ClauseRef r) const {
+    assert((from_[r] & kRelocBit) != 0 && "reloc of an unmoved clause");
+    return from_[r + 1];
+  }
+
+  /// Drop the old buffer; returns the number of bytes reclaimed.
+  std::size_t gc_end();
+
+ private:
+  static constexpr std::uint32_t kLearntBit = 1u;
+  static constexpr std::uint32_t kDeadBit = 2u;
+  static constexpr std::uint32_t kRelocBit = 4u;
+  static constexpr std::size_t kMinGcWords = 1024;
+  /// Freed slots of up to this many literals are recycled exactly-sized;
+  /// larger ones stay dead until the next compaction.
+  static constexpr std::size_t kMaxFreeBucket = 64;
+
+  std::vector<std::uint32_t> buf_;
+  std::vector<std::uint32_t> from_;  ///< old space, non-empty only mid-GC
+  std::vector<std::vector<ClauseRef>> free_{kMaxFreeBucket + 1};
+  std::size_t wasted_words_ = 0;
+  std::int64_t gc_runs_ = 0;
+  std::int64_t bytes_reclaimed_ = 0;
+};
+
+}  // namespace tp::sat

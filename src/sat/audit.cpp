@@ -1,6 +1,7 @@
 #include "sat/audit.hpp"
 
 #include <cstdlib>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -54,6 +55,7 @@ void Auditor::audit(const Solver& solver, AuditPoint point) {
   runs_.fetch_add(1, std::memory_order_relaxed);
   if (opts_.check_trail) check_trail(solver, point);
   if (opts_.check_watches) check_watches(solver, point);
+  if (opts_.check_arena) check_arena(solver, point);
   if (opts_.check_xor_watches) check_xor_watches(solver, point);
   if (opts_.check_fixpoint && point == AuditPoint::PostPropagate) {
     check_fixpoint(solver, point);
@@ -95,8 +97,12 @@ void Auditor::check_trail(const Solver& s, AuditPoint p) const {
     if (lvl > 0 && r.none() && i != s.trail_lim_[lvl - 1]) {
       fail(p, "reason-less literal above level 0 is not a decision");
     }
-    if (r.clause != nullptr && r.clause->lits[0] != l) {
+    if (r.kind == Solver::Reason::Kind::Clause && s.arena_.lit(r.cref, 0) != l) {
       fail(p, "reason clause does not have the implied literal first");
+    }
+    if (r.kind == Solver::Reason::Kind::Binary &&
+        s.value(r.other) != LBool::False) {
+      fail(p, "binary reason's partner literal is not false");
     }
   }
   std::size_t assigned = 0;
@@ -107,26 +113,27 @@ void Auditor::check_trail(const Solver& s, AuditPoint p) const {
 }
 
 void Auditor::check_watches(const Solver& s, AuditPoint p) const {
-  std::unordered_set<const Clause*> live;
-  for (const auto& c : s.clauses_) live.insert(c.get());
-  for (const auto& c : s.learnts_) live.insert(c.get());
+  std::unordered_set<ClauseRef> live;
+  for (const ClauseRef c : s.clauses_) live.insert(c);
+  for (const ClauseRef c : s.learnts_) live.insert(c);
 
   std::size_t total = 0;
   for (std::size_t code = 0; code < s.watches_.size(); ++code) {
     const Lit watched = ~Lit::from_code(static_cast<std::int32_t>(code));
     for (const Solver::Watcher& w : s.watches_[code]) {
       ++total;
-      if (live.find(w.clause) == live.end()) {
+      if (live.find(w.cref) == live.end()) {
         fail(p, "watcher points at a detached clause");
       }
-      const Clause& c = *w.clause;
-      if (c.size() < 2) fail(p, "watched clause shorter than two literals");
-      if (c[0] != watched && c[1] != watched) {
+      if (s.arena_.dead(w.cref)) fail(p, "watcher points at a dead clause");
+      const std::size_t n = s.arena_.size(w.cref);
+      if (n < 3) fail(p, "watched arena clause shorter than three literals");
+      if (s.arena_.lit(w.cref, 0) != watched && s.arena_.lit(w.cref, 1) != watched) {
         fail(p, "watch-list entry does not match the clause's watched literals");
       }
       bool blocker_in_clause = false;
-      for (std::size_t i = 0; i < c.size(); ++i) {
-        if (c[i] == w.blocker) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (s.arena_.lit(w.cref, i) == w.blocker) {
           blocker_in_clause = true;
           break;
         }
@@ -139,16 +146,85 @@ void Auditor::check_watches(const Solver& s, AuditPoint p) const {
   }
   // The total being exact still allows one clause to be watched twice on
   // the same literal while another lost a watcher; pin each clause down.
-  for (const Clause* c : live) {
-    for (int i = 0; i < 2; ++i) {
-      const Lit l = (*c)[static_cast<std::size_t>(i)];
+  for (const ClauseRef c : live) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      const Lit l = s.arena_.lit(c, i);
       const auto& wl = s.watches_[static_cast<std::size_t>((~l).code())];
       std::size_t count = 0;
       for (const Solver::Watcher& w : wl) {
-        if (w.clause == c) ++count;
+        if (w.cref == c) ++count;
       }
       if (count != 1) fail(p, "clause not watched exactly once per watched literal");
     }
+  }
+
+  // Binary implication lists: every clause {a, b} holds one entry b in a's
+  // falsification list and one entry a in b's, with matching learnt flags.
+  // Counting canonical-side entries as +1 and the mirror side as -1 over
+  // (unordered pair, learnt) keys must cancel exactly; the canonical-side
+  // totals must match the solver's binary-clause counters.
+  std::unordered_map<std::uint64_t, std::int64_t> pairing;
+  std::size_t canon_problem = 0;
+  std::size_t canon_learnt = 0;
+  for (std::size_t code = 0; code < s.bin_watches_.size(); ++code) {
+    const Lit a = ~Lit::from_code(static_cast<std::int32_t>(code));
+    for (const Solver::BinWatcher& w : s.bin_watches_[code]) {
+      const Lit b = w.other;
+      if (static_cast<std::size_t>(b.var()) >= s.assigns_.size()) {
+        fail(p, "binary watcher over an unknown variable");
+      }
+      if (a.var() == b.var()) fail(p, "degenerate binary clause on one variable");
+      const auto ac = static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.code()));
+      const auto bc = static_cast<std::uint64_t>(static_cast<std::uint32_t>(b.code()));
+      const std::uint64_t lo = ac < bc ? ac : bc;
+      const std::uint64_t hi = ac < bc ? bc : ac;
+      const std::uint64_t key = (lo << 33) | (hi << 1) | (w.learnt != 0 ? 1 : 0);
+      if (ac < bc) {
+        pairing[key] += 1;
+        if (w.learnt != 0) {
+          ++canon_learnt;
+        } else {
+          ++canon_problem;
+        }
+      } else {
+        pairing[key] -= 1;
+      }
+    }
+  }
+  for (const auto& [key, balance] : pairing) {
+    if (balance != 0) {
+      fail(p, "binary clause not mirrored across its two implication lists");
+    }
+  }
+  if (canon_problem != s.num_bin_problem_ || canon_learnt != s.num_bin_learnt_) {
+    fail(p, "binary implication lists disagree with the binary-clause counters");
+  }
+}
+
+void Auditor::check_arena(const Solver& s, AuditPoint p) const {
+  const std::size_t buf_words = s.arena_.buffer_words();
+  std::size_t live_words = 0;
+  auto check_db = [&](const std::vector<ClauseRef>& db, bool learnt) {
+    for (const ClauseRef c : db) {
+      if (c + ClauseArena::kHeaderWords > buf_words) {
+        fail(p, "database ClauseRef outside the arena buffer");
+      }
+      if (s.arena_.dead(c)) fail(p, "database holds a dead ClauseRef");
+      const std::size_t n = s.arena_.size(c);
+      if (n < 3) fail(p, "arena clause shorter than three literals");
+      if (c + ClauseArena::kHeaderWords + n > buf_words) {
+        fail(p, "arena clause extends past the buffer");
+      }
+      if (s.arena_.learnt(c) != learnt) {
+        fail(p, "arena learnt flag disagrees with the clause's database");
+      }
+      live_words += ClauseArena::kHeaderWords + n;
+    }
+  };
+  check_db(s.clauses_, /*learnt=*/false);
+  check_db(s.learnts_, /*learnt=*/true);
+  if (live_words + s.arena_.wasted_words() != buf_words) {
+    fail(p, "arena occupancy: live words + recorded waste != buffer size");
   }
 }
 
@@ -188,18 +264,36 @@ void Auditor::check_xor_watches(const Solver& s, AuditPoint p) const {
 }
 
 void Auditor::check_fixpoint(const Solver& s, AuditPoint p) const {
-  auto clause_check = [&](const Clause& c) {
+  auto clause_check = [&](const ClauseRef c) {
+    const std::size_t n = s.arena_.size(c);
     std::size_t unassigned = 0;
-    for (std::size_t i = 0; i < c.size(); ++i) {
-      const LBool v = s.value(c[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const LBool v = s.value(s.arena_.lit(c, i));
       if (v == LBool::True) return;
       if (v == LBool::Undef) ++unassigned;
     }
     if (unassigned == 0) fail(p, "clause falsified at a propagation fixpoint");
     if (unassigned == 1) fail(p, "unit clause unpropagated at a fixpoint");
   };
-  for (const auto& c : s.clauses_) clause_check(*c);
-  for (const auto& c : s.learnts_) clause_check(*c);
+  for (const ClauseRef c : s.clauses_) clause_check(c);
+  for (const ClauseRef c : s.learnts_) clause_check(c);
+
+  // Binary clauses, visited once each from the canonical side.
+  for (std::size_t code = 0; code < s.bin_watches_.size(); ++code) {
+    const Lit a = ~Lit::from_code(static_cast<std::int32_t>(code));
+    for (const Solver::BinWatcher& w : s.bin_watches_[code]) {
+      if (a.code() >= w.other.code()) continue;
+      const LBool va = s.value(a);
+      const LBool vb = s.value(w.other);
+      if (va == LBool::True || vb == LBool::True) continue;
+      if (va == LBool::False && vb == LBool::False) {
+        fail(p, "binary clause falsified at a propagation fixpoint");
+      }
+      if (va == LBool::False || vb == LBool::False) {
+        fail(p, "unit binary clause unpropagated at a fixpoint");
+      }
+    }
+  }
 
   for (const auto& x : s.xors_) {
     std::size_t unassigned = 0;
@@ -228,30 +322,53 @@ void Auditor::check_learnt_rup(const Solver& s, AuditPoint p) const {
     if (x->vars.size() > opts_.rup_max_xor_arity) return;
   }
 
-  // Identify what this conflict just produced: a stored clause (it is the
-  // reason of the newly asserted trail literal) or a unit (asserted with
-  // no reason after a backjump to level 0).
+  // Identify what this conflict just produced: a stored arena clause (it is
+  // the reason of the newly asserted trail literal), a fresh binary (the
+  // reason carries the partner literal), or a unit (asserted with no reason
+  // after a backjump to level 0).
   if (s.trail_.empty()) return;
   const Lit asserted = s.trail_.back();
   const Solver::Reason reason =
       s.vardata_[static_cast<std::size_t>(asserted.var())].reason;
-  const Clause* candidate = nullptr;
-  if (!s.learnts_.empty() && reason.clause == s.learnts_.back().get()) {
-    candidate = s.learnts_.back().get();
+  ClauseRef candidate = kCRefUndef;
+  bool candidate_binary = false;
+  if (reason.kind == Solver::Reason::Kind::Clause && !s.learnts_.empty() &&
+      reason.cref == s.learnts_.back()) {
+    candidate = s.learnts_.back();
+  } else if (reason.kind == Solver::Reason::Kind::Binary) {
+    candidate_binary = true;  // the just-learnt binary {asserted, reason.other}
   } else if (!reason.none()) {
     return;  // checkpoint fired somewhere unexpected; nothing to certify
   }
 
   DratChecker checker(/*check_rat=*/false);
-  auto feed = [&checker](const Clause& c) {
+  auto feed = [&checker, &s](const ClauseRef c) {
     IntClause ic;
-    ic.reserve(c.size());
-    for (std::size_t i = 0; i < c.size(); ++i) ic.push_back(lit_to_dimacs(c[i]));
+    const std::size_t n = s.arena_.size(c);
+    ic.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) ic.push_back(lit_to_dimacs(s.arena_.lit(c, i)));
     checker.add_clause(ic);
   };
-  for (const auto& c : s.clauses_) feed(*c);
-  for (const auto& c : s.learnts_) {
-    if (c.get() != candidate) feed(*c);
+  for (const ClauseRef c : s.clauses_) feed(c);
+  for (const ClauseRef c : s.learnts_) {
+    if (c != candidate) feed(c);
+  }
+  // Binary clauses, fed once each from the canonical side. When the claim
+  // under test is itself a binary, exactly one stored instance of it is the
+  // just-attached claim and must be withheld from the database.
+  bool skipped_candidate_binary = false;
+  for (std::size_t code = 0; code < s.bin_watches_.size(); ++code) {
+    const Lit a = ~Lit::from_code(static_cast<std::int32_t>(code));
+    for (const Solver::BinWatcher& w : s.bin_watches_[code]) {
+      if (a.code() >= w.other.code()) continue;
+      if (candidate_binary && !skipped_candidate_binary &&
+          ((a == asserted && w.other == reason.other) ||
+           (a == reason.other && w.other == asserted))) {
+        skipped_candidate_binary = true;
+        continue;
+      }
+      checker.add_clause({lit_to_dimacs(a), lit_to_dimacs(w.other)});
+    }
   }
   for (const auto& x : s.xors_) {
     std::vector<int> vars;
@@ -265,18 +382,23 @@ void Auditor::check_learnt_rup(const Solver& s, AuditPoint p) const {
   // learnt clause, so the independent derivation needs them as units. The
   // just-asserted unit itself (the candidate in the backjump-to-0 case) is
   // excluded — it is the claim under test.
+  const bool unit_claim = candidate == kCRefUndef && !candidate_binary;
   const std::size_t level0_end =
       s.trail_lim_.empty() ? s.trail_.size() : s.trail_lim_[0];
   for (std::size_t i = 0; i < level0_end; ++i) {
-    if (candidate == nullptr && i + 1 == s.trail_.size()) continue;
+    if (unit_claim && i + 1 == s.trail_.size()) continue;
     checker.add_clause({lit_to_dimacs(s.trail_[i])});
   }
 
   ProofOp claim;
-  if (candidate != nullptr) {
-    for (std::size_t i = 0; i < candidate->size(); ++i) {
-      claim.lits.push_back(lit_to_dimacs((*candidate)[i]));
+  if (candidate != kCRefUndef) {
+    const std::size_t n = s.arena_.size(candidate);
+    for (std::size_t i = 0; i < n; ++i) {
+      claim.lits.push_back(lit_to_dimacs(s.arena_.lit(candidate, i)));
     }
+  } else if (candidate_binary) {
+    claim.lits.push_back(lit_to_dimacs(asserted));
+    claim.lits.push_back(lit_to_dimacs(reason.other));
   } else {
     claim.lits.push_back(lit_to_dimacs(asserted));
   }

@@ -9,6 +9,14 @@
 //    clause through one of its watch positions, blockers are clause
 //    literals, and the global watcher count is exactly twice the clause
 //    count (so no stale or duplicated entries survive detach/attach);
+//    binary implication lists are checked for symmetric pairing (each
+//    binary clause appears once from each side, with matching learnt
+//    flags) and against the solver's binary-clause counters;
+//  * arena integrity — every database ClauseRef is in range, not dead,
+//    at least three literals long and carries the learnt flag of its
+//    database, and the live clause words account exactly for the arena
+//    occupancy (buffer minus recorded waste), so leaks and double-frees
+//    surface at the next checkpoint rather than at the next GC;
 //  * XOR watch consistency — each constraint's two watched variables are
 //    distinct and in range, both appear in the constraint's watch lists,
 //    and every watch-list entry points at a live constraint (stale entries
@@ -65,7 +73,8 @@ const char* to_string(AuditPoint p);
 
 /// Which sweeps run and how often.
 struct AuditOptions {
-  bool check_watches = true;      ///< clause watch-list integrity
+  bool check_watches = true;      ///< clause + binary watch-list integrity
+  bool check_arena = true;        ///< clause-arena occupancy/ref integrity
   bool check_xor_watches = true;  ///< XOR watch consistency
   bool check_trail = true;        ///< trail/level monotonicity
   /// Propagation-completeness sweep at PostPropagate checkpoints. O(DB)
@@ -116,6 +125,7 @@ class Auditor {
  private:
   void check_trail(const Solver& s, AuditPoint point) const;
   void check_watches(const Solver& s, AuditPoint point) const;
+  void check_arena(const Solver& s, AuditPoint point) const;
   void check_xor_watches(const Solver& s, AuditPoint point) const;
   void check_fixpoint(const Solver& s, AuditPoint point) const;
   void check_learnt_rup(const Solver& s, AuditPoint point) const;

@@ -15,6 +15,14 @@ ProofSink::~ProofSink() = default;
 
 void ProofSink::axiom(const std::vector<Lit>& /*lits*/) {}
 
+void ProofSink::del(const ClauseArena& arena, ClauseRef ref) {
+  const std::size_t n = arena.size(ref);
+  scratch_.clear();
+  scratch_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) scratch_.push_back(arena.lit(ref, i));
+  del(scratch_);
+}
+
 namespace {
 
 void write_text_clause(std::ostream& out, const std::vector<Lit>& lits) {

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "sat/arena.hpp"
 #include "sat/types.hpp"
 
 namespace tp::sat {
@@ -75,6 +76,15 @@ class ProofSink {
 
   /// A clause the solver no longer uses for propagation.
   virtual void del(const std::vector<Lit>& lits) = 0;
+
+  /// Deletion logged straight from the clause arena: materializes the
+  /// clause's literals into a reused scratch buffer and forwards to the
+  /// virtual del() above. This keeps the solver's deletion sites (which
+  /// hold only a ClauseRef) free of per-call vector allocation.
+  void del(const ClauseArena& arena, ClauseRef ref);
+
+ private:
+  std::vector<Lit> scratch_;  ///< reused by del(arena, ref)
 };
 
 /// Streams add/del lines in the textual DRAT format ("1 -2 0", "d 3 4 0").

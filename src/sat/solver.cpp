@@ -43,6 +43,11 @@ SolverStats& SolverStats::operator+=(const SolverStats& o) {
   removed_clauses += o.removed_clauses;
   minimized_literals += o.minimized_literals;
   gauss_runs += o.gauss_runs;
+  vivified_literals += o.vivified_literals;
+  subsumed_clauses += o.subsumed_clauses;
+  arena_gc_runs += o.arena_gc_runs;
+  arena_bytes_reclaimed += o.arena_bytes_reclaimed;
+  solve_seconds += o.solve_seconds;
   return *this;
 }
 
@@ -137,6 +142,7 @@ std::unique_ptr<Solver> Solver::clone() const {
 
   c->ok_ = ok_;
   c->assigns_ = assigns_;
+  c->lit_assigns_ = lit_assigns_;
   c->polarity_ = polarity_;
   c->activity_ = activity_;
   c->trail_ = trail_;
@@ -150,38 +156,29 @@ std::unique_ptr<Solver> Solver::clone() const {
   c->lbd_seen_.assign(lbd_seen_.size(), 0);
   c->next_reduce_ = next_reduce_;
   c->num_reduces_ = num_reduces_;
+  c->vivify_head_ = vivify_head_;
 
-  // Duplicate the clause databases and remember the address mapping so
-  // watch lists and level-0 reasons can be rewired to the copies.
-  std::unordered_map<const Clause*, Clause*> cmap;
-  auto copy_clauses = [&cmap](const std::vector<std::unique_ptr<Clause>>& from,
-                              std::vector<std::unique_ptr<Clause>>& to) {
-    to.reserve(from.size());
-    for (const auto& cl : from) {
-      auto copy = std::make_unique<Clause>(*cl);
-      cmap.emplace(cl.get(), copy.get());
-      to.push_back(std::move(copy));
-    }
-  };
-  copy_clauses(clauses_, c->clauses_);
-  copy_clauses(learnts_, c->learnts_);
+  // The clause store is position-addressed, so the whole database — arena
+  // buffer, ref lists, watcher lists (same order, same blockers) and binary
+  // implication lists — copies flat with every ClauseRef still valid.
+  c->arena_ = arena_;
+  c->clauses_ = clauses_;
+  c->learnts_ = learnts_;
+  c->watches_ = watches_;
+  c->bin_watches_ = bin_watches_;
+  c->num_bin_problem_ = num_bin_problem_;
+  c->num_bin_learnt_ = num_bin_learnt_;
 
+  // Only the XOR constraints hold heap identity: duplicate them and remap
+  // their watch lists and reason pointers. Each constraint's circular
+  // search_pos travels with it, so the clone's watch replacement scans
+  // start exactly where the original's would.
   std::unordered_map<const XorConstraint*, XorConstraint*> xmap;
   c->xors_.reserve(xors_.size());
   for (const auto& x : xors_) {
     auto copy = std::make_unique<XorConstraint>(*x);
     xmap.emplace(x.get(), copy.get());
     c->xors_.push_back(std::move(copy));
-  }
-
-  // Watch lists are copied structurally (same order, same blockers) so the
-  // clone's propagation visits constraints exactly as the original would.
-  c->watches_.resize(watches_.size());
-  for (std::size_t i = 0; i < watches_.size(); ++i) {
-    c->watches_[i].reserve(watches_[i].size());
-    for (const Watcher& w : watches_[i]) {
-      c->watches_[i].push_back({cmap.at(w.clause), w.blocker});
-    }
   }
   c->xor_watch_.resize(xor_watch_.size());
   for (std::size_t i = 0; i < xor_watch_.size(); ++i) {
@@ -193,8 +190,7 @@ std::unique_ptr<Solver> Solver::clone() const {
 
   c->vardata_ = vardata_;
   for (VarData& vd : c->vardata_) {
-    if (vd.reason.clause != nullptr) vd.reason.clause = cmap.at(vd.reason.clause);
-    if (vd.reason.xr != nullptr) vd.reason.xr = xmap.at(vd.reason.xr);
+    if (vd.reason.kind == Reason::Kind::Xor) vd.reason.xr = xmap.at(vd.reason.xr);
   }
 
   c->gauss_rows_ = gauss_rows_;
@@ -211,6 +207,8 @@ std::unique_ptr<Solver> Solver::clone() const {
 Var Solver::new_var() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(LBool::Undef);
+  lit_assigns_.push_back(LBool::Undef);
+  lit_assigns_.push_back(LBool::Undef);
   vardata_.push_back({});
   polarity_.push_back(opts_.default_polarity);
   activity_.push_back(0.0);
@@ -218,6 +216,8 @@ Var Solver::new_var() {
   lbd_seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
   xor_watch_.emplace_back();
   gauss_reason_of_var_.emplace_back();
   order_.grow(assigns_.size());
@@ -245,6 +245,10 @@ void Solver::proof_add(const std::vector<Lit>& lits) {
 
 void Solver::proof_del(const std::vector<Lit>& lits) {
   if (opts_.proof != nullptr) opts_.proof->del(lits);
+}
+
+void Solver::proof_del_ref(ClauseRef c) {
+  if (opts_.proof != nullptr) opts_.proof->del(arena_, c);
 }
 
 void Solver::proof_empty() {
@@ -303,10 +307,13 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     if (!ok_) proof_empty();
     return ok_;
   }
-  auto c = std::make_unique<Clause>();
-  c->lits = std::move(out);
-  attach_clause(c.get());
-  clauses_.push_back(std::move(c));
+  if (out.size() == 2) {
+    attach_binary(out[0], out[1], /*learnt=*/false);
+    return true;
+  }
+  const ClauseRef c = arena_.alloc(out, /*learnt=*/false);
+  attach_clause(c);
+  clauses_.push_back(c);
   return true;
 }
 
@@ -413,20 +420,35 @@ bool Solver::attach_xor(std::vector<Var> vars, bool rhs) {
   return true;
 }
 
-void Solver::attach_clause(Clause* c) {
-  assert(c->size() >= 2);
-  watches_[static_cast<std::size_t>((~(*c)[0]).code())].push_back({c, (*c)[1]});
-  watches_[static_cast<std::size_t>((~(*c)[1]).code())].push_back({c, (*c)[0]});
+void Solver::attach_clause(ClauseRef c) {
+  assert(arena_.size(c) >= 3);
+  const Lit l0 = arena_.lit(c, 0);
+  const Lit l1 = arena_.lit(c, 1);
+  watches_[static_cast<std::size_t>((~l0).code())].push_back({c, l1});
+  watches_[static_cast<std::size_t>((~l1).code())].push_back({c, l0});
 }
 
-void Solver::detach_clause(Clause* c) {
-  for (int i = 0; i < 2; ++i) {
-    auto& wl = watches_[static_cast<std::size_t>((~(*c)[static_cast<std::size_t>(i)]).code())];
+void Solver::detach_clause(ClauseRef c) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto& wl = watches_[static_cast<std::size_t>((~arena_.lit(c, i)).code())];
     auto it = std::find_if(wl.begin(), wl.end(),
-                           [c](const Watcher& w) { return w.clause == c; });
+                           [c](const Watcher& w) { return w.cref == c; });
     assert(it != wl.end());
     *it = wl.back();
     wl.pop_back();
+  }
+}
+
+void Solver::attach_binary(Lit a, Lit b, bool learnt) {
+  // Implication form: a false forces b, b false forces a.
+  bin_watches_[static_cast<std::size_t>((~a).code())].push_back(
+      {b, learnt ? 1u : 0u});
+  bin_watches_[static_cast<std::size_t>((~b).code())].push_back(
+      {a, learnt ? 1u : 0u});
+  if (learnt) {
+    ++num_bin_learnt_;
+  } else {
+    ++num_bin_problem_;
   }
 }
 
@@ -434,6 +456,8 @@ void Solver::unchecked_enqueue(Lit l, Reason reason) {
   assert(value(l) == LBool::Undef);
   const auto v = static_cast<std::size_t>(l.var());
   assigns_[v] = to_lbool(!l.negated());
+  lit_assigns_[static_cast<std::size_t>(l.code())] = LBool::True;
+  lit_assigns_[static_cast<std::size_t>((~l).code())] = LBool::False;
   vardata_[v] = {reason, decision_level()};
   trail_.push_back(l);
 }
@@ -461,6 +485,24 @@ void Solver::bcp(Reason& conflict) {
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
 
+    // ---- binary implications: clauses (~p ∨ q), no clause memory ----
+    {
+      const auto& bl = bin_watches_[static_cast<std::size_t>(p.code())];
+      for (const BinWatcher& w : bl) {
+        const LBool v = value(w.other);
+        if (v == LBool::True) continue;
+        if (v == LBool::False) {
+          bin_conflict_ = {~p, w.other};
+          conflict.kind = Reason::Kind::Binary;
+          conflict.other = w.other;
+          qhead_ = trail_.size();
+          break;
+        }
+        unchecked_enqueue(w.other, Reason::binary(~p));
+      }
+      if (!conflict.none()) break;
+    }
+
     // ---- clause watches: clauses in which ~p is watched ----
     auto& wl = watches_[static_cast<std::size_t>(p.code())];
     std::size_t keep = 0;
@@ -471,21 +513,25 @@ void Solver::bcp(Reason& conflict) {
         wl[keep++] = w;
         continue;
       }
-      Clause& c = *w.clause;
+      std::uint32_t* lits = arena_.lits(w.cref);
       const Lit false_lit = ~p;
-      if (c[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      assert(c[1] == false_lit);
+      const auto false_code = static_cast<std::uint32_t>(false_lit.code());
+      if (lits[0] == false_code) std::swap(lits[0], lits[1]);
+      assert(lits[1] == false_code);
 
-      const Lit first = c[0];
+      const Lit first = Lit::from_code(static_cast<std::int32_t>(lits[0]));
       if (value(first) == LBool::True) {
-        wl[keep++] = {w.clause, first};
+        wl[keep++] = {w.cref, first};
         continue;
       }
+      const std::size_t size = arena_.size(w.cref);
       bool moved = false;
-      for (std::size_t i = 2; i < c.size(); ++i) {
-        if (value(c[i]) != LBool::False) {
-          std::swap(c.lits[1], c.lits[i]);
-          watches_[static_cast<std::size_t>((~c[1]).code())].push_back({w.clause, first});
+      for (std::size_t i = 2; i < size; ++i) {
+        const Lit li = Lit::from_code(static_cast<std::int32_t>(lits[i]));
+        if (value(li) != LBool::False) {
+          std::swap(lits[1], lits[i]);
+          watches_[static_cast<std::size_t>((~li).code())].push_back(
+              {w.cref, first});
           moved = true;
           break;
         }
@@ -493,15 +539,15 @@ void Solver::bcp(Reason& conflict) {
       if (moved) continue;
 
       // Clause is unit or conflicting.
-      wl[keep++] = {w.clause, first};
+      wl[keep++] = {w.cref, first};
       if (value(first) == LBool::False) {
-        conflict.clause = w.clause;
+        conflict = Reason::clause(w.cref);
         qhead_ = trail_.size();
         // Copy the remaining (unprocessed) watchers back.
         for (++idx; idx < wl.size(); ++idx) wl[keep++] = wl[idx];
         break;
       }
-      unchecked_enqueue(first, {w.clause, nullptr});
+      unchecked_enqueue(first, Reason::clause(w.cref));
     }
     wl.resize(keep);
     if (!conflict.none()) break;
@@ -636,7 +682,7 @@ bool Solver::gauss_propagate(Reason& conflict) {
         for (std::size_t c = 0; c < ncols; ++c) {
           if (w.full.get(c)) gauss_conflict_.push_back(false_literal(c));
         }
-        conflict.gauss = true;
+        conflict = Reason::gauss();
         return true;
       }
       continue;
@@ -653,9 +699,7 @@ bool Solver::gauss_propagate(Reason& conflict) {
         }
       }
       gauss_reason_of_var_[static_cast<std::size_t>(v)] = std::move(reason);
-      Reason r;
-      r.gauss = true;
-      unchecked_enqueue(implied, r);
+      unchecked_enqueue(implied, Reason::gauss());
       ++stats_.xor_propagations;
       enqueued = true;
     }
@@ -702,11 +746,11 @@ bool Solver::propagate_xor(XorConstraint& x, Var assigned, Reason& conflict) {
   if (other_val == LBool::Undef) {
     // Unit: vars[other] must take the residual parity.
     ++stats_.xor_propagations;
-    unchecked_enqueue(Lit(x.vars[other], /*negated=*/!parity), {nullptr, &x});
+    unchecked_enqueue(Lit(x.vars[other], /*negated=*/!parity), Reason::xor_c(&x));
     return true;
   }
   if ((other_val == LBool::True) != parity) {
-    conflict.xr = &x;
+    conflict = Reason::xor_c(&x);
   }
   return true;
 }
@@ -719,6 +763,8 @@ void Solver::cancel_until(int lvl) {
     const auto vi = static_cast<std::size_t>(v);
     if (opts_.phase_saving) polarity_[vi] = !trail_[i].negated();
     assigns_[vi] = LBool::Undef;
+    lit_assigns_[static_cast<std::size_t>(trail_[i].code())] = LBool::Undef;
+    lit_assigns_[static_cast<std::size_t>((~trail_[i]).code())] = LBool::Undef;
     vardata_[vi].reason = {};
     order_.insert(v, activity_);
   }
@@ -741,44 +787,64 @@ Lit Solver::pick_branch_lit() {
 
 void Solver::reason_literals(Lit p, Reason r, std::vector<Lit>& out) const {
   out.clear();
-  if (r.gauss) {
-    out = gauss_reason_of_var_[static_cast<std::size_t>(p.var())];
-    assert(!out.empty() && out[0] == p);
-    return;
-  }
-  if (r.clause != nullptr) {
-    const Clause& c = *r.clause;
-    out.push_back(p);
-    for (Lit l : c.lits) {
-      if (l != p) out.push_back(l);
+  switch (r.kind) {
+    case Reason::Kind::Gauss:
+      out = gauss_reason_of_var_[static_cast<std::size_t>(p.var())];
+      assert(!out.empty() && out[0] == p);
+      return;
+    case Reason::Kind::Clause: {
+      out.push_back(p);
+      const std::size_t n = arena_.size(r.cref);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Lit l = arena_.lit(r.cref, i);
+        if (l != p) out.push_back(l);
+      }
+      return;
     }
-    return;
-  }
-  assert(r.xr != nullptr);
-  // Materialize the implication clause of an XOR propagation: p is implied
-  // by the conjunction of the other variables' current assignments.
-  out.push_back(p);
-  for (Var v : r.xr->vars) {
-    if (v == p.var()) continue;
-    assert(value(v) != LBool::Undef);
-    out.push_back(Lit(v, /*negated=*/value(v) == LBool::True));  // false literal
+    case Reason::Kind::Binary:
+      out.push_back(p);
+      out.push_back(r.other);
+      return;
+    case Reason::Kind::Xor:
+      // Materialize the implication clause of an XOR propagation: p is
+      // implied by the conjunction of the other variables' assignments.
+      out.push_back(p);
+      for (Var v : r.xr->vars) {
+        if (v == p.var()) continue;
+        assert(value(v) != LBool::Undef);
+        out.push_back(Lit(v, /*negated=*/value(v) == LBool::True));  // false literal
+      }
+      return;
+    case Reason::Kind::None:
+      assert(false && "reason_literals on a decision");
+      return;
   }
 }
 
 void Solver::conflict_literals(Reason r, std::vector<Lit>& out) const {
   out.clear();
-  if (r.gauss) {
-    out = gauss_conflict_;
-    return;
-  }
-  if (r.clause != nullptr) {
-    out = r.clause->lits;
-    return;
-  }
-  assert(r.xr != nullptr);
-  for (Var v : r.xr->vars) {
-    assert(value(v) != LBool::Undef);
-    out.push_back(Lit(v, /*negated=*/value(v) == LBool::True));  // all false
+  switch (r.kind) {
+    case Reason::Kind::Gauss:
+      out = gauss_conflict_;
+      return;
+    case Reason::Kind::Clause: {
+      const std::size_t n = arena_.size(r.cref);
+      for (std::size_t i = 0; i < n; ++i) out.push_back(arena_.lit(r.cref, i));
+      return;
+    }
+    case Reason::Kind::Binary:
+      out.push_back(bin_conflict_[0]);
+      out.push_back(bin_conflict_[1]);
+      return;
+    case Reason::Kind::Xor:
+      for (Var v : r.xr->vars) {
+        assert(value(v) != LBool::Undef);
+        out.push_back(Lit(v, /*negated=*/value(v) == LBool::True));  // all false
+      }
+      return;
+    case Reason::Kind::None:
+      assert(false && "conflict_literals on an empty reason");
+      return;
   }
 }
 
@@ -794,10 +860,13 @@ void Solver::bump_var(Var v) {
 
 void Solver::decay_var_activity() { var_inc_ /= opts_.var_decay; }
 
-void Solver::bump_clause(Clause& c) {
-  c.activity += cla_inc_;
-  if (c.activity > 1e20) {
-    for (auto& cl : learnts_) cl->activity *= 1e-20;
+void Solver::bump_clause(ClauseRef c) {
+  const float a = arena_.activity(c) + static_cast<float>(cla_inc_);
+  arena_.set_activity(c, a);
+  if (a > 1e20f) {
+    for (ClauseRef l : learnts_) {
+      arena_.set_activity(l, arena_.activity(l) * 1e-20f);
+    }
     cla_inc_ *= 1e-20;
   }
 }
@@ -828,7 +897,9 @@ int Solver::analyze(Reason conflict, std::vector<Lit>& learnt) {
   std::size_t index = trail_.size();
 
   conflict_literals(conflict, reason_buf_);
-  if (conflict.clause != nullptr && conflict.clause->learnt) bump_clause(*conflict.clause);
+  if (conflict.kind == Reason::Kind::Clause && arena_.learnt(conflict.cref)) {
+    bump_clause(conflict.cref);
+  }
 
   while (true) {
     for (Lit q : reason_buf_) {
@@ -853,7 +924,9 @@ int Solver::analyze(Reason conflict, std::vector<Lit>& learnt) {
     if (counter == 0) break;
     const Reason r = vardata_[static_cast<std::size_t>(p.var())].reason;
     assert(!r.none());
-    if (r.clause != nullptr && r.clause->learnt) bump_clause(*r.clause);
+    if (r.kind == Reason::Kind::Clause && arena_.learnt(r.cref)) {
+      bump_clause(r.cref);
+    }
     reason_literals(p, r, reason_buf_);
   }
   learnt[0] = ~p;
@@ -892,7 +965,7 @@ int Solver::analyze(Reason conflict, std::vector<Lit>& learnt) {
 bool Solver::literal_redundant(Lit l) {
   const Reason r = vardata_[static_cast<std::size_t>(l.var())].reason;
   if (r.none()) return false;
-  std::vector<Lit> rl;
+  std::vector<Lit>& rl = redundant_buf_;
   reason_literals(~l, r, rl);
   for (std::size_t i = 1; i < rl.size(); ++i) {
     const Lit q = rl[i];
@@ -902,67 +975,315 @@ bool Solver::literal_redundant(Lit l) {
   return true;
 }
 
-bool Solver::locked(const Clause* c) const {
-  const Lit first = (*c)[0];
+bool Solver::locked(ClauseRef c) const {
+  const Lit first = arena_.lit(c, 0);
   if (value(first) != LBool::True) return false;
   const Reason r = vardata_[static_cast<std::size_t>(first.var())].reason;
-  return r.clause == c;
+  return r.kind == Reason::Kind::Clause && r.cref == c;
+}
+
+// --------------------------------------------- database maintenance -----
+
+void Solver::remove_clause(ClauseRef c) {
+  detach_clause(c);
+  proof_del_ref(c);
+  auto erase_from = [c](std::vector<ClauseRef>& db) {
+    // Recent clauses are removed most often: search from the back.
+    auto it = std::find(db.rbegin(), db.rend(), c);
+    if (it == db.rend()) return false;
+    db.erase(std::next(it).base());
+    return true;
+  };
+  if (!erase_from(learnts_)) {
+    const bool found = erase_from(clauses_);
+    assert(found);
+    (void)found;
+  }
+  arena_.free_clause(c);
 }
 
 void Solver::reduce_db() {
   ++num_reduces_;
   // Sort learnt clauses: keep low-LBD / high-activity ones.
-  std::vector<Clause*> sorted;
-  sorted.reserve(learnts_.size());
-  for (auto& c : learnts_) sorted.push_back(c.get());
-  std::sort(sorted.begin(), sorted.end(), [](const Clause* a, const Clause* b) {
-    if (a->lbd != b->lbd) return a->lbd > b->lbd;
-    return a->activity < b->activity;
+  std::vector<ClauseRef> sorted = learnts_;
+  std::sort(sorted.begin(), sorted.end(), [this](ClauseRef a, ClauseRef b) {
+    if (arena_.lbd(a) != arena_.lbd(b)) return arena_.lbd(a) > arena_.lbd(b);
+    return arena_.activity(a) < arena_.activity(b);
   });
 
   const std::size_t target = sorted.size() / 2;
-  std::vector<const Clause*> to_remove;
+  std::size_t removed = 0;
   for (std::size_t i = 0; i < target; ++i) {
-    Clause* c = sorted[i];
-    if (c->size() <= 2 || c->lbd <= 2 || locked(c)) continue;
+    const ClauseRef c = sorted[i];
+    if (arena_.lbd(c) <= 2 || locked(c)) continue;
     detach_clause(c);
-    proof_del(c->lits);
-    to_remove.push_back(c);
+    proof_del_ref(c);
+    arena_.free_clause(c);
+    ++removed;
   }
-  if (to_remove.empty()) return;
-  stats_.removed_clauses += static_cast<std::int64_t>(to_remove.size());
-  auto is_removed = [&](const std::unique_ptr<Clause>& c) {
-    return std::find(to_remove.begin(), to_remove.end(), c.get()) != to_remove.end();
-  };
-  learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(), is_removed),
-                 learnts_.end());
+  if (removed != 0) {
+    stats_.removed_clauses += static_cast<std::int64_t>(removed);
+    learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
+                                  [this](ClauseRef c) { return arena_.dead(c); }),
+                   learnts_.end());
+  }
+  maybe_gc();
+}
+
+void Solver::try_subsume_conflict(Reason conflict, const std::vector<Lit>& learnt) {
+  // On-the-fly backward subsumption: when the freshly learnt clause is a
+  // strict subset of the arena clause the conflict arose in, that clause is
+  // redundant from now on — every assignment the long clause rejects the
+  // short one rejects earlier. Binary and constraint conflicts are skipped
+  // (binaries are already minimal; XOR/Gauss conflicts have no stored
+  // clause to delete).
+  if (conflict.kind != Reason::Kind::Clause) return;
+  const ClauseRef c = conflict.cref;
+  const std::size_t n = arena_.size(c);
+  if (learnt.size() >= n || learnt.empty()) return;
+  if (learnt.size() * n > 512) return;  // cap the quadratic membership scan
+  if (locked(c)) return;
+  for (const Lit l : learnt) {
+    const auto code = static_cast<std::uint32_t>(l.code());
+    const std::uint32_t* lits = arena_.lits(c);
+    bool found = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lits[i] == code) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return;
+  }
+  if (!arena_.learnt(c)) {
+    // The subsumed clause is irredundant, so its constraint now rests on
+    // the subsuming learnt clause alone — which must therefore stop being
+    // eligible for reduce_db() deletion, or the constraint is silently
+    // lost (an AllSAT blocking clause would readmit its model). Promote
+    // the learnt clause into the problem database. A unit learnt needs no
+    // promotion: it is a permanent root-level assignment.
+    if (learnt.size() == 2) {
+      auto promote_side = [this](Lit from, Lit other) {
+        for (BinWatcher& w : bin_watches_[static_cast<std::size_t>((~from).code())]) {
+          if (w.other == other && w.learnt != 0) {
+            w.learnt = 0;
+            return;
+          }
+        }
+        assert(false && "subsuming learnt binary not found in watch list");
+      };
+      promote_side(learnt[0], learnt[1]);
+      promote_side(learnt[1], learnt[0]);
+      --num_bin_learnt_;
+      ++num_bin_problem_;
+    } else if (learnt.size() >= 3) {
+      const ClauseRef lc = learnts_.back();  // attached just before this call
+      assert(arena_.size(lc) == learnt.size() && !arena_.dead(lc));
+      arena_.promote(lc);
+      learnts_.pop_back();
+      clauses_.push_back(lc);
+    }
+  }
+  // The learnt clause was proof_add'ed before this call, so deleting the
+  // subsumed clause keeps the DRAT stream checkable (add before delete).
+  remove_clause(c);
+  ++stats_.subsumed_clauses;
+}
+
+void Solver::vivify_round(std::int64_t budget) {
+  // Root-level clause vivification (distillation): for each stored clause
+  // C = (l1 ∨ ... ∨ ln), assume the negation of its literals one at a time
+  // (with C itself detached) and unit-propagate.
+  //  * some li propagates to true  → the prefix ¬l1..¬l(i-1) implies li:
+  //    C shrinks to (l1..li);
+  //  * some li propagates to false → li is redundant in C (resolving C with
+  //    the propagation reasons yields C \ {li}): drop it;
+  //  * propagation conflicts       → the prefix alone is contradictory:
+  //    C shrinks to (l1..li).
+  // Every shrink is a RUP consequence of the remaining database, so the
+  // DRAT stream records add(new) before del(old). The round is bounded by
+  // `budget` propagations and resumes round-robin at vivify_head_.
+  assert(decision_level() == 0);
+  if (clauses_.empty()) return;
+  const std::int64_t start_props = stats_.propagations;
+  std::size_t visited = 0;
+  const std::size_t total = clauses_.size();
+  if (vivify_head_ >= clauses_.size()) vivify_head_ = 0;
+
+  std::vector<Lit> work;
+  std::vector<Lit> kept;
+  while (visited < total && ok_ &&
+         stats_.propagations - start_props < budget) {
+    ++visited;
+    if (vivify_head_ >= clauses_.size()) vivify_head_ = 0;
+    const std::size_t idx = vivify_head_;
+    const ClauseRef c = clauses_[idx];
+    if (locked(c)) {
+      ++vivify_head_;
+      continue;
+    }
+
+    // Earlier units of this round may have touched the clause at level 0:
+    // a true literal means the whole clause is satisfied ballast, false
+    // literals fall away for free.
+    work.clear();
+    bool satisfied = false;
+    const std::size_t n = arena_.size(c);
+    for (std::size_t i = 0; i < n && !satisfied; ++i) {
+      const Lit l = arena_.lit(c, i);
+      if (value(l) == LBool::True) satisfied = true;
+      if (value(l) == LBool::Undef) work.push_back(l);
+    }
+    if (satisfied) {
+      remove_clause(c);
+      ++stats_.removed_clauses;
+      continue;  // clauses_[idx] now holds the next clause
+    }
+
+    detach_clause(c);
+    kept.clear();
+    bool conflicted = false;
+    for (const Lit l : work) {
+      const LBool v = value(l);
+      if (v == LBool::True) {
+        kept.push_back(l);  // prefix implies l: truncate here
+        break;
+      }
+      if (v == LBool::False) continue;  // prefix refutes l: drop it
+      kept.push_back(l);
+      trail_lim_.push_back(trail_.size());
+      unchecked_enqueue(~l, {});
+      if (!propagate().none()) {
+        conflicted = true;  // prefix is contradictory: truncate here
+        break;
+      }
+    }
+    cancel_until(0);
+    (void)conflicted;
+
+    if (kept.size() == work.size() && work.size() == n) {
+      attach_clause(c);  // nothing learned; literals are still level-0 free
+      ++vivify_head_;
+      continue;
+    }
+
+    stats_.vivified_literals += static_cast<std::int64_t>(n - kept.size());
+    proof_add(kept);
+    proof_del_ref(c);
+    assert(!kept.empty());
+    if (kept.size() == 1) {
+      clauses_.erase(clauses_.begin() + static_cast<std::ptrdiff_t>(idx));
+      arena_.free_clause(c);
+      if (value(kept[0]) == LBool::Undef) {
+        unchecked_enqueue(kept[0], {});
+        ok_ = propagate().none();
+      } else if (value(kept[0]) == LBool::False) {
+        ok_ = false;
+      }
+      if (!ok_) proof_empty();
+    } else if (kept.size() == 2) {
+      clauses_.erase(clauses_.begin() + static_cast<std::ptrdiff_t>(idx));
+      arena_.free_clause(c);
+      attach_binary(kept[0], kept[1], /*learnt=*/false);
+    } else {
+      const ClauseRef nc = arena_.alloc(kept, /*learnt=*/false);
+      clauses_[idx] = nc;
+      arena_.free_clause(c);
+      attach_clause(nc);
+      ++vivify_head_;
+    }
+  }
 }
 
 bool Solver::simplify() {
   assert(decision_level() == 0);
   if (!ok_) return false;
-  auto satisfied = [this](const Clause& c) {
-    for (std::size_t i = 0; i < c.size(); ++i) {
-      if (value(c[i]) == LBool::True) return true;
+  auto satisfied = [this](ClauseRef c) {
+    const std::size_t n = arena_.size(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (value(arena_.lit(c, i)) == LBool::True) return true;
     }
     return false;
   };
-  auto sweep = [&](std::vector<std::unique_ptr<Clause>>& db) {
-    const std::size_t before = db.size();
-    for (auto& c : db) {
-      if (satisfied(*c) && !locked(c.get())) {
-        detach_clause(c.get());
-        proof_del(c->lits);
-        c.reset();
+  auto sweep = [&](std::vector<ClauseRef>& db) {
+    std::size_t removed = 0;
+    for (const ClauseRef c : db) {
+      if (satisfied(c) && !locked(c)) {
+        detach_clause(c);
+        proof_del_ref(c);
+        arena_.free_clause(c);
+        ++removed;
       }
     }
-    db.erase(std::remove(db.begin(), db.end(), nullptr), db.end());
-    return before - db.size();
+    if (removed != 0) {
+      db.erase(std::remove_if(db.begin(), db.end(),
+                              [this](ClauseRef c) { return arena_.dead(c); }),
+               db.end());
+    }
+    return removed;
   };
   stats_.removed_clauses += static_cast<std::int64_t>(sweep(learnts_) + sweep(clauses_));
+
+  // Sweep the binary implication lists: a binary clause {a, b} is level-0
+  // satisfied ballast once either literal is fixed true. Each clause
+  // appears in two lists; the proof deletion and the counter decrement are
+  // emitted from its canonical side only.
+  for (std::size_t code = 0; code < bin_watches_.size(); ++code) {
+    auto& bl = bin_watches_[code];
+    if (bl.empty()) continue;
+    const Lit a = ~Lit::from_code(static_cast<std::int32_t>(code));
+    const LBool va = value(a);
+    std::size_t keep = 0;
+    for (const BinWatcher& w : bl) {
+      if (va != LBool::True && value(w.other) != LBool::True) {
+        bl[keep++] = w;
+        continue;
+      }
+      if (a.code() < w.other.code()) {  // canonical side
+        proof_del({a, w.other});
+        if (w.learnt != 0) {
+          --num_bin_learnt_;
+        } else {
+          --num_bin_problem_;
+        }
+        ++stats_.removed_clauses;
+      }
+    }
+    bl.resize(keep);
+  }
+
+  if (opts_.vivify && ok_) vivify_round(opts_.vivify_budget);
+  maybe_gc();
   if (audit_ != nullptr) audit_->checkpoint(*this, AuditPoint::PostSimplify);
-  return true;
+  return ok_;
 }
+
+void Solver::maybe_gc() {
+  if (arena_.want_gc()) garbage_collect();
+}
+
+void Solver::garbage_collect() {
+  // Mark-and-compact: move every live clause into a fresh buffer, then
+  // rewrite all outstanding references. gc_move is idempotent, so the
+  // database lists, the watcher lists and the trail reasons can each be
+  // walked independently. Locked clauses are never freed, so every reason
+  // ref on the trail is live by construction.
+  arena_.gc_begin();
+  for (ClauseRef& c : clauses_) c = arena_.gc_move(c);
+  for (ClauseRef& c : learnts_) c = arena_.gc_move(c);
+  for (auto& wl : watches_) {
+    for (Watcher& w : wl) w.cref = arena_.gc_move(w.cref);
+  }
+  for (const Lit l : trail_) {
+    Reason& r = vardata_[static_cast<std::size_t>(l.var())].reason;
+    if (r.kind == Reason::Kind::Clause) r.cref = arena_.gc_move(r.cref);
+  }
+  const std::size_t reclaimed = arena_.gc_end();
+  ++stats_.arena_gc_runs;
+  stats_.arena_bytes_reclaimed += static_cast<std::int64_t>(reclaimed);
+}
+
+// ------------------------------------------------------------- search ----
 
 Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
                       std::int64_t conflicts_at_start) {
@@ -988,7 +1309,7 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
             {{"conflicts", stats_.conflicts},
              {"decisions", stats_.decisions},
              {"propagations", stats_.propagations},
-             {"learnts", static_cast<std::uint64_t>(learnts_.size())},
+             {"learnts", static_cast<std::uint64_t>(num_learnts())},
              {"trail", static_cast<std::uint64_t>(trail_.size())}});
       }
       if (decision_level() == 0) {
@@ -1000,21 +1321,21 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
       // all assigned below the current decision level (the violated row
       // combination existed earlier but the elimination only ran now).
       // 1UIP analysis needs a current-level literal to resolve on, so hop
-      // down to the conflict's own level first. The conflict literals are
-      // materialized before backtracking (XOR conflicts read the current
-      // assignment) — all of them live at levels <= max_level, so they
-      // survive the hop.
-      std::vector<Lit> confl_lits;
-      conflict_literals(conflict, confl_lits);
-      int max_level = 0;
-      for (Lit q : confl_lits) max_level = std::max(max_level, level(q.var()));
-      if (max_level == 0) {
-        proof_empty();  // unreachable in proof mode (Gauss is excluded)
-        return Status::Unsat;
+      // down to the conflict's own level first. Clause, binary and watched-
+      // XOR conflicts always surface while propagating a current-level
+      // literal that appears in them, so only Gauss conflicts pay the
+      // materialization and level scan.
+      if (conflict.kind == Reason::Kind::Gauss) {
+        int max_level = 0;
+        for (Lit q : gauss_conflict_) max_level = std::max(max_level, level(q.var()));
+        if (max_level == 0) {
+          proof_empty();  // unreachable in proof mode (Gauss is excluded)
+          return Status::Unsat;
+        }
+        if (max_level < decision_level()) cancel_until(max_level);
       }
-      if (max_level < decision_level()) cancel_until(max_level);
 
-      std::vector<Lit> learnt;
+      std::vector<Lit>& learnt = learnt_buf_;
       const int bt = analyze(conflict, learnt);
       cancel_until(bt);
       // The 1UIP clause (minimization included) is derived by resolution
@@ -1024,18 +1345,24 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
 
       if (learnt.size() == 1) {
         unchecked_enqueue(learnt[0], {});
+      } else if (learnt.size() == 2) {
+        attach_binary(learnt[0], learnt[1], /*learnt=*/true);
+        unchecked_enqueue(learnt[0], Reason::binary(learnt[1]));
+        ++stats_.learnt_clauses;
       } else {
-        auto c = std::make_unique<Clause>();
-        c->lits = std::move(learnt);
-        c->learnt = true;
-        c->lbd = compute_lbd(c->lits);
-        bump_clause(*c);
-        attach_clause(c.get());
-        unchecked_enqueue(c->lits[0], {c.get(), nullptr});
-        learnts_.push_back(std::move(c));
+        const ClauseRef c = arena_.alloc(learnt, /*learnt=*/true);
+        arena_.set_lbd(c, compute_lbd(learnt));
+        bump_clause(c);
+        attach_clause(c);
+        unchecked_enqueue(learnt[0], Reason::clause(c));
+        learnts_.push_back(c);
         ++stats_.learnt_clauses;
       }
       if (audit_ != nullptr) audit_->checkpoint(*this, AuditPoint::PostBacktrack);
+      // Subsumption deletes the conflict clause only *after* the checkpoint:
+      // the learnt-RUP audit replays the learnt clause against the database
+      // as it was when the clause was derived.
+      try_subsume_conflict(conflict, learnt);
       decay_var_activity();
       decay_clause_activity();
 
@@ -1052,7 +1379,7 @@ Status Solver::search(const SolveLimits& limits, std::int64_t conflict_budget,
         cancel_until(0);
         return Status::Unknown;  // restart
       }
-      if (static_cast<std::int64_t>(learnts_.size()) >= next_reduce_) {
+      if (static_cast<std::int64_t>(num_learnts()) >= next_reduce_) {
         next_reduce_ += opts_.reduce_increment;
         reduce_db();
       }
@@ -1134,6 +1461,12 @@ Status Solver::solve(const SolveLimits& limits) {
   static obs::Counter& xor_props =
       obs::MetricsRegistry::global().counter("solver.xor_propagations");
   static obs::Counter& restarts_m = obs::MetricsRegistry::global().counter("solver.restarts");
+  static obs::Counter& gc_runs_m =
+      obs::MetricsRegistry::global().counter("solver.arena_gc_runs");
+  static obs::Counter& gc_bytes_m =
+      obs::MetricsRegistry::global().counter("solver.arena_bytes_reclaimed");
+  static obs::Gauge& arena_live_m =
+      obs::MetricsRegistry::global().gauge("solver.arena_bytes_live");
   static obs::Timing& solve_time =
       obs::MetricsRegistry::global().timing("solver.solve_seconds");
 
@@ -1149,6 +1482,7 @@ Status Solver::solve(const SolveLimits& limits) {
   const auto t0 = Clock::now();
   const Status st = solve_main(limits);
   const double seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  stats_.solve_seconds += seconds;
 
   solves.add(1);
   conflicts.add(stats_.conflicts - before.conflicts);
@@ -1156,6 +1490,9 @@ Status Solver::solve(const SolveLimits& limits) {
   propagations.add(stats_.propagations - before.propagations);
   xor_props.add(stats_.xor_propagations - before.xor_propagations);
   restarts_m.add(stats_.restarts - before.restarts);
+  gc_runs_m.add(stats_.arena_gc_runs - before.arena_gc_runs);
+  gc_bytes_m.add(stats_.arena_bytes_reclaimed - before.arena_bytes_reclaimed);
+  arena_live_m.set(static_cast<std::int64_t>(arena_.bytes_live()));
   solve_time.observe(seconds);
 
   if (span.active()) {
@@ -1164,6 +1501,14 @@ Status Solver::solve(const SolveLimits& limits) {
     span.add("decisions", stats_.decisions - before.decisions);
     span.add("propagations", stats_.propagations - before.propagations);
     span.add("restarts", stats_.restarts - before.restarts);
+    span.add("props_per_sec",
+             seconds > 0.0
+                 ? static_cast<double>(stats_.propagations - before.propagations) / seconds
+                 : 0.0);
+    span.add("arena_bytes_live", static_cast<std::uint64_t>(arena_.bytes_live()));
+    span.add("arena_gc_runs", stats_.arena_gc_runs - before.arena_gc_runs);
+    span.add("arena_bytes_reclaimed",
+             stats_.arena_bytes_reclaimed - before.arena_bytes_reclaimed);
     span.finish();
   }
   return st;
@@ -1229,7 +1574,7 @@ Status Solver::solve_main(const SolveLimits& limits) {
           "solver.restart",
           {{"restart", restarts},
            {"conflicts", stats_.conflicts - conflicts_at_start},
-           {"learnts", static_cast<std::uint64_t>(learnts_.size())}});
+           {"learnts", static_cast<std::uint64_t>(num_learnts())}});
     }
     cancel_until(0);
   }

@@ -10,6 +10,16 @@
 // what the timeprint reconstruction needs: each bit j of A·x = TP is one
 // XOR clause over the signal variables (paper §4.2).
 //
+// Clause storage is a flat ClauseArena (arena.hpp): clauses are addressed
+// by 32-bit ClauseRef offsets into one contiguous buffer, watchers carry a
+// blocking literal next to the ref, and binary clauses skip the arena
+// entirely — they live in per-literal implication lists, so propagating
+// them touches no clause memory at all. A mark-and-compact GC run from
+// reduce_db()/simplify() keeps the arena dense. simplify() additionally
+// runs lightweight inprocessing: root-level clause vivification, paired
+// with on-the-fly backward subsumption during conflict analysis; both emit
+// the DRAT add/delete ops that keep proofs checkable.
+//
 // Usage:
 //   Solver s;
 //   Var a = s.new_var(), b = s.new_var();
@@ -21,6 +31,7 @@
 // The solver is incremental in the AllSAT sense: after a Sat answer you may
 // add further (e.g. blocking) clauses and call solve() again.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -29,25 +40,13 @@
 
 #include "f2/bitvec.hpp"
 #include "obs/trace.hpp"
+#include "sat/arena.hpp"
 #include "sat/types.hpp"
 
 namespace tp::sat {
 
 class Auditor;     // audit.hpp — debug invariant auditor
 class ProofSink;   // drat.hpp — DRAT proof logging
-
-/// A disjunctive clause. Stored on the heap; the first two literals are the
-/// watched ones.
-struct Clause {
-  std::vector<Lit> lits;
-  double activity = 0.0;
-  std::uint32_t lbd = 0;
-  bool learnt = false;
-
-  std::size_t size() const { return lits.size(); }
-  Lit& operator[](std::size_t i) { return lits[i]; }
-  Lit operator[](std::size_t i) const { return lits[i]; }
-};
 
 /// An XOR constraint: the parity of the variables' values must equal rhs.
 /// Propagated with two watched *variables* (an XOR constraint can only
@@ -84,6 +83,25 @@ struct SolverStats {
   /// Invocations of the Gaussian elimination engine (propagation fixpoints
   /// at which the gate let the row reduction run).
   std::int64_t gauss_runs = 0;
+  /// Literals removed from stored clauses by root-level vivification.
+  std::int64_t vivified_literals = 0;
+  /// Clauses deleted by on-the-fly backward subsumption (the just-learnt
+  /// clause was a strict subset of the conflicting clause).
+  std::int64_t subsumed_clauses = 0;
+  /// Mark-and-compact collections of the clause arena.
+  std::int64_t arena_gc_runs = 0;
+  /// Bytes the arena GC gave back across those collections.
+  std::int64_t arena_bytes_reclaimed = 0;
+  /// Wall-clock seconds spent inside solve() calls (accumulated).
+  double solve_seconds = 0.0;
+
+  /// Propagation throughput over the accumulated solve time — the headline
+  /// rate bench_solver tracks against BENCH_solver.json. 0 before any solve.
+  double propagations_per_sec() const {
+    return solve_seconds > 0.0
+               ? static_cast<double>(propagations) / solve_seconds
+               : 0.0;
+  }
 
   /// Element-wise accumulation (aggregating per-worker solvers of a batch).
   SolverStats& operator+=(const SolverStats& o);
@@ -98,6 +116,13 @@ struct SolverOptions {
   int reduce_increment = 1000;    ///< growth of the reduction threshold
   bool phase_saving = true;       ///< remember last polarity per variable
   bool default_polarity = false;  ///< polarity used before any saving
+  /// Root-level clause vivification inside simplify(): each stored clause
+  /// is re-derived under assumed negations of its own literals, dropping
+  /// literals (or the whole clause) that unit propagation proves
+  /// redundant. Bounded by vivify_budget propagations per simplify() call,
+  /// resuming round-robin where the previous call stopped.
+  bool vivify = true;
+  std::int64_t vivify_budget = 50000;
   /// XOR constraints longer than this are split into a chain of short XORs
   /// linked by fresh auxiliary parity variables (0 disables splitting).
   /// Short XORs keep watched-variable propagation and reason clauses cheap;
@@ -116,21 +141,21 @@ struct SolverOptions {
   /// (4·rows + 32); SIZE_MAX = always run.
   std::size_t gauss_max_unassigned = 0;
   /// Event tracer (obs/trace.hpp), or null for no tracing. When attached,
-  /// every solve() emits a "solver.solve" span with its stats delta, each
-  /// restart a "solver.restart" event, and the search loop emits sampled
-  /// "solver.progress" / "solver.gauss" events (every 4096 conflicts /
-  /// 1024 eliminations, so tracing never dominates the inner loop). The
-  /// tracer is shared by clone()s — it is thread-safe — and must outlive
-  /// the solver. When null the only cost is one pointer test per sample
-  /// site.
+  /// every solve() emits a "solver.solve" span with its stats delta (and
+  /// the arena occupancy/GC counters), each restart a "solver.restart"
+  /// event, and the search loop emits sampled "solver.progress" /
+  /// "solver.gauss" events (every 4096 conflicts / 1024 eliminations, so
+  /// tracing never dominates the inner loop). The tracer is shared by
+  /// clone()s — it is thread-safe — and must outlive the solver. When null
+  /// the only cost is one pointer test per sample site.
   obs::Tracer* tracer = nullptr;
   /// DRAT proof sink (drat.hpp), or null for no proof logging. When
   /// attached, every input clause (and the CNF expansion of every attached
   /// XOR constraint) is reported as an axiom, every learnt clause and
   /// assumption-failure clause as an addition, and every clause dropped by
-  /// reduce_db()/simplify() as a deletion, so an UNSAT answer can be
-  /// certified by an independent checker. Restrictions: incompatible with
-  /// use_gauss (DRAT cannot express row-combination reasoning; the
+  /// reduce_db()/simplify()/inprocessing as a deletion, so an UNSAT answer
+  /// can be certified by an independent checker. Restrictions: incompatible
+  /// with use_gauss (DRAT cannot express row-combination reasoning; the
   /// constructor throws), disables xor_chunk_size splitting (XORs attach
   /// whole) and caps XOR arity at kProofMaxXorArity (add_xor throws above
   /// it, since the logged expansion is 2^(n-1) clauses). The sink serves
@@ -155,11 +180,15 @@ class Solver {
 
   /// Deep copy of the solver at decision level 0 (the state between
   /// solve() calls): variables, level-0 assignments, problem and learnt
-  /// clauses, XOR constraints (watched and Gaussian), activities, phases
-  /// and watch lists are all duplicated, so the clone searches exactly as
-  /// the original would. Statistics start at zero in the clone. This is
-  /// the branching point for cube-and-conquer workers: encode once, clone
-  /// per cube, solve each clone under its guiding-path assumptions.
+  /// clauses, XOR constraints (watched and Gaussian, including each
+  /// constraint's circular search_pos), activities, phases and watch lists
+  /// are all duplicated, so the clone searches exactly as the original
+  /// would. The clause arena is copied as one flat buffer — every
+  /// ClauseRef stays valid in the copy, so cloning costs a few memcpys
+  /// instead of a per-clause heap walk. Statistics start at zero in the
+  /// clone. This is the branching point for cube-and-conquer workers:
+  /// encode once, clone per cube, solve each clone under its guiding-path
+  /// assumptions.
   std::unique_ptr<Solver> clone() const;
 
   /// Create a fresh variable and return it.
@@ -212,24 +241,31 @@ class Solver {
   /// Lifetime statistics.
   const SolverStats& stats() const { return stats_; }
 
-  /// Number of problem (non-learnt) clauses currently held.
-  std::size_t num_clauses() const { return clauses_.size(); }
+  /// Number of problem (non-learnt) clauses currently held, counting the
+  /// binary clauses stored in the implication lists.
+  std::size_t num_clauses() const { return clauses_.size() + num_bin_problem_; }
 
   /// Number of XOR constraints currently held (watched + Gaussian rows).
   std::size_t num_xors() const { return xors_.size() + gauss_raw_.size(); }
 
   /// Number of learnt clauses currently held (the warm-start capital an
-  /// incremental engine carries from one query to the next).
-  std::size_t num_learnts() const { return learnts_.size(); }
+  /// incremental engine carries from one query to the next), counting
+  /// learnt binaries.
+  std::size_t num_learnts() const { return learnts_.size() + num_bin_learnt_; }
+
+  /// Bytes of the clause arena occupied by live clauses right now.
+  std::size_t arena_bytes_live() const { return arena_.bytes_live(); }
 
   /// Root-level database simplification (MiniSat's simplify()): remove
   /// clauses satisfied by the level-0 assignment from both the problem and
-  /// learnt databases and their watch lists. The workhorse of guard-literal
-  /// retirement — once a run's guard g is fixed false, every blocking or
-  /// learnt clause containing ¬g is root-satisfied ballast that would
-  /// otherwise slow propagation for the rest of the solver's life. Clauses
-  /// currently locked as a propagation reason are kept. Only callable
-  /// between solves (decision level 0). Returns okay().
+  /// learnt databases and their watch lists, vivify stored clauses under
+  /// the vivify options, and compact the clause arena when enough of it is
+  /// dead. The workhorse of guard-literal retirement — once a run's guard
+  /// g is fixed false, every blocking or learnt clause containing ¬g is
+  /// root-satisfied ballast that would otherwise slow propagation for the
+  /// rest of the solver's life. Clauses currently locked as a propagation
+  /// reason are kept. Only callable between solves (decision level 0).
+  /// Returns okay().
   bool simplify();
 
   /// Attach (or detach, with null) an invariant auditor. The auditor is
@@ -246,16 +282,57 @@ class Solver {
  private:
   friend class Auditor;  // read-only invariant sweeps over the internals
 
+  /// What implied a literal (or what a conflict arose in). Binary reasons
+  /// and conflicts are self-contained — they store the partner literal(s)
+  /// directly, so they never dangle across arena GC or implication-list
+  /// sweeps.
   struct Reason {
-    Clause* clause = nullptr;
-    XorConstraint* xr = nullptr;
-    bool gauss = false;  ///< reason stored in gauss_reason_of_var_ / conflict buffer
-    bool none() const { return clause == nullptr && xr == nullptr && !gauss; }
+    enum class Kind : std::uint8_t { None, Clause, Binary, Xor, Gauss };
+    Kind kind = Kind::None;
+    ClauseRef cref = kCRefUndef;   ///< Kind::Clause
+    Lit other = lit_undef;         ///< Kind::Binary: the (false) partner
+    XorConstraint* xr = nullptr;   ///< Kind::Xor
+
+    bool none() const { return kind == Kind::None; }
+    static Reason clause(ClauseRef c) {
+      Reason r;
+      r.kind = Kind::Clause;
+      r.cref = c;
+      return r;
+    }
+    static Reason binary(Lit other) {
+      Reason r;
+      r.kind = Kind::Binary;
+      r.other = other;
+      return r;
+    }
+    static Reason xor_c(XorConstraint* x) {
+      Reason r;
+      r.kind = Kind::Xor;
+      r.xr = x;
+      return r;
+    }
+    static Reason gauss() {
+      Reason r;
+      r.kind = Kind::Gauss;
+      return r;
+    }
   };
 
+  /// Watch-list entry for clauses of three or more literals: the clause
+  /// ref plus a blocking literal — when the blocker is already true the
+  /// visit never touches clause memory.
   struct Watcher {
-    Clause* clause;
+    ClauseRef cref;
     Lit blocker;
+  };
+
+  /// Implication-list entry for binary clauses: for an entry q in
+  /// bin_watches_[p.code()], the stored clause is (~p ∨ q) — p becoming
+  /// true implies q directly, no arena access.
+  struct BinWatcher {
+    Lit other;
+    std::uint32_t learnt;
   };
 
   struct VarData {
@@ -281,9 +358,10 @@ class Solver {
   };
 
   LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  /// Literal values are kept in a code-indexed mirror of assigns_ so the
+  /// propagation loop's dominant operation is one load with no sign fixup.
   LBool value(Lit l) const {
-    LBool v = value(l.var());
-    return l.negated() ? ~v : v;
+    return lit_assigns_[static_cast<std::size_t>(l.code())];
   }
   int level(Var v) const { return vardata_[static_cast<std::size_t>(v)].level; }
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
@@ -301,8 +379,9 @@ class Solver {
   bool gauss_propagate(Reason& conflict);
   void gauss_add_row(const std::vector<Var>& vars, bool rhs);
 
-  void attach_clause(Clause* c);
-  void detach_clause(Clause* c);
+  void attach_clause(ClauseRef c);
+  void detach_clause(ClauseRef c);
+  void attach_binary(Lit a, Lit b, bool learnt);
   bool attach_xor(std::vector<Var> vars, bool rhs);
 
   void cancel_until(int lvl);
@@ -319,12 +398,28 @@ class Solver {
 
   void bump_var(Var v);
   void decay_var_activity();
-  void bump_clause(Clause& c);
+  void bump_clause(ClauseRef c);
   void decay_clause_activity();
   std::uint32_t compute_lbd(const std::vector<Lit>& lits);
 
   void reduce_db();
-  bool locked(const Clause* c) const;
+  bool locked(ClauseRef c) const;
+
+  /// On-the-fly backward subsumption: after learning `learnt` from a
+  /// clause conflict, delete the conflicting clause when the learnt clause
+  /// is a strict subset of it (the conflict clause became redundant).
+  void try_subsume_conflict(Reason conflict, const std::vector<Lit>& learnt);
+  /// Root-level vivification over the problem clauses, resuming at the
+  /// round-robin cursor, spending at most `budget` propagations.
+  void vivify_round(std::int64_t budget);
+  /// Detach + proof-delete + free + erase from its database list.
+  void remove_clause(ClauseRef c);
+
+  /// Compact the arena when enough of it is dead: moves every live clause,
+  /// then rewrites the database lists, the watcher refs and the reasons of
+  /// all trail variables.
+  void maybe_gc();
+  void garbage_collect();
 
   /// The restart/search driver behind solve(), which wraps it with
   /// observability (span emission and metrics accounting).
@@ -340,6 +435,7 @@ class Solver {
   bool ok_ = true;
 
   std::vector<LBool> assigns_;
+  std::vector<LBool> lit_assigns_;  ///< indexed by Lit::code, mirrors assigns_
   std::vector<VarData> vardata_;
   std::vector<bool> polarity_;
   std::vector<double> activity_;
@@ -347,11 +443,16 @@ class Solver {
   std::vector<std::size_t> trail_lim_;
   std::size_t qhead_ = 0;
 
-  std::vector<std::unique_ptr<Clause>> clauses_;
-  std::vector<std::unique_ptr<Clause>> learnts_;
+  ClauseArena arena_;
+  std::vector<ClauseRef> clauses_;
+  std::vector<ClauseRef> learnts_;
   std::vector<std::unique_ptr<XorConstraint>> xors_;
 
-  std::vector<std::vector<Watcher>> watches_;          // indexed by Lit::code
+  std::vector<std::vector<Watcher>> watches_;           // indexed by Lit::code
+  std::vector<std::vector<BinWatcher>> bin_watches_;    // indexed by Lit::code
+  std::size_t num_bin_problem_ = 0;
+  std::size_t num_bin_learnt_ = 0;
+  std::array<Lit, 2> bin_conflict_{lit_undef, lit_undef};
   std::vector<std::vector<XorConstraint*>> xor_watch_;  // indexed by Var
 
   VarOrderHeap order_;
@@ -370,6 +471,8 @@ class Solver {
   void proof_axiom(const std::vector<Lit>& lits);
   void proof_add(const std::vector<Lit>& lits);
   void proof_del(const std::vector<Lit>& lits);
+  /// Deletion logged straight from the arena (no vector materialized).
+  void proof_del_ref(ClauseRef c);
   /// Record the empty clause: the point where ok_ turns false is always a
   /// level-0 propagation conflict, from which the empty clause is RUP.
   void proof_empty();
@@ -381,11 +484,14 @@ class Solver {
   std::vector<Var> to_clear_;
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> reason_buf_;
+  std::vector<Lit> redundant_buf_;  ///< literal_redundant()'s reason scratch
+  std::vector<Lit> learnt_buf_;     ///< search()'s learnt-clause scratch
   std::vector<std::uint32_t> lbd_seen_;
   std::uint32_t lbd_stamp_ = 0;
 
   std::int64_t next_reduce_ = 0;
   int num_reduces_ = 0;
+  std::size_t vivify_head_ = 0;  ///< round-robin cursor over clauses_
 
   // --- Gaussian XOR engine state ---
   struct GaussRow {

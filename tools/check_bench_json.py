@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate the machine-readable bench report schema.
+"""Validate the machine-readable bench report schema and diff baselines.
 
 Every bench binary accepts `--json <path>` and writes one object:
 
@@ -10,21 +10,46 @@ Every bench binary accepts `--json <path>` and writes one object:
       "wall_seconds": 1.23,               # non-negative number
       "solver_stats": {                   # object with a source marker
         "source": "bench" | "global-metrics",
-        "<counter>": <int >= 0>, ...
+        "<stat>": <number >= 0>, ...
       }
     }
 
-Usage: check_bench_json.py report.json [report2.json ...]
+Usage:
+    check_bench_json.py report.json [report2.json ...]
+    check_bench_json.py --baseline BASE.json [--min-ratio R] report.json
+
+Plain mode validates each report against the schema above.
+
+Baseline mode additionally diffs one report against a committed baseline
+report (e.g. BENCH_solver.json). Rows are matched by their "config" value;
+for each matched pair the checks are:
+
+  * "fingerprint", when present in the baseline row, must be identical —
+    a throughput win that changes answers is a bug, not a win;
+  * "props_per_sec", when present in both rows, must be at least
+    --min-ratio times the baseline value (default 0.85, i.e. tolerate
+    15% machine noise but fail on real regressions).
+
+Rows present only in the baseline fail the check (a silently dropped
+config is a regression in coverage); rows present only in the current
+report are reported but pass (new configs are fine).
+
 Exits non-zero with a per-file message on the first violation.
 No third-party dependencies — CI runs it with a stock python3.
 """
 
+import argparse
 import json
+import math
 import numbers
 import sys
 
 
 class SchemaError(Exception):
+    pass
+
+
+class BaselineError(Exception):
     pass
 
 
@@ -67,28 +92,98 @@ def check_report(data):
     for key, value in stats.items():
         if key == "source":
             continue
-        if not isinstance(value, int) or isinstance(value, bool):
-            raise SchemaError(f"solver_stats[{key!r}] is not an integer")
-        if value < 0:
-            raise SchemaError(f"solver_stats[{key!r}] is negative: {value}")
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            raise SchemaError(f"solver_stats[{key!r}] is not a number")
+        if not math.isfinite(value) or value < 0:
+            raise SchemaError(f"solver_stats[{key!r}] is not a finite "
+                              f"non-negative number: {value}")
+
+
+def row_key(row, index):
+    key = row.get("config")
+    if isinstance(key, str) and key:
+        return key
+    return f"<row {index}>"
+
+
+def check_baseline(base, current, min_ratio):
+    base_rows = {row_key(r, i): r for i, r in enumerate(base["rows"])}
+    cur_rows = {row_key(r, i): r for i, r in enumerate(current["rows"])}
+
+    missing = sorted(base_rows.keys() - cur_rows.keys())
+    if missing:
+        raise BaselineError(f"baseline rows missing from report: {missing}")
+
+    lines = []
+    for key in sorted(base_rows):
+        b, c = base_rows[key], cur_rows[key]
+
+        base_fp = b.get("fingerprint")
+        if base_fp is not None and c.get("fingerprint") != base_fp:
+            raise BaselineError(
+                f"row {key!r}: fingerprint {c.get('fingerprint')!r} != "
+                f"baseline {base_fp!r} (answers changed)")
+
+        base_pps = b.get("props_per_sec")
+        cur_pps = c.get("props_per_sec")
+        if base_pps and isinstance(cur_pps, numbers.Real):
+            ratio = cur_pps / base_pps
+            lines.append(f"  {key}: {base_pps:,.0f} -> {cur_pps:,.0f} "
+                         f"props/sec (x{ratio:.2f})")
+            if ratio < min_ratio:
+                raise BaselineError(
+                    f"row {key!r}: props_per_sec regressed to "
+                    f"{ratio:.2f}x of baseline (< {min_ratio:.2f}x): "
+                    f"{base_pps:,.0f} -> {cur_pps:,.0f}")
+
+    extra = sorted(cur_rows.keys() - base_rows.keys())
+    if extra:
+        lines.append(f"  new rows (not in baseline): {extra}")
+    return lines
 
 
 def main(argv):
-    if len(argv) < 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(
+        description="Validate bench JSON reports; optionally diff a "
+                    "baseline.", add_help=True)
+    parser.add_argument("reports", nargs="+", metavar="report.json")
+    parser.add_argument("--baseline", metavar="BASE.json",
+                        help="committed baseline report to diff against")
+    parser.add_argument("--min-ratio", type=float, default=0.85,
+                        help="minimum allowed props_per_sec ratio vs the "
+                             "baseline (default: %(default)s)")
+    args = parser.parse_args(argv[1:])
+
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+            check_report(baseline)
+        except (OSError, json.JSONDecodeError, SchemaError) as err:
+            print(f"{args.baseline}: FAIL: {err}", file=sys.stderr)
+            return 1
+
     failed = False
-    for path in argv[1:]:
+    for path in args.reports:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
             check_report(data)
-        except (OSError, json.JSONDecodeError, SchemaError) as err:
+            diff_lines = None
+            if baseline is not None:
+                diff_lines = check_baseline(baseline, data, args.min_ratio)
+        except (OSError, json.JSONDecodeError, SchemaError,
+                BaselineError) as err:
             print(f"{path}: FAIL: {err}", file=sys.stderr)
             failed = True
             continue
         print(f"{path}: OK ({data['bench']}, {len(data['rows'])} rows, "
               f"stats from {data['solver_stats']['source']})")
+        if diff_lines:
+            print(f"  vs baseline {args.baseline} "
+                  f"(min ratio {args.min_ratio:.2f}):")
+            print("\n".join(diff_lines))
     return 1 if failed else 0
 
 
