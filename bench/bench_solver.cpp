@@ -74,14 +74,29 @@ std::string sorted_signal_key(const std::vector<core::Signal>& signals) {
 
 int main(int argc, char** argv) {
   std::size_t entry_scale = 100;  // percent of each config's default stream
+  sat::SolverBackend backend = sat::SolverBackend::Single;
+  std::size_t members = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--entries") == 0 && i + 1 < argc) {
       entry_scale = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend = std::strcmp(argv[i + 1], "portfolio") == 0
+                    ? sat::SolverBackend::Portfolio
+                    : sat::SolverBackend::Single;
+    } else if (std::strcmp(argv[i], "--members") == 0 && i + 1 < argc) {
+      members = static_cast<std::size_t>(std::atoll(argv[i + 1]));
     }
   }
 
   bench::JsonReport report("solver", argc, argv);
   report.config().set("entry_scale", static_cast<std::uint64_t>(entry_scale));
+  // Backend identity: the baseline differ refuses to compare reports whose
+  // (backend, members) disagree, so a portfolio run can never silently
+  // pollute the committed single-solver BENCH_solver.json numbers.
+  report.config().set("backend", std::string(sat::to_string(backend)));
+  report.config().set("members",
+                      static_cast<std::uint64_t>(
+                          backend == sat::SolverBackend::Portfolio ? members : 1));
 
   // Table-1 shapes (m = 64, 128 with the paper widths, k = 3..8) plus a
   // Table-2-style large-m first-solutions row on the Gaussian engine.
@@ -115,6 +130,8 @@ int main(int argc, char** argv) {
     core::ReconstructionOptions opts;
     opts.use_gauss = cfg.use_gauss;
     opts.max_solutions = cfg.max_solutions;
+    opts.solver_backend = backend;
+    opts.portfolio_members = members;
     const bool complete_row = cfg.max_solutions == UINT64_MAX;
     opts.verify_models = !complete_row;  // capped rows: each model re-checked
 

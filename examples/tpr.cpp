@@ -51,6 +51,7 @@
 #include "obs/trace.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/drat.hpp"
+#include "sat/solver.hpp"
 #include "timeprint/incremental.hpp"
 #include "timeprint/parse.hpp"
 #include "timeprint/reconstruct.hpp"
@@ -117,9 +118,10 @@ int cmd_solve(int argc, char** argv) {
 
   sat::SolverOptions so;
   so.proof = sink.get();
-  sat::Solver solver(so);
+  const std::unique_ptr<sat::SolverInterface> solver =
+      sat::SolverFactory::make(so);
   sat::Status status = sat::Status::Unsat;
-  if (cnf.load_into(solver)) status = solver.solve();
+  if (cnf.load_into(*solver)) status = solver->solve();
   std::printf("s %s\n", status == sat::Status::Sat     ? "SATISFIABLE"
                         : status == sat::Status::Unsat ? "UNSATISFIABLE"
                                                        : "UNKNOWN");
@@ -128,8 +130,8 @@ int cmd_solve(int argc, char** argv) {
     for (int v = 0; v < cnf.num_vars; ++v) {
       line += ' ';
       line += std::to_string(
-          solver.model_value(sat::Var(v)) == sat::LBool::True ? v + 1
-                                                              : -(v + 1));
+          solver->model_value(sat::Var(v)) == sat::LBool::True ? v + 1
+                                                               : -(v + 1));
     }
     std::printf("%s 0\n", line.c_str());
   }

@@ -45,7 +45,7 @@ bool FrameAtUnknownStart::holds(const core::Signal& signal) const {
   return false;
 }
 
-bool FrameAtUnknownStart::encode(sat::Solver& solver,
+bool FrameAtUnknownStart::encode(sat::SolverInterface& solver,
                                  const std::vector<sat::Var>& x) const {
   assert(x.size() == m_);
   if (lo_ >= hi_) return solver.add_clause({});  // no feasible placement

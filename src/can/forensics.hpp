@@ -34,7 +34,7 @@ class FrameAtUnknownStart final : public core::Property {
                       std::size_t window_lo, std::size_t window_hi);
 
   bool holds(const core::Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::string describe() const override;
 

@@ -8,7 +8,8 @@
 
 namespace tp::sat {
 
-AllSatResult enumerate_models(Solver& solver, const std::vector<Var>& projection,
+AllSatResult enumerate_models(SolverInterface& solver,
+                              const std::vector<Var>& projection,
                               const AllSatOptions& options) {
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();

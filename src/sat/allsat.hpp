@@ -32,7 +32,7 @@
 #include <optional>
 #include <vector>
 
-#include "sat/solver.hpp"
+#include "sat/interface.hpp"
 #include "sat/types.hpp"
 
 namespace tp::sat {
@@ -67,6 +67,15 @@ struct AllSatOptions {
   /// (with its index and seconds-to-model latency). Independent of the
   /// solver's own tracer — usually both point at the same obs::Tracer.
   obs::Tracer* tracer = nullptr;
+
+  /// Adopt the shared solver knobs of a sat::SolverConfig (today that is
+  /// the tracer; the engines call this instead of hand-copying fields from
+  /// ReconstructionOptions / SolverOptions, which both inherit the
+  /// config). Returns *this for chaining.
+  AllSatOptions& with_config(const SolverConfig& config) {
+    tracer = config.tracer;
+    return *this;
+  }
 };
 
 /// Result of an enumeration run.
@@ -92,8 +101,10 @@ struct AllSatResult {
 /// afterwards. Without a guard and without assumptions the blocking
 /// clauses stay in force (later solves see the enumerated models
 /// excluded); guarded runs — explicit or internal — leave no lasting
-/// constraints once their guard is retired.
-AllSatResult enumerate_models(Solver& solver, const std::vector<Var>& projection,
+/// constraints once their guard is retired. Works against any
+/// SolverInterface backend — single solver or portfolio.
+AllSatResult enumerate_models(SolverInterface& solver,
+                              const std::vector<Var>& projection,
                               const AllSatOptions& options = {});
 
 }  // namespace tp::sat

@@ -8,7 +8,7 @@ namespace {
 
 // Sinz's sequential counter (LT-SEQ) for "at most k of lits". Introduces
 // registers s[i][j] meaning "at least j+1 of lits[0..i] are true".
-bool sinz_at_most(Solver& s, const std::vector<Lit>& lits, int k) {
+bool sinz_at_most(SolverInterface& s, const std::vector<Lit>& lits, int k) {
   const int n = static_cast<int>(lits.size());
   assert(k >= 1 && k < n);
 
@@ -41,7 +41,7 @@ bool sinz_at_most(Solver& s, const std::vector<Lit>& lits, int k) {
 }
 
 // Recursive totalizer build over lits[lo, hi).
-std::vector<Lit> totalizer_build(Solver& s, const std::vector<Lit>& lits,
+std::vector<Lit> totalizer_build(SolverInterface& s, const std::vector<Lit>& lits,
                                  std::size_t lo, std::size_t hi, int cap,
                                  bool& ok) {
   if (hi - lo == 1) return {lits[lo]};
@@ -87,7 +87,7 @@ std::vector<Lit> totalizer_build(Solver& s, const std::vector<Lit>& lits,
 
 }  // namespace
 
-std::vector<Lit> totalizer_outputs(Solver& solver, const std::vector<Lit>& lits,
+std::vector<Lit> totalizer_outputs(SolverInterface& solver, const std::vector<Lit>& lits,
                                    int cap) {
   assert(cap >= 1);
   if (lits.empty()) return {};
@@ -95,7 +95,7 @@ std::vector<Lit> totalizer_outputs(Solver& solver, const std::vector<Lit>& lits,
   return totalizer_build(solver, lits, 0, lits.size(), cap, ok);
 }
 
-bool encode_at_most(Solver& solver, const std::vector<Lit>& lits, int k,
+bool encode_at_most(SolverInterface& solver, const std::vector<Lit>& lits, int k,
                     CardEncoding enc) {
   const int n = static_cast<int>(lits.size());
   if (k < 0) return solver.add_clause({});  // impossible
@@ -113,7 +113,7 @@ bool encode_at_most(Solver& solver, const std::vector<Lit>& lits, int k,
   return solver.okay();
 }
 
-bool encode_at_least(Solver& solver, const std::vector<Lit>& lits, int k,
+bool encode_at_least(SolverInterface& solver, const std::vector<Lit>& lits, int k,
                      CardEncoding enc) {
   const int n = static_cast<int>(lits.size());
   if (k <= 0) return solver.okay();
@@ -128,7 +128,7 @@ bool encode_at_least(Solver& solver, const std::vector<Lit>& lits, int k,
   return solver.add_clause({outs[static_cast<std::size_t>(k - 1)]});
 }
 
-bool encode_exactly(Solver& solver, const std::vector<Lit>& lits, int k,
+bool encode_exactly(SolverInterface& solver, const std::vector<Lit>& lits, int k,
                     CardEncoding enc) {
   const int n = static_cast<int>(lits.size());
   if (k < 0 || k > n) return solver.add_clause({});  // impossible

@@ -9,7 +9,7 @@
 
 #include <vector>
 
-#include "sat/solver.hpp"
+#include "sat/interface.hpp"
 #include "sat/types.hpp"
 
 namespace tp::sat {
@@ -22,22 +22,22 @@ enum class CardEncoding {
 
 /// Constrain at most k of `lits` to be true. Returns false iff the solver
 /// became unsatisfiable while adding the clauses.
-bool encode_at_most(Solver& solver, const std::vector<Lit>& lits, int k,
+bool encode_at_most(SolverInterface& solver, const std::vector<Lit>& lits, int k,
                     CardEncoding enc = CardEncoding::SequentialCounter);
 
 /// Constrain at least k of `lits` to be true.
-bool encode_at_least(Solver& solver, const std::vector<Lit>& lits, int k,
+bool encode_at_least(SolverInterface& solver, const std::vector<Lit>& lits, int k,
                      CardEncoding enc = CardEncoding::SequentialCounter);
 
 /// Constrain exactly k of `lits` to be true.
-bool encode_exactly(Solver& solver, const std::vector<Lit>& lits, int k,
+bool encode_exactly(SolverInterface& solver, const std::vector<Lit>& lits, int k,
                     CardEncoding enc = CardEncoding::SequentialCounter);
 
 /// Build a totalizer over `lits` and return its unary output literals
 /// o[0..cap-1], where o[j] is true iff at least j+1 of the inputs are true
 /// (both implication directions are encoded). `cap` bounds the number of
 /// outputs built; counts above cap saturate into o[cap-1].
-std::vector<Lit> totalizer_outputs(Solver& solver, const std::vector<Lit>& lits,
+std::vector<Lit> totalizer_outputs(SolverInterface& solver, const std::vector<Lit>& lits,
                                    int cap);
 
 }  // namespace tp::sat

@@ -8,7 +8,7 @@
 
 namespace tp::sat {
 
-bool Cnf::load_into(Solver& solver) const {
+bool Cnf::load_into(SolverInterface& solver) const {
   while (solver.num_vars() < num_vars) solver.new_var();
   bool ok = true;
   for (const auto& c : clauses) ok = solver.add_clause(c) && ok;

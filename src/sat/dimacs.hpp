@@ -13,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-#include "sat/solver.hpp"
+#include "sat/interface.hpp"
 #include "sat/types.hpp"
 
 namespace tp::sat {
@@ -49,7 +49,7 @@ struct Cnf {
 
   /// Add every clause and XOR to a solver (native XOR path). Returns false
   /// iff the solver became unsatisfiable.
-  bool load_into(Solver& solver) const;
+  bool load_into(SolverInterface& solver) const;
 
   /// True iff the given full assignment satisfies all clauses and XORs.
   bool satisfied_by(const std::vector<bool>& assignment) const;

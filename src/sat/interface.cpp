@@ -1,0 +1,44 @@
+#include "sat/interface.hpp"
+
+#include <memory>
+
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+
+namespace tp::sat {
+
+SolverInterface::~SolverInterface() = default;
+
+Status SolverInterface::solve_assuming(const std::vector<Lit>& assumptions,
+                                       const SolveLimits& limits) {
+  for (Lit l : assumptions) assume(l);
+  return solve(limits);
+}
+
+const char* to_string(SolverBackend backend) {
+  switch (backend) {
+    case SolverBackend::Single:
+      return "single";
+    case SolverBackend::Portfolio:
+      return "portfolio";
+  }
+  return "?";
+}
+
+std::unique_ptr<SolverInterface> SolverFactory::make(const SolverOptions& base) {
+  return std::make_unique<Solver>(base);
+}
+
+std::unique_ptr<SolverInterface> SolverFactory::make(
+    SolverBackend backend, const SolverOptions& base,
+    const PortfolioOptions& portfolio) {
+  switch (backend) {
+    case SolverBackend::Single:
+      return std::make_unique<Solver>(base);
+    case SolverBackend::Portfolio:
+      return std::make_unique<PortfolioSolver>(base, portfolio);
+  }
+  return nullptr;
+}
+
+}  // namespace tp::sat

@@ -1,0 +1,162 @@
+#pragma once
+// portfolio.hpp — a racing solver portfolio behind SolverInterface.
+//
+// Hard SR entries are hard for *one* configuration: the Gauss engine wins
+// on dense XOR systems, watched-XOR chunking wins on sparse ones, and
+// restart/branching temperament decides how fast a preimage with few
+// models is exhausted. Nobody knows which member wins before the race —
+// the classic portfolio observation (ManySAT, Plingeling). PortfolioSolver
+// keeps N diversified sat::Solver members in lockstep on the same formula
+// and races them per solve() on a private util::ThreadPool:
+//
+//  * *Lockstep building.* new_var/add_clause/add_xor forward to every
+//    member. Members may create private auxiliary variables (XOR chunk
+//    links, and their count differs per configuration!), so the portfolio
+//    keeps per-member external<->internal variable maps and translates
+//    every literal crossing the boundary.
+//  * *First-wins cancellation.* Each member solves under the caller's
+//    limits plus a shared interrupt token; the first decisive (Sat/Unsat)
+//    member stops the rest via SolveLimits::interrupt — cooperative, so
+//    losers unwind at their next conflict/decision and stay reusable. The
+//    caller's own interrupt token is relayed into the race by the
+//    coordinating thread.
+//  * *Learnt-clause sharing.* After each race the winner exports its
+//    freshest learnt clauses with LBD <= share_max_lbd through the clause
+//    arena; losers import the ones whose literals all map back to
+//    external variables. Learnt clauses are implied by the formula, so
+//    sharing preserves soundness and model sets.
+//  * *Certifiable verdicts.* In proof mode the ProofSink is owned by
+//    member 0 alone, sharing is disabled, and an Unsat verdict is only
+//    reported once member 0 itself derives it — so every reported UNSAT
+//    has one complete, checkable DRAT stream. Sat verdicts may come from
+//    any member (models are checked solver-independently by
+//    timeprint::verify).
+//
+// Thread-safety matches the SolverInterface contract: one instance is
+// driven by one thread; the internal races never outlive solve().
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "sat/interface.hpp"
+#include "sat/solver.hpp"
+
+namespace tp::util {
+class ThreadPool;
+}
+
+namespace tp::obs {
+class Counter;
+}
+
+namespace tp::sat {
+
+/// SolverInterface backend racing N diversified CDCL members. See file
+/// comment.
+class PortfolioSolver : public SolverInterface {
+ public:
+  /// Build `portfolio.members` members: member 0 runs `base` unchanged
+  /// (so a 1-member portfolio solves exactly like the single backend),
+  /// the rest run diversified variants per `portfolio.diversity` with the
+  /// proof sink stripped. The thread pool is created lazily on the first
+  /// solve(), so encode-only instances and never-raced clones cost no
+  /// threads.
+  PortfolioSolver(const SolverOptions& base, const PortfolioOptions& portfolio);
+  ~PortfolioSolver() override;
+
+  Var new_var() override;
+  int num_vars() const override { return ext_vars_; }
+  bool add_clause(std::vector<Lit> lits) override;
+  bool add_xor(std::vector<Var> vars, bool rhs) override;
+
+  void assume(Lit l) override { pending_.push_back(l); }
+  Status solve(const SolveLimits& limits = {}) override;
+  LBool model(Var v) const override;
+  const std::vector<Lit>& failed() const override { return failed_; }
+  bool okay() const override;
+  LBool fixed_value(Var v) const override;
+  bool simplify() override;
+
+  SolverStats stats() const override;
+  std::size_t num_clauses() const override;
+  std::size_t num_xors() const override;
+  std::size_t num_learnts() const override;
+
+  void set_tracer(obs::Tracer* tracer) override;
+  std::unique_ptr<SolverInterface> clone() const override;
+
+  /// Lifetime counters of this portfolio instance (also exported through
+  /// obs::MetricsRegistry as portfolio.races / portfolio.cancelled_members
+  /// / portfolio.clauses_{exported,imported} / portfolio.wins.member<i>).
+  struct Stats {
+    std::int64_t races = 0;          ///< solve() calls that actually raced
+    std::int64_t sat_races = 0;
+    std::int64_t unsat_races = 0;
+    std::int64_t unknown_races = 0;
+    /// Losing members interrupted by a first-wins cancellation.
+    std::int64_t cancelled_members = 0;
+    std::int64_t clauses_exported = 0;
+    std::int64_t clauses_imported = 0;
+    /// Races won per member (index = member).
+    std::vector<std::int64_t> wins;
+  };
+  const Stats& portfolio_stats() const { return stats_; }
+
+  /// Number of racing members.
+  std::size_t members() const { return members_.size(); }
+
+  /// The effective options of one member (diagnostics and tests).
+  const SolverOptions& member_options(std::size_t i) const;
+
+ private:
+  struct Member {
+    std::unique_ptr<Solver> solver;
+    SolverOptions opts;
+    /// external var -> this member's var (always defined).
+    std::vector<Var> ext2int;
+    /// this member's var -> external var, or -1 for a member-private
+    /// auxiliary (XOR chunk link).
+    std::vector<Var> int2ext;
+  };
+
+  PortfolioSolver(const PortfolioSolver& other);
+
+  Lit to_member(const Member& m, Lit l) const {
+    return Lit(m.ext2int[static_cast<std::size_t>(l.var())], l.negated());
+  }
+
+  /// Member var -> external var, or -1 for a member-private auxiliary
+  /// (including ones the int2ext map has not been stretched over yet).
+  Var int_to_ext(const Member& m, Var v) const {
+    const auto idx = static_cast<std::size_t>(v);
+    return idx < m.int2ext.size() ? m.int2ext[idx] : -1;
+  }
+
+  void share_clauses(std::size_t winner);
+  util::ThreadPool& pool();
+
+  SolverOptions base_;
+  PortfolioOptions popts_;
+  std::vector<Member> members_;
+  int proof_member_ = -1;  ///< sole owner of the DRAT sink, or -1
+  int ext_vars_ = 0;
+  int winner_ = -1;        ///< decisive member of the last race, or -1
+
+  std::vector<Lit> pending_;  ///< assume() queue (external literals)
+  std::vector<Lit> failed_;   ///< last race's failed assumptions (external)
+
+  std::atomic<bool> race_stop_{false};
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  /// Hashes of already-shared clauses (collision = clause not shared
+  /// again, which is harmless), capped to bound memory on long streams.
+  std::unordered_set<std::uint64_t> shared_hashes_;
+
+  Stats stats_;
+  std::vector<obs::Counter*> win_counters_;  ///< portfolio.wins.member<i>
+};
+
+}  // namespace tp::sat

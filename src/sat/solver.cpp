@@ -130,7 +130,7 @@ Solver::Solver(const SolverOptions& options) : opts_(options) {
 
 Solver::~Solver() = default;
 
-std::unique_ptr<Solver> Solver::clone() const {
+std::unique_ptr<Solver> Solver::clone_solver() const {
   assert(decision_level() == 0 && "clone() only between solve() calls");
   auto c = std::make_unique<Solver>(opts_);
 
@@ -231,6 +231,69 @@ LBool Solver::fixed_value(Var v) const {
     return assigns_[static_cast<std::size_t>(v)];
   }
   return LBool::Undef;
+}
+
+// ------------------------------------------- portfolio clause sharing ----
+
+std::size_t Solver::export_learnts(
+    std::uint32_t max_lbd, std::size_t max_clauses,
+    std::vector<std::pair<std::vector<Lit>, std::uint32_t>>& out) const {
+  std::size_t appended = 0;
+  // Newest first: the freshest learnts are the ones most relevant to the
+  // query the race just finished.
+  for (auto it = learnts_.rbegin();
+       it != learnts_.rend() && appended < max_clauses; ++it) {
+    const ClauseRef c = *it;
+    if (arena_.lbd(c) > max_lbd) continue;
+    std::vector<Lit> lits;
+    const std::size_t n = arena_.size(c);
+    lits.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) lits.push_back(arena_.lit(c, i));
+    out.emplace_back(std::move(lits), arena_.lbd(c));
+    ++appended;
+  }
+  return appended;
+}
+
+bool Solver::import_learnt(std::vector<Lit> lits, std::uint32_t lbd) {
+  assert(decision_level() == 0);
+  if (!ok_) return false;
+  if (opts_.proof != nullptr) return ok_;  // foreign clause: not RUP here
+
+  // Same level-0 canonicalization as add_clause, without the axiom log:
+  // the clause is implied by the formula, not part of it.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev = lit_undef;
+  for (Lit l : lits) {
+    assert(l.var() < num_vars());
+    if (value(l) == LBool::True || l == ~prev) return true;
+    if (value(l) == LBool::False || l == prev) continue;
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    unchecked_enqueue(out[0], {});
+    ok_ = propagate().none();
+    return ok_;
+  }
+  if (out.size() == 2) {
+    attach_binary(out[0], out[1], /*learnt=*/true);
+    return true;
+  }
+  const ClauseRef c = arena_.alloc(out, /*learnt=*/true);
+  arena_.set_lbd(c, std::max<std::uint32_t>(lbd, 2));
+  // Start at the current activity scale so the import survives until it
+  // has had a chance to prove itself in reduce_db().
+  arena_.set_activity(c, static_cast<float>(cla_inc_));
+  attach_clause(c);
+  learnts_.push_back(c);
+  return true;
 }
 
 // ----------------------------------------------------- proof emission ----
@@ -1453,6 +1516,13 @@ Status Solver::solve_assuming(const std::vector<Lit>& assumptions,
 }
 
 Status Solver::solve(const SolveLimits& limits) {
+  if (!pending_assumptions_.empty()) {
+    // assume() queue (IPASIR idiom): consume it as a one-shot assumption
+    // set. solve_assuming re-enters solve() with the queue empty.
+    std::vector<Lit> assumed;
+    assumed.swap(pending_assumptions_);
+    return solve_assuming(assumed, limits);
+  }
   static obs::Counter& solves = obs::MetricsRegistry::global().counter("solver.solves");
   static obs::Counter& conflicts = obs::MetricsRegistry::global().counter("solver.conflicts");
   static obs::Counter& decisions = obs::MetricsRegistry::global().counter("solver.decisions");

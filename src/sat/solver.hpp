@@ -41,12 +41,12 @@
 #include "f2/bitvec.hpp"
 #include "obs/trace.hpp"
 #include "sat/arena.hpp"
+#include "sat/interface.hpp"
 #include "sat/types.hpp"
 
 namespace tp::sat {
 
 class Auditor;     // audit.hpp — debug invariant auditor
-class ProofSink;   // drat.hpp — DRAT proof logging
 
 /// An XOR constraint: the parity of the variables' values must equal rhs.
 /// Propagated with two watched *variables* (an XOR constraint can only
@@ -59,56 +59,13 @@ struct XorConstraint {
   std::size_t search_pos = 0;  ///< circular scan start for watch replacement
 };
 
-/// Resource limits for one solve() call. Negative values mean "unlimited".
-struct SolveLimits {
-  std::int64_t max_conflicts = -1;
-  double max_seconds = -1.0;
-  /// Cooperative cancellation token: when non-null and set, the solve
-  /// returns Status::Unknown at the next conflict or decision. Shared by
-  /// every worker of a parallel batch so one worker hitting a global limit
-  /// stops the others. The pointee must outlive the solve() call.
-  const std::atomic<bool>* interrupt = nullptr;
-};
-
-/// Counters accumulated over the lifetime of a Solver.
-struct SolverStats {
-  std::int64_t conflicts = 0;
-  std::int64_t decisions = 0;
-  std::int64_t propagations = 0;
-  std::int64_t xor_propagations = 0;
-  std::int64_t restarts = 0;
-  std::int64_t learnt_clauses = 0;
-  std::int64_t removed_clauses = 0;
-  std::int64_t minimized_literals = 0;
-  /// Invocations of the Gaussian elimination engine (propagation fixpoints
-  /// at which the gate let the row reduction run).
-  std::int64_t gauss_runs = 0;
-  /// Literals removed from stored clauses by root-level vivification.
-  std::int64_t vivified_literals = 0;
-  /// Clauses deleted by on-the-fly backward subsumption (the just-learnt
-  /// clause was a strict subset of the conflicting clause).
-  std::int64_t subsumed_clauses = 0;
-  /// Mark-and-compact collections of the clause arena.
-  std::int64_t arena_gc_runs = 0;
-  /// Bytes the arena GC gave back across those collections.
-  std::int64_t arena_bytes_reclaimed = 0;
-  /// Wall-clock seconds spent inside solve() calls (accumulated).
-  double solve_seconds = 0.0;
-
-  /// Propagation throughput over the accumulated solve time — the headline
-  /// rate bench_solver tracks against BENCH_solver.json. 0 before any solve.
-  double propagations_per_sec() const {
-    return solve_seconds > 0.0
-               ? static_cast<double>(propagations) / solve_seconds
-               : 0.0;
-  }
-
-  /// Element-wise accumulation (aggregating per-worker solvers of a batch).
-  SolverStats& operator+=(const SolverStats& o);
-};
-
-/// Tunable solver parameters (defaults follow MiniSat-era folklore).
-struct SolverOptions {
+/// Tunable solver parameters (defaults follow MiniSat-era folklore). The
+/// cross-layer knobs — Gauss engine, Gauss gate, tracer, proof sink — live
+/// in the inherited sat::SolverConfig (interface.hpp), shared verbatim with
+/// ReconstructionOptions; only the CDCL-specific tunables are declared
+/// here. SolveLimits and SolverStats also moved to interface.hpp (they are
+/// part of the abstract solver contract) and are re-exported unchanged.
+struct SolverOptions : SolverConfig {
   double var_decay = 0.95;        ///< EVSIDS decay per conflict
   double clause_decay = 0.999;    ///< learnt-clause activity decay
   int restart_base = 100;         ///< conflicts per Luby unit
@@ -129,39 +86,24 @@ struct SolverOptions {
   /// without splitting, an m-variable reconstruction instance has XOR rows
   /// of ~m/2 variables and propagation dominates the runtime.
   std::size_t xor_chunk_size = 10;
-  /// Route XOR constraints through the Gaussian-elimination engine instead
-  /// of watched-variable propagation. At every propagation fixpoint the
-  /// whole XOR system is row-reduced under the current assignment, so
-  /// implications of *linear combinations* of rows are found — the
-  /// CryptoMiniSat capability the paper's reconstruction times rely on.
-  bool use_gauss = false;
-  /// Gate for the Gaussian engine: skip the (relatively costly) elimination
-  /// while more than this many of its variables are unassigned — a row
-  /// combination can only become unit near the endgame anyway. 0 = auto
-  /// (4·rows + 32); SIZE_MAX = always run.
-  std::size_t gauss_max_unassigned = 0;
-  /// Event tracer (obs/trace.hpp), or null for no tracing. When attached,
-  /// every solve() emits a "solver.solve" span with its stats delta (and
-  /// the arena occupancy/GC counters), each restart a "solver.restart"
-  /// event, and the search loop emits sampled "solver.progress" /
-  /// "solver.gauss" events (every 4096 conflicts / 1024 eliminations, so
-  /// tracing never dominates the inner loop). The tracer is shared by
-  /// clone()s — it is thread-safe — and must outlive the solver. When null
-  /// the only cost is one pointer test per sample site.
-  obs::Tracer* tracer = nullptr;
-  /// DRAT proof sink (drat.hpp), or null for no proof logging. When
-  /// attached, every input clause (and the CNF expansion of every attached
-  /// XOR constraint) is reported as an axiom, every learnt clause and
-  /// assumption-failure clause as an addition, and every clause dropped by
-  /// reduce_db()/simplify()/inprocessing as a deletion, so an UNSAT answer
-  /// can be certified by an independent checker. Restrictions: incompatible
-  /// with use_gauss (DRAT cannot express row-combination reasoning; the
-  /// constructor throws), disables xor_chunk_size splitting (XORs attach
-  /// whole) and caps XOR arity at kProofMaxXorArity (add_xor throws above
-  /// it, since the logged expansion is 2^(n-1) clauses). The sink serves
-  /// exactly one solver — clone() detaches it from the copy — and must
-  /// outlive the solver.
-  ProofSink* proof = nullptr;
+  // Inherited from SolverConfig (see interface.hpp for full semantics):
+  //
+  //  * use_gauss / gauss_max_unassigned — the Gaussian elimination engine
+  //    and its endgame gate. When the tracer is attached, every solve()
+  //    emits a "solver.solve" span with its stats delta, each restart a
+  //    "solver.restart" event, and the search loop emits sampled
+  //    "solver.progress" / "solver.gauss" events (every 4096 conflicts /
+  //    1024 eliminations, so tracing never dominates the inner loop).
+  //  * proof — when attached, every input clause (and the CNF expansion of
+  //    every attached XOR constraint) is reported as an axiom, every
+  //    learnt clause and assumption-failure clause as an addition, and
+  //    every clause dropped by reduce_db()/simplify()/inprocessing as a
+  //    deletion, so an UNSAT answer can be certified by an independent
+  //    checker. Restrictions: incompatible with use_gauss (the constructor
+  //    throws — DRAT cannot express row-combination reasoning), disables
+  //    xor_chunk_size splitting (XORs attach whole) and caps XOR arity at
+  //    kProofMaxXorArity (add_xor throws above it). The sink serves
+  //    exactly one solver — clone() detaches it from the copy.
 };
 
 /// Largest XOR arity (after level-0 canonicalization) accepted while proof
@@ -169,11 +111,11 @@ struct SolverOptions {
 inline constexpr std::size_t kProofMaxXorArity = 20;
 
 /// CDCL SAT solver with XOR-constraint support. See file comment.
-class Solver {
+class Solver : public SolverInterface {
  public:
   Solver();
   explicit Solver(const SolverOptions& options);
-  ~Solver();
+  ~Solver() override;
 
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
@@ -188,28 +130,39 @@ class Solver {
   /// instead of a per-clause heap walk. Statistics start at zero in the
   /// clone. This is the branching point for cube-and-conquer workers:
   /// encode once, clone per cube, solve each clone under its guiding-path
-  /// assumptions.
-  std::unique_ptr<Solver> clone() const;
+  /// assumptions. An attached ProofSink does not travel (one sink, one
+  /// solver); the thread-safe tracer is shared; pending assume() literals
+  /// do not carry over.
+  std::unique_ptr<Solver> clone_solver() const;
+
+  /// SolverInterface clone — same deep copy, interface-typed.
+  std::unique_ptr<SolverInterface> clone() const override {
+    return clone_solver();
+  }
 
   /// Create a fresh variable and return it.
-  Var new_var();
+  Var new_var() override;
 
   /// Number of variables created so far.
-  int num_vars() const { return static_cast<int>(assigns_.size()); }
+  int num_vars() const override { return static_cast<int>(assigns_.size()); }
 
   /// Add a disjunctive clause. Returns false iff the solver became
   /// trivially unsatisfiable (empty clause after level-0 simplification).
   /// Must be called at decision level 0 (which is always the case between
   /// solve() calls).
-  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(std::vector<Lit> lits) override;
 
   /// Add an XOR constraint over the given variables with the given parity.
   /// Duplicated variables cancel; variables already fixed at level 0 fold
   /// into the parity. Returns false iff trivially unsatisfiable.
-  bool add_xor(std::vector<Var> vars, bool rhs);
+  bool add_xor(std::vector<Var> vars, bool rhs) override;
+
+  /// Queue an assumption for the next solve() call only (IPASIR idiom);
+  /// equivalent to collecting the literals and calling solve_assuming.
+  void assume(Lit l) override { pending_assumptions_.push_back(l); }
 
   /// Run the CDCL search. Returns Sat/Unsat, or Unknown when a limit hit.
-  Status solve(const SolveLimits& limits = {});
+  Status solve(const SolveLimits& limits = {}) override;
 
   /// Solve under assumptions: the given literals are fixed for this call
   /// only (decision levels 1..n). Unsat means "unsatisfiable together with
@@ -221,37 +174,68 @@ class Solver {
 
   /// After an assumption-Unsat: clause over the failed assumptions
   /// (each literal is the negation of a responsible assumption).
+  const std::vector<Lit>& failed() const override { return final_conflict_; }
+
+  /// Alias of failed() predating the IPASIR naming.
   const std::vector<Lit>& final_conflict() const { return final_conflict_; }
 
   /// After Status::Sat: the model value of a variable (never Undef).
-  LBool model_value(Var v) const { return model_[static_cast<std::size_t>(v)]; }
+  LBool model(Var v) const override {
+    return model_[static_cast<std::size_t>(v)];
+  }
 
-  /// After Status::Sat: the model value of a literal.
+  /// After Status::Sat: the model value of a variable / literal.
+  LBool model_value(Var v) const { return model_[static_cast<std::size_t>(v)]; }
   LBool model_value(Lit l) const {
     LBool v = model_value(l.var());
     return l.negated() ? ~v : v;
   }
 
   /// False once the clause database is known unsatisfiable.
-  bool okay() const { return ok_; }
+  bool okay() const override { return ok_; }
 
   /// Value of a variable fixed at decision level 0, or Undef.
-  LBool fixed_value(Var v) const;
+  LBool fixed_value(Var v) const override;
 
   /// Lifetime statistics.
-  const SolverStats& stats() const { return stats_; }
+  SolverStats stats() const override { return stats_; }
+
+  /// Attach (or detach) the event tracer consulted by solve()/search.
+  void set_tracer(obs::Tracer* tracer) override { opts_.tracer = tracer; }
 
   /// Number of problem (non-learnt) clauses currently held, counting the
   /// binary clauses stored in the implication lists.
-  std::size_t num_clauses() const { return clauses_.size() + num_bin_problem_; }
+  std::size_t num_clauses() const override {
+    return clauses_.size() + num_bin_problem_;
+  }
 
   /// Number of XOR constraints currently held (watched + Gaussian rows).
-  std::size_t num_xors() const { return xors_.size() + gauss_raw_.size(); }
+  std::size_t num_xors() const override {
+    return xors_.size() + gauss_raw_.size();
+  }
 
   /// Number of learnt clauses currently held (the warm-start capital an
   /// incremental engine carries from one query to the next), counting
   /// learnt binaries.
-  std::size_t num_learnts() const { return learnts_.size() + num_bin_learnt_; }
+  std::size_t num_learnts() const override {
+    return learnts_.size() + num_bin_learnt_;
+  }
+
+  /// Portfolio clause sharing, export side: append up to `max_clauses` of
+  /// the freshest learnt arena clauses with LBD <= max_lbd to `out` as
+  /// (literals, LBD) pairs, in this solver's literal space. Learnt
+  /// binaries are not exported (the implication lists carry no LBD).
+  /// Returns the number appended.
+  std::size_t export_learnts(
+      std::uint32_t max_lbd, std::size_t max_clauses,
+      std::vector<std::pair<std::vector<Lit>, std::uint32_t>>& out) const;
+
+  /// Portfolio clause sharing, import side: attach a clause another member
+  /// learnt from the *same formula* as a learnt clause here. Level 0 only.
+  /// Refused (no-op, returns okay()) while a proof sink is attached — a
+  /// foreign clause is not RUP in this solver's own derivation stream.
+  /// Returns false iff the import made the solver unsatisfiable.
+  bool import_learnt(std::vector<Lit> lits, std::uint32_t lbd);
 
   /// Bytes of the clause arena occupied by live clauses right now.
   std::size_t arena_bytes_live() const { return arena_.bytes_live(); }
@@ -266,7 +250,7 @@ class Solver {
   /// rest of the solver's life. Clauses currently locked as a propagation
   /// reason are kept. Only callable between solves (decision level 0).
   /// Returns okay().
-  bool simplify();
+  bool simplify() override;
 
   /// Attach (or detach, with null) an invariant auditor. The auditor is
   /// consulted at the search-loop checkpoints (post-propagate fixpoint,
@@ -462,6 +446,7 @@ class Solver {
   std::vector<LBool> model_;
   SolverStats stats_;
   std::vector<Lit> assumptions_;
+  std::vector<Lit> pending_assumptions_;  ///< assume() queue for next solve
   std::vector<Lit> final_conflict_;
   bool assumption_conflict_ = false;
 

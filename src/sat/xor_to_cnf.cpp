@@ -2,7 +2,7 @@
 
 namespace tp::sat {
 
-Lit tseitin_xor(Solver& solver, Lit a, Lit b) {
+Lit tseitin_xor(SolverInterface& solver, Lit a, Lit b) {
   const Lit t = mk_lit(solver.new_var());
   // t <-> a XOR b
   solver.add_clause({a, b, ~t});
@@ -12,7 +12,7 @@ Lit tseitin_xor(Solver& solver, Lit a, Lit b) {
   return t;
 }
 
-bool add_xor_as_cnf(Solver& solver, const std::vector<Var>& vars, bool rhs) {
+bool add_xor_as_cnf(SolverInterface& solver, const std::vector<Var>& vars, bool rhs) {
   if (vars.empty()) {
     if (rhs) return solver.add_clause({});
     return solver.okay();

@@ -10,17 +10,17 @@
 
 #include <vector>
 
-#include "sat/solver.hpp"
+#include "sat/interface.hpp"
 #include "sat/types.hpp"
 
 namespace tp::sat {
 
 /// Add v1 ⊕ … ⊕ vn = rhs as chained CNF. Returns false iff the solver
 /// became unsatisfiable.
-bool add_xor_as_cnf(Solver& solver, const std::vector<Var>& vars, bool rhs);
+bool add_xor_as_cnf(SolverInterface& solver, const std::vector<Var>& vars, bool rhs);
 
 /// Create a fresh variable t with t ↔ (a ⊕ b) and return its positive
 /// literal (4 clauses).
-Lit tseitin_xor(Solver& solver, Lit a, Lit b);
+Lit tseitin_xor(SolverInterface& solver, Lit a, Lit b);
 
 }  // namespace tp::sat

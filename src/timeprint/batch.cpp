@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -178,14 +179,17 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
   }
 
   // Encode the SR instance once; every cube branches from this state.
-  sat::Solver base(ropts.solver_options());
+  // Always the single backend: cube-and-conquer is already the parallel
+  // axis here, and nesting portfolio races inside cubes oversubscribes.
+  const std::unique_ptr<sat::SolverInterface> base =
+      sat::SolverFactory::make(ropts.solver_options());
   std::vector<sat::Var> cycle_vars;
-  const bool ok = rec_.encode_base(base, cycle_vars, entry, ropts);
-  result.num_vars = base.num_vars();
-  result.num_clauses = base.num_clauses();
-  result.num_xors = base.num_xors();
-  result.stats = base.stats();  // encode-time level-0 propagation effort
-  if (!ok || !base.okay()) {
+  const bool ok = rec_.encode_base(*base, cycle_vars, entry, ropts);
+  result.num_vars = base->num_vars();
+  result.num_clauses = base->num_clauses();
+  result.num_xors = base->num_xors();
+  result.stats = base->stats();  // encode-time level-0 propagation effort
+  if (!ok || !base->okay()) {
     result.final_status = sat::Status::Unsat;
     result.seconds_total = elapsed();
     if (tracer != nullptr) tracer->event("sr.trivial_unsat");
@@ -254,7 +258,7 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
         if (deadline_passed || cancel.load(std::memory_order_relaxed)) {
           cube.models.final_status = sat::Status::Unknown;
         } else {
-          const std::unique_ptr<sat::Solver> worker = base.clone();
+          const std::unique_ptr<sat::SolverInterface> worker = base->clone();
           cube.models = sat::enumerate_models(*worker, cycle_vars, as);
           cube.stats = worker->stats();
         }

@@ -15,7 +15,7 @@ namespace tp::core {
 
 using sat::Lit;
 using sat::mk_lit;
-using sat::Solver;
+using sat::SolverInterface;
 using sat::Status;
 using sat::Var;
 
@@ -79,7 +79,7 @@ void TemplateReconstructor::build() {
   const std::size_t m = enc_->m();
   const std::size_t b = enc_->width();
 
-  solver_ = std::make_unique<Solver>(options_.solver_options());
+  solver_ = options_.make_solver();
   cycle_vars_.clear();
   selectors_.clear();
   card_outs_.clear();

@@ -44,7 +44,7 @@
 #include <memory>
 #include <vector>
 
-#include "sat/solver.hpp"
+#include "sat/interface.hpp"
 #include "timeprint/reconstruct.hpp"
 
 namespace tp::core {
@@ -107,7 +107,7 @@ class TemplateReconstructor {
   std::vector<const Property*> properties_;
   ReconstructionOptions options_;
   std::size_t k_max_;
-  std::unique_ptr<sat::Solver> solver_;
+  std::unique_ptr<sat::SolverInterface> solver_;
   std::vector<sat::Var> cycle_vars_;
   std::vector<sat::Var> selectors_;   ///< one per timeprint bit
   std::vector<sat::Lit> card_outs_;   ///< shared totalizer outputs

@@ -1,6 +1,7 @@
 #include "timeprint/joint.hpp"
 
 #include <cassert>
+#include <memory>
 
 #include "sat/xor_to_cnf.hpp"
 
@@ -8,7 +9,7 @@ namespace tp::core {
 
 using sat::Lit;
 using sat::mk_lit;
-using sat::Solver;
+using sat::SolverInterface;
 using sat::Var;
 
 ReconstructionResult JointReconstructor::reconstruct(
@@ -19,10 +20,8 @@ ReconstructionResult JointReconstructor::reconstruct(
   const std::size_t b = enc_->width();
   const std::size_t n = entries.size();
 
-  sat::SolverOptions so;
-  so.use_gauss = options.use_gauss;
-  so.gauss_max_unassigned = options.gauss_gate;
-  Solver solver(so);
+  const std::unique_ptr<SolverInterface> solver_ptr = options.make_solver();
+  SolverInterface& solver = *solver_ptr;
   std::vector<Var> span_vars;
   span_vars.reserve(n * m);
   for (std::size_t i = 0; i < n * m; ++i) span_vars.push_back(solver.new_var());
@@ -56,6 +55,7 @@ ReconstructionResult JointReconstructor::reconstruct(
   sat::AllSatOptions as;
   as.max_models = options.max_solutions;
   as.limits = options.limits;
+  as.with_config(options);
   const sat::AllSatResult models = sat::enumerate_models(solver, span_vars, as);
 
   ReconstructionResult result;

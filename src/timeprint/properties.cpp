@@ -7,7 +7,7 @@ namespace tp::core {
 
 using sat::Lit;
 using sat::mk_lit;
-using sat::Solver;
+using sat::SolverInterface;
 using sat::Var;
 
 // ---- ExistsConsecutivePair (P2) ----
@@ -19,7 +19,7 @@ bool ExistsConsecutivePair::holds(const Signal& s) const {
   return false;
 }
 
-bool ExistsConsecutivePair::encode(Solver& solver,
+bool ExistsConsecutivePair::encode(SolverInterface& solver,
                                    const std::vector<Var>& x) const {
   if (x.size() < 2) return solver.add_clause({});  // impossible
   // Auxiliary p_i => x_i & x_{i+1}; at least one p_i. (One implication
@@ -49,7 +49,7 @@ bool NoConsecutivePair::holds(const Signal& s) const {
   return true;
 }
 
-bool NoConsecutivePair::encode(Solver& solver, const std::vector<Var>& x) const {
+bool NoConsecutivePair::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   bool ok = true;
   for (std::size_t i = 0; i + 1 < x.size(); ++i) {
     ok = solver.add_clause({~mk_lit(x[i]), ~mk_lit(x[i + 1])}) && ok;
@@ -77,7 +77,7 @@ bool ChangesInConsecutivePairs::holds(const Signal& s) const {
   return true;
 }
 
-bool ChangesInConsecutivePairs::encode(Solver& solver,
+bool ChangesInConsecutivePairs::encode(SolverInterface& solver,
                                        const std::vector<Var>& x) const {
   const std::size_t m = x.size();
   bool ok = true;
@@ -106,7 +106,7 @@ bool MinChangesBefore::holds(const Signal& s) const {
   return count >= min_changes_;
 }
 
-bool MinChangesBefore::encode(Solver& solver, const std::vector<Var>& x) const {
+bool MinChangesBefore::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   const std::size_t hi = std::min(deadline_, x.size());
   std::vector<Lit> lits;
   lits.reserve(hi);
@@ -133,7 +133,7 @@ bool MaxChangesBefore::holds(const Signal& s) const {
   return count <= max_changes_;
 }
 
-bool MaxChangesBefore::encode(Solver& solver, const std::vector<Var>& x) const {
+bool MaxChangesBefore::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   const std::size_t hi = std::min(deadline_, x.size());
   std::vector<Lit> lits;
   lits.reserve(hi);
@@ -160,7 +160,7 @@ bool ChangeInWindow::holds(const Signal& s) const {
   return false;
 }
 
-bool ChangeInWindow::encode(Solver& solver, const std::vector<Var>& x) const {
+bool ChangeInWindow::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   const std::size_t hi = std::min(hi_, x.size());
   std::vector<Lit> clause;
   for (std::size_t i = lo_; i < hi; ++i) clause.push_back(mk_lit(x[i]));
@@ -185,7 +185,7 @@ bool NoChangeInWindow::holds(const Signal& s) const {
   return true;
 }
 
-bool NoChangeInWindow::encode(Solver& solver, const std::vector<Var>& x) const {
+bool NoChangeInWindow::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   const std::size_t hi = std::min(hi_, x.size());
   bool ok = true;
   for (std::size_t i = lo_; i < hi; ++i) {
@@ -211,7 +211,7 @@ bool ExactlyKInWindow::holds(const Signal& s) const {
   return count == k_;
 }
 
-bool ExactlyKInWindow::encode(Solver& solver, const std::vector<Var>& x) const {
+bool ExactlyKInWindow::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   const std::size_t hi = std::min(hi_, x.size());
   std::vector<Lit> lits;
   for (std::size_t i = lo_; i < hi; ++i) lits.push_back(mk_lit(x[i]));
@@ -235,7 +235,7 @@ bool MinGap::holds(const Signal& s) const {
   return true;
 }
 
-bool MinGap::encode(Solver& solver, const std::vector<Var>& x) const {
+bool MinGap::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   bool ok = true;
   for (std::size_t i = 0; i < x.size(); ++i) {
     for (std::size_t j = i + 1; j < x.size() && j - i < gap_; ++j) {
@@ -255,7 +255,7 @@ bool KnownValue::holds(const Signal& s) const {
   return s.has_change(cycle_) == changed_;
 }
 
-bool KnownValue::encode(Solver& solver, const std::vector<Var>& x) const {
+bool KnownValue::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   assert(cycle_ < x.size());
   return solver.add_clause({Lit(x[cycle_], /*negated=*/!changed_)});
 }
@@ -292,7 +292,7 @@ bool OneChangeDelayed::holds(const Signal& s) const {
   return false;
 }
 
-bool OneChangeDelayed::encode(Solver& solver, const std::vector<Var>& x) const {
+bool OneChangeDelayed::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   assert(reference_.length() == x.size());
   if (variants_.empty()) return solver.add_clause({});  // no feasible variant
   // One selector per variant; the chosen selector forces the whole signal.
@@ -346,7 +346,7 @@ bool SuffixDelayed::holds(const Signal& s) const {
   return false;
 }
 
-bool SuffixDelayed::encode(Solver& solver, const std::vector<Var>& x) const {
+bool SuffixDelayed::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   assert(reference_.length() == x.size());
   if (variants_.empty()) return solver.add_clause({});
   std::vector<Lit> selectors;
@@ -379,7 +379,7 @@ bool MaxGap::holds(const Signal& s) const {
   return true;
 }
 
-bool MaxGap::encode(Solver& solver, const std::vector<Var>& x) const {
+bool MaxGap::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   // For each change at i, some change must follow within gap cycles —
   // unless i is the last change. Encode: x_i -> (x_{i+1} | ... |
   // x_{i+gap} | none_after_i), where none_after_i is an auxiliary meaning
@@ -427,7 +427,7 @@ bool Conjunction::holds(const Signal& s) const {
   return true;
 }
 
-bool Conjunction::encode(Solver& solver, const std::vector<Var>& x) const {
+bool Conjunction::encode(SolverInterface& solver, const std::vector<Var>& x) const {
   bool ok = true;
   for (const auto& p : parts_) ok = p->encode(solver, x) && ok;
   return ok;

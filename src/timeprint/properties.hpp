@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "sat/cardinality.hpp"
-#include "sat/solver.hpp"
+#include "sat/interface.hpp"
 #include "timeprint/signal.hpp"
 
 namespace tp::core {
@@ -42,7 +42,7 @@ class Property {
   /// cycle_vars[i] true <=> change in cycle i) constraining models to
   /// signals satisfying the property. May create auxiliary variables.
   /// Returns false iff the solver became unsatisfiable.
-  virtual bool encode(sat::Solver& solver,
+  virtual bool encode(sat::SolverInterface& solver,
                       const std::vector<sat::Var>& cycle_vars) const = 0;
 
   /// The complement property, or nullptr when not directly expressible.
@@ -56,7 +56,7 @@ class Property {
 class ExistsConsecutivePair final : public Property {
  public:
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::unique_ptr<Property> negation() const override;
   std::string describe() const override { return "P2: some two consecutive changes"; }
@@ -66,7 +66,7 @@ class ExistsConsecutivePair final : public Property {
 class NoConsecutivePair final : public Property {
  public:
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::unique_ptr<Property> negation() const override;
   std::string describe() const override { return "no two consecutive changes"; }
@@ -78,7 +78,7 @@ class NoConsecutivePair final : public Property {
 class ChangesInConsecutivePairs final : public Property {
  public:
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::string describe() const override {
     return "changes come as pairs of two consecutive ones";
@@ -94,7 +94,7 @@ class MinChangesBefore final : public Property {
       : deadline_(deadline), min_changes_(min_changes), card_(enc) {}
 
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::unique_ptr<Property> negation() const override;
   std::string describe() const override;
@@ -116,7 +116,7 @@ class MaxChangesBefore final : public Property {
       : deadline_(deadline), max_changes_(max_changes), card_(enc) {}
 
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::unique_ptr<Property> negation() const override;
   std::string describe() const override;
@@ -132,7 +132,7 @@ class ChangeInWindow final : public Property {
  public:
   ChangeInWindow(std::size_t lo, std::size_t hi) : lo_(lo), hi_(hi) {}
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::unique_ptr<Property> negation() const override;
   std::string describe() const override;
@@ -146,7 +146,7 @@ class NoChangeInWindow final : public Property {
  public:
   NoChangeInWindow(std::size_t lo, std::size_t hi) : lo_(lo), hi_(hi) {}
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::unique_ptr<Property> negation() const override;
   std::string describe() const override;
@@ -162,7 +162,7 @@ class ExactlyKInWindow final : public Property {
                    sat::CardEncoding enc = sat::CardEncoding::SequentialCounter)
       : lo_(lo), hi_(hi), k_(k), card_(enc) {}
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::string describe() const override;
 
@@ -177,7 +177,7 @@ class MinGap final : public Property {
  public:
   explicit MinGap(std::size_t gap) : gap_(gap) {}
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::string describe() const override;
 
@@ -190,7 +190,7 @@ class KnownValue final : public Property {
  public:
   KnownValue(std::size_t cycle, bool changed) : cycle_(cycle), changed_(changed) {}
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::unique_ptr<Property> negation() const override;
   std::string describe() const override;
@@ -208,7 +208,7 @@ class OneChangeDelayed final : public Property {
   explicit OneChangeDelayed(Signal reference, std::size_t delay = 1);
 
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::string describe() const override;
 
@@ -231,7 +231,7 @@ class SuffixDelayed final : public Property {
   explicit SuffixDelayed(Signal reference, std::size_t delay = 1);
 
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::string describe() const override;
 
@@ -251,7 +251,7 @@ class MaxGap final : public Property {
  public:
   explicit MaxGap(std::size_t gap) : gap_(gap) {}
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::string describe() const override;
 
@@ -266,7 +266,7 @@ class Conjunction final : public Property {
       : parts_(std::move(parts)) {}
 
   bool holds(const Signal& signal) const override;
-  bool encode(sat::Solver& solver,
+  bool encode(sat::SolverInterface& solver,
               const std::vector<sat::Var>& cycle_vars) const override;
   std::string describe() const override;
 

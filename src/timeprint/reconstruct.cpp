@@ -13,7 +13,7 @@ namespace tp::core {
 
 using sat::Lit;
 using sat::mk_lit;
-using sat::Solver;
+using sat::SolverInterface;
 using sat::Status;
 using sat::Var;
 
@@ -23,7 +23,7 @@ void ReconstructionOptions::validate() const {
         "ReconstructionOptions: use_gauss requires native_xor (the Gaussian "
         "engine operates on native XOR rows, not their CNF translation)");
   }
-  if (gauss_gate != 0 && !use_gauss) {
+  if ((gauss_gate != 0 || gauss_max_unassigned != 0) && !use_gauss) {
     throw std::invalid_argument(
         "ReconstructionOptions: gauss_gate is set but use_gauss is false");
   }
@@ -36,15 +36,25 @@ void ReconstructionOptions::validate() const {
         "ReconstructionOptions: proof logging is incompatible with use_gauss "
         "(DRAT cannot express Gaussian row-combination reasoning)");
   }
+  if (solver_backend == sat::SolverBackend::Portfolio && portfolio_members == 0) {
+    throw std::invalid_argument(
+        "ReconstructionOptions: a portfolio needs at least one member");
+  }
 }
 
 sat::SolverOptions ReconstructionOptions::solver_options() const {
   sat::SolverOptions so;
-  so.use_gauss = use_gauss;
-  so.gauss_max_unassigned = gauss_gate;
-  so.tracer = tracer;
-  so.proof = proof;
+  static_cast<sat::SolverConfig&>(so) = *this;  // the shared knob slice
+  // Deprecated alias: a non-zero gauss_gate overrides the inherited field.
+  if (gauss_gate != 0) so.gauss_max_unassigned = gauss_gate;
   return so;
+}
+
+std::unique_ptr<sat::SolverInterface> ReconstructionOptions::make_solver() const {
+  sat::PortfolioOptions popts;
+  popts.members = portfolio_members;
+  popts.diversity = portfolio_diversity;
+  return sat::SolverFactory::make(solver_backend, solver_options(), popts);
 }
 
 const char* to_string(CheckVerdict v) {
@@ -56,7 +66,7 @@ const char* to_string(CheckVerdict v) {
   return "?";
 }
 
-bool Reconstructor::encode_base(Solver& solver, std::vector<Var>& cycle_vars,
+bool Reconstructor::encode_base(SolverInterface& solver, std::vector<Var>& cycle_vars,
                                 const LogEntry& entry,
                                 const ReconstructionOptions& options) const {
   const std::size_t m = enc_->m();
@@ -118,7 +128,8 @@ ReconstructionResult Reconstructor::reconstruct(
          {"properties", static_cast<std::uint64_t>(properties_.size())}});
   }
 
-  Solver solver(options.solver_options());
+  const std::unique_ptr<SolverInterface> solver_ptr = options.make_solver();
+  SolverInterface& solver = *solver_ptr;
   std::vector<Var> cycle_vars;
   obs::Tracer::Span encode_span;
   if (options.tracer != nullptr) encode_span = options.tracer->span("sr.encode");
@@ -149,7 +160,7 @@ ReconstructionResult Reconstructor::reconstruct(
     sat::AllSatOptions as;
     as.max_models = options.max_solutions;
     as.limits = options.limits;
-    as.tracer = options.tracer;
+    as.with_config(options);
     const sat::AllSatResult models =
         sat::enumerate_models(solver, cycle_vars, as);
 
@@ -202,7 +213,8 @@ CheckResult Reconstructor::check_hypothesis(const LogEntry& entry,
          {"hypothesis", hypothesis.describe()}});
   }
 
-  Solver solver(options.solver_options());
+  const std::unique_ptr<SolverInterface> solver_ptr = options.make_solver();
+  SolverInterface& solver = *solver_ptr;
   std::vector<Var> cycle_vars;
   bool encode_ok = encode_base(solver, cycle_vars, entry, options);
   encode_ok = negated->encode(solver, cycle_vars) && encode_ok;

@@ -17,11 +17,13 @@
 // variables.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "sat/allsat.hpp"
 #include "sat/cardinality.hpp"
+#include "sat/interface.hpp"
 #include "sat/solver.hpp"
 #include "timeprint/encoding.hpp"
 #include "timeprint/logger.hpp"
@@ -30,23 +32,36 @@
 
 namespace tp::core {
 
-/// Knobs of one reconstruction run.
-struct ReconstructionOptions {
+/// Knobs of one reconstruction run. Inherits the shared solver knobs from
+/// sat::SolverConfig (interface.hpp): use_gauss, gauss_max_unassigned,
+/// tracer, proof — the same fields SolverOptions inherits, so
+/// solver_options() no longer hand-copies them. use_gauss defaults to
+/// *true* here (the paper's path; the raw solver defaults to false).
+struct ReconstructionOptions : sat::SolverConfig {
+  ReconstructionOptions() { use_gauss = true; }
+
   /// Cardinality encoding for the |x| = k constraint.
   sat::CardEncoding card_encoding = sat::CardEncoding::SequentialCounter;
   /// true: native XOR constraints (CryptoMiniSat-style, the paper's path);
   /// false: Tseitin-chained CNF (ablation).
   bool native_xor = true;
-  /// Solve the XOR system with the Gaussian-elimination engine (implied
-  /// literals of linear *combinations* of rows are propagated — the
-  /// CryptoMiniSat capability that makes large m tractable). Requires
-  /// native_xor.
-  bool use_gauss = true;
-  /// Gate for the Gaussian engine (see SolverOptions::gauss_max_unassigned):
-  /// 0 = auto; SIZE_MAX = run the elimination at every fixpoint, which pays
-  /// off when strong structural properties (e.g. frame placements) assign
-  /// many cycle variables at once.
+  /// Deprecated alias of the inherited gauss_max_unassigned, kept for one
+  /// release: 0 = defer to gauss_max_unassigned; non-zero wins over it.
+  /// (0 in both = auto gate; SIZE_MAX = run the elimination at every
+  /// fixpoint, which pays off when strong structural properties assign
+  /// many cycle variables at once.)
   std::size_t gauss_gate = 0;
+  /// Which solver backend every engine of this run builds through
+  /// make_solver(): one sat::Solver, or a sat::PortfolioSolver racing
+  /// `portfolio_members` diversified configurations per solve with
+  /// first-wins cancellation and learnt-clause sharing. reconstruct_split
+  /// always stays single-backend — cube-and-conquer is already the
+  /// parallel axis there, and nesting races inside cubes oversubscribes.
+  sat::SolverBackend solver_backend = sat::SolverBackend::Single;
+  /// Portfolio width (ignored for the single backend).
+  std::size_t portfolio_members = 4;
+  /// Portfolio diversification preset (ignored for the single backend).
+  sat::PortfolioDiversity portfolio_diversity = sat::PortfolioDiversity::Mixed;
   /// Stop after this many reconstructed signals (paper's .1/.10 columns).
   std::uint64_t max_solutions = UINT64_MAX;
   /// Decode streams through the incremental template engine
@@ -63,22 +78,21 @@ struct ReconstructionOptions {
   /// Resource limits for the whole run (including `limits.interrupt`, the
   /// cooperative cancellation token honoured by every solve of the run).
   sat::SolveLimits limits;
-  /// Event tracer (obs/trace.hpp), or null for no tracing. Propagated to
-  /// the SAT solver and enumeration layers, so a traced run yields
-  /// "sr.reconstruct"/"sr.encode" spans wrapping "allsat.enumerate",
-  /// "allsat.model" and "solver.*" lines. The tracer is thread-safe and
-  /// shared by every worker of a batch run; it must outlive the run.
-  obs::Tracer* tracer = nullptr;
-  /// DRAT proof sink (sat/drat.hpp), or null for no proof logging. When
-  /// attached, the solver logs every axiom/learnt/deleted clause of the
-  /// run so an UNSAT or enumeration-complete answer can be certified by
-  /// the independent checker (blocking clauses enter the axiom stream:
-  /// the final UNSAT certifies "no models beyond the enumerated ones").
-  /// Requires use_gauss = false (validate() throws otherwise — DRAT
-  /// cannot express row-combination reasoning) and serves exactly one
-  /// engine instance: the batch engines refuse it (their clones would
-  /// interleave one stream).
-  sat::ProofSink* proof = nullptr;
+  // Inherited from sat::SolverConfig:
+  //
+  //  * tracer — propagated to the SAT solver and enumeration layers, so a
+  //    traced run yields "sr.reconstruct"/"sr.encode" spans wrapping
+  //    "allsat.enumerate", "allsat.model" and "solver.*" lines. The
+  //    tracer is thread-safe and shared by every worker of a batch run;
+  //    it must outlive the run.
+  //  * proof — DRAT proof sink (sat/drat.hpp). When attached, the solver
+  //    logs every axiom/learnt/deleted clause of the run so an UNSAT or
+  //    enumeration-complete answer can be certified by the independent
+  //    checker (blocking clauses enter the axiom stream: the final UNSAT
+  //    certifies "no models beyond the enumerated ones"). Requires
+  //    use_gauss = false (validate() throws otherwise) and serves exactly
+  //    one engine instance: the batch engines refuse it (their clones
+  //    would interleave one stream); a portfolio routes it to member 0.
   /// Re-validate every enumerated signal (and every hypothesis-check
   /// witness) against A·x = TP, |x| = k and the registered properties
   /// using only f2::Matrix arithmetic (timeprint/verify.hpp), independent
@@ -93,10 +107,16 @@ struct ReconstructionOptions {
   /// check_hypothesis() and the batch engine before encoding anything.
   void validate() const;
 
-  /// The SolverOptions these knobs induce (Gauss engine, gate, tracer) —
-  /// the single source of truth for every engine that builds a Solver for
-  /// an SR query (fresh, split and template paths).
+  /// The SolverOptions these knobs induce — since both structs inherit
+  /// sat::SolverConfig this is one config-slice assignment plus the
+  /// gauss_gate alias fold, the single source of truth for every engine
+  /// that builds a solver for an SR query (fresh, split and template
+  /// paths).
   sat::SolverOptions solver_options() const;
+
+  /// Build the selected backend (solver_backend / portfolio_members /
+  /// portfolio_diversity) over solver_options() via sat::SolverFactory.
+  std::unique_ptr<sat::SolverInterface> make_solver() const;
 };
 
 /// Outcome of a reconstruction run.
@@ -180,8 +200,9 @@ class Reconstructor {
   /// Build solver + cycle variables with the SR encoding and registered
   /// properties. Returns false iff trivially UNSAT. Public so engines that
   /// own the enumeration loop (the batch/cube engine, custom AllSAT
-  /// drivers) can encode once and branch the solver per worker.
-  bool encode_base(sat::Solver& solver, std::vector<sat::Var>& cycle_vars,
+  /// drivers) can encode once and branch the solver per worker. Works
+  /// against any SolverInterface backend.
+  bool encode_base(sat::SolverInterface& solver, std::vector<sat::Var>& cycle_vars,
                    const LogEntry& entry, const ReconstructionOptions& options) const;
 
   /// The encoding this reconstructor solves against.

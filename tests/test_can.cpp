@@ -12,6 +12,7 @@
 #include "can/traffic.hpp"
 #include "f2/bitvec.hpp"
 #include "sat/allsat.hpp"
+#include "sat/solver.hpp"
 
 namespace tp::can {
 namespace {

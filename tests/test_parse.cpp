@@ -4,6 +4,8 @@
 
 #include "timeprint/parse.hpp"
 
+#include "sat/solver.hpp"
+
 namespace tp::core {
 namespace {
 

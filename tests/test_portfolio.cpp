@@ -1,0 +1,549 @@
+// Tests for the abstract solver boundary (sat/interface.hpp) and the
+// racing portfolio backend (sat/portfolio.hpp):
+//
+//  * interface conformance — the same fixture suite runs against both the
+//    single sat::Solver and PortfolioSolver via SolverFactory;
+//  * first-wins determinism — complete enumerations report the same model
+//    set (compared by fingerprint) regardless of which member wins which
+//    race;
+//  * UNSAT-under-assumptions parity — failed() is a clause over the
+//    caller's assumption literals on every backend;
+//  * clause-import fuzz — 200 random incremental instances solved by a
+//    4-member sharing portfolio against a single-solver reference;
+//  * proof ownership — a portfolio UNSAT is certified by member 0's DRAT
+//    stream, checked by the independent DratChecker;
+//  * clone()/set_tracer thread-safety — the TSan regression for the
+//    "clones must not share a ProofSink; a Tracer is shared but locks"
+//    contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sat/allsat.hpp"
+#include "sat/drat.hpp"
+#include "sat/interface.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+
+namespace tp::sat {
+namespace {
+
+std::unique_ptr<SolverInterface> make_backend(SolverBackend backend,
+                                              const SolverOptions& opts = {},
+                                              std::size_t members = 3) {
+  PortfolioOptions popts;
+  popts.members = members;
+  return SolverFactory::make(backend, opts, popts);
+}
+
+// ---------------------------------------------------------------------------
+// Interface conformance: identical fixtures against both backends.
+// ---------------------------------------------------------------------------
+
+class Conformance : public ::testing::TestWithParam<SolverBackend> {
+ protected:
+  std::unique_ptr<SolverInterface> make(const SolverOptions& opts = {}) const {
+    return make_backend(GetParam(), opts);
+  }
+};
+
+TEST_P(Conformance, EmptyFormulaIsSat) {
+  auto s = make();
+  EXPECT_EQ(s->solve(), Status::Sat);
+  EXPECT_TRUE(s->okay());
+}
+
+TEST_P(Conformance, UnitClausesFixTheModel) {
+  auto s = make();
+  const Var a = s->new_var();
+  const Var b = s->new_var();
+  ASSERT_TRUE(s->add_clause({mk_lit(a)}));
+  ASSERT_TRUE(s->add_clause({~mk_lit(b)}));
+  ASSERT_EQ(s->solve(), Status::Sat);
+  EXPECT_EQ(s->model(a), LBool::True);
+  EXPECT_EQ(s->model(b), LBool::False);
+  EXPECT_EQ(s->model_value(mk_lit(b)), LBool::False);
+  EXPECT_EQ(s->model_value(~mk_lit(b)), LBool::True);
+  EXPECT_EQ(s->fixed_value(a), LBool::True);
+  EXPECT_EQ(s->fixed_value(b), LBool::False);
+}
+
+TEST_P(Conformance, ContradictionIsUnsatAndSticky) {
+  auto s = make();
+  const Var a = s->new_var();
+  ASSERT_TRUE(s->add_clause({mk_lit(a)}));
+  EXPECT_FALSE(s->add_clause({~mk_lit(a)}));
+  EXPECT_FALSE(s->okay());
+  EXPECT_EQ(s->solve(), Status::Unsat);
+  EXPECT_FALSE(s->simplify());
+}
+
+TEST_P(Conformance, XorSystemIsRespected) {
+  auto s = make();
+  std::vector<Var> x;
+  for (int i = 0; i < 4; ++i) x.push_back(s->new_var());
+  ASSERT_TRUE(s->add_xor({x[0], x[1]}, true));
+  ASSERT_TRUE(s->add_xor({x[1], x[2]}, true));
+  ASSERT_TRUE(s->add_xor({x[2], x[3]}, false));
+  ASSERT_TRUE(s->add_clause({mk_lit(x[0])}));
+  ASSERT_EQ(s->solve(), Status::Sat);
+  EXPECT_EQ(s->model(x[0]), LBool::True);
+  EXPECT_EQ(s->model(x[1]), LBool::False);
+  EXPECT_EQ(s->model(x[2]), LBool::True);
+  EXPECT_EQ(s->model(x[3]), LBool::True);
+}
+
+TEST_P(Conformance, AssumptionsApplyToOneSolveOnly) {
+  auto s = make();
+  const Var a = s->new_var();
+  // Assumed ~a: model must set a false.
+  s->assume(~mk_lit(a));
+  ASSERT_EQ(s->solve(), Status::Sat);
+  EXPECT_EQ(s->model(a), LBool::False);
+  // The assumption queue is cleared: a is free again.
+  s->assume(mk_lit(a));
+  ASSERT_EQ(s->solve(), Status::Sat);
+  EXPECT_EQ(s->model(a), LBool::True);
+}
+
+TEST_P(Conformance, FailedIsAClauseOverTheAssumptions) {
+  auto s = make();
+  const Var a = s->new_var();
+  const Var b = s->new_var();
+  ASSERT_TRUE(s->add_clause({mk_lit(a), mk_lit(b)}));
+  const std::vector<Lit> assumptions = {~mk_lit(a), ~mk_lit(b)};
+  ASSERT_EQ(s->solve_assuming(assumptions), Status::Unsat);
+  const std::vector<Lit>& failed = s->failed();
+  ASSERT_FALSE(failed.empty());
+  for (const Lit l : failed) {
+    // Each failed literal is the negation of one of the assumptions.
+    EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), ~l),
+              assumptions.end());
+  }
+  // The instance itself is still satisfiable.
+  EXPECT_EQ(s->solve(), Status::Sat);
+}
+
+TEST_P(Conformance, CloneIsIndependent) {
+  auto s = make();
+  const Var a = s->new_var();
+  const Var b = s->new_var();
+  ASSERT_TRUE(s->add_clause({mk_lit(a), mk_lit(b)}));
+  auto c = s->clone();
+  // The second unit may already conflict during propagation, so its return
+  // value is not asserted — the clone being Unsat afterwards is.
+  c->add_clause({~mk_lit(a)});
+  c->add_clause({~mk_lit(b)});
+  EXPECT_EQ(c->solve(), Status::Unsat);
+  // The original never saw the clone's units.
+  ASSERT_EQ(s->solve(), Status::Sat);
+  EXPECT_TRUE(s->model(a) == LBool::True || s->model(b) == LBool::True);
+}
+
+TEST_P(Conformance, EnumerationThroughInterfaceIsComplete) {
+  auto s = make();
+  std::vector<Var> x;
+  for (int i = 0; i < 3; ++i) x.push_back(s->new_var());
+  // Exactly-one over three variables: three models.
+  ASSERT_TRUE(s->add_clause({mk_lit(x[0]), mk_lit(x[1]), mk_lit(x[2])}));
+  ASSERT_TRUE(s->add_clause({~mk_lit(x[0]), ~mk_lit(x[1])}));
+  ASSERT_TRUE(s->add_clause({~mk_lit(x[0]), ~mk_lit(x[2])}));
+  ASSERT_TRUE(s->add_clause({~mk_lit(x[1]), ~mk_lit(x[2])}));
+  const AllSatResult r = enumerate_models(*s, x);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.models.size(), 3u);
+}
+
+TEST_P(Conformance, BudgetReturnsUnknownAndStaysUsable) {
+  auto s = make();
+  // A small hard instance: 14-variable odd parity plus exclusion clauses.
+  std::vector<Var> x;
+  for (int i = 0; i < 14; ++i) x.push_back(s->new_var());
+  ASSERT_TRUE(s->add_xor(x, true));
+  SolveLimits tight;
+  tight.max_conflicts = 0;
+  const Status st = s->solve(tight);
+  // Either the backend finished within the budget (legal: limits are
+  // polled) or it reports Unknown; it must stay usable either way.
+  EXPECT_TRUE(st == Status::Unknown || st == Status::Sat);
+  EXPECT_EQ(s->solve(), Status::Sat);
+}
+
+TEST_P(Conformance, InterruptTokenCancelsCooperatively) {
+  auto s = make();
+  std::vector<Var> x;
+  for (int i = 0; i < 10; ++i) x.push_back(s->new_var());
+  ASSERT_TRUE(s->add_xor(x, true));
+  std::atomic<bool> stop{true};  // pre-set: the solve must bail out
+  SolveLimits limits;
+  limits.interrupt = &stop;
+  EXPECT_EQ(s->solve(limits), Status::Unknown);
+  EXPECT_EQ(s->solve(), Status::Sat);
+}
+
+TEST_P(Conformance, StatsAccumulate) {
+  auto s = make();
+  std::vector<Var> x;
+  for (int i = 0; i < 8; ++i) x.push_back(s->new_var());
+  ASSERT_TRUE(s->add_xor(x, false));
+  ASSERT_TRUE(s->add_clause({mk_lit(x[0]), mk_lit(x[1])}));
+  ASSERT_EQ(s->solve(), Status::Sat);
+  const SolverStats st = s->stats();
+  EXPECT_GE(st.decisions + st.propagations, 1);
+  EXPECT_EQ(s->num_vars(), 8);
+  EXPECT_GE(s->num_clauses(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, Conformance,
+                         ::testing::Values(SolverBackend::Single,
+                                           SolverBackend::Portfolio),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Randomized parity instances shared by the determinism / parity / fuzz
+// suites below.
+// ---------------------------------------------------------------------------
+
+struct RandomInstance {
+  int num_vars = 0;
+  std::vector<std::pair<std::vector<Var>, bool>> xors;
+  std::vector<std::vector<Lit>> clauses;
+};
+
+RandomInstance random_instance(std::mt19937& rng, int num_vars, int num_xors,
+                               int num_clauses) {
+  RandomInstance inst;
+  inst.num_vars = num_vars;
+  std::uniform_int_distribution<int> var(0, num_vars - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int j = 0; j < num_xors; ++j) {
+    std::set<Var> row;
+    std::uniform_int_distribution<int> arity(2, 5);
+    const int n = arity(rng);
+    while (static_cast<int>(row.size()) < n) row.insert(var(rng));
+    inst.xors.emplace_back(std::vector<Var>(row.begin(), row.end()),
+                           coin(rng) == 1);
+  }
+  for (int j = 0; j < num_clauses; ++j) {
+    std::set<Var> vars;
+    std::uniform_int_distribution<int> arity(2, 4);
+    const int n = arity(rng);
+    while (static_cast<int>(vars.size()) < n) vars.insert(var(rng));
+    std::vector<Lit> clause;
+    for (const Var v : vars) clause.emplace_back(v, coin(rng) == 1);
+    inst.clauses.push_back(std::move(clause));
+  }
+  return inst;
+}
+
+std::vector<Var> load(SolverInterface& s, const RandomInstance& inst) {
+  std::vector<Var> vars;
+  for (int i = 0; i < inst.num_vars; ++i) vars.push_back(s.new_var());
+  for (const auto& [row, rhs] : inst.xors) s.add_xor(row, rhs);
+  for (const auto& clause : inst.clauses) s.add_clause(clause);
+  return vars;
+}
+
+bool satisfies(const RandomInstance& inst, const std::vector<bool>& model) {
+  for (const auto& [row, rhs] : inst.xors) {
+    bool parity = false;
+    for (const Var v : row) parity ^= model[static_cast<std::size_t>(v)];
+    if (parity != rhs) return false;
+  }
+  for (const auto& clause : inst.clauses) {
+    bool sat = false;
+    for (const Lit l : clause) {
+      sat = sat || (model[static_cast<std::size_t>(l.var())] != l.negated());
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::uint64_t fingerprint(const std::vector<bool>& model) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const bool b : model) {
+    h ^= b ? 0x9eu : 0x31u;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// The model *set* of a complete enumeration is a property of the formula;
+// which member wins which race must not change it. Fingerprints of the
+// sorted set compare equal across backends.
+TEST(PortfolioDeterminism, CompleteEnumerationsMatchSingleBackend) {
+  std::mt19937 rng(20260808);
+  for (int round = 0; round < 25; ++round) {
+    const RandomInstance inst = random_instance(rng, 10, 5, 6);
+    std::multiset<std::uint64_t> prints[2];
+    const SolverBackend backends[2] = {SolverBackend::Single,
+                                       SolverBackend::Portfolio};
+    for (int b = 0; b < 2; ++b) {
+      auto s = make_backend(backends[b], SolverOptions{}, 4);
+      const std::vector<Var> vars = load(*s, inst);
+      const AllSatResult r = enumerate_models(*s, vars);
+      ASSERT_TRUE(r.complete()) << "round " << round;
+      for (const auto& model : r.models) {
+        EXPECT_TRUE(satisfies(inst, model)) << "round " << round;
+        prints[b].insert(fingerprint(model));
+      }
+    }
+    EXPECT_EQ(prints[0], prints[1]) << "round " << round;
+  }
+}
+
+TEST(PortfolioParity, UnsatUnderAssumptionsAgreesWithSingleBackend) {
+  std::mt19937 rng(77);
+  int unsat_seen = 0;
+  for (int round = 0; round < 40; ++round) {
+    const RandomInstance inst = random_instance(rng, 12, 8, 10);
+    auto single = make_backend(SolverBackend::Single);
+    auto port = make_backend(SolverBackend::Portfolio, SolverOptions{}, 4);
+    const std::vector<Var> sv = load(*single, inst);
+    const std::vector<Var> pv = load(*port, inst);
+    ASSERT_EQ(sv.size(), pv.size());
+
+    // A random assumption cube over the first few variables.
+    std::uniform_int_distribution<int> coin(0, 1);
+    std::vector<Lit> cube;
+    for (int i = 0; i < 4; ++i) cube.emplace_back(sv[static_cast<std::size_t>(i)], coin(rng) == 1);
+
+    const Status ss = single->solve_assuming(cube);
+    const Status ps = port->solve_assuming(cube);
+    EXPECT_EQ(ss, ps) << "round " << round;
+    if (ps == Status::Unsat) {
+      ++unsat_seen;
+      for (const Lit l : port->failed()) {
+        EXPECT_NE(std::find(cube.begin(), cube.end(), ~l), cube.end())
+            << "failed() literal is not the negation of an assumption";
+      }
+    } else if (ps == Status::Sat) {
+      std::vector<bool> model;
+      for (const Var v : pv) model.push_back(port->model(v) == LBool::True);
+      EXPECT_TRUE(satisfies(inst, model)) << "round " << round;
+      for (const Lit l : cube) {
+        EXPECT_EQ(port->model_value(l), LBool::True)
+            << "assumption not honoured in round " << round;
+      }
+    }
+  }
+  EXPECT_GT(unsat_seen, 0) << "fixture never exercised the UNSAT path";
+}
+
+// 200 random instances, each driven through several races on one sharing
+// portfolio so learnt-clause import happens between solves; every verdict
+// is compared against a fresh single-solver reference.
+TEST(PortfolioFuzz, ClauseImportPreservesVerdicts) {
+  std::mt19937 rng(987654321);
+  std::uniform_int_distribution<int> coin(0, 1);
+  for (int round = 0; round < 200; ++round) {
+    const RandomInstance inst = random_instance(rng, 14, 9, 12);
+    PortfolioOptions popts;
+    popts.members = 4;
+    popts.share_max_lbd = 4;       // aggressive sharing to stress import
+    popts.share_max_clauses = 128;
+    auto port = SolverFactory::make(SolverBackend::Portfolio, SolverOptions{},
+                                    popts);
+    const std::vector<Var> pv = load(*port, inst);
+
+    for (int race = 0; race < 3; ++race) {
+      std::vector<Lit> cube;
+      for (int i = 0; i < 3; ++i) {
+        cube.emplace_back(pv[static_cast<std::size_t>((race * 3 + i) % inst.num_vars)],
+                          coin(rng) == 1);
+      }
+      auto ref = make_backend(SolverBackend::Single);
+      load(*ref, inst);
+      const Status expect = ref->solve_assuming(cube);
+      const Status got = port->solve_assuming(cube);
+      ASSERT_EQ(got, expect) << "round " << round << " race " << race;
+      if (got == Status::Sat) {
+        std::vector<bool> model;
+        for (const Var v : pv) model.push_back(port->model(v) == LBool::True);
+        ASSERT_TRUE(satisfies(inst, model))
+            << "round " << round << " race " << race;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proof ownership and the clone()/set_tracer thread-safety contract.
+// ---------------------------------------------------------------------------
+
+TEST(PortfolioProof, UnsatVerdictIsDratCheckable) {
+  MemoryProof proof;
+  SolverOptions opts;
+  opts.proof = &proof;
+  PortfolioOptions popts;
+  popts.members = 4;
+  auto s = SolverFactory::make(SolverBackend::Portfolio, opts, popts);
+
+  // Pigeonhole PHP(3,2): 3 pigeons, 2 holes — UNSAT with a short proof.
+  Var p[3][2];
+  for (auto& row : p) {
+    for (Var& v : row) v = s->new_var();
+  }
+  for (const auto& row : p) s->add_clause({mk_lit(row[0]), mk_lit(row[1])});
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        s->add_clause({~mk_lit(p[i][h]), ~mk_lit(p[j][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s->solve(), Status::Unsat);
+
+  DratChecker checker;
+  for (const auto& c : proof.formula()) checker.add_clause(c);
+  std::vector<ProofOp> ops = proof.ops();
+  ops.push_back(ProofOp{ProofOp::Kind::Add, {}});  // final empty clause
+  const DratChecker::Result r = checker.check(ops);
+  EXPECT_TRUE(r.valid) << r.error;
+  EXPECT_TRUE(r.proved_unsat);
+}
+
+TEST(PortfolioProof, SatVerdictsStillWorkInProofMode) {
+  MemoryProof proof;
+  SolverOptions opts;
+  opts.proof = &proof;
+  auto s = SolverFactory::make(SolverBackend::Portfolio, opts, {});
+  const Var a = s->new_var();
+  const Var b = s->new_var();
+  s->add_clause({mk_lit(a), mk_lit(b)});
+  ASSERT_EQ(s->solve(), Status::Sat);
+  EXPECT_TRUE(s->model(a) == LBool::True || s->model(b) == LBool::True);
+}
+
+// clone() must detach the ProofSink: a clone driven to UNSAT on another
+// thread must never write into the original's stream (which would
+// interleave two derivations and corrupt both proofs).
+TEST(CloneSafety, CloneDetachesProofSink) {
+  MemoryProof proof;
+  SolverOptions opts;
+  opts.proof = &proof;
+  Solver s(opts);
+  const Var a = s.new_var();
+  s.add_clause({mk_lit(a)});
+  const std::size_t ops_before = proof.ops().size();
+
+  auto c = s.clone();
+  c->add_clause({~mk_lit(a)});
+  EXPECT_EQ(c->solve(), Status::Unsat);
+  // The clone's refutation left no trace in the original's proof.
+  EXPECT_EQ(proof.ops().size(), ops_before);
+}
+
+// The TSan regression for the satellite bugfix: a Tracer is shared by
+// clones *by design* (it locks internally), so concurrent traced solves on
+// clones must be race-free. Run under -fsanitize=thread in CI.
+TEST(CloneSafety, SharedTracerAcrossCloneThreadsIsRaceFree) {
+  std::ostringstream sink;
+  obs::Tracer tracer(sink);
+  SolverOptions opts;
+  opts.tracer = &tracer;
+  Solver base(opts);
+  std::vector<Var> x;
+  for (int i = 0; i < 12; ++i) x.push_back(base.new_var());
+  base.add_xor(x, true);
+
+  std::vector<std::unique_ptr<SolverInterface>> clones;
+  for (int i = 0; i < 4; ++i) clones.push_back(base.clone());
+  std::vector<std::thread> threads;
+  threads.reserve(clones.size());
+  for (auto& c : clones) {
+    threads.emplace_back([&c] {
+      c->set_tracer(nullptr);  // exercise the setter concurrently
+      ASSERT_EQ(c->solve(), Status::Sat);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(base.solve(), Status::Sat);
+}
+
+TEST(CloneSafety, TracedPortfolioRaceIsRaceFree) {
+  std::ostringstream sink;
+  obs::Tracer tracer(sink);
+  SolverOptions opts;
+  opts.tracer = &tracer;
+  PortfolioOptions popts;
+  popts.members = 4;
+  auto s = SolverFactory::make(SolverBackend::Portfolio, opts, popts);
+  std::vector<Var> x;
+  for (int i = 0; i < 12; ++i) x.push_back(s->new_var());
+  s->add_xor(x, true);
+  s->add_clause({mk_lit(x[0]), mk_lit(x[1])});
+  EXPECT_EQ(s->solve(), Status::Sat);
+  EXPECT_EQ(s->solve(), Status::Sat);  // second race reuses warm members
+}
+
+// ---------------------------------------------------------------------------
+// Portfolio-specific bookkeeping.
+// ---------------------------------------------------------------------------
+
+TEST(PortfolioStats, RacesAndWinsAreCounted) {
+  PortfolioOptions popts;
+  popts.members = 3;
+  PortfolioSolver s(SolverOptions{}, popts);
+  ASSERT_EQ(s.members(), 3u);
+  std::vector<Var> x;
+  for (int i = 0; i < 8; ++i) x.push_back(s.new_var());
+  s.add_xor(x, false);
+  ASSERT_EQ(s.solve(), Status::Sat);
+  ASSERT_EQ(s.solve(), Status::Sat);
+  const PortfolioSolver::Stats& st = s.portfolio_stats();
+  EXPECT_EQ(st.races, 2);
+  EXPECT_EQ(st.sat_races, 2);
+  std::int64_t wins = 0;
+  for (const std::int64_t w : st.wins) wins += w;
+  EXPECT_EQ(wins, 2);
+}
+
+TEST(PortfolioStats, MembersAreDiversified) {
+  PortfolioOptions popts;
+  popts.members = 4;
+  popts.diversity = PortfolioDiversity::Mixed;
+  SolverOptions base;
+  base.use_gauss = false;
+  PortfolioSolver s(base, popts);
+  // Member 0 runs the base configuration unchanged.
+  EXPECT_EQ(s.member_options(0).use_gauss, base.use_gauss);
+  EXPECT_EQ(s.member_options(0).restart_base, base.restart_base);
+  // At least one sibling differs from the base in some knob.
+  bool any_diverse = false;
+  for (std::size_t i = 1; i < s.members(); ++i) {
+    const SolverOptions& o = s.member_options(i);
+    any_diverse = any_diverse || o.use_gauss != base.use_gauss ||
+                  o.restart_base != base.restart_base ||
+                  o.var_decay != base.var_decay ||
+                  o.default_polarity != base.default_polarity ||
+                  o.xor_chunk_size != base.xor_chunk_size ||
+                  o.phase_saving != base.phase_saving;
+  }
+  EXPECT_TRUE(any_diverse);
+}
+
+TEST(PortfolioStats, SinglemEmberPortfolioDegradesGracefully) {
+  PortfolioOptions popts;
+  popts.members = 1;
+  auto s = SolverFactory::make(SolverBackend::Portfolio, SolverOptions{}, popts);
+  const Var a = s->new_var();
+  s->add_clause({mk_lit(a)});
+  ASSERT_EQ(s->solve(), Status::Sat);
+  EXPECT_EQ(s->model(a), LBool::True);
+}
+
+}  // namespace
+}  // namespace tp::sat

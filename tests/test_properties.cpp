@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "sat/allsat.hpp"
+#include "sat/solver.hpp"
 #include "timeprint/properties.hpp"
 
 namespace tp::core {

@@ -34,6 +34,12 @@ Rows present only in the baseline fail the check (a silently dropped
 config is a regression in coverage); rows present only in the current
 report are reported but pass (new configs are fine).
 
+Baseline mode also compares the solver backend identity: the report's
+"config.backend" / "config.members" (absent = "single" / 1, the values
+every report implied before the portfolio backend existed) must equal the
+baseline's, so a portfolio run can never silently pollute a single-solver
+baseline diff — the numbers are not comparable across backends.
+
 Exits non-zero with a per-file message on the first violation.
 No third-party dependencies — CI runs it with a stock python3.
 """
@@ -106,7 +112,19 @@ def row_key(row, index):
     return f"<row {index}>"
 
 
+def backend_identity(report):
+    """(backend, members) of a report; absent keys mean the single solver."""
+    config = report.get("config", {})
+    return config.get("backend", "single"), config.get("members", 1)
+
+
 def check_baseline(base, current, min_ratio):
+    if backend_identity(base) != backend_identity(current):
+        raise BaselineError(
+            f"backend mismatch: report ran {backend_identity(current)} but "
+            f"baseline is {backend_identity(base)} — portfolio and "
+            "single-solver numbers are not comparable")
+
     base_rows = {row_key(r, i): r for i, r in enumerate(base["rows"])}
     cur_rows = {row_key(r, i): r for i, r in enumerate(current["rows"])}
 
