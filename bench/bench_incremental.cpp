@@ -108,9 +108,12 @@ int main(int argc, char** argv) {
   report.config().set("backend", std::string(sat::to_string(backend)));
   report.config().set(
       "members", static_cast<std::uint64_t>(portfolio_mode ? members : 1));
-  report.config().set(
-      "hardware_concurrency",
-      static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  const unsigned hw = std::thread::hardware_concurrency();
+  report.config().set("hardware_concurrency", static_cast<std::uint64_t>(hw));
+  // A portfolio race needs one core per member; with fewer cores the
+  // losers' timeslices are pure overhead and the speedup ratio is
+  // meaningless. Flag it so baseline checkers skip the ratio gate.
+  report.config().set("underprovisioned", portfolio_mode && hw < members);
 
   // The m=128 stream costs seconds per entry on the fresh path; it rides
   // along at 1/50 of the requested entry count so the full 1000-entry
@@ -120,6 +123,12 @@ int main(int argc, char** argv) {
       {"m64_b13_paper", 64, 13, 4, 3, false, 1}, // paper's width for m=64
       {"m128_b16", 128, 16, 4, 3, false, 50},
       {"m64_b16_props", 64, 16, 4, 4, true, 1},
+      // Overdetermined width (b > m, nullity 0): the F2 presolve fully
+      // determines every entry from the linear system alone, so both
+      // paths decode without a single solver variable — the row's
+      // presolve_num_vars drops to 0 against the classic encoding's
+      // hundreds.
+      {"m64_b72_det", 64, 72, 4, 3, false, 1},
   };
 
   std::printf("%-16s %8s %10s %10s %10s %8s %6s\n", "config", "entries",
@@ -157,6 +166,18 @@ int main(int argc, char** argv) {
       fresh.add_property(dk);
     }
     core::ReconstructionOptions opts;
+
+    // One probe entry quantifies the presolve payoff: the substituted
+    // encoding must hand the solver fewer variables than the classic one
+    // while reconstructing the identical signal set.
+    core::ReconstructionOptions classic = opts;
+    classic.presolve = false;
+    const core::ReconstructionResult probe_on =
+        fresh.reconstruct(entries.front(), opts);
+    const core::ReconstructionResult probe_off =
+        fresh.reconstruct(entries.front(), classic);
+    const bool probe_identical =
+        signal_key(probe_on.signals) == signal_key(probe_off.signals);
 
     PhaseResult fr;
     {
@@ -218,7 +239,16 @@ int main(int argc, char** argv) {
                         .set("k_max", static_cast<std::uint64_t>(stream_k_max))
                         .set("speedup", speedup)
                         .set("signals", static_cast<std::uint64_t>(tr.signals))
-                        .set("identical_signal_sets", identical);
+                        .set("identical_signal_sets", identical)
+                        .set("presolve_num_vars",
+                             static_cast<std::int64_t>(probe_on.num_vars))
+                        .set("classic_num_vars",
+                             static_cast<std::int64_t>(probe_off.num_vars))
+                        .set("presolve_num_xors",
+                             static_cast<std::uint64_t>(probe_on.num_xors))
+                        .set("classic_num_xors",
+                             static_cast<std::uint64_t>(probe_off.num_xors))
+                        .set("presolve_identical_signals", probe_identical);
     if (portfolio_mode) {
       row.set("single_seconds", fr.seconds)
           .set("portfolio_seconds", tr.seconds)

@@ -1,5 +1,6 @@
 #include "f2/bitvec.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 
@@ -135,6 +136,14 @@ BitVec& BitVec::and_not(const BitVec& other) {
   assert(size_ == other.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   return *this;
+}
+
+BitVec BitVec::resized(std::size_t n) const {
+  BitVec out(n);
+  const std::size_t copy = std::min(out.words_.size(), words_.size());
+  for (std::size_t i = 0; i < copy; ++i) out.words_[i] = words_[i];
+  out.clear_tail();
+  return out;
 }
 
 void BitVec::increment() {

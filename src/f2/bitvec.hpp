@@ -128,6 +128,18 @@ class BitVec {
   /// Raw word storage (read-only), 64 coordinates per word, LSB-first.
   const std::vector<std::uint64_t>& words() const { return words_; }
 
+  /// Number of 64-bit storage words (== ceil(size() / 64)).
+  std::size_t num_words() const { return words_.size(); }
+
+  /// Word i of the packed storage (i < num_words()).
+  std::uint64_t word(std::size_t i) const { return words_[i]; }
+
+  /// Copy of this vector with dimension n: coordinates < min(size, n) are
+  /// preserved, new coordinates are zero, excess coordinates are dropped.
+  /// Word-level copy — used by the elimination kernels to widen rows into
+  /// augmented form without a per-bit loop.
+  BitVec resized(std::size_t n) const;
+
  private:
   void clear_tail();
 

@@ -1,0 +1,158 @@
+#include "f2/echelon.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace tp::f2 {
+
+Echelonizer::Echelonizer(const Matrix& a) : rows_(a.rows()), cols_(a.cols()) {
+  // Eliminate [A | I]: pivots are restricted to the A block, so the right
+  // half of row r accumulates the combination of original rows that
+  // produced reduced row r — the transform T with T·A = RREF(A).
+  std::vector<BitVec> work;
+  work.reserve(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    work.push_back(a.row(r).resized(cols_ + rows_));
+    work.back().set(cols_ + r, true);
+  }
+  pivot_cols_ = detail::row_reduce(work, cols_);
+  rank_ = pivot_cols_.size();
+
+  reduced_.reserve(rank_);
+  transform_.reserve(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r < rank_) reduced_.push_back(work[r].resized(cols_));
+    // Right half: bits [cols_, cols_ + rows_) -> a BitVec of width rows_.
+    BitVec t(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (work[r].get(cols_ + i)) t.set(i, true);
+    }
+    transform_.push_back(std::move(t));
+  }
+
+  std::vector<bool> is_pivot(cols_, false);
+  for (std::size_t c : pivot_cols_) is_pivot[c] = true;
+  free_cols_.reserve(cols_ - rank_);
+  nullspace_.reserve(cols_ - rank_);
+  for (std::size_t f = 0; f < cols_; ++f) {
+    if (is_pivot[f]) continue;
+    free_cols_.push_back(f);
+    BitVec v(cols_);
+    v.set(f, true);
+    for (std::size_t r = 0; r < rank_; ++r) {
+      if (reduced_[r].get(f)) v.set(pivot_cols_[r], true);
+    }
+    nullspace_.push_back(std::move(v));
+  }
+}
+
+BitVec Echelonizer::transform(const BitVec& b) const {
+  assert(b.size() == rows_);
+  BitVec tb(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (transform_[r].dot(b)) tb.set(r, true);
+  }
+  return tb;
+}
+
+bool Echelonizer::consistent_transformed(const BitVec& tb) const {
+  assert(tb.size() == rows_);
+  // Bits at or above rank_ witness 0 = 1 rows.
+  const std::size_t high = tb.highest_set();
+  return high == rows_ || high < rank_;
+}
+
+BitVec Echelonizer::particular_from_transformed(const BitVec& tb) const {
+  assert(consistent_transformed(tb));
+  BitVec x(cols_);
+  for (std::size_t r = 0; r < rank_; ++r) {
+    if (tb.get(r)) x.set(pivot_cols_[r], true);
+  }
+  return x;
+}
+
+std::optional<LinearSolution> Echelonizer::solve(const BitVec& b) const {
+  const BitVec tb = transform(b);
+  if (!consistent_transformed(tb)) return std::nullopt;
+  return LinearSolution{particular_from_transformed(tb), nullspace_};
+}
+
+void Echelonizer::sweep_chunk(const std::vector<BitVec>& rhs, std::size_t base,
+                              std::size_t n, std::vector<std::uint64_t>& c) const {
+  // Transpose the chunk: w[s] holds bit j = rhs[base + j] coordinate s,
+  // i.e. one 64-entry slice of the RHS block per matrix row.
+  std::vector<std::uint64_t> w(rows_, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    assert(rhs[base + j].size() == rows_);
+    const auto& words = rhs[base + j].words();
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+      std::uint64_t word = words[wi];
+      while (word != 0) {
+        const auto s = static_cast<std::size_t>(std::countr_zero(word));
+        w[wi * 64 + s] |= std::uint64_t{1} << j;
+        word &= word - 1;
+      }
+    }
+  }
+  // One sweep of T over the whole chunk: c[r] = XOR of w[s] over the
+  // support of transform row r — 64 transformed RHS bits per XOR.
+  c.assign(rows_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto& trow = transform_[r].words();
+    std::uint64_t acc = 0;
+    for (std::size_t wi = 0; wi < trow.size(); ++wi) {
+      std::uint64_t word = trow[wi];
+      while (word != 0) {
+        const auto s = static_cast<std::size_t>(std::countr_zero(word));
+        acc ^= w[wi * 64 + s];
+        word &= word - 1;
+      }
+    }
+    c[r] = acc;
+  }
+}
+
+std::vector<std::optional<BitVec>> Echelonizer::solve_batch(
+    const std::vector<BitVec>& rhs) const {
+  std::vector<std::optional<BitVec>> out(rhs.size());
+  std::vector<std::uint64_t> c;
+  for (std::size_t base = 0; base < rhs.size(); base += 64) {
+    const std::size_t n = std::min<std::size_t>(64, rhs.size() - base);
+    sweep_chunk(rhs, base, n, c);
+    // Entries with any transformed bit set at rows >= rank_ are
+    // inconsistent; the rest read their particular solution down column j.
+    std::uint64_t fail = 0;
+    for (std::size_t r = rank_; r < rows_; ++r) fail |= c[r];
+    for (std::size_t j = 0; j < n; ++j) {
+      if ((fail >> j) & 1u) continue;  // stays nullopt
+      BitVec x(cols_);
+      for (std::size_t r = 0; r < rank_; ++r) {
+        if ((c[r] >> j) & 1u) x.set(pivot_cols_[r], true);
+      }
+      out[base + j] = std::move(x);
+    }
+  }
+  return out;
+}
+
+std::vector<BitVec> Echelonizer::transform_batch(
+    const std::vector<BitVec>& rhs) const {
+  std::vector<BitVec> out;
+  out.reserve(rhs.size());
+  std::vector<std::uint64_t> c;
+  for (std::size_t base = 0; base < rhs.size(); base += 64) {
+    const std::size_t n = std::min<std::size_t>(64, rhs.size() - base);
+    sweep_chunk(rhs, base, n, c);
+    for (std::size_t j = 0; j < n; ++j) {
+      BitVec tb(rows_);
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if ((c[r] >> j) & 1u) tb.set(r, true);
+      }
+      out.push_back(std::move(tb));
+    }
+  }
+  return out;
+}
+
+}  // namespace tp::f2

@@ -1,0 +1,96 @@
+#pragma once
+// echelon.hpp — reusable echelon factorization of an F2 matrix.
+//
+// Reconstruction decodes a long stream of timeprints against ONE matrix A
+// (the timestamp encoding, paper §4.2): every entry is the system
+// A·x = TP_i with the same A. Matrix::solve() re-eliminates A from
+// scratch per call; an Echelonizer instead factors A once — recording the
+// pivot columns, the reduced rows, the null-space basis and the row
+// transform T with T·A = RREF(A) — and then answers each RHS with one
+// matrix-vector product T·b instead of a fresh elimination.
+//
+// The transform also enables the bit-sliced batch decode: 64 RHS vectors
+// are transposed into one 64-bit word per matrix row, and a single sweep
+// of T applies every pivot row to all 64 entries simultaneously
+// (solve_batch). This is the kernel behind BatchReconstructor's presolve
+// prepass.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "f2/matrix.hpp"
+
+namespace tp::f2 {
+
+class Echelonizer {
+ public:
+  /// Factor `a` (one Gauss-Jordan pass over [A | I]); `a` itself is not
+  /// retained. Cost is one elimination; every later solve is cheap.
+  explicit Echelonizer(const Matrix& a);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t rank() const { return rank_; }
+  /// Dimension of the null space (number of free columns).
+  std::size_t nullity() const { return cols_ - rank_; }
+
+  /// Pivot columns in increasing order, one per reduced row.
+  const std::vector<std::size_t>& pivot_cols() const { return pivot_cols_; }
+  /// The non-pivot columns in increasing order.
+  const std::vector<std::size_t>& free_cols() const { return free_cols_; }
+  /// The rank() nonzero rows of RREF(A), width cols(). Row r has a 1 at
+  /// pivot_cols()[r], zeros at every other pivot column; its remaining
+  /// support is on free columns.
+  const std::vector<BitVec>& reduced_rows() const { return reduced_; }
+  /// Null-space basis, one vector per free column (in free_cols() order).
+  const std::vector<BitVec>& nullspace() const { return nullspace_; }
+
+  /// T·b — the RHS carried through the factorization's row operations.
+  /// Bits [0, rank) are the reduced system's RHS; bits [rank, rows) must
+  /// be zero for A·x = b to be consistent.
+  BitVec transform(const BitVec& b) const;
+
+  /// Consistency check on an already-transformed RHS.
+  bool consistent_transformed(const BitVec& tb) const;
+
+  /// Particular solution (all free variables 0) from a transformed RHS.
+  /// Precondition: consistent_transformed(tb).
+  BitVec particular_from_transformed(const BitVec& tb) const;
+
+  /// Solve A·x = b using the stored factorization. Same contract as
+  /// Matrix::solve (nullopt when inconsistent); the null-space basis is
+  /// copied into the result.
+  std::optional<LinearSolution> solve(const BitVec& b) const;
+
+  /// Bit-sliced decode of many RHS vectors, 64 per pass: the chunk is
+  /// transposed into one word per matrix row, each transform row is
+  /// applied to all 64 entries with whole-word XORs, and the per-entry
+  /// particular solutions are read back off the result columns. Entry i
+  /// is nullopt when A·x = rhs[i] is inconsistent.
+  std::vector<std::optional<BitVec>> solve_batch(
+      const std::vector<BitVec>& rhs) const;
+
+  /// Bit-sliced T·rhs[i] for every i (same 64-wide sweep as solve_batch,
+  /// but returning the transformed RHS vectors themselves — the form the
+  /// presolve layer needs to seed per-entry SAT assumptions).
+  std::vector<BitVec> transform_batch(const std::vector<BitVec>& rhs) const;
+
+ private:
+  /// One 64-entry sweep: transpose rhs[base, base+n) into one word per
+  /// matrix row and apply every transform row with whole-word XORs;
+  /// c[r] bit j = transformed bit r of rhs[base + j].
+  void sweep_chunk(const std::vector<BitVec>& rhs, std::size_t base,
+                   std::size_t n, std::vector<std::uint64_t>& c) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t rank_ = 0;
+  std::vector<std::size_t> pivot_cols_;
+  std::vector<std::size_t> free_cols_;
+  std::vector<BitVec> reduced_;    // rank_ rows, width cols_
+  std::vector<BitVec> transform_;  // rows_ rows, width rows_ (T, incl. zero rows)
+  std::vector<BitVec> nullspace_;  // nullity() vectors, width cols_
+};
+
+}  // namespace tp::f2

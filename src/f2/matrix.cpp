@@ -1,5 +1,7 @@
 #include "f2/matrix.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace tp::f2 {
@@ -8,7 +10,9 @@ Matrix::Matrix(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows, BitVec(cols)) {}
 
 Matrix Matrix::from_columns(const std::vector<BitVec>& columns) {
-  assert(!columns.empty());
+  // An empty column list is a legal degenerate input (an m=0 trace log):
+  // the 0x0 matrix, not UB. Previously this dereferenced columns.front().
+  if (columns.empty()) return Matrix(0, 0);
   const std::size_t rows = columns.front().size();
   Matrix m(rows, columns.size());
   for (std::size_t c = 0; c < columns.size(); ++c) {
@@ -44,54 +48,103 @@ BitVec Matrix::multiply(const BitVec& x) const {
   return out;
 }
 
-namespace {
+namespace detail {
 
-// Row-reduce `rows` in place; returns the pivot column of each surviving
-// row (rows without a pivot become zero and are moved to the back).
-// Elimination proceeds from the lowest column index upward.
-std::vector<std::size_t> reduce(std::vector<BitVec>& rows) {
+std::vector<std::size_t> row_reduce(std::vector<BitVec>& rows,
+                                    std::size_t col_limit) {
   std::vector<std::size_t> pivots;
+  if (rows.empty() || col_limit == 0) return pivots;
+  const std::size_t nrows = rows.size();
+  assert(col_limit <= rows.front().size());
+
+  // Stripe width: the 2^s table costs ~2^s row XORs to build and saves
+  // (s - 1) row XORs per remaining row, so s ~ log2(nrows) - 2 balances
+  // the two; clamped to [1, 8] (a 256-entry table already amortizes).
+  std::size_t lg = 0;
+  while ((std::size_t{1} << (lg + 1)) <= nrows) ++lg;
+  const std::size_t stripe_max = std::clamp<std::size_t>(lg >= 2 ? lg - 2 : 1, 1, 8);
+
   std::size_t next_row = 0;
-  if (rows.empty()) return pivots;
-  const std::size_t cols = rows.front().size();
-  for (std::size_t col = 0; col < cols && next_row < rows.size(); ++col) {
-    std::size_t pivot = rows.size();
-    for (std::size_t r = next_row; r < rows.size(); ++r) {
-      if (rows[r].get(col)) {
-        pivot = r;
-        break;
+  std::size_t col = 0;
+  while (col < col_limit && next_row < nrows) {
+    // Collect a stripe of up to stripe_max pivots. Rows below next_row are
+    // not yet reduced by the stripe, so a candidate's true bit at `col` is
+    // its stored bit corrected by the stripe rows its stripe-column bits
+    // select — exact because the stripe rows are kept mutually reduced
+    // (each has 1 at its own pivot column, 0 at the others).
+    const std::size_t base = next_row;
+    std::vector<std::size_t> stripe_cols;
+    while (col < col_limit && stripe_cols.size() < stripe_max &&
+           next_row < nrows) {
+      std::size_t found = nrows;
+      for (std::size_t r = next_row; r < nrows && found == nrows; ++r) {
+        bool bit = rows[r].get(col);
+        for (std::size_t j = 0; j < stripe_cols.size(); ++j) {
+          if (rows[r].get(stripe_cols[j])) bit ^= rows[base + j].get(col);
+        }
+        if (bit) found = r;
       }
+      if (found == nrows) {
+        ++col;
+        continue;
+      }
+      std::swap(rows[found], rows[next_row]);
+      for (std::size_t j = 0; j < stripe_cols.size(); ++j) {
+        if (rows[next_row].get(stripe_cols[j])) rows[next_row] ^= rows[base + j];
+      }
+      for (std::size_t j = 0; j < stripe_cols.size(); ++j) {
+        if (rows[base + j].get(col)) rows[base + j] ^= rows[next_row];
+      }
+      stripe_cols.push_back(col);
+      pivots.push_back(col);
+      ++next_row;
+      ++col;
     }
-    if (pivot == rows.size()) continue;
-    std::swap(rows[next_row], rows[pivot]);
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      if (r != next_row && rows[r].get(col)) rows[r] ^= rows[next_row];
+    const std::size_t s = stripe_cols.size();
+    if (s == 0) continue;  // no pivot in the remaining columns; loop exits
+
+    // table[mask] = XOR of the stripe rows selected by mask, built with one
+    // row XOR per entry via table[mask without lowest bit].
+    std::vector<BitVec> table;
+    table.reserve(std::size_t{1} << s);
+    table.emplace_back(rows.front().size());
+    for (std::size_t mask = 1; mask < (std::size_t{1} << s); ++mask) {
+      const auto low = static_cast<std::size_t>(std::countr_zero(mask));
+      table.push_back(table[mask & (mask - 1)] ^ rows[base + low]);
     }
-    pivots.push_back(col);
-    ++next_row;
+
+    // Clear the whole stripe from every other row (Jordan: above and
+    // below) with s bit reads and one table XOR per row.
+    for (std::size_t r = 0; r < nrows; ++r) {
+      if (r >= base && r < base + s) continue;
+      std::size_t mask = 0;
+      for (std::size_t j = 0; j < s; ++j) {
+        if (rows[r].get(stripe_cols[j])) mask |= std::size_t{1} << j;
+      }
+      if (mask != 0) rows[r] ^= table[mask];
+    }
   }
   return pivots;
 }
 
-}  // namespace
+}  // namespace detail
 
 std::size_t Matrix::rank() const {
   std::vector<BitVec> rows = data_;
-  return reduce(rows).size();
+  return detail::row_reduce(rows, cols_).size();
 }
 
 std::optional<LinearSolution> Matrix::solve(const BitVec& b) const {
   assert(b.size() == rows_);
-  // Work on the augmented matrix [A | b] with the augmented bit stored at
-  // column index cols_.
-  std::vector<BitVec> aug(rows_, BitVec(cols_ + 1));
+  // Augmented matrix [A | b] with the RHS bit kept inside the row words at
+  // column index cols_ — widening is a word copy, not a per-bit loop.
+  std::vector<BitVec> aug;
+  aug.reserve(rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      if (data_[r].get(c)) aug[r].set(c, true);
-    }
-    if (b.get(r)) aug[r].set(cols_, true);
+    aug.push_back(data_[r].resized(cols_ + 1));
+    if (b.get(r)) aug.back().set(cols_, true);
   }
-  std::vector<std::size_t> pivots = reduce(aug);
+  std::vector<std::size_t> pivots = detail::row_reduce(aug, cols_ + 1);
   // Inconsistent iff some pivot landed on the augmented column.
   if (!pivots.empty() && pivots.back() == cols_) return std::nullopt;
 
@@ -120,7 +173,7 @@ std::optional<LinearSolution> Matrix::solve(const BitVec& b) const {
 bool Matrix::linearly_independent(const std::vector<BitVec>& vectors) {
   if (vectors.empty()) return true;
   std::vector<BitVec> rows = vectors;
-  return reduce(rows).size() == vectors.size();
+  return detail::row_reduce(rows, rows.front().size()).size() == vectors.size();
 }
 
 LiChecker::LiChecker(std::size_t dim, std::size_t depth)
@@ -145,9 +198,13 @@ bool LiChecker::can_add(const BitVec& candidate) const {
 
 void LiChecker::add(const BitVec& v) {
   assert(can_add(v));
-  for (const BitVec& a : members_) pair_xors_.insert(v ^ a);
+  // Each auxiliary set is maintained only at the depths whose can_add
+  // consults it; below that it would be pure O(|S|^2) ballast.
+  if (depth_ >= 3) {
+    for (const BitVec& a : members_) pair_xors_.insert(v ^ a);
+  }
   members_.push_back(v);
-  member_set_.insert(v);
+  if (depth_ >= 2) member_set_.insert(v);
 }
 
 }  // namespace tp::f2

@@ -17,6 +17,25 @@
 
 namespace tp::f2 {
 
+namespace detail {
+
+/// Row-reduce `rows` in place to reduced row-echelon form over columns
+/// [0, col_limit); columns >= col_limit never become pivots but are
+/// updated by every row operation, so an augmented RHS (or a transform
+/// block [A | I]) can ride along inside the row words. Returns the pivot
+/// columns in increasing order; pivot row i ends up at rows[i], and rows
+/// without a pivot end up zero (over [0, col_limit)) at the back.
+///
+/// Blocked "method of four Russians" elimination: pivots are collected in
+/// stripes of up to ~log2(rows) columns, a 2^s table of stripe-row
+/// combinations is built with one whole-row XOR per entry, and each
+/// remaining row is cleared across the whole stripe with s bit reads plus
+/// a single table XOR instead of s row XORs.
+std::vector<std::size_t> row_reduce(std::vector<BitVec>& rows,
+                                    std::size_t col_limit);
+
+}  // namespace detail
+
 /// Result of solving a linear system A·x = b over F2.
 struct LinearSolution {
   /// One particular solution (any x with A·x = b).
@@ -104,6 +123,10 @@ class LiChecker {
 
   /// The vectors added so far, in insertion order.
   const std::vector<BitVec>& members() const { return members_; }
+
+  /// Size of the pairwise-XOR set. Only depths >= 3 consult the set, so
+  /// lower depths keep it empty rather than paying its O(|S|^2) memory.
+  std::size_t pair_xor_count() const { return pair_xors_.size(); }
 
  private:
   std::size_t dim_;

@@ -1,0 +1,70 @@
+#include "f2/reference.hpp"
+
+#include <cassert>
+
+namespace tp::f2::reference {
+
+std::vector<std::size_t> row_reduce(std::vector<BitVec>& rows) {
+  std::vector<std::size_t> pivots;
+  std::size_t next_row = 0;
+  if (rows.empty()) return pivots;
+  const std::size_t cols = rows.front().size();
+  for (std::size_t col = 0; col < cols && next_row < rows.size(); ++col) {
+    std::size_t pivot = rows.size();
+    for (std::size_t r = next_row; r < rows.size(); ++r) {
+      if (rows[r].get(col)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot == rows.size()) continue;
+    std::swap(rows[next_row], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != next_row && rows[r].get(col)) rows[r] ^= rows[next_row];
+    }
+    pivots.push_back(col);
+    ++next_row;
+  }
+  return pivots;
+}
+
+std::size_t rank(const Matrix& a) {
+  std::vector<BitVec> rows;
+  rows.reserve(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) rows.push_back(a.row(r));
+  return row_reduce(rows).size();
+}
+
+std::optional<LinearSolution> solve(const Matrix& a, const BitVec& b) {
+  assert(b.size() == a.rows());
+  const std::size_t cols = a.cols();
+  // Augmented matrix [A | b], copied bit by bit (the scalar baseline).
+  std::vector<BitVec> aug(a.rows(), BitVec(cols + 1));
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (a.get(r, c)) aug[r].set(c, true);
+    }
+    if (b.get(r)) aug[r].set(cols, true);
+  }
+  std::vector<std::size_t> pivots = row_reduce(aug);
+  if (!pivots.empty() && pivots.back() == cols) return std::nullopt;
+
+  LinearSolution sol{BitVec(cols), {}};
+  std::vector<bool> is_pivot(cols, false);
+  for (std::size_t r = 0; r < pivots.size(); ++r) {
+    is_pivot[pivots[r]] = true;
+    if (aug[r].get(cols)) sol.particular.set(pivots[r], true);
+  }
+  for (std::size_t f = 0; f < cols; ++f) {
+    if (is_pivot[f]) continue;
+    BitVec v(cols);
+    v.set(f, true);
+    for (std::size_t r = 0; r < pivots.size(); ++r) {
+      if (aug[r].get(f)) v.set(pivots[r], true);
+    }
+    sol.nullspace.push_back(std::move(v));
+  }
+  return sol;
+}
+
+}  // namespace tp::f2::reference

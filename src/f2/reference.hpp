@@ -1,0 +1,29 @@
+#pragma once
+// reference.hpp — scalar (bit-at-a-time) F2 elimination, kept verbatim
+// from the pre-bit-sliced Matrix implementation.
+//
+// These kernels exist for two reasons: the randomized differential tests
+// check the word-parallel kernels in matrix.cpp/echelon.cpp against them
+// on every shape (they must agree exactly, including the pivot-column
+// list), and bench_f2 uses them as the measured scalar baseline the
+// bit-sliced path is gated against. They are deliberately NOT optimized.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "f2/matrix.hpp"
+
+namespace tp::f2::reference {
+
+/// Scalar row reduction to RREF; same contract as detail::row_reduce with
+/// col_limit == row width (every column a pivot candidate).
+std::vector<std::size_t> row_reduce(std::vector<BitVec>& rows);
+
+/// Scalar rank of the matrix.
+std::size_t rank(const Matrix& a);
+
+/// Scalar solve of A·x = b; same result contract as Matrix::solve.
+std::optional<LinearSolution> solve(const Matrix& a, const BitVec& b);
+
+}  // namespace tp::f2::reference

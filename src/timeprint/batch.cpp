@@ -80,6 +80,57 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
          {"threads", static_cast<std::uint64_t>(out.threads_used)}});
   }
 
+  // Presolve prepass: one bit-sliced sweep (Echelonizer::transform_batch,
+  // 64 timeprints per word pass) classifies every entry before any solver
+  // exists. Inconsistent entries get their complete empty preimage here;
+  // when the encoding's nullity is within the enumeration limit *every*
+  // consistent entry is decoded by walking the affine solution space, and
+  // the thread pool below has nothing to do.
+  const bool use_presolve =
+      options.recon.presolve && options.recon.proof == nullptr;
+  std::vector<char> resolved(entries.size(), 0);
+  std::size_t resolved_count = 0;
+  std::uint64_t resolved_signals = 0;
+  if (use_presolve && !entries.empty()) {
+    const F2Presolve& pre = rec_.presolve();
+    std::vector<f2::BitVec> tps;
+    tps.reserve(entries.size());
+    for (const LogEntry& e : entries) tps.push_back(e.tp);
+    const std::vector<F2Presolve::Analysis> analyses = pre.analyze_batch(tps);
+    const bool decode_all =
+        pre.nullity() <= options.recon.presolve_enum_limit;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      ReconstructionResult r;
+      if (!analyses[i].consistent) {
+        r.final_status = sat::Status::Unsat;
+      } else if (decode_all) {
+        F2Presolve::Decoded dec = pre.decode_by_enumeration(
+            analyses[i], entries[i].k, rec_.properties(),
+            options.recon.max_solutions);
+        r.signals = std::move(dec.signals);
+        r.final_status =
+            dec.truncated ? sat::Status::Sat : sat::Status::Unsat;
+        r.seconds_to_each.assign(r.signals.size(), 0.0);
+        if (options.recon.verify_models) {
+          require_verified(rec_.encoding(), entries[i], r.signals,
+                           rec_.properties());
+        }
+      } else {
+        continue;
+      }
+      resolved[i] = 1;
+      ++resolved_count;
+      resolved_signals += r.signals.size();
+      out.results[i] = std::move(r);
+    }
+    if (tracer != nullptr) {
+      tracer->event("batch.presolve",
+                    {{"resolved", static_cast<std::uint64_t>(resolved_count)},
+                     {"entries", static_cast<std::uint64_t>(entries.size())},
+                     {"signals", resolved_signals}});
+    }
+  }
+
   // Incremental mode: one immutable master template (clone source only —
   // it is never solved on, so concurrent clone() reads race-free) feeding
   // a free-list of per-worker templates. A task pops a warm template (hit)
@@ -93,7 +144,7 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
       obs::MetricsRegistry::global().counter("incremental.template_hits");
   static obs::Counter& template_misses =
       obs::MetricsRegistry::global().counter("incremental.template_misses");
-  if (options.recon.incremental && !entries.empty()) {
+  if (options.recon.incremental && resolved_count < entries.size()) {
     std::size_t k_max = 0;
     for (const LogEntry& e : entries) k_max = std::max(k_max, e.k);
     k_max = std::min(k_max, rec_.encoding().m());
@@ -124,11 +175,12 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
   };
 
   std::mutex mu;
-  std::size_t completed = 0;
-  std::uint64_t found = 0;
+  std::size_t completed = resolved_count;
+  std::uint64_t found = resolved_signals;
   {
     util::ThreadPool pool(out.threads_used);
     for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (resolved[i]) continue;
       pool.submit([&, i] {
         ReconstructionResult r = run_entry(entries[i]);
         std::lock_guard<std::mutex> lock(mu);

@@ -46,7 +46,8 @@ TemplateReconstructor::TemplateReconstructor(
     : enc_(&encoding),
       properties_(std::move(properties)),
       options_(options),
-      k_max_(k_max == 0 ? encoding.m() : k_max) {
+      k_max_(k_max == 0 ? encoding.m() : k_max),
+      presolve_(std::make_shared<const F2Presolve>(encoding)) {
   options_.validate();
   build();
 }
@@ -62,6 +63,8 @@ TemplateReconstructor::TemplateReconstructor(const TemplateReconstructor& other)
       properties_(other.properties_),
       options_(other.options_),
       k_max_(other.k_max_),
+      presolve_(other.presolve_),
+      presolved_base_(other.presolved_base_),
       solver_(other.solver_->clone()),
       cycle_vars_(other.cycle_vars_),
       selectors_(other.selectors_),
@@ -85,26 +88,66 @@ void TemplateReconstructor::build() {
   card_outs_.clear();
   bool ok = true;
 
-  cycle_vars_.reserve(m);
-  for (std::size_t i = 0; i < m; ++i) cycle_vars_.push_back(solver_->new_var());
-
-  // Linear system with per-row selector RHS: parity(row_j) = s_j, encoded
-  // as (row_j ∪ {s_j}) with constant RHS 0. An all-zero row degrades to
-  // the unit clause ~s_j — an entry whose timeprint sets that bit then
-  // fails at the assumption level, the correct (conditional) Unsat.
-  selectors_.reserve(b);
-  for (std::size_t j = 0; j < b; ++j) {
-    std::vector<Var> row;
-    for (std::size_t i = 0; i < m; ++i) {
-      if (enc_->timestamp(i).get(j)) row.push_back(cycle_vars_[i]);
+  presolved_base_ = options_.presolve && options_.proof == nullptr;
+  if (presolved_base_) {
+    // Substituted base over the echelon factorization: one selector XOR
+    // row per RREF row (rank(A) of them instead of b), each defining its
+    // pivot variable over the free-column variables —
+    // pivot ⊕ (free support) ⊕ s_r = 0, so assuming s_r = (T·TP)_r sets
+    // the row's constant per entry. A pivot row with empty free support
+    // degrades to pivot = s_r, so the selector itself serves as the cycle
+    // variable (one variable and one XOR row saved). The b - rank(A)
+    // dependent rows never reach the solver: their constraint is exactly
+    // the per-entry consistency check on the transformed timeprint.
+    const f2::Echelonizer& ech = presolve_->echelon();
+    cycle_vars_.assign(m, 0);
+    for (std::size_t f : ech.free_cols()) cycle_vars_[f] = solver_->new_var();
+    selectors_.reserve(ech.rank());
+    for (std::size_t r = 0; r < ech.rank(); ++r) {
+      const f2::BitVec& row = ech.reduced_rows()[r];
+      const std::size_t pivot = ech.pivot_cols()[r];
+      std::vector<Var> xr;
+      for (std::size_t f : ech.free_cols()) {
+        if (row.get(f)) xr.push_back(cycle_vars_[f]);
+      }
+      const Var s = solver_->new_var();
+      selectors_.push_back(s);
+      if (xr.empty()) {
+        cycle_vars_[pivot] = s;
+        continue;
+      }
+      const Var y = solver_->new_var();
+      cycle_vars_[pivot] = y;
+      xr.push_back(y);
+      xr.push_back(s);
+      if (options_.native_xor) {
+        ok = solver_->add_xor(std::move(xr), false) && ok;
+      } else {
+        ok = sat::add_xor_as_cnf(*solver_, xr, false) && ok;
+      }
     }
-    const Var s = solver_->new_var();
-    selectors_.push_back(s);
-    row.push_back(s);
-    if (options_.native_xor) {
-      ok = solver_->add_xor(std::move(row), false) && ok;
-    } else {
-      ok = sat::add_xor_as_cnf(*solver_, row, false) && ok;
+  } else {
+    cycle_vars_.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) cycle_vars_.push_back(solver_->new_var());
+
+    // Linear system with per-row selector RHS: parity(row_j) = s_j, encoded
+    // as (row_j ∪ {s_j}) with constant RHS 0. An all-zero row degrades to
+    // the unit clause ~s_j — an entry whose timeprint sets that bit then
+    // fails at the assumption level, the correct (conditional) Unsat.
+    selectors_.reserve(b);
+    for (std::size_t j = 0; j < b; ++j) {
+      std::vector<Var> row;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (enc_->timestamp(i).get(j)) row.push_back(cycle_vars_[i]);
+      }
+      const Var s = solver_->new_var();
+      selectors_.push_back(s);
+      row.push_back(s);
+      if (options_.native_xor) {
+        ok = solver_->add_xor(std::move(row), false) && ok;
+      } else {
+        ok = sat::add_xor_as_cnf(*solver_, row, false) && ok;
+      }
     }
   }
 
@@ -171,6 +214,57 @@ ReconstructionResult TemplateReconstructor::reconstruct(const LogEntry& entry) {
     }
     return result;
   }
+  // Presolved fast paths (mirroring Reconstructor::reconstruct): an
+  // inconsistent linear system has a complete empty preimage, and a
+  // small-nullity encoding is decoded by walking the affine solution
+  // space directly — neither touches the solver.
+  F2Presolve::Analysis analysis;
+  if (presolved_base_) {
+    analysis = presolve_->analyze(entry.tp);
+    if (!analysis.consistent) {
+      ReconstructionResult result;
+      result.final_status = Status::Unsat;
+      result.num_vars = solver_->num_vars();
+      result.num_clauses = solver_->num_clauses();
+      result.num_xors = solver_->num_xors();
+      result.seconds_total =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (options_.tracer != nullptr) options_.tracer->event("sr.presolve_unsat");
+      if (span.active()) {
+        span.add("signals", std::uint64_t{0});
+        span.add("status", sat::to_string(result.final_status));
+        span.finish();
+      }
+      return result;
+    }
+    if (presolve_->nullity() <= options_.presolve_enum_limit) {
+      F2Presolve::Decoded dec = presolve_->decode_by_enumeration(
+          analysis, entry.k, properties_, options_.max_solutions);
+      ReconstructionResult result;
+      result.signals = std::move(dec.signals);
+      result.final_status = dec.truncated ? Status::Sat : Status::Unsat;
+      result.num_vars = solver_->num_vars();
+      result.num_clauses = solver_->num_clauses();
+      result.num_xors = solver_->num_xors();
+      result.seconds_total =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      result.seconds_to_each.assign(result.signals.size(),
+                                    result.seconds_total);
+      if (options_.verify_models) {
+        require_verified(*enc_, entry, result.signals, properties_);
+      }
+      if (options_.tracer != nullptr) {
+        options_.tracer->event("sr.presolve_decode");
+      }
+      if (span.active()) {
+        span.add("signals", static_cast<std::uint64_t>(result.signals.size()));
+        span.add("status", sat::to_string(result.final_status));
+        span.finish();
+      }
+      return result;
+    }
+  }
+
   if (entry.k > k_max_) {
     k_max_ = m;
     build();
@@ -202,8 +296,17 @@ ReconstructionResult TemplateReconstructor::reconstruct(const LogEntry& entry) {
   as.tracer = options_.tracer;
   as.fixed_weight = entry.k;
   as.assumptions.reserve(selectors_.size() + 2);
-  for (std::size_t j = 0; j < selectors_.size(); ++j) {
-    as.assumptions.push_back(Lit(selectors_[j], /*negated=*/!entry.tp.get(j)));
+  if (presolved_base_) {
+    // Selector r carries RREF row r's constant: bit r of the transformed
+    // timeprint T·TP.
+    for (std::size_t r = 0; r < selectors_.size(); ++r) {
+      as.assumptions.push_back(
+          Lit(selectors_[r], /*negated=*/!analysis.transformed.get(r)));
+    }
+  } else {
+    for (std::size_t j = 0; j < selectors_.size(); ++j) {
+      as.assumptions.push_back(Lit(selectors_[j], /*negated=*/!entry.tp.get(j)));
+    }
   }
   if (entry.k >= 1) as.assumptions.push_back(card_outs_[entry.k - 1]);
   if (entry.k < card_outs_.size()) as.assumptions.push_back(~card_outs_[entry.k]);

@@ -107,9 +107,19 @@ class TemplateReconstructor {
   std::vector<const Property*> properties_;
   ReconstructionOptions options_;
   std::size_t k_max_;
+  /// Shared echelon factorization of the encoding's matrix. With
+  /// options_.presolve (and no proof sink) the base is encoded in
+  /// substituted form — rank(A) selector XOR rows instead of b, pivot
+  /// variables defined over the free columns — per-entry assumptions are
+  /// the *transformed* timeprint bits, inconsistent entries return
+  /// without a solve, and a small-nullity encoding bypasses the solver
+  /// for every entry (decode_by_enumeration). Clones share the (const)
+  /// factorization.
+  std::shared_ptr<const F2Presolve> presolve_;
+  bool presolved_base_ = false;
   std::unique_ptr<sat::SolverInterface> solver_;
   std::vector<sat::Var> cycle_vars_;
-  std::vector<sat::Var> selectors_;   ///< one per timeprint bit
+  std::vector<sat::Var> selectors_;   ///< one per XOR row (b, or rank(A))
   std::vector<sat::Lit> card_outs_;   ///< shared totalizer outputs
   bool encode_ok_ = true;
   Stats stats_;

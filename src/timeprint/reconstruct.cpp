@@ -107,6 +107,72 @@ bool Reconstructor::encode_base(SolverInterface& solver, std::vector<Var>& cycle
   return ok;
 }
 
+bool Reconstructor::encode_presolved(SolverInterface& solver,
+                                     std::vector<Var>& free_vars,
+                                     const LogEntry& entry,
+                                     const ReconstructionOptions& options,
+                                     const F2Presolve::Analysis& analysis) const {
+  const f2::Echelonizer& ech = presolve_->echelon();
+  const std::size_t m = enc_->m();
+  constexpr Var kNoVar = -1;
+  std::vector<Var> cycle_vars(m, kNoVar);
+
+  free_vars.clear();
+  free_vars.reserve(ech.nullity());
+  for (std::size_t f : ech.free_cols()) {
+    const Var v = solver.new_var();
+    cycle_vars[f] = v;
+    free_vars.push_back(v);
+  }
+
+  bool ok = true;
+  // Properties constrain the full cycle array, so with any registered the
+  // constant pivots must exist as (unit-fixed) variables; without, they
+  // are eliminated outright and only shift the cardinality bound.
+  const bool need_all_vars = !properties_.empty();
+  std::size_t fixed_ones = 0;
+  for (std::size_t r = 0; r < ech.rank(); ++r) {
+    const f2::BitVec& row = ech.reduced_rows()[r];
+    const std::size_t pivot = ech.pivot_cols()[r];
+    const bool c = analysis.transformed.get(r);
+    std::vector<Var> xr;
+    for (std::size_t f : ech.free_cols()) {
+      if (row.get(f)) xr.push_back(cycle_vars[f]);
+    }
+    if (xr.empty() && !need_all_vars) {
+      if (c) ++fixed_ones;  // pivot forced to 1: pre-counted change
+      continue;
+    }
+    const Var y = solver.new_var();
+    cycle_vars[pivot] = y;
+    if (xr.empty()) {
+      ok = solver.add_clause({Lit(y, /*negated=*/!c)}) && ok;
+    } else {
+      xr.push_back(y);
+      if (options.native_xor) {
+        ok = solver.add_xor(std::move(xr), c) && ok;
+      } else {
+        ok = sat::add_xor_as_cnf(solver, xr, c) && ok;
+      }
+    }
+  }
+  if (fixed_ones > entry.k) return false;  // forced changes already exceed k
+
+  // Cardinality over the variables that exist; eliminated constant-1
+  // pivots are already-spent changes, so the bound shrinks by fixed_ones.
+  std::vector<Lit> lits;
+  lits.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (cycle_vars[i] != kNoVar) lits.push_back(mk_lit(cycle_vars[i]));
+  }
+  ok = sat::encode_exactly(solver, lits, static_cast<int>(entry.k - fixed_ones),
+                           options.card_encoding) &&
+       ok;
+
+  for (const Property* p : properties_) ok = p->encode(solver, cycle_vars) && ok;
+  return ok;
+}
+
 ReconstructionResult Reconstructor::reconstruct(
     const LogEntry& entry, const ReconstructionOptions& options) const {
   options.validate();
@@ -128,21 +194,75 @@ ReconstructionResult Reconstructor::reconstruct(
          {"properties", static_cast<std::uint64_t>(properties_.size())}});
   }
 
+  ReconstructionResult result;
+  auto finish = [&](ReconstructionResult& r) {
+    runs.add(1);
+    signals_total.add(static_cast<std::int64_t>(r.signals.size()));
+    run_time.observe(r.seconds_total);
+    if (span.active()) {
+      span.add("signals", static_cast<std::uint64_t>(r.signals.size()));
+      span.add("status", sat::to_string(r.final_status));
+      span.finish();
+    }
+  };
+
+  // The certified path keeps the classic encoding: every verdict must be
+  // derivable inside the solver for the DRAT stream to check out.
+  const bool use_presolve = options.presolve && options.proof == nullptr;
+  F2Presolve::Analysis analysis;
+  if (use_presolve) {
+    analysis = presolve_->analyze(entry.tp);
+    if (!analysis.consistent) {
+      // A·x = TP has no solution even without the weight constraint: the
+      // preimage is empty and complete, no solver needed.
+      result.final_status = Status::Unsat;
+      result.seconds_total =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (options.tracer != nullptr) options.tracer->event("sr.presolve_unsat");
+      finish(result);
+      return result;
+    }
+    if (presolve_->nullity() <= options.presolve_enum_limit) {
+      // The whole affine solution space is small: enumerate it directly,
+      // filtering on |x| = k and the properties. Zero solver variables.
+      F2Presolve::Decoded dec = presolve_->decode_by_enumeration(
+          analysis, entry.k, properties_, options.max_solutions);
+      result.signals = std::move(dec.signals);
+      result.final_status = dec.truncated ? Status::Sat : Status::Unsat;
+      result.seconds_total =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      result.seconds_to_each.assign(result.signals.size(), result.seconds_total);
+      if (options.verify_models) {
+        require_verified(*enc_, entry, result.signals, properties_);
+      }
+      if (options.tracer != nullptr) {
+        options.tracer->event(
+            "sr.presolve_decode",
+            {{"signals", static_cast<std::uint64_t>(result.signals.size())}});
+      }
+      finish(result);
+      return result;
+    }
+  }
+
   const std::unique_ptr<SolverInterface> solver_ptr = options.make_solver();
   SolverInterface& solver = *solver_ptr;
-  std::vector<Var> cycle_vars;
+  std::vector<Var> projection;  // enumeration projection (cycle or free vars)
   obs::Tracer::Span encode_span;
   if (options.tracer != nullptr) encode_span = options.tracer->span("sr.encode");
-  const bool encode_ok = encode_base(solver, cycle_vars, entry, options);
+  const bool encode_ok =
+      use_presolve
+          ? encode_presolved(solver, projection, entry, options, analysis)
+          : encode_base(solver, projection, entry, options);
   if (encode_span.active()) {
     encode_span.add("ok", encode_ok);
+    encode_span.add("presolved", use_presolve);
     encode_span.add("vars", static_cast<std::int64_t>(solver.num_vars()));
     encode_span.add("clauses", static_cast<std::uint64_t>(solver.num_clauses()));
     encode_span.add("xors", static_cast<std::uint64_t>(solver.num_xors()));
     encode_span.finish();
   }
 
-  ReconstructionResult result;
   result.num_vars = solver.num_vars();
   result.num_clauses = solver.num_clauses();
   result.num_xors = solver.num_xors();
@@ -162,32 +282,31 @@ ReconstructionResult Reconstructor::reconstruct(
     as.limits = options.limits;
     as.with_config(options);
     const sat::AllSatResult models =
-        sat::enumerate_models(solver, cycle_vars, as);
+        sat::enumerate_models(solver, projection, as);
 
     result.final_status = models.final_status;
     result.seconds_to_each = models.seconds_to_model;
     result.seconds_total = models.seconds_total;
     result.stats = solver.stats();
     for (const auto& model : models.models) {
-      Signal s(enc_->m());
-      for (std::size_t i = 0; i < model.size(); ++i) {
-        if (model[i]) s.set_change(i);
+      if (use_presolve) {
+        // Projection is the free columns; substitute the pivot values back.
+        result.signals.push_back(
+            Signal::from_bits(presolve_->expand(analysis, model)));
+      } else {
+        Signal s(enc_->m());
+        for (std::size_t i = 0; i < model.size(); ++i) {
+          if (model[i]) s.set_change(i);
+        }
+        result.signals.push_back(std::move(s));
       }
-      result.signals.push_back(std::move(s));
     }
     if (options.verify_models) {
       require_verified(*enc_, entry, result.signals, properties_);
     }
   }
 
-  runs.add(1);
-  signals_total.add(static_cast<std::int64_t>(result.signals.size()));
-  run_time.observe(result.seconds_total);
-  if (span.active()) {
-    span.add("signals", static_cast<std::uint64_t>(result.signals.size()));
-    span.add("status", sat::to_string(result.final_status));
-    span.finish();
-  }
+  finish(result);
   return result;
 }
 

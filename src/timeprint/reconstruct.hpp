@@ -27,6 +27,7 @@
 #include "sat/solver.hpp"
 #include "timeprint/encoding.hpp"
 #include "timeprint/logger.hpp"
+#include "timeprint/presolve.hpp"
 #include "timeprint/properties.hpp"
 #include "timeprint/signal.hpp"
 
@@ -75,6 +76,24 @@ struct ReconstructionOptions : sat::SolverConfig {
   /// encoding whose bound can vary under assumptions); card_encoding
   /// still selects the fresh path's encoding.
   bool incremental = false;
+  /// Consult the shared F2 echelon factorization (timeprint/presolve.hpp)
+  /// before emitting any CNF: an inconsistent linear system returns a
+  /// complete empty preimage without a solver; a system whose nullity is
+  /// at most presolve_enum_limit is decoded by direct enumeration of the
+  /// affine solution space (no solver either); everything else gets the
+  /// substituted encoding — rank(A) XOR definitions (pivot variable =
+  /// XOR of free-column variables ⊕ constant) replace the b raw rows,
+  /// constant pivots drop out of the solver entirely, enumeration
+  /// projects onto the free columns and pivot values are substituted back
+  /// into each model. Silently ignored when a DRAT proof sink is
+  /// attached: the certified path must derive every verdict inside the
+  /// solver, so it keeps the classic encoding. check_hypothesis and
+  /// reconstruct_split also stay classic (single solve / cube-split over
+  /// full cycle variables).
+  bool presolve = true;
+  /// Largest nullity the presolve decodes by direct enumeration
+  /// (2^nullity candidates are walked; keep this small).
+  std::size_t presolve_enum_limit = 4;
   /// Resource limits for the whole run (including `limits.interrupt`, the
   /// cooperative cancellation token honoured by every solve of the run).
   sat::SolveLimits limits;
@@ -168,8 +187,12 @@ struct CheckResult {
 /// properties pruning the search space.
 class Reconstructor {
  public:
-  /// The encoding must outlive the reconstructor.
-  explicit Reconstructor(const TimestampEncoding& encoding) : enc_(&encoding) {}
+  /// The encoding must outlive the reconstructor. Factors the encoding's
+  /// matrix once (f2::Echelonizer via F2Presolve); every query of this
+  /// reconstructor shares the factorization.
+  explicit Reconstructor(const TimestampEncoding& encoding)
+      : enc_(&encoding),
+        presolve_(std::make_shared<const F2Presolve>(encoding)) {}
 
   /// Register a known (verified) property; its clauses are added to every
   /// query. The property must outlive the reconstructor.
@@ -208,8 +231,21 @@ class Reconstructor {
   /// The encoding this reconstructor solves against.
   const TimestampEncoding& encoding() const { return *enc_; }
 
+  /// The shared F2 factorization of the encoding's matrix.
+  const F2Presolve& presolve() const { return *presolve_; }
+
  private:
+  /// Substituted encoding: free-column variables plus rank(A) XOR-defined
+  /// pivot variables (constant pivots get no variable unless a property
+  /// needs the full cycle array). Returns false iff trivially UNSAT;
+  /// `free_vars` receives the enumeration projection in free_cols order.
+  bool encode_presolved(sat::SolverInterface& solver,
+                        std::vector<sat::Var>& free_vars, const LogEntry& entry,
+                        const ReconstructionOptions& options,
+                        const F2Presolve::Analysis& analysis) const;
+
   const TimestampEncoding* enc_;
+  std::shared_ptr<const F2Presolve> presolve_;
   std::vector<const Property*> properties_;
 };
 

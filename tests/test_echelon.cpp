@@ -1,0 +1,201 @@
+// Differential tests: the word-parallel elimination kernels (Matrix via
+// detail::row_reduce, Echelonizer incl. the bit-sliced batch paths)
+// against the scalar reference kernels, on randomized and adversarial
+// shapes. The two implementations must agree *exactly* — same pivot
+// columns, same canonical particular solution (free variables 0), same
+// canonical null-space basis — not just on solvability.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "f2/echelon.hpp"
+#include "f2/matrix.hpp"
+#include "f2/reference.hpp"
+
+namespace tp::f2 {
+namespace {
+
+// Random matrix with a controllable amount of adversarial structure:
+// some all-zero rows, some duplicated rows (rank deficiency), plus a low
+// density option so pivot columns scatter.
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                     bool inject_structure) {
+  Matrix a(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) a.row(r) = BitVec::random(cols, rng);
+  if (inject_structure && rows >= 4) {
+    a.row(rows / 2) = BitVec(cols);                 // all-zero row
+    a.row(rows - 1) = a.row(0) ^ a.row(rows / 3);   // dependent row
+  }
+  return a;
+}
+
+void expect_same_solution(const std::optional<LinearSolution>& got,
+                          const std::optional<LinearSolution>& want) {
+  ASSERT_EQ(got.has_value(), want.has_value());
+  if (!got.has_value()) return;
+  EXPECT_EQ(got->particular, want->particular);
+  ASSERT_EQ(got->nullspace.size(), want->nullspace.size());
+  for (std::size_t i = 0; i < got->nullspace.size(); ++i) {
+    EXPECT_EQ(got->nullspace[i], want->nullspace[i]) << "basis vector " << i;
+  }
+}
+
+// The shape grid deliberately includes cols % 64 != 0 (tail-word masking),
+// cols > rows, rows > cols and single-digit sizes.
+struct Shape {
+  std::size_t rows, cols;
+};
+const Shape kShapes[] = {{1, 1},  {3, 7},   {8, 16},  {16, 8},  {13, 64},
+                         {20, 65}, {64, 63}, {70, 100}, {100, 70}, {33, 129}};
+
+TEST(Differential, RankMatchesReference) {
+  Rng rng(101);
+  for (const Shape& s : kShapes) {
+    for (int trial = 0; trial < 8; ++trial) {
+      Matrix a = random_matrix(s.rows, s.cols, rng, trial % 2 == 1);
+      EXPECT_EQ(a.rank(), reference::rank(a))
+          << s.rows << "x" << s.cols << " trial " << trial;
+    }
+  }
+}
+
+TEST(Differential, SolveMatchesReferenceOnConsistentSystems) {
+  Rng rng(202);
+  for (const Shape& s : kShapes) {
+    for (int trial = 0; trial < 8; ++trial) {
+      Matrix a = random_matrix(s.rows, s.cols, rng, trial % 2 == 0);
+      // b in the column space by construction.
+      BitVec b = a.multiply(BitVec::random(s.cols, rng));
+      expect_same_solution(a.solve(b), reference::solve(a, b));
+    }
+  }
+}
+
+TEST(Differential, SolveMatchesReferenceOnArbitraryRhs) {
+  Rng rng(303);
+  std::size_t inconsistent_seen = 0;
+  for (const Shape& s : kShapes) {
+    for (int trial = 0; trial < 8; ++trial) {
+      Matrix a = random_matrix(s.rows, s.cols, rng, true);
+      BitVec b = BitVec::random(s.rows, rng);  // often not in column space
+      auto want = reference::solve(a, b);
+      expect_same_solution(a.solve(b), want);
+      if (!want.has_value()) ++inconsistent_seen;
+    }
+  }
+  // The grid must actually exercise the inconsistent branch.
+  EXPECT_GT(inconsistent_seen, 0u);
+}
+
+TEST(Differential, ReduceMatchesReferenceRref) {
+  Rng rng(404);
+  for (const Shape& s : kShapes) {
+    Matrix a = random_matrix(s.rows, s.cols, rng, true);
+    std::vector<BitVec> fast, slow;
+    for (std::size_t r = 0; r < s.rows; ++r) {
+      fast.push_back(a.row(r));
+      slow.push_back(a.row(r));
+    }
+    const auto fp = detail::row_reduce(fast, s.cols);
+    const auto sp = reference::row_reduce(slow);
+    EXPECT_EQ(fp, sp);
+    for (std::size_t r = 0; r < s.rows; ++r) EXPECT_EQ(fast[r], slow[r]);
+  }
+}
+
+TEST(Echelonizer, AgreesWithMatrixSolveEverywhere) {
+  Rng rng(505);
+  for (const Shape& s : kShapes) {
+    Matrix a = random_matrix(s.rows, s.cols, rng, true);
+    Echelonizer ech(a);
+    EXPECT_EQ(ech.rank(), reference::rank(a));
+    EXPECT_EQ(ech.rank() + ech.nullity(), s.cols);
+    for (int trial = 0; trial < 6; ++trial) {
+      BitVec b = trial % 2 == 0 ? a.multiply(BitVec::random(s.cols, rng))
+                                : BitVec::random(s.rows, rng);
+      expect_same_solution(ech.solve(b), reference::solve(a, b));
+    }
+  }
+}
+
+TEST(Echelonizer, TransformCarriesRowOperations) {
+  Rng rng(606);
+  Matrix a = random_matrix(24, 40, rng, true);
+  Echelonizer ech(a);
+  for (int trial = 0; trial < 10; ++trial) {
+    BitVec b = BitVec::random(24, rng);
+    BitVec tb = ech.transform(b);
+    const bool consistent = ech.consistent_transformed(tb);
+    EXPECT_EQ(consistent, reference::solve(a, b).has_value());
+    if (consistent) {
+      EXPECT_EQ(a.multiply(ech.particular_from_transformed(tb)), b);
+    }
+  }
+}
+
+// The batch kernel sweeps 64 RHS per pass; sizes straddling the chunk
+// boundary (63, 64, 65, 200) catch transpose/tail bugs.
+class BatchSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchSizeTest, SolveBatchMatchesPerEntrySolve) {
+  const std::size_t n = GetParam();
+  Rng rng(707 + n);
+  Matrix a = random_matrix(30, 50, rng, true);
+  Echelonizer ech(a);
+  std::vector<BitVec> rhs;
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs.push_back(i % 3 == 0 ? BitVec::random(30, rng)
+                             : a.multiply(BitVec::random(50, rng)));
+  }
+  const auto batch = ech.solve_batch(rhs);
+  const auto transformed = ech.transform_batch(rhs);
+  ASSERT_EQ(batch.size(), n);
+  ASSERT_EQ(transformed.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto want = reference::solve(a, rhs[i]);
+    ASSERT_EQ(batch[i].has_value(), want.has_value()) << "entry " << i;
+    if (want.has_value()) EXPECT_EQ(*batch[i], want->particular) << "entry " << i;
+    EXPECT_EQ(transformed[i], ech.transform(rhs[i])) << "entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkBoundaries, BatchSizeTest,
+                         ::testing::Values(1, 5, 63, 64, 65, 200));
+
+TEST(Echelonizer, EmptyShapes) {
+  // 0xN: no constraints — everything consistent, full nullity.
+  Echelonizer zero_rows{Matrix(0, 5)};
+  EXPECT_EQ(zero_rows.rank(), 0u);
+  EXPECT_EQ(zero_rows.nullity(), 5u);
+  auto sol = zero_rows.solve(BitVec(0));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->nullspace.size(), 5u);
+
+  // Nx0: no unknowns — consistent iff b == 0.
+  Echelonizer zero_cols{Matrix(3, 0)};
+  EXPECT_TRUE(zero_cols.solve(BitVec(3)).has_value());
+  BitVec b(3);
+  b.set(1, true);
+  EXPECT_FALSE(zero_cols.solve(b).has_value());
+
+  // 0x0 and the empty batch.
+  Echelonizer empty{Matrix(0, 0)};
+  EXPECT_TRUE(empty.solve(BitVec(0)).has_value());
+  EXPECT_TRUE(empty.solve_batch({}).empty());
+}
+
+TEST(Echelonizer, AllZeroMatrix) {
+  Echelonizer ech{Matrix(6, 9)};
+  EXPECT_EQ(ech.rank(), 0u);
+  EXPECT_EQ(ech.nullity(), 9u);
+  BitVec b(6);
+  EXPECT_TRUE(ech.solve(b).has_value());
+  b.set(5, true);
+  EXPECT_FALSE(ech.solve(b).has_value());
+}
+
+}  // namespace
+}  // namespace tp::f2

@@ -237,6 +237,101 @@ TEST(Incremental, BatchIncrementalMatchesFreshBatch) {
   }
 }
 
+TEST(Incremental, PresolveParityAcrossConfigs) {
+  // The substituted (presolved) encoding must reconstruct exactly the same
+  // signal sets as the classic one, on both engines, across the XOR /
+  // Gauss / cardinality configurations. This is the end-to-end fingerprint
+  // parity gate for the pre-CNF pivot elimination.
+  struct Knobs {
+    bool native_xor;
+    bool use_gauss;
+    sat::CardEncoding card;
+  };
+  const Knobs configs[] = {
+      {true, true, sat::CardEncoding::SequentialCounter},
+      {true, false, sat::CardEncoding::Totalizer},
+      {false, false, sat::CardEncoding::SequentialCounter},
+  };
+  const TimestampEncoding enc = TimestampEncoding::random_constrained_auto(13, 3, 51);
+  Reconstructor fresh(enc);
+  f2::Rng rng(53);
+  const std::vector<LogEntry> entries = random_stream(enc, 6, rng);
+
+  for (const Knobs& kn : configs) {
+    ReconstructionOptions on;
+    on.native_xor = kn.native_xor;
+    on.use_gauss = kn.use_gauss;
+    on.card_encoding = kn.card;
+    on.presolve = true;
+    on.verify_models = true;
+    ReconstructionOptions off = on;
+    off.presolve = false;
+    TemplateReconstructor tmpl_on(enc, {}, on);
+    TemplateReconstructor tmpl_off(enc, {}, off);
+    for (const LogEntry& entry : entries) {
+      const auto want = signal_set(fresh.reconstruct(entry, off).signals);
+      EXPECT_EQ(signal_set(fresh.reconstruct(entry, on).signals), want);
+      EXPECT_EQ(signal_set(tmpl_on.reconstruct(entry).signals), want);
+      EXPECT_EQ(signal_set(tmpl_off.reconstruct(entry).signals), want);
+    }
+  }
+}
+
+TEST(Incremental, PresolveShrinksTheEncodedProblem) {
+  // Redundant timeprint bits (width > rank) vanish in the substituted
+  // base: classic encodes one XOR row + selector per width bit, presolved
+  // one per RREF row. Same fingerprints, strictly fewer variables.
+  f2::Rng rng(67);
+  std::vector<f2::BitVec> ts;
+  for (int i = 0; i < 10; ++i) ts.push_back(f2::BitVec::random(24, rng));
+  // Two dependent timestamps give nullity >= 2, keeping the comparison on
+  // the actual solver path (not the enumeration fast path).
+  ts.push_back(ts[0] ^ ts[1]);
+  ts.push_back(ts[2] ^ ts[3]);
+  const TimestampEncoding enc = TimestampEncoding::from_vectors(ts, 1);
+  ASSERT_GT(enc.width(), enc.m());  // rank <= m = 12 < 24 = b
+
+  ReconstructionOptions on;       // presolve defaults to true
+  on.presolve_enum_limit = 0;     // nullity 2 > 0: both configs must solve
+  ReconstructionOptions off = on;
+  off.presolve = false;
+  TemplateReconstructor tmpl_on(enc, {}, on);
+  TemplateReconstructor tmpl_off(enc, {}, off);
+  Logger logger(enc);
+  const LogEntry entry = logger.log(Signal::random_with_changes(enc.m(), 3, rng));
+
+  const ReconstructionResult r_on = tmpl_on.reconstruct(entry);
+  const ReconstructionResult r_off = tmpl_off.reconstruct(entry);
+  ASSERT_TRUE(r_on.complete());
+  ASSERT_TRUE(r_off.complete());
+  EXPECT_EQ(signal_set(r_on.signals), signal_set(r_off.signals));
+  EXPECT_LT(r_on.num_vars, r_off.num_vars);
+  EXPECT_LT(r_on.num_xors, r_off.num_xors);
+}
+
+TEST(Incremental, PresolveDecodesSmallNullityWithoutSolving) {
+  // One-hot timestamps: rank m, nullity 0 — every entry is fully
+  // determined by the linear system alone and must bypass the solver (the
+  // solver-effort delta stays zero), presolve_enum_limit >= 0 suffices.
+  const TimestampEncoding enc = TimestampEncoding::one_hot(9);
+  Reconstructor fresh(enc);
+  ReconstructionOptions opts;
+  TemplateReconstructor tmpl(enc, {}, opts);
+  Logger logger(enc);
+  f2::Rng rng(71);
+  for (int i = 0; i < 5; ++i) {
+    const LogEntry entry =
+        logger.log(Signal::random_with_changes(enc.m(), rng.below(4), rng));
+    const ReconstructionResult t = tmpl.reconstruct(entry);
+    ASSERT_TRUE(t.complete());
+    EXPECT_EQ(t.stats.decisions, 0);
+    EXPECT_EQ(t.stats.propagations, 0);
+    EXPECT_EQ(signal_set(t.signals),
+              signal_set(fresh.reconstruct(entry, opts).signals));
+    EXPECT_EQ(t.signals.size(), 1u);  // nullity 0: unique solution
+  }
+}
+
 TEST(Incremental, LearntClauseCapitalAccumulates) {
   // Not a semantic requirement, but the whole point of the engine: after a
   // non-trivial stream the retained-learnts counter must have moved (the

@@ -110,6 +110,45 @@ TEST(Matrix, LinearlyIndependentDetectsDependence) {
   EXPECT_TRUE(Matrix::linearly_independent(vecs));
 }
 
+// ---- Degenerate shapes (regressions: from_columns({}) used to read
+// cols.front() of an empty vector) ----
+
+TEST(Matrix, FromColumnsEmptyListIsZeroByZero) {
+  Matrix a = Matrix::from_columns({});
+  EXPECT_EQ(a.rows(), 0u);
+  EXPECT_EQ(a.cols(), 0u);
+  EXPECT_EQ(a.rank(), 0u);
+}
+
+TEST(Matrix, ZeroRowSystemIsUnconstrained) {
+  Matrix a(0, 4);
+  EXPECT_EQ(a.rank(), 0u);
+  auto sol = a.solve(BitVec(0));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_TRUE(sol->particular.is_zero());
+  EXPECT_EQ(sol->nullspace.size(), 4u);  // every column free
+  EXPECT_TRUE(Matrix::linearly_independent(sol->nullspace));
+}
+
+TEST(Matrix, ZeroColumnSystemConsistencyDependsOnRhs) {
+  Matrix a(3, 0);
+  EXPECT_EQ(a.rank(), 0u);
+  auto sol = a.solve(BitVec(3));  // 0 = 0: the empty vector solves it
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->nullspace.size(), 0u);
+  BitVec b(3);
+  b.set(0, true);
+  EXPECT_FALSE(a.solve(b).has_value());  // 0 = 1: inconsistent
+}
+
+TEST(Matrix, ZeroByZeroSystem) {
+  Matrix a(0, 0);
+  EXPECT_EQ(a.rank(), 0u);
+  auto sol = a.solve(BitVec(0));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->count(), 1u);
+}
+
 // ---- LiChecker ----
 
 TEST(LiChecker, RejectsZeroAndDuplicates) {
@@ -146,6 +185,30 @@ TEST(LiChecker, Depth4RejectsTripleSum) {
   li3.add(b);
   li3.add(c);
   EXPECT_TRUE(li3.can_add(a ^ b ^ c));
+}
+
+// Regression: the pair-XOR exclusion set only serves depth >= 3 queries
+// (and member_set_ only depth >= 2), so shallow checkers must not grow
+// the quadratic set at all.
+TEST(LiChecker, ShallowDepthsSkipPairXorBookkeeping) {
+  for (std::size_t depth : {std::size_t{1}, std::size_t{2}}) {
+    LiChecker li(24, depth);
+    Rng rng(900 + depth);
+    while (li.size() < 20) {
+      BitVec v = BitVec::random(24, rng);
+      if (li.can_add(v)) li.add(v);
+    }
+    EXPECT_EQ(li.pair_xor_count(), 0u) << "depth " << depth;
+  }
+  // Control: depth 3 does populate it (one entry per unordered pair; at
+  // 24 bits the 190 random pair sums are collision-free for this seed).
+  LiChecker li3(24, 3);
+  Rng rng(950);
+  while (li3.size() < 20) {
+    BitVec v = BitVec::random(24, rng);
+    if (li3.can_add(v)) li3.add(v);
+  }
+  EXPECT_EQ(li3.pair_xor_count(), 20u * 19u / 2u);
 }
 
 // Property: any set accepted by LiChecker(depth d) has every subset of

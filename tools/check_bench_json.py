@@ -26,9 +26,13 @@ for each matched pair the checks are:
 
   * "fingerprint", when present in the baseline row, must be identical —
     a throughput win that changes answers is a bug, not a win;
-  * "props_per_sec", when present in both rows, must be at least
-    --min-ratio times the baseline value (default 0.85, i.e. tolerate
-    15% machine noise but fail on real regressions).
+  * "props_per_sec" and "entries_per_sec", when present in both rows,
+    must be at least --min-ratio times the baseline value (default 0.85,
+    i.e. tolerate 15% machine noise but fail on real regressions). The
+    ratio gate is skipped — fingerprint and coverage checks are not —
+    when the report's config carries "underprovisioned": true (the bench
+    detected fewer cores than its parallelism needs, so its throughput
+    says nothing about the code).
 
 Rows present only in the baseline fail the check (a silently dropped
 config is a regression in coverage); rows present only in the current
@@ -132,7 +136,11 @@ def check_baseline(base, current, min_ratio):
     if missing:
         raise BaselineError(f"baseline rows missing from report: {missing}")
 
+    skip_ratio = bool(current.get("config", {}).get("underprovisioned"))
     lines = []
+    if skip_ratio:
+        lines.append("  report is underprovisioned (fewer cores than the "
+                     "bench's parallelism): ratio gate skipped")
     for key in sorted(base_rows):
         b, c = base_rows[key], cur_rows[key]
 
@@ -142,17 +150,21 @@ def check_baseline(base, current, min_ratio):
                 f"row {key!r}: fingerprint {c.get('fingerprint')!r} != "
                 f"baseline {base_fp!r} (answers changed)")
 
-        base_pps = b.get("props_per_sec")
-        cur_pps = c.get("props_per_sec")
-        if base_pps and isinstance(cur_pps, numbers.Real):
-            ratio = cur_pps / base_pps
-            lines.append(f"  {key}: {base_pps:,.0f} -> {cur_pps:,.0f} "
-                         f"props/sec (x{ratio:.2f})")
+        for field in ("props_per_sec", "entries_per_sec"):
+            base_rate = b.get(field)
+            cur_rate = c.get(field)
+            if not base_rate or not isinstance(cur_rate, numbers.Real):
+                continue
+            ratio = cur_rate / base_rate
+            lines.append(f"  {key}: {base_rate:,.0f} -> {cur_rate:,.0f} "
+                         f"{field} (x{ratio:.2f})")
+            if skip_ratio:
+                continue
             if ratio < min_ratio:
                 raise BaselineError(
-                    f"row {key!r}: props_per_sec regressed to "
+                    f"row {key!r}: {field} regressed to "
                     f"{ratio:.2f}x of baseline (< {min_ratio:.2f}x): "
-                    f"{base_pps:,.0f} -> {cur_pps:,.0f}")
+                    f"{base_rate:,.0f} -> {cur_rate:,.0f}")
 
     extra = sorted(cur_rows.keys() - base_rows.keys())
     if extra:
