@@ -17,11 +17,15 @@
 //       Replay a reconstruction with event tracing on and dump the JSONL
 //       trace (solver/encode/enumeration spans and events) to stdout or,
 //       with --out FILE, to a file; the solution summary goes to stderr.
-//   tpr solve <cnf-file> [--proof FILE] [--binary-proof]
+//   tpr solve <cnf-file> [--proof FILE] [--binary-proof] [--preprocess]
 //       Solve an extended-DIMACS instance with the CDCL core. With --proof,
 //       every learnt/deleted clause is streamed as a DRAT proof (text by
 //       default, binary with --binary-proof); an UNSAT run's proof ends
-//       with the empty clause. Exit 0 = SAT, 1 = UNSAT, 2 = error.
+//       with the empty clause. --preprocess runs the CNF front-end
+//       (bounded variable elimination, subsumption, failed-literal
+//       probing, dense remapping — sat/preprocess.hpp) before the CDCL
+//       loop; proofs stay checkable against the original instance.
+//       Exit 0 = SAT, 1 = UNSAT, 2 = error.
 //   tpr check-proof <cnf-file> <proof-file> [--binary-proof]
 //       Replay a DRAT proof against the instance with the independent
 //       RUP/RAT checker (shares no code with the solver). Exit 0 iff the
@@ -35,6 +39,11 @@
 //                              (timeprint/incremental.hpp) instead of a
 //                              fresh solver; `tpr trace` reports the
 //                              incremental.* counters on stderr
+//   --preprocess / --no-preprocess
+//                              enable/disable the CNF preprocessing
+//                              front-end ahead of every solve (default
+//                              off); `tpr trace` reports the
+//                              solver.preprocess.* counters on stderr
 //
 // Example:
 //   tpr reconstruct 64 13 1 0101100110010 4 --prop "before 32 min 3" --max 5
@@ -66,12 +75,13 @@ int usage() {
                "  tpr encode <m> <b> <depth> <seed>\n"
                "  tpr log <m> <b> <seed> <signal-bits>\n"
                "  tpr reconstruct <m> <b> <seed> <tp-bits> <k> [--prop P] "
-               "[--max N] [--timeout S] [--incremental]\n"
+               "[--max N] [--timeout S] [--incremental] [--preprocess]\n"
                "  tpr check <m> <b> <seed> <tp-bits> <k> --hypothesis P "
-               "[--prop P] [--timeout S]\n"
+               "[--prop P] [--timeout S] [--preprocess]\n"
                "  tpr trace <m> <b> <seed> <tp-bits> <k> [--prop P] [--max N] "
-               "[--timeout S] [--out FILE] [--incremental]\n"
-               "  tpr solve <cnf-file> [--proof FILE] [--binary-proof]\n"
+               "[--timeout S] [--out FILE] [--incremental] [--preprocess]\n"
+               "  tpr solve <cnf-file> [--proof FILE] [--binary-proof] "
+               "[--preprocess]\n"
                "  tpr check-proof <cnf-file> <proof-file> [--binary-proof]\n");
   return 2;
 }
@@ -87,10 +97,15 @@ int cmd_solve(int argc, char** argv) {
   if (argc < 3) return usage();
   std::string proof_path;
   bool binary = false;
+  bool preprocess = false;
   for (int i = 3; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--binary-proof") {
       binary = true;
+    } else if (flag == "--preprocess") {
+      preprocess = true;
+    } else if (flag == "--no-preprocess") {
+      preprocess = false;
     } else if (flag == "--proof" && i + 1 < argc) {
       proof_path = argv[++i];
     } else {
@@ -118,6 +133,7 @@ int cmd_solve(int argc, char** argv) {
 
   sat::SolverOptions so;
   so.proof = sink.get();
+  so.preprocess = preprocess;
   const std::unique_ptr<sat::SolverInterface> solver =
       sat::SolverFactory::make(so);
   sat::Status status = sat::Status::Unsat;
@@ -178,6 +194,7 @@ struct CommonOptions {
   double timeout = -1.0;
   std::string trace_out;
   bool incremental = false;
+  bool preprocess = false;
 };
 
 bool parse_flags(int argc, char** argv, int first, CommonOptions& out) {
@@ -185,6 +202,14 @@ bool parse_flags(int argc, char** argv, int first, CommonOptions& out) {
     const std::string flag = argv[i];
     if (flag == "--incremental") {  // valueless
       out.incremental = true;
+      continue;
+    }
+    if (flag == "--preprocess") {  // valueless
+      out.preprocess = true;
+      continue;
+    }
+    if (flag == "--no-preprocess") {  // valueless
+      out.preprocess = false;
       continue;
     }
     if (i + 1 >= argc) {
@@ -267,6 +292,7 @@ int main(int argc, char** argv) {
       ro.max_solutions = opts.max_solutions;
       ro.limits.max_seconds = opts.timeout;
       ro.incremental = opts.incremental;
+      ro.preprocess = opts.preprocess;
 
       // One entry, either engine: --incremental builds a template and
       // serves the entry from it (the counters it bumps are reported by
@@ -300,6 +326,24 @@ int main(int argc, char** argv) {
             static_cast<long long>(reg.counter_value("incremental.template_hits")),
             static_cast<long long>(reg.counter_value("incremental.template_misses")),
             static_cast<long long>(reg.counter_value("incremental.learnt_retained")));
+        std::fprintf(
+            stderr,
+            "# preprocess runs=%lld vars_eliminated=%lld vars_fixed=%lld "
+            "resolvents_added=%lld subsumed=%lld strengthened=%lld "
+            "failed_literals=%lld\n",
+            static_cast<long long>(reg.counter_value("solver.preprocess.runs")),
+            static_cast<long long>(
+                reg.counter_value("solver.preprocess.vars_eliminated")),
+            static_cast<long long>(
+                reg.counter_value("solver.preprocess.vars_fixed")),
+            static_cast<long long>(
+                reg.counter_value("solver.preprocess.resolvents_added")),
+            static_cast<long long>(
+                reg.counter_value("solver.preprocess.subsumed")),
+            static_cast<long long>(
+                reg.counter_value("solver.preprocess.strengthened")),
+            static_cast<long long>(
+                reg.counter_value("solver.preprocess.failed_literals")));
         return result.final_status == sat::Status::Unknown ? 1 : 0;
       }
       if (cmd == "reconstruct") {

@@ -1,5 +1,6 @@
 #include "sat/dimacs.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -11,7 +12,32 @@ namespace tp::sat {
 bool Cnf::load_into(SolverInterface& solver) const {
   while (solver.num_vars() < num_vars) solver.new_var();
   bool ok = true;
-  for (const auto& c : clauses) ok = solver.add_clause(c) && ok;
+  // Canonicalize each clause before it reaches the solver: drop
+  // tautologies outright and merge duplicate literals. DIMACS inputs from
+  // other tools routinely carry both, and while the CDCL backend would
+  // canonicalize again, front-end layers that buffer raw clauses (the
+  // preprocessing wrapper) and the proof axiom stream are cleaner when
+  // fed the canonical form.
+  std::vector<Lit> canon;
+  for (const auto& c : clauses) {
+    canon.assign(c.begin(), c.end());
+    std::sort(canon.begin(), canon.end());
+    bool tautology = false;
+    Lit prev = lit_undef;
+    std::size_t keep = 0;
+    for (Lit l : canon) {
+      if (l == ~prev) {
+        tautology = true;
+        break;
+      }
+      if (l == prev) continue;
+      canon[keep++] = l;
+      prev = l;
+    }
+    if (tautology) continue;
+    canon.resize(keep);
+    ok = solver.add_clause(canon) && ok;
+  }
   for (const auto& [vars, rhs] : xors) ok = solver.add_xor(vars, rhs) && ok;
   return ok;
 }

@@ -3,11 +3,14 @@
 #include <memory>
 
 #include "sat/portfolio.hpp"
+#include "sat/preprocess.hpp"
 #include "sat/solver.hpp"
 
 namespace tp::sat {
 
 SolverInterface::~SolverInterface() = default;
+
+void SolverInterface::freeze(Var) {}
 
 Status SolverInterface::solve_assuming(const std::vector<Lit>& assumptions,
                                        const SolveLimits& limits) {
@@ -26,12 +29,19 @@ const char* to_string(SolverBackend backend) {
 }
 
 std::unique_ptr<SolverInterface> SolverFactory::make(const SolverOptions& base) {
-  return std::make_unique<Solver>(base);
+  return make(SolverBackend::Single, base);
 }
 
 std::unique_ptr<SolverInterface> SolverFactory::make(
     SolverBackend backend, const SolverOptions& base,
     const PortfolioOptions& portfolio) {
+  if (base.preprocess) {
+    // The CNF front-end wraps whichever backend was requested; it builds
+    // the inner backend lazily at the first solve, over the preprocessed
+    // and densely renumbered formula (with preprocess cleared, so this
+    // wrapping never recurses).
+    return std::make_unique<PreprocessingSolver>(backend, base, portfolio);
+  }
   switch (backend) {
     case SolverBackend::Single:
       return std::make_unique<Solver>(base);

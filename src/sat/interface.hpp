@@ -120,6 +120,31 @@ struct SolverConfig {
   /// exactly one solver instance (clone() detaches it from the copy) and
   /// must outlive the solver. Incompatible with use_gauss.
   ProofSink* proof = nullptr;
+  /// CNF preprocessing front-end (sat/preprocess.hpp): run bounded
+  /// variable elimination, backward/self-subsuming subsumption, pure- and
+  /// failed-literal probing over the clause database once before the
+  /// first solve, then compact the surviving variables into a dense range
+  /// (sat/remap.hpp). SolverFactory::make wraps the selected backend in a
+  /// PreprocessingSolver when set, so every consumer of the interface
+  /// inherits it. Variables the caller will assume on or mention in
+  /// later-added clauses (selectors, projection variables, guards created
+  /// before the first solve) must be freeze()-frozen — frozen variables
+  /// are never eliminated, only renumbered. DRAT-safe: each preprocessing
+  /// step emits the add/delete ops that keep an UNSAT proof checkable.
+  bool preprocess = false;
+  /// Failed-literal probing budget, counted in clause-literal visits of
+  /// the preprocessing-time propagation (0 disables probing).
+  std::int64_t preprocess_probe_budget = 2'000'000;
+  /// Bounded variable elimination keeps an elimination only when the
+  /// number of surviving resolvents is at most the number of clauses it
+  /// removes plus this growth allowance. A small positive allowance lets
+  /// BVE finish off chains whose middle resolvents briefly grow the
+  /// database; large values trade propagation speed for variable count
+  /// (bench_solver regresses noticeably at 16).
+  int preprocess_bve_growth = 4;
+  /// BVE skips variables with more occurrences than this in *both*
+  /// phases (the resolvent cross-product would be quadratic ballast).
+  std::size_t preprocess_occ_limit = 30;
 };
 
 /// Abstract incremental SAT solver with native XOR support. See the file
@@ -143,6 +168,14 @@ class SolverInterface {
   /// Add an XOR constraint (parity of `vars` equals rhs). Returns false
   /// iff trivially unsatisfiable.
   virtual bool add_xor(std::vector<Var> vars, bool rhs) = 0;
+
+  /// Declare a variable part of the external interface: a preprocessing
+  /// front-end (SolverConfig::preprocess) must not eliminate it, because
+  /// the caller intends to assume on it or mention it in later-added
+  /// clauses. Frozen variables may still be *fixed* by unit propagation —
+  /// only structural elimination is ruled out. Default: no-op (backends
+  /// without preprocessing never eliminate variables).
+  virtual void freeze(Var v);
 
   // --- solving ---
 

@@ -1,0 +1,1023 @@
+#include "sat/preprocess.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tp::sat {
+
+namespace {
+
+// Internal work budgets of the optional phases, in clause-literal visits.
+// They bound worst-case preprocessing time on adversarial instances; on
+// the reconstruction encodings the phases converge long before these hit.
+constexpr std::int64_t kSubsumptionBudget = 10'000'000;
+constexpr std::int64_t kBveBudget = 20'000'000;
+constexpr int kBveRounds = 8;
+
+std::uint64_t clause_sig(const std::vector<Lit>& lits) {
+  std::uint64_t sig = 0;
+  for (Lit l : lits) sig |= std::uint64_t{1} << (l.code() & 63);
+  return sig;
+}
+
+/// The whole pipeline over a private clause database with occurrence
+/// lists. Occurrence lists are lazy: entries go stale when a clause is
+/// deleted or strengthened, and every visitor re-checks membership.
+class Engine {
+ public:
+  Engine(int num_vars, std::vector<std::vector<Lit>>&& clauses,
+         const std::vector<std::pair<std::vector<Var>, bool>>& xors,
+         const std::vector<char>& frozen, const PreprocessConfig& cfg)
+      : cfg_(cfg),
+        nvars_(num_vars),
+        val_(static_cast<std::size_t>(num_vars), LBool::Undef),
+        occ_(static_cast<std::size_t>(num_vars) * 2),
+        frozen_(frozen),
+        remap_(num_vars) {
+    frozen_.resize(static_cast<std::size_t>(num_vars), 0);
+    // XOR members are implicitly frozen: elimination reasons over the
+    // clausal view cannot see parity constraints, so resolving an XOR
+    // variable away would change the model set.
+    for (const auto& [vars, rhs] : xors) {
+      (void)rhs;
+      for (Var v : vars) frozen_[static_cast<std::size_t>(v)] = 1;
+    }
+    stats_.vars_before = num_vars;
+    stats_.clauses_before = static_cast<std::int64_t>(clauses.size());
+    for (auto& c : clauses) {
+      if (!ok_) break;
+      insert_input(std::move(c));
+    }
+  }
+
+  Preprocessor::Result run() {
+    if (ok_) ok_ = propagate();
+    if (ok_) subsume_all();
+    if (ok_ && cfg_.probe_budget > 0) probe_all();
+    if (ok_) bve_all();
+    return finish();
+  }
+
+ private:
+  bool interrupted() const {
+    return cfg_.interrupt != nullptr &&
+           cfg_.interrupt->load(std::memory_order_relaxed);
+  }
+
+  LBool value(Lit l) const {
+    const LBool v = val_[static_cast<std::size_t>(l.var())];
+    if (v == LBool::Undef) return LBool::Undef;
+    return l.negated() ? ~v : v;
+  }
+
+  static bool contains(const std::vector<Lit>& lits, Lit l) {
+    return std::binary_search(lits.begin(), lits.end(), l);
+  }
+
+  void proof_add(const std::vector<Lit>& lits) {
+    if (cfg_.proof != nullptr) cfg_.proof->add(lits);
+  }
+  /// Unit clauses are never proof-deleted: they cost the checker nothing
+  /// and keep its propagation at least as strong as the engine's.
+  void proof_del(const std::vector<Lit>& lits) {
+    if (cfg_.proof != nullptr && lits.size() > 1) cfg_.proof->del(lits);
+  }
+  void conflict() {
+    if (ok_) {
+      ok_ = false;
+      proof_add({});
+    }
+  }
+
+  struct PClause {
+    std::vector<Lit> lits;  ///< sorted, duplicate-free
+    std::uint64_t sig = 0;
+    bool deleted = false;
+  };
+
+  // --- database maintenance ---
+
+  void insert_input(std::vector<Lit>&& lits) {
+    // Canonicalize defensively (PreprocessingSolver already did for its
+    // own buffers, but run() is a public entry point).
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    Lit prev = lit_undef;
+    for (Lit l : lits) {
+      if (l == ~prev) return;  // tautology
+      if (l == prev) continue;
+      out.push_back(l);
+      prev = l;
+    }
+    if (out.empty()) {
+      conflict();
+      return;
+    }
+    if (out.size() == 1) {
+      // Input unit: already an axiom of the stream, no add needed.
+      assign_unit(out[0]);
+      return;
+    }
+    insert_clause(std::move(out));
+  }
+
+  void insert_clause(std::vector<Lit>&& lits) {
+    const auto idx = static_cast<std::uint32_t>(db_.size());
+    PClause c;
+    c.sig = clause_sig(lits);
+    c.lits = std::move(lits);
+    for (Lit l : c.lits) occ_[static_cast<std::size_t>(l.code())].push_back(idx);
+    db_.push_back(std::move(c));
+  }
+
+  void remove_clause(std::uint32_t idx) {
+    PClause& c = db_[idx];
+    if (c.deleted) return;
+    c.deleted = true;
+    proof_del(c.lits);
+    // Occurrence entries go stale; visitors re-check membership.
+  }
+
+  /// `true` iff the assignment is consistent so far.
+  bool assign_unit(Lit l) {
+    const LBool v = value(l);
+    if (v == LBool::True) return true;
+    if (v == LBool::False) {
+      conflict();
+      return false;
+    }
+    val_[static_cast<std::size_t>(l.var())] =
+        l.negated() ? LBool::False : LBool::True;
+    queue_.push_back(l);
+    return true;
+  }
+
+  /// Remove `l` (known false at root) from clause `idx`. The shrunken
+  /// clause is RUP (resolvent with the falsifying context), so it is
+  /// emitted before the original is deleted.
+  bool strengthen(std::uint32_t idx, Lit l) {
+    PClause& c = db_[idx];
+    scratch_.clear();
+    for (Lit q : c.lits) {
+      if (q != l) scratch_.push_back(q);
+    }
+    ++stats_.strengthened_clauses;
+    if (scratch_.empty()) {
+      conflict();
+      return false;
+    }
+    proof_add(scratch_);
+    if (scratch_.size() == 1) {
+      const Lit unit = scratch_[0];
+      remove_clause(idx);
+      return assign_unit(unit);
+    }
+    proof_del(c.lits);
+    c.lits = scratch_;
+    c.sig = clause_sig(c.lits);
+    return true;
+  }
+
+  /// Root unit propagation to fixpoint over the occurrence lists. After
+  /// it returns true, no live clause mentions an assigned variable.
+  bool propagate() {
+    while (qhead_ < queue_.size()) {
+      const Lit l = queue_[qhead_++];
+      ++stats_.propagations;
+      auto& sat_occ = occ_[static_cast<std::size_t>(l.code())];
+      for (std::uint32_t idx : sat_occ) {
+        PClause& c = db_[idx];
+        if (c.deleted || !contains(c.lits, l)) continue;
+        remove_clause(idx);
+      }
+      sat_occ.clear();
+      auto& neg_occ = occ_[static_cast<std::size_t>((~l).code())];
+      for (std::uint32_t idx : neg_occ) {
+        PClause& c = db_[idx];
+        if (c.deleted || !contains(c.lits, ~l)) continue;
+        if (!strengthen(idx, ~l)) return false;
+      }
+      neg_occ.clear();
+    }
+    return true;
+  }
+
+  // --- subsumption / self-subsuming resolution ---
+
+  static bool subset(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+    auto it = b.begin();
+    for (Lit l : a) {
+      it = std::lower_bound(it, b.end(), l);
+      if (it == b.end() || *it != l) return false;
+      ++it;
+    }
+    return true;
+  }
+
+  /// Every literal of `a` except `skip` is in `b`, and ~skip is in `b` —
+  /// i.e. b ⊇ (a \ {skip}) ∪ {~skip}, the self-subsumption condition.
+  static bool subset_with_flip(const std::vector<Lit>& a, Lit skip,
+                               const std::vector<Lit>& b) {
+    if (!contains(b, ~skip)) return false;
+    auto it = b.begin();
+    for (Lit l : a) {
+      if (l == skip) continue;
+      it = std::lower_bound(it, b.end(), l);
+      if (it == b.end() || *it != l) return false;
+      ++it;
+    }
+    return true;
+  }
+
+  void subsume_all() {
+    std::int64_t budget = kSubsumptionBudget;
+    for (std::uint32_t i = 0; i < db_.size() && budget > 0 && ok_; ++i) {
+      if (interrupted()) return;
+      if (db_[i].deleted) continue;
+      if (!subsume_with(i, budget)) return;
+    }
+  }
+
+  /// Use clause `i` to subsume or strengthen other clauses (backward
+  /// subsumption). Returns ok_.
+  bool subsume_with(std::uint32_t i, std::int64_t& budget) {
+    // Copy: strengthening other clauses never touches clause i, but the
+    // db_ vector itself must not be held by reference across mutation.
+    const std::vector<Lit> base = db_[i].lits;
+    const std::uint64_t sig = db_[i].sig;
+
+    // Scan the shortest occurrence list among base's literals — every
+    // superset of base occurs in all of them.
+    Lit pivot = base[0];
+    std::size_t best = occ_[static_cast<std::size_t>(pivot.code())].size();
+    for (Lit l : base) {
+      const std::size_t n = occ_[static_cast<std::size_t>(l.code())].size();
+      if (n < best) {
+        best = n;
+        pivot = l;
+      }
+    }
+    for (std::uint32_t idx : occ_[static_cast<std::size_t>(pivot.code())]) {
+      if (idx == i) continue;
+      PClause& d = db_[idx];
+      if (d.deleted || !contains(d.lits, pivot)) continue;
+      budget -= static_cast<std::int64_t>(d.lits.size());
+      if (d.lits.size() < base.size() || (sig & ~d.sig) != 0) continue;
+      if (subset(base, d.lits)) {
+        remove_clause(idx);
+        ++stats_.subsumed_clauses;
+      }
+    }
+
+    // Self-subsuming resolution: find D ⊇ (base \ {l}) ∪ {~l} and drop
+    // ~l from D (D shrinks to the resolvent of base and D on l).
+    for (Lit l : base) {
+      const std::uint64_t flip_sig =
+          (sig & ~(std::uint64_t{1} << (l.code() & 63))) |
+          (std::uint64_t{1} << ((~l).code() & 63));
+      for (std::uint32_t idx : occ_[static_cast<std::size_t>((~l).code())]) {
+        PClause& d = db_[idx];
+        if (d.deleted || !contains(d.lits, ~l)) continue;
+        budget -= static_cast<std::int64_t>(d.lits.size());
+        if (d.lits.size() < base.size() || (flip_sig & ~d.sig) != 0) continue;
+        if (subset_with_flip(base, l, d.lits)) {
+          if (!strengthen(idx, ~l)) return false;
+        }
+      }
+      if (budget <= 0) break;
+    }
+    if (qhead_ < queue_.size()) return propagate();
+    return true;
+  }
+
+  // --- failed-literal probing ---
+
+  void probe_all() {
+    std::int64_t budget = cfg_.probe_budget;
+    for (Var v = 0; v < nvars_ && budget > 0 && ok_; ++v) {
+      if (interrupted()) return;
+      if (val_[static_cast<std::size_t>(v)] != LBool::Undef) continue;
+      const Lit pos = mk_lit(v);
+      if (occ_[static_cast<std::size_t>(pos.code())].empty() &&
+          occ_[static_cast<std::size_t>((~pos).code())].empty()) {
+        continue;
+      }
+      for (int phase = 0; phase < 2 && ok_; ++phase) {
+        if (val_[static_cast<std::size_t>(v)] != LBool::Undef) break;
+        const Lit l(v, phase == 1);
+        ++stats_.probes;
+        if (probe(l, budget)) {
+          // Probing l hit a conflict by clause-only unit propagation, so
+          // {~l} is RUP against the current database.
+          ++stats_.failed_literals;
+          proof_add({~l});
+          if (!assign_unit(~l) || !propagate()) return;
+        }
+        if (budget <= 0) return;
+      }
+    }
+  }
+
+  /// Trial-assign `l` and run clause-only unit propagation without
+  /// touching the database. Returns true iff a conflict was derived.
+  /// Root-assigned variables never appear in live clauses, so the trial
+  /// values can share val_ with the root assignment; the trail undoes
+  /// exactly the trial part.
+  bool probe(Lit start, std::int64_t& budget) {
+    ptrail_.clear();
+    trial_assign(start);
+    bool found_conflict = false;
+    std::size_t head = 0;
+    while (head < ptrail_.size() && !found_conflict && budget > 0) {
+      const Lit p = ptrail_[head++];
+      ++stats_.propagations;
+      for (std::uint32_t idx : occ_[static_cast<std::size_t>((~p).code())]) {
+        const PClause& c = db_[idx];
+        if (c.deleted || !contains(c.lits, ~p)) continue;
+        budget -= static_cast<std::int64_t>(c.lits.size());
+        Lit unassigned = lit_undef;
+        int num_unassigned = 0;
+        bool satisfied = false;
+        for (Lit q : c.lits) {
+          const LBool v = value(q);
+          if (v == LBool::True) {
+            satisfied = true;
+            break;
+          }
+          if (v == LBool::Undef) {
+            if (++num_unassigned > 1) break;
+            unassigned = q;
+          }
+        }
+        if (satisfied || num_unassigned > 1) continue;
+        if (num_unassigned == 0) {
+          found_conflict = true;
+          break;
+        }
+        trial_assign(unassigned);
+      }
+    }
+    for (Lit p : ptrail_) {
+      val_[static_cast<std::size_t>(p.var())] = LBool::Undef;
+    }
+    return found_conflict;
+  }
+
+  void trial_assign(Lit l) {
+    val_[static_cast<std::size_t>(l.var())] =
+        l.negated() ? LBool::False : LBool::True;
+    ptrail_.push_back(l);
+  }
+
+  // --- bounded variable elimination ---
+
+  /// Live clause indices containing `l`, compacting the occurrence list
+  /// as a side effect.
+  std::vector<std::uint32_t> live_occ(Lit l) {
+    auto& list = occ_[static_cast<std::size_t>(l.code())];
+    std::vector<std::uint32_t> out;
+    std::size_t keep = 0;
+    for (std::uint32_t idx : list) {
+      const PClause& c = db_[idx];
+      if (c.deleted || !contains(c.lits, l)) continue;
+      list[keep++] = idx;
+      out.push_back(idx);
+    }
+    list.resize(keep);
+    return out;
+  }
+
+  /// Resolvent of c (containing pos) and d (containing ~pos) on pos.
+  /// Returns false when the resolvent is a tautology.
+  bool resolve(const std::vector<Lit>& c, const std::vector<Lit>& d, Lit pos,
+               std::vector<Lit>& out) {
+    out.clear();
+    for (Lit l : c) {
+      if (l != pos) out.push_back(l);
+    }
+    for (Lit l : d) {
+      if (l != ~pos) out.push_back(l);
+    }
+    std::sort(out.begin(), out.end());
+    Lit prev = lit_undef;
+    std::size_t keep = 0;
+    for (Lit l : out) {
+      if (l == ~prev) return false;  // tautological resolvent
+      if (l == prev) continue;
+      out[keep++] = l;
+      prev = l;
+    }
+    out.resize(keep);
+    return true;
+  }
+
+  void bve_all() {
+    std::int64_t budget = kBveBudget;
+    bool changed = true;
+    for (int round = 0; round < kBveRounds && changed && ok_ && budget > 0;
+         ++round) {
+      changed = false;
+      for (Var v = 0; v < nvars_ && ok_ && budget > 0; ++v) {
+        if (interrupted()) return;
+        if (frozen_[static_cast<std::size_t>(v)] ||
+            val_[static_cast<std::size_t>(v)] != LBool::Undef) {
+          continue;
+        }
+        if (try_eliminate(v, budget)) changed = true;
+      }
+    }
+  }
+
+  bool try_eliminate(Var v, std::int64_t& budget) {
+    const Lit pos = mk_lit(v);
+    const auto p_occ = live_occ(pos);
+    const auto n_occ = live_occ(~pos);
+    if (p_occ.empty() && n_occ.empty()) return false;  // Dropped later
+    if (p_occ.size() > cfg_.occ_limit && n_occ.size() > cfg_.occ_limit) {
+      return false;
+    }
+
+    // Count resolvents; keep the elimination only when it does not grow
+    // the database beyond the removed clauses plus the growth allowance
+    // (pure literals are the zero-resolvent special case).
+    const std::size_t limit =
+        p_occ.size() + n_occ.size() +
+        static_cast<std::size_t>(std::max(0, cfg_.bve_growth));
+    std::vector<std::vector<Lit>> resolvents;
+    std::vector<Lit> tmp;
+    for (std::uint32_t pi : p_occ) {
+      for (std::uint32_t ni : n_occ) {
+        budget -= static_cast<std::int64_t>(db_[pi].lits.size() +
+                                            db_[ni].lits.size());
+        if (budget <= 0) return false;
+        if (!resolve(db_[pi].lits, db_[ni].lits, pos, tmp)) continue;
+        if (resolvents.size() + 1 > limit) return false;
+        resolvents.push_back(tmp);
+      }
+    }
+
+    // Commit. Resolvents are RUP while both parents are still present,
+    // so the adds go out before any parent deletion.
+    for (const auto& r : resolvents) proof_add(r);
+
+    // Stash one phase's clauses for model reconstruction. The replay
+    // rule needs the stashed side to carry the chosen literal and the
+    // resolvent set to cover the other side — with no resolvents (pure
+    // literal), only the non-empty side may be stashed.
+    const bool stash_pos =
+        n_occ.empty() || (!p_occ.empty() && p_occ.size() <= n_occ.size());
+    const auto& stash_side = stash_pos ? p_occ : n_occ;
+    std::vector<std::vector<Lit>> stash;
+    stash.reserve(stash_side.size());
+    for (std::uint32_t idx : stash_side) stash.push_back(db_[idx].lits);
+    remap_.set_eliminated(stash_pos ? pos : ~pos, std::move(stash));
+
+    for (std::uint32_t idx : p_occ) remove_clause(idx);
+    for (std::uint32_t idx : n_occ) remove_clause(idx);
+    ++stats_.vars_eliminated;
+    stats_.bve_clauses_removed +=
+        static_cast<std::int64_t>(p_occ.size() + n_occ.size());
+
+    for (auto& r : resolvents) {
+      ++stats_.bve_resolvents_added;
+      if (r.size() == 1) {
+        if (!assign_unit(r[0])) return true;
+      } else {
+        insert_clause(std::move(r));
+      }
+    }
+    if (qhead_ < queue_.size()) propagate();
+    return true;
+  }
+
+  // --- final fates ---
+
+  Preprocessor::Result finish() {
+    Preprocessor::Result result;
+    result.stats = stats_;
+    result.ok = ok_;
+    if (!ok_) {
+      result.remap = std::move(remap_);
+      return result;
+    }
+    for (Var v = 0; v < nvars_; ++v) {
+      const LBool val = val_[static_cast<std::size_t>(v)];
+      if (val != LBool::Undef) {
+        remap_.set_fixed(v, val == LBool::True);
+        ++result.stats.vars_fixed;
+      }
+    }
+    std::vector<char> occurs(static_cast<std::size_t>(nvars_), 0);
+    for (const auto& c : db_) {
+      if (c.deleted) continue;
+      for (Lit l : c.lits) occurs[static_cast<std::size_t>(l.var())] = 1;
+      result.clauses.push_back(c.lits);
+    }
+    result.stats.clauses_after =
+        static_cast<std::int64_t>(result.clauses.size());
+    result.stats.vars_after = remap_.assign_dense([&](Var v) {
+      return frozen_[static_cast<std::size_t>(v)] != 0 ||
+             occurs[static_cast<std::size_t>(v)] != 0;
+    });
+    result.remap = std::move(remap_);
+    return result;
+  }
+
+  const PreprocessConfig& cfg_;
+  const int nvars_;
+  bool ok_ = true;
+
+  std::vector<PClause> db_;
+  std::vector<LBool> val_;
+  std::vector<std::vector<std::uint32_t>> occ_;  ///< by Lit::code, lazy
+  std::vector<char> frozen_;
+  VarRemapper remap_;
+
+  std::vector<Lit> queue_;  ///< root units awaiting propagation
+  std::size_t qhead_ = 0;
+  std::vector<Lit> ptrail_;   ///< probe trial trail
+  std::vector<Lit> scratch_;  ///< strengthen buffer
+
+  PreprocessStats stats_;
+};
+
+}  // namespace
+
+Preprocessor::Result Preprocessor::run(
+    int num_vars, std::vector<std::vector<Lit>> clauses,
+    const std::vector<std::pair<std::vector<Var>, bool>>& xors,
+    const std::vector<char>& frozen, const PreprocessConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Engine engine(num_vars, std::move(clauses), xors, frozen, cfg);
+  Result result = engine.run();
+  result.stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+// --- RemapProofSink ---
+
+const std::vector<Lit>& RemapProofSink::translate(
+    const std::vector<Lit>& inner) {
+  buf_.clear();
+  for (Lit l : inner) {
+    const Var outer = remap_->outer_of(l.var());
+    // Backend-internal auxiliaries (outer < 0) cannot reach the proof
+    // stream: proof mode disables XOR chunking, the one source of them.
+    assert(outer >= 0);
+    buf_.push_back(Lit(outer, l.negated()));
+  }
+  return buf_;
+}
+
+void RemapProofSink::axiom(const std::vector<Lit>& lits) {
+  if (implied_axioms_) {
+    outer_->add(translate(lits));
+  } else {
+    outer_->axiom(translate(lits));
+  }
+}
+
+void RemapProofSink::add(const std::vector<Lit>& lits) {
+  outer_->add(translate(lits));
+}
+
+void RemapProofSink::del(const std::vector<Lit>& lits) {
+  outer_->del(translate(lits));
+}
+
+// --- PreprocessingSolver ---
+
+PreprocessingSolver::PreprocessingSolver(SolverBackend backend,
+                                         const SolverOptions& base,
+                                         const PortfolioOptions& portfolio)
+    : backend_(backend), opts_(base), popts_(portfolio) {
+  if (opts_.proof != nullptr && opts_.use_gauss) {
+    // Mirror the inner solver's restriction at construction time rather
+    // than at the (lazy) first solve.
+    throw std::invalid_argument(
+        "SolverOptions: proof logging is incompatible with use_gauss");
+  }
+}
+
+PreprocessingSolver::~PreprocessingSolver() = default;
+
+PreprocessingSolver::PreprocessingSolver(const PreprocessingSolver& o)
+    : backend_(o.backend_),
+      opts_(o.opts_),
+      popts_(o.popts_),
+      built_(o.built_),
+      ok_(o.ok_),
+      next_var_(o.next_var_),
+      pending_clauses_(o.pending_clauses_),
+      pending_xors_(o.pending_xors_),
+      frozen_(o.frozen_),
+      pending_fixed_(o.pending_fixed_),
+      remap_(o.remap_),
+      pstats_(o.pstats_) {
+  opts_.proof = nullptr;  // a proof sink serves exactly one instance
+  if (o.inner_ != nullptr) inner_ = o.inner_->clone();
+}
+
+std::unique_ptr<SolverInterface> PreprocessingSolver::clone() const {
+  return std::unique_ptr<SolverInterface>(new PreprocessingSolver(*this));
+}
+
+void PreprocessingSolver::proof_empty() {
+  if (opts_.proof == nullptr || proof_empty_done_) return;
+  proof_empty_done_ = true;
+  opts_.proof->add({});
+}
+
+Var PreprocessingSolver::new_var() {
+  if (!built_) {
+    frozen_.push_back(0);
+    pending_fixed_.push_back(LBool::Undef);
+    return next_var_++;
+  }
+  // Post-preprocessing variables get an outer/inner pair straight away
+  // (nothing to eliminate — they have no clauses yet).
+  const Var inner = inner_ != nullptr ? inner_->new_var()
+                                      : static_cast<Var>(remap_.num_inner());
+  return remap_.add_mapped_var(inner);
+}
+
+int PreprocessingSolver::num_vars() const {
+  return built_ ? remap_.num_outer() : next_var_;
+}
+
+bool PreprocessingSolver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  if (!built_) {
+    if (opts_.proof != nullptr) opts_.proof->axiom(lits);
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    Lit prev = lit_undef;
+    for (Lit l : lits) {
+      assert(l.var() < next_var_);
+      if (l == ~prev) return true;  // tautology
+      if (l == prev) continue;
+      out.push_back(l);
+      prev = l;
+    }
+    if (out.empty()) {
+      ok_ = false;
+      proof_empty();
+      return false;
+    }
+    if (out.size() == 1) {
+      // Track direct units so fixed_value() answers before the build,
+      // and catch the trivial l / ~l conflict early.
+      auto& fv = pending_fixed_[static_cast<std::size_t>(out[0].var())];
+      const LBool want = out[0].negated() ? LBool::False : LBool::True;
+      if (fv != LBool::Undef && fv != want) {
+        ok_ = false;
+        proof_empty();
+        return false;
+      }
+      fv = want;
+    }
+    pending_clauses_.push_back(std::move(out));
+    return true;
+  }
+  if (inner_ == nullptr) return false;  // refuted during preprocessing
+  switch (remap_.translate_clause(lits, &scratch_)) {
+    case VarRemapper::ClauseFate::Keep:
+      // The inner solver reports the folded clause as its axiom; the
+      // proof adapter translates it back to outer numbering.
+      return inner_->add_clause(scratch_);
+    case VarRemapper::ClauseFate::Satisfied:
+      if (opts_.proof != nullptr) opts_.proof->axiom(lits);
+      return true;
+    case VarRemapper::ClauseFate::Empty:
+      if (opts_.proof != nullptr) opts_.proof->axiom(lits);
+      ok_ = false;
+      proof_empty();
+      return false;
+  }
+  return false;  // unreachable
+}
+
+bool PreprocessingSolver::add_xor(std::vector<Var> vars, bool rhs) {
+  if (!ok_) return false;
+  if (!built_) {
+    // Canonicalize: duplicated variables cancel pairwise. (No folding —
+    // level-0 knowledge lives in the preprocessor, which runs later.)
+    std::sort(vars.begin(), vars.end());
+    std::vector<Var> out;
+    for (std::size_t i = 0; i < vars.size();) {
+      assert(vars[i] < next_var_);
+      if (i + 1 < vars.size() && vars[i] == vars[i + 1]) {
+        i += 2;  // x XOR x = 0
+        continue;
+      }
+      out.push_back(vars[i]);
+      ++i;
+    }
+    if (out.empty()) {
+      if (rhs) {
+        if (opts_.proof != nullptr) opts_.proof->axiom({});
+        ok_ = false;
+        proof_empty();
+        return false;
+      }
+      return true;
+    }
+    if (opts_.proof != nullptr) {
+      if (out.size() > kProofMaxXorArity) {
+        throw std::invalid_argument(
+            "add_xor: XOR arity exceeds kProofMaxXorArity under proof "
+            "logging");
+      }
+      // One axiom per parity-violating assignment, exactly as the
+      // unwrapped solver emits them (outer numbering).
+      const std::size_t n = out.size();
+      std::vector<Lit> clause(n, lit_undef);
+      for (std::uint32_t mask = 0; mask < (std::uint32_t{1} << n); ++mask) {
+        bool parity = false;
+        for (std::size_t i = 0; i < n; ++i) parity ^= ((mask >> i) & 1) != 0;
+        if (parity == rhs) continue;
+        for (std::size_t i = 0; i < n; ++i) {
+          clause[i] = Lit(out[i], /*negated=*/((mask >> i) & 1) != 0);
+        }
+        opts_.proof->axiom(clause);
+      }
+    }
+    if (out.size() == 1) {
+      // A unit parity constraint is a unit clause; storing it as one lets
+      // the preprocessor fold it instead of pinning the variable frozen.
+      return add_clause_unlogged({Lit(out[0], /*negated=*/!rhs)});
+    }
+    pending_xors_.emplace_back(std::move(out), rhs);
+    return true;
+  }
+  if (inner_ == nullptr) return false;
+  std::vector<Var> inner_vars;
+  bool inner_rhs = false;
+  switch (remap_.translate_xor(vars, rhs, &inner_vars, &inner_rhs)) {
+    case VarRemapper::ClauseFate::Keep:
+      return inner_->add_xor(std::move(inner_vars), inner_rhs);
+    case VarRemapper::ClauseFate::Satisfied:
+      return true;
+    case VarRemapper::ClauseFate::Empty:
+      // Same trust boundary as the unwrapped solver's degenerate fold.
+      if (opts_.proof != nullptr) opts_.proof->axiom({});
+      ok_ = false;
+      proof_empty();
+      return false;
+  }
+  return false;  // unreachable
+}
+
+bool PreprocessingSolver::add_clause_unlogged(std::vector<Lit> lits) {
+  // Pre-build insertion that skips the axiom hook (the caller already
+  // logged the constraint in another form, e.g. an XOR expansion).
+  ProofSink* saved = opts_.proof;
+  opts_.proof = nullptr;
+  const bool ok = add_clause(std::move(lits));
+  opts_.proof = saved;
+  if (!ok && !ok_) proof_empty();
+  return ok;
+}
+
+void PreprocessingSolver::freeze(Var v) {
+  if (!built_) {
+    frozen_[static_cast<std::size_t>(v)] = 1;
+  }
+  // Post-build freezes are inert: the variable either survived (and
+  // stays usable) or is already gone — misuse surfaces at translation.
+}
+
+void PreprocessingSolver::assume(Lit l) { assumptions_.push_back(l); }
+
+void PreprocessingSolver::build(const SolveLimits& limits) {
+  built_ = true;
+  obs::Tracer::Span span;
+  if (opts_.tracer != nullptr) span = opts_.tracer->span("solver.preprocess");
+
+  PreprocessConfig cfg;
+  cfg.probe_budget = opts_.preprocess_probe_budget;
+  cfg.bve_growth = opts_.preprocess_bve_growth;
+  cfg.occ_limit = opts_.preprocess_occ_limit;
+  cfg.interrupt = limits.interrupt;
+  cfg.proof = opts_.proof;
+
+  Preprocessor::Result result = Preprocessor::run(
+      next_var_, std::move(pending_clauses_), pending_xors_, frozen_, cfg);
+  pending_clauses_.clear();
+  pending_fixed_.clear();
+  frozen_.clear();
+  pstats_ = result.stats;
+  remap_ = std::move(result.remap);
+
+  if (!result.ok) {
+    // The preprocessor already emitted the empty clause.
+    ok_ = false;
+    proof_empty_done_ = opts_.proof != nullptr;
+    pending_xors_.clear();
+  } else {
+    SolverOptions inner_opts = opts_;
+    inner_opts.preprocess = false;
+    if (opts_.proof != nullptr) {
+      proof_adapter_ = std::make_unique<RemapProofSink>(opts_.proof, &remap_);
+      // Everything the load phase reports as an axiom is implied by the
+      // outer stream (preprocessed clauses were added there; folded XOR
+      // expansions are unit-strengthened originals), so it goes out as
+      // checkable adds — file-based DRAT stays verifiable end to end.
+      proof_adapter_->set_implied_axioms(true);
+      inner_opts.proof = proof_adapter_.get();
+    }
+    inner_ = SolverFactory::make(backend_, inner_opts, popts_);
+    for (std::int64_t i = 0; i < pstats_.vars_after; ++i) inner_->new_var();
+    for (const auto& c : result.clauses) {
+      scratch_.clear();
+      for (Lit l : c) scratch_.push_back(remap_.inner_of(l));
+      if (!inner_->add_clause(scratch_)) break;
+    }
+    std::vector<Var> inner_vars;
+    bool inner_rhs = false;
+    for (const auto& [vars, rhs] : pending_xors_) {
+      if (!inner_->okay()) break;
+      switch (remap_.translate_xor(vars, rhs, &inner_vars, &inner_rhs)) {
+        case VarRemapper::ClauseFate::Keep:
+          inner_->add_xor(inner_vars, inner_rhs);
+          break;
+        case VarRemapper::ClauseFate::Satisfied:
+          break;
+        case VarRemapper::ClauseFate::Empty:
+          // The violated parity's expansion clause is falsified by the
+          // derived units, so the empty clause is RUP here.
+          ok_ = false;
+          proof_empty();
+          break;
+      }
+      if (!ok_) break;
+    }
+    pending_xors_.clear();
+    if (proof_adapter_ != nullptr) proof_adapter_->set_implied_axioms(false);
+  }
+
+  record_metrics();
+  if (span.active()) {
+    span.add("vars_before", pstats_.vars_before);
+    span.add("vars_after", pstats_.vars_after);
+    span.add("vars_eliminated", pstats_.vars_eliminated);
+    span.add("vars_fixed", pstats_.vars_fixed);
+    span.add("clauses_before", pstats_.clauses_before);
+    span.add("clauses_after", pstats_.clauses_after);
+    span.add("resolvents_added", pstats_.bve_resolvents_added);
+    span.add("subsumed", pstats_.subsumed_clauses);
+    span.add("strengthened", pstats_.strengthened_clauses);
+    span.add("failed_literals", pstats_.failed_literals);
+    span.add("density", pstats_.remap_density());
+    span.add("seconds", pstats_.seconds);
+  }
+}
+
+void PreprocessingSolver::record_metrics() const {
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& runs = reg.counter("solver.preprocess.runs");
+  static obs::Counter& eliminated =
+      reg.counter("solver.preprocess.vars_eliminated");
+  static obs::Counter& fixed = reg.counter("solver.preprocess.vars_fixed");
+  static obs::Counter& added =
+      reg.counter("solver.preprocess.resolvents_added");
+  static obs::Counter& removed =
+      reg.counter("solver.preprocess.clauses_removed");
+  static obs::Counter& subsumed = reg.counter("solver.preprocess.subsumed");
+  static obs::Counter& strengthened =
+      reg.counter("solver.preprocess.strengthened");
+  static obs::Counter& failed_lits =
+      reg.counter("solver.preprocess.failed_literals");
+  static obs::Gauge& before = reg.gauge("solver.preprocess.vars_before");
+  static obs::Gauge& after = reg.gauge("solver.preprocess.vars_after");
+  runs.add(1);
+  eliminated.add(pstats_.vars_eliminated);
+  fixed.add(pstats_.vars_fixed);
+  added.add(pstats_.bve_resolvents_added);
+  removed.add(pstats_.bve_clauses_removed);
+  subsumed.add(pstats_.subsumed_clauses);
+  strengthened.add(pstats_.strengthened_clauses);
+  failed_lits.add(pstats_.failed_literals);
+  before.set(pstats_.vars_before);
+  after.set(pstats_.vars_after);
+}
+
+namespace {
+[[noreturn]] void throw_unfrozen_assumption(Lit l) {
+  throw std::logic_error(
+      "sat::PreprocessingSolver: assumption on variable " +
+      std::to_string(l.var() + 1) +
+      " which preprocessing removed — freeze() assumption variables "
+      "before the first solve()");
+}
+}  // namespace
+
+Status PreprocessingSolver::solve(const SolveLimits& limits) {
+  if (!built_ && ok_) build(limits);
+  std::vector<Lit> assumptions = std::move(assumptions_);
+  assumptions_.clear();
+  failed_.clear();
+  if (!ok_ || inner_ == nullptr || !inner_->okay()) return Status::Unsat;
+
+  std::vector<Lit> inner_assumptions;
+  inner_assumptions.reserve(assumptions.size());
+  for (Lit l : assumptions) {
+    switch (remap_.fate(l.var())) {
+      case VarRemapper::Fate::Mapped:
+        inner_assumptions.push_back(remap_.inner_of(l));
+        break;
+      case VarRemapper::Fate::FixedTrue:
+      case VarRemapper::Fate::FixedFalse: {
+        const bool fixed_true =
+            remap_.fate(l.var()) == VarRemapper::Fate::FixedTrue;
+        if (fixed_true != l.negated()) break;  // assumption already holds
+        // The root-level unit ~l refutes the assumption outright.
+        failed_ = {~l};
+        if (opts_.proof != nullptr) opts_.proof->add(failed_);
+        return Status::Unsat;
+      }
+      case VarRemapper::Fate::Eliminated:
+      case VarRemapper::Fate::Dropped:
+        throw_unfrozen_assumption(l);
+    }
+  }
+
+  const Status status = inner_->solve_assuming(inner_assumptions, limits);
+  if (status == Status::Sat) {
+    model_ = remap_.extend_model(
+        [this](Var inner) { return inner_->model(inner); });
+  } else if (status == Status::Unsat) {
+    for (Lit il : inner_->failed()) {
+      failed_.push_back(remap_.outer_lit_of(il));
+    }
+  }
+  return status;
+}
+
+LBool PreprocessingSolver::model(Var v) const {
+  return model_[static_cast<std::size_t>(v)];
+}
+
+bool PreprocessingSolver::okay() const {
+  if (!ok_) return false;
+  if (!built_) return true;
+  return inner_ != nullptr && inner_->okay();
+}
+
+LBool PreprocessingSolver::fixed_value(Var v) const {
+  if (!built_) return pending_fixed_[static_cast<std::size_t>(v)];
+  switch (remap_.fate(v)) {
+    case VarRemapper::Fate::FixedTrue:
+      return LBool::True;
+    case VarRemapper::Fate::FixedFalse:
+      return LBool::False;
+    case VarRemapper::Fate::Mapped:
+      return inner_ != nullptr ? inner_->fixed_value(remap_.inner_of(v))
+                               : LBool::Undef;
+    case VarRemapper::Fate::Eliminated:
+    case VarRemapper::Fate::Dropped:
+      return LBool::Undef;
+  }
+  return LBool::Undef;
+}
+
+bool PreprocessingSolver::simplify() {
+  if (!built_) return ok_;
+  if (!ok_ || inner_ == nullptr) return false;
+  return inner_->simplify();
+}
+
+SolverStats PreprocessingSolver::stats() const {
+  SolverStats s = inner_ != nullptr ? inner_->stats() : SolverStats{};
+  s.propagations += pstats_.propagations;  // front-end UP work (see hpp)
+  return s;
+}
+
+std::size_t PreprocessingSolver::num_clauses() const {
+  if (!built_) return pending_clauses_.size();
+  return inner_ != nullptr ? inner_->num_clauses() : 0;
+}
+
+std::size_t PreprocessingSolver::num_xors() const {
+  if (!built_) return pending_xors_.size();
+  return inner_ != nullptr ? inner_->num_xors() : 0;
+}
+
+std::size_t PreprocessingSolver::num_learnts() const {
+  return inner_ != nullptr ? inner_->num_learnts() : 0;
+}
+
+void PreprocessingSolver::set_tracer(obs::Tracer* tracer) {
+  opts_.tracer = tracer;
+  if (inner_ != nullptr) inner_->set_tracer(tracer);
+}
+
+}  // namespace tp::sat

@@ -1,0 +1,232 @@
+#pragma once
+// preprocess.hpp — a SatELite-style CNF preprocessing front-end.
+//
+// The reconstruction encodings hand the CDCL loop a CNF whose shape the
+// encoder chose for convenience, not for search: Sinz/totalizer
+// cardinality ballast, XOR-to-CNF expansion auxiliaries and presolve
+// leftovers inflate the variable range and the watch tables. This module
+// runs the classic preprocessing pipeline once, between encoding and the
+// first solve:
+//
+//   1. root unit propagation to fixpoint (clauses strengthened in place);
+//   2. backward subsumption and self-subsuming resolution (signature
+//      pre-filter over occurrence lists, operation-budgeted);
+//   3. failed-literal probing (clause-only unit propagation under a trial
+//      assignment, budgeted in clause-literal visits; a conflict makes
+//      the negation a permanent unit) — pure-literal elimination falls
+//      out of step 4 as the zero-resolvent case;
+//   4. bounded variable elimination: resolve a variable away when the
+//      non-tautological resolvent count does not exceed the clauses
+//      removed plus a growth allowance, stashing the clauses of one phase
+//      for model reconstruction (sat/remap.hpp).
+//
+// Everything is DRAT-correct: strengthened clauses, resolvents and failed
+// literals are emitted as `add` ops (each is RUP at its emission point),
+// removed clauses as `del` ops, so an UNSAT answer from the preprocessed
+// solver still certifies against the original formula.
+//
+// PreprocessingSolver wraps any SolverInterface backend behind the same
+// interface: it buffers the formula, runs the Preprocessor at the first
+// solve(), renumbers the survivors densely (VarRemapper) and builds the
+// inner backend over the compacted instance. Models, failed() cores and
+// later-added constraints are translated at the boundary. The caller's
+// obligations are exactly the freeze() contract (interface.hpp): freeze
+// every variable you will assume on or mention in post-solve clauses.
+// Variables of XOR constraints are frozen implicitly — elimination
+// reasons over the clausal view cannot see parity constraints.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sat/drat.hpp"
+#include "sat/interface.hpp"
+#include "sat/remap.hpp"
+#include "sat/solver.hpp"
+
+namespace tp::obs {
+class Tracer;
+}
+
+namespace tp::sat {
+
+/// Counters of one preprocessing run (also mirrored into obs::metrics
+/// under "solver.preprocess.*" by PreprocessingSolver).
+struct PreprocessStats {
+  std::int64_t vars_before = 0;       ///< outer variables seen
+  std::int64_t vars_after = 0;        ///< dense inner variables
+  std::int64_t vars_fixed = 0;        ///< roots units (input + derived)
+  std::int64_t vars_eliminated = 0;   ///< removed by BVE / pure literals
+  std::int64_t clauses_before = 0;
+  std::int64_t clauses_after = 0;
+  std::int64_t bve_resolvents_added = 0;
+  std::int64_t bve_clauses_removed = 0;
+  std::int64_t subsumed_clauses = 0;
+  std::int64_t strengthened_clauses = 0;  ///< self-subsumption + unit strengthening
+  std::int64_t failed_literals = 0;
+  std::int64_t probes = 0;            ///< literals probed
+  /// Unit-propagation assignments performed by the front-end (root UP to
+  /// fixpoint plus the probing trials) — the same unit of work the CDCL
+  /// loop's SolverStats::propagations counts, and folded into it by
+  /// PreprocessingSolver::stats() so throughput rates stay comparable
+  /// across preprocessed and raw runs.
+  std::int64_t propagations = 0;
+  double seconds = 0.0;
+
+  /// Surviving fraction of the variable range (1.0 = nothing removed).
+  double remap_density() const {
+    return vars_before > 0
+               ? static_cast<double>(vars_after) / static_cast<double>(vars_before)
+               : 1.0;
+  }
+};
+
+/// Knobs of one preprocessing run (a slice of SolverConfig plus the
+/// run-scoped wiring).
+struct PreprocessConfig {
+  std::int64_t probe_budget = 2'000'000;
+  int bve_growth = 0;
+  std::size_t occ_limit = 30;
+  /// Cooperative cancellation: optional phases (subsumption, probing,
+  /// BVE) stop early when set; the result is still sound, just less
+  /// reduced.
+  const std::atomic<bool>* interrupt = nullptr;
+  /// Outer-numbering proof sink for the preprocessing derivation stream.
+  ProofSink* proof = nullptr;
+};
+
+/// One-shot CNF preprocessor. See the file comment for the pipeline.
+class Preprocessor {
+ public:
+  struct Result {
+    bool ok = true;  ///< false: formula refuted during preprocessing
+    /// Surviving clauses, outer numbering, free of fixed variables,
+    /// every clause of size >= 2.
+    std::vector<std::vector<Lit>> clauses;
+    /// Fates of every outer variable, dense mapping already assigned.
+    VarRemapper remap;
+    PreprocessStats stats;
+  };
+
+  /// Run the pipeline. `clauses` is consumed; `xors` only pins its
+  /// variables (they are implicitly frozen and reported Mapped — the
+  /// caller re-adds the XOR constraints, folded through the remapper).
+  /// `frozen` is indexed by variable (may be shorter than num_vars).
+  static Result run(int num_vars, std::vector<std::vector<Lit>> clauses,
+                    const std::vector<std::pair<std::vector<Var>, bool>>& xors,
+                    const std::vector<char>& frozen,
+                    const PreprocessConfig& cfg);
+};
+
+/// ProofSink adapter between an inner (preprocessed, densely renumbered)
+/// solver and the caller's outer-numbering sink. Lives inside
+/// PreprocessingSolver; inner literals are translated through the
+/// remapper. Inner *axiom* events are forwarded as outer `add` ops while
+/// the wrapper loads the preprocessed formula (each loaded clause — and
+/// each clause of a folded XOR's CNF expansion — is RUP against the outer
+/// stream at that point, which keeps file-based DRAT checkable), and as
+/// translated axioms afterwards (a genuinely new input clause is an
+/// axiom, exactly as in the unwrapped solver).
+class RemapProofSink : public ProofSink {
+ public:
+  RemapProofSink(ProofSink* outer, const VarRemapper* remap)
+      : outer_(outer), remap_(remap) {}
+
+  /// While set, axiom() forwards as add() (the load phase — see above).
+  void set_implied_axioms(bool implied) { implied_axioms_ = implied; }
+
+  void axiom(const std::vector<Lit>& lits) override;
+  void add(const std::vector<Lit>& lits) override;
+  void del(const std::vector<Lit>& lits) override;
+
+ private:
+  const std::vector<Lit>& translate(const std::vector<Lit>& inner);
+
+  ProofSink* outer_;
+  const VarRemapper* remap_;
+  bool implied_axioms_ = false;
+  std::vector<Lit> buf_;
+};
+
+/// SolverInterface wrapper that preprocesses the formula before the first
+/// solve() and renumbers it densely for the wrapped backend. Built by
+/// SolverFactory::make when SolverConfig::preprocess is set. See the file
+/// comment for the contract.
+class PreprocessingSolver : public SolverInterface {
+ public:
+  /// Wraps the backend that `backend`/`base`/`portfolio` select (the
+  /// inner backend is built lazily at the first solve, over the
+  /// preprocessed formula; base.preprocess is ignored here — this *is*
+  /// the preprocessing layer).
+  PreprocessingSolver(SolverBackend backend, const SolverOptions& base,
+                      const PortfolioOptions& portfolio = {});
+  ~PreprocessingSolver() override;
+
+  Var new_var() override;
+  int num_vars() const override;
+  bool add_clause(std::vector<Lit> lits) override;
+  bool add_xor(std::vector<Var> vars, bool rhs) override;
+  void freeze(Var v) override;
+  void assume(Lit l) override;
+  Status solve(const SolveLimits& limits = {}) override;
+  LBool model(Var v) const override;
+  const std::vector<Lit>& failed() const override { return failed_; }
+  bool okay() const override;
+  LBool fixed_value(Var v) const override;
+  bool simplify() override;
+  SolverStats stats() const override;
+  std::size_t num_clauses() const override;
+  std::size_t num_xors() const override;
+  std::size_t num_learnts() const override;
+  void set_tracer(obs::Tracer* tracer) override;
+  std::unique_ptr<SolverInterface> clone() const override;
+
+  /// Whether the front-end has run yet (it runs at the first solve()).
+  bool preprocessed() const { return built_; }
+
+  /// Stats of the preprocessing run (zeros before the first solve()).
+  const PreprocessStats& preprocess_stats() const { return pstats_; }
+
+  /// The outer->inner variable mapping (meaningful once preprocessed()).
+  const VarRemapper& remapper() const { return remap_; }
+
+ private:
+  PreprocessingSolver(const PreprocessingSolver& o);  // for clone()
+
+  /// Run the preprocessor and construct the inner backend (first solve).
+  void build(const SolveLimits& limits);
+  /// Pre-build add_clause that skips the axiom hook (the constraint was
+  /// already logged in another form, e.g. as an XOR expansion).
+  bool add_clause_unlogged(std::vector<Lit> lits);
+  void record_metrics() const;
+  void proof_empty();
+
+  SolverBackend backend_;
+  SolverOptions opts_;  ///< inner CDCL tunables; preprocess cleared
+  PortfolioOptions popts_;
+
+  bool built_ = false;
+  bool ok_ = true;
+  bool proof_empty_done_ = false;
+
+  // --- pre-build buffers (outer numbering) ---
+  Var next_var_ = 0;
+  std::vector<std::vector<Lit>> pending_clauses_;
+  std::vector<std::pair<std::vector<Var>, bool>> pending_xors_;
+  std::vector<char> frozen_;
+  std::vector<LBool> pending_fixed_;  ///< from buffered unit clauses
+
+  // --- post-build state ---
+  std::unique_ptr<SolverInterface> inner_;
+  VarRemapper remap_;
+  std::unique_ptr<RemapProofSink> proof_adapter_;
+  PreprocessStats pstats_;
+
+  std::vector<Lit> assumptions_;  ///< outer, for the next solve only
+  std::vector<Lit> failed_;       ///< outer
+  std::vector<LBool> model_;      ///< outer, valid after Status::Sat
+  std::vector<Lit> scratch_;
+};
+
+}  // namespace tp::sat

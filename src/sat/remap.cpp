@@ -1,0 +1,142 @@
+#include "sat/remap.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tp::sat {
+
+VarRemapper::VarRemapper(int num_outer_vars)
+    : fate_(static_cast<std::size_t>(num_outer_vars), Fate::Dropped),
+      inner_(static_cast<std::size_t>(num_outer_vars), -1) {}
+
+void VarRemapper::ensure_outer(Var v) {
+  if (v >= static_cast<Var>(fate_.size())) {
+    fate_.resize(static_cast<std::size_t>(v) + 1, Fate::Dropped);
+    inner_.resize(static_cast<std::size_t>(v) + 1, -1);
+  }
+}
+
+void VarRemapper::set_fixed(Var v, bool value) {
+  ensure_outer(v);
+  fate_[static_cast<std::size_t>(v)] = value ? Fate::FixedTrue : Fate::FixedFalse;
+}
+
+void VarRemapper::set_eliminated(Lit lit, std::vector<std::vector<Lit>> stash) {
+  ensure_outer(lit.var());
+  fate_[static_cast<std::size_t>(lit.var())] = Fate::Eliminated;
+  elim_stack_.push_back({lit, std::move(stash)});
+}
+
+Var VarRemapper::add_mapped_var(Var inner) {
+  const Var outer = static_cast<Var>(fate_.size());
+  fate_.push_back(Fate::Mapped);
+  inner_.push_back(inner);
+  if (inner >= static_cast<Var>(outer_of_.size())) {
+    outer_of_.resize(static_cast<std::size_t>(inner) + 1, -1);
+  }
+  outer_of_[static_cast<std::size_t>(inner)] = outer;
+  return outer;
+}
+
+LBool VarRemapper::fixed_value(Var outer) const {
+  switch (fate(outer)) {
+    case Fate::FixedTrue:
+      return LBool::True;
+    case Fate::FixedFalse:
+      return LBool::False;
+    default:
+      return LBool::Undef;
+  }
+}
+
+namespace {
+[[noreturn]] void throw_unfrozen(Var v, const char* what) {
+  throw std::logic_error(
+      "sat::VarRemapper: variable " + std::to_string(v + 1) + " used in a " +
+      what + " after preprocessing " +
+      "removed it — freeze() interface variables before the first solve()");
+}
+}  // namespace
+
+VarRemapper::ClauseFate VarRemapper::translate_clause(
+    const std::vector<Lit>& outer, std::vector<Lit>* out) const {
+  out->clear();
+  for (Lit l : outer) {
+    switch (fate(l.var())) {
+      case Fate::Mapped:
+        out->push_back(inner_of(l));
+        break;
+      case Fate::FixedTrue:
+        if (!l.negated()) return ClauseFate::Satisfied;
+        break;  // false literal: drop it
+      case Fate::FixedFalse:
+        if (l.negated()) return ClauseFate::Satisfied;
+        break;
+      case Fate::Eliminated:
+      case Fate::Dropped:
+        throw_unfrozen(l.var(), "clause");
+    }
+  }
+  return out->empty() ? ClauseFate::Empty : ClauseFate::Keep;
+}
+
+VarRemapper::ClauseFate VarRemapper::translate_xor(
+    const std::vector<Var>& outer_vars, bool rhs, std::vector<Var>* out_vars,
+    bool* out_rhs) const {
+  out_vars->clear();
+  bool r = rhs;
+  for (Var v : outer_vars) {
+    switch (fate(v)) {
+      case Fate::Mapped:
+        out_vars->push_back(inner_of(v));
+        break;
+      case Fate::FixedTrue:
+        r = !r;  // fold a true variable into the parity target
+        break;
+      case Fate::FixedFalse:
+        break;  // contributes nothing to the parity
+      case Fate::Eliminated:
+      case Fate::Dropped:
+        throw_unfrozen(v, "xor");
+    }
+  }
+  *out_rhs = r;
+  if (out_vars->empty()) return r ? ClauseFate::Empty : ClauseFate::Satisfied;
+  return ClauseFate::Keep;
+}
+
+void VarRemapper::replay_stashes(std::vector<LBool>& model) const {
+  // SatELite model extension: walk eliminations newest-first. For the
+  // elimination of literal l, every stashed clause contained l; make l
+  // true iff some stashed clause has no other satisfied literal (the
+  // resolvent set being satisfied guarantees the ~l side stays satisfied
+  // either way). Every other literal inspected here already has a value:
+  // a variable in an earlier stash was live at that elimination's time,
+  // so it either survived (Mapped/Fixed/Dropped, filled above) or was
+  // eliminated *later* — and later eliminations replay *earlier* in this
+  // reverse walk.
+  for (auto it = elim_stack_.rbegin(); it != elim_stack_.rend(); ++it) {
+    bool need_true = false;
+    for (const auto& clause : it->clauses) {
+      bool satisfied = false;
+      for (Lit l : clause) {
+        if (l == it->lit) continue;
+        const LBool v = model[static_cast<std::size_t>(l.var())];
+        if ((v == LBool::True && !l.negated()) ||
+            (v == LBool::False && l.negated())) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        need_true = true;
+        break;
+      }
+    }
+    const auto i = static_cast<std::size_t>(it->lit.var());
+    model[i] = (need_true != it->lit.negated()) ? LBool::True : LBool::False;
+  }
+}
+
+}  // namespace tp::sat

@@ -1,0 +1,179 @@
+#pragma once
+// remap.hpp — dense variable renumbering for the preprocessing front-end.
+//
+// After the Preprocessor (sat/preprocess.hpp) has fixed, eliminated, or
+// dropped variables, the survivors are scattered across the original
+// range: totalizer/Sinz auxiliaries killed by BVE and presolve leftovers
+// leave gaps that inflate every per-variable array of the inner CDCL
+// solver (watch tables, activity heap, phase store). VarRemapper owns the
+// outer↔inner translation:
+//
+//  * Every outer variable has a fate — Mapped (survives under a dense
+//    inner index), FixedTrue/FixedFalse (root-level unit), Eliminated
+//    (removed by resolution; its defining clauses are stashed so a model
+//    can be reconstructed), or Dropped (occurred nowhere; any value
+//    works).
+//  * translate_clause / translate_xor rewrite constraints added *after*
+//    preprocessing into inner numbering, folding fixed variables away.
+//    Mentioning an Eliminated/Dropped variable there is a caller bug
+//    (the freeze() contract exists precisely to prevent it) and throws.
+//  * extend_model turns an inner model back into a full outer model,
+//    replaying the eliminated-clause stashes in reverse elimination
+//    order (the SatELite reconstruction rule: make the eliminated
+//    literal true iff some stashed clause is otherwise unsatisfied).
+//
+// The remapper is deliberately dumb — it holds no clause database and
+// performs no reasoning beyond the stash replay, so PreprocessingSolver
+// can clone it by plain copy.
+
+#include <cstddef>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace tp::sat {
+
+class VarRemapper {
+ public:
+  enum class Fate : unsigned char {
+    Mapped,      ///< survives; inner_of() is valid
+    FixedTrue,   ///< root-level true before the inner solver existed
+    FixedFalse,  ///< root-level false before the inner solver existed
+    Eliminated,  ///< removed by bounded variable elimination
+    Dropped,     ///< occurred in no constraint; model value is free
+  };
+
+  /// Outcome of translating one outer constraint into inner numbering.
+  enum class ClauseFate : unsigned char {
+    Keep,       ///< `out` holds the inner-numbered constraint
+    Satisfied,  ///< satisfied by fixed variables; nothing to add
+    Empty,      ///< falsified by fixed variables; formula is unsat
+  };
+
+  explicit VarRemapper(int num_outer_vars = 0);
+
+  // --- construction (driven by the Preprocessor) ---
+
+  /// Grow the outer range; new variables start as Dropped.
+  void ensure_outer(Var v);
+
+  void set_fixed(Var v, bool value);
+
+  /// Record an elimination: `lit` was resolved away, `stash` holds every
+  /// clause that contained `lit` (in outer numbering, including `lit`
+  /// itself). Stashes are replayed LIFO by extend_model.
+  void set_eliminated(Lit lit, std::vector<std::vector<Lit>> stash);
+
+  /// Assign dense inner indices (in ascending outer order) to every
+  /// outer variable still Dropped for which `keep` returns true; the
+  /// rest stay Dropped. Returns the inner variable count.
+  template <typename KeepFn>
+  int assign_dense(KeepFn&& keep) {
+    int next = 0;
+    for (Var v = 0; v < static_cast<Var>(fate_.size()); ++v) {
+      if (fate_[static_cast<std::size_t>(v)] != Fate::Dropped || !keep(v)) {
+        continue;
+      }
+      fate_[static_cast<std::size_t>(v)] = Fate::Mapped;
+      inner_[static_cast<std::size_t>(v)] = next++;
+      outer_of_.push_back(v);
+    }
+    return next;
+  }
+
+  /// Register a fresh outer variable mapped to the given inner index
+  /// post-preprocessing (the wrapper's new_var after the front-end ran;
+  /// `inner` is whatever the inner backend's new_var returned — inner
+  /// indices may skip ahead of the dense range when the backend created
+  /// auxiliary variables of its own, e.g. XOR chunk links). Returns the
+  /// new outer variable.
+  Var add_mapped_var(Var inner);
+
+  // --- queries ---
+
+  int num_outer() const { return static_cast<int>(fate_.size()); }
+  int num_inner() const { return static_cast<int>(outer_of_.size()); }
+  Fate fate(Var outer) const { return fate_[static_cast<std::size_t>(outer)]; }
+  bool is_mapped(Var outer) const { return fate(outer) == Fate::Mapped; }
+  /// Fixed value of an outer variable, or Undef when not fixed here.
+  LBool fixed_value(Var outer) const;
+
+  /// Inner index of a Mapped outer variable (precondition: is_mapped).
+  Var inner_of(Var outer) const {
+    return inner_[static_cast<std::size_t>(outer)];
+  }
+  /// Outer variable of an inner index, or -1 for inner indices that have
+  /// no outer counterpart (backend-internal auxiliaries).
+  Var outer_of(Var inner) const {
+    return outer_of_[static_cast<std::size_t>(inner)];
+  }
+  Lit inner_of(Lit outer) const {
+    return Lit(inner_of(outer.var()), outer.negated());
+  }
+  Lit outer_lit_of(Lit inner) const {
+    return Lit(outer_of(inner.var()), inner.negated());
+  }
+
+  /// Eliminated variables recorded so far (stash count).
+  std::size_t num_eliminated() const { return elim_stack_.size(); }
+
+  // --- translation ---
+
+  /// Rewrite an outer clause into inner numbering. Throws
+  /// std::logic_error if a literal's variable is Eliminated or Dropped —
+  /// the caller violated the freeze() contract.
+  ClauseFate translate_clause(const std::vector<Lit>& outer,
+                              std::vector<Lit>* out) const;
+
+  /// Rewrite an outer XOR into inner numbering, folding fixed variables
+  /// into the rhs. Same Eliminated/Dropped policy as translate_clause.
+  /// ClauseFate::Empty means "0 = 1": unsatisfiable. Satisfied means the
+  /// constraint degenerated to "0 = 0".
+  ClauseFate translate_xor(const std::vector<Var>& outer_vars, bool rhs,
+                           std::vector<Var>* out_vars, bool* out_rhs) const;
+
+  /// Build the full outer model from an inner model (any callable
+  /// Var -> LBool over inner indices). Fixed variables take their fixed
+  /// value, Dropped variables default to false, Eliminated variables are
+  /// reconstructed from the stashes in reverse elimination order.
+  template <typename InnerModelFn>
+  std::vector<LBool> extend_model(InnerModelFn&& inner_model) const {
+    std::vector<LBool> m(fate_.size(), LBool::Undef);
+    for (Var v = 0; v < static_cast<Var>(fate_.size()); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      switch (fate_[i]) {
+        case Fate::Mapped:
+          m[i] = inner_model(inner_[i]);
+          break;
+        case Fate::FixedTrue:
+          m[i] = LBool::True;
+          break;
+        case Fate::FixedFalse:
+          m[i] = LBool::False;
+          break;
+        case Fate::Eliminated:
+          break;  // filled by the stash replay below
+        case Fate::Dropped:
+          m[i] = LBool::False;
+          break;
+      }
+    }
+    replay_stashes(m);
+    return m;
+  }
+
+ private:
+  void replay_stashes(std::vector<LBool>& model) const;
+
+  struct Elimination {
+    Lit lit;  ///< the literal whose clauses were stashed
+    std::vector<std::vector<Lit>> clauses;
+  };
+
+  std::vector<Fate> fate_;
+  std::vector<Var> inner_;     ///< valid where fate_ == Mapped
+  std::vector<Var> outer_of_;  ///< inner index -> outer variable (or -1)
+  std::vector<Elimination> elim_stack_;  ///< in elimination order
+};
+
+}  // namespace tp::sat

@@ -164,6 +164,15 @@ void TemplateReconstructor::build() {
     ok = p->encode(*solver_, cycle_vars_) && ok;
   }
 
+  // The template's external interface must survive a preprocessing
+  // front-end (SolverConfig::preprocess): per-entry assumptions land on
+  // the selectors and the totalizer outputs, and enumeration blocks on
+  // the cycle variables — none of them may be eliminated. No-op on
+  // backends without preprocessing.
+  for (Var v : cycle_vars_) solver_->freeze(v);
+  for (Var s : selectors_) solver_->freeze(s);
+  for (Lit o : card_outs_) solver_->freeze(o.var());
+
   encode_ok_ = ok && solver_->okay();
   ++stats_.builds;
   builds.add(1);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "sat/dimacs.hpp"
+#include "sat/drat.hpp"
 #include "sat/reference.hpp"
 #include "sat/solver.hpp"
 
@@ -154,6 +155,36 @@ TEST(Dimacs, LoadIntoSolverAgreesWithReference) {
   Solver s;
   ASSERT_TRUE(cnf.load_into(s));
   EXPECT_EQ(s.solve(), models.empty() ? Status::Unsat : Status::Sat);
+}
+
+TEST(Dimacs, LoadIntoCanonicalizesClauses) {
+  // The loader must drop tautologies and merge duplicate literals before
+  // the clauses reach the solver. Observe the stream through the proof
+  // axiom hook, which records clauses exactly as the solver receives them.
+  std::istringstream in(
+      "p cnf 3 4\n"
+      "1 -1 2 0\n"   // tautology: must vanish entirely
+      "2 2 3 0\n"    // duplicate literal: stored once
+      "-3 1 -3 0\n"  // duplicate negative literal
+      "1 2 3 0\n");  // already canonical
+  Cnf cnf = parse_dimacs(in);
+
+  MemoryProof proof;
+  SolverOptions opts;
+  opts.proof = &proof;
+  Solver s(opts);
+  EXPECT_TRUE(cnf.load_into(s));
+
+  ASSERT_EQ(proof.formula().size(), 3u);  // tautology never arrived
+  // load_into sorts by literal code (positive before negative per var).
+  EXPECT_EQ(proof.formula()[0], (IntClause{2, 3}));
+  EXPECT_EQ(proof.formula()[1], (IntClause{1, -3}));
+  EXPECT_EQ(proof.formula()[2], (IntClause{1, 2, 3}));
+
+  // Canonicalization must not change satisfiability.
+  EXPECT_EQ(s.solve(), Status::Sat);
+  const auto reference = reference_all_models(cnf);
+  EXPECT_FALSE(reference.empty());
 }
 
 TEST(Dimacs, GrowsVarCountFromLiterals) {

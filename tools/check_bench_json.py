@@ -39,10 +39,19 @@ config is a regression in coverage); rows present only in the current
 report are reported but pass (new configs are fine).
 
 Baseline mode also compares the solver backend identity: the report's
-"config.backend" / "config.members" (absent = "single" / 1, the values
-every report implied before the portfolio backend existed) must equal the
-baseline's, so a portfolio run can never silently pollute a single-solver
-baseline diff — the numbers are not comparable across backends.
+"config.backend" / "config.members" / "config.preprocess" (absent =
+"single" / 1 / "off", the values every report implied before the
+portfolio backend and the CNF preprocessing front-end existed) must equal
+the baseline's, so a portfolio run — or a run whose preprocess axis
+differs — can never silently pollute a baseline diff; the numbers are
+not comparable across backends or front-end modes.
+
+When a report carries preprocessed twin rows ("<name>_pre" next to
+"<name>", bench_solver's --preprocess both mode), baseline mode also
+prints the front-end gain per pair — the conflict reduction and the
+seconds speedup of the _pre row over its raw sibling — and fails if a
+_pre row's fingerprint differs from its raw sibling's (the front-end
+must change search effort, never answers).
 
 Exits non-zero with a per-file message on the first violation.
 No third-party dependencies — CI runs it with a stock python3.
@@ -117,17 +126,53 @@ def row_key(row, index):
 
 
 def backend_identity(report):
-    """(backend, members) of a report; absent keys mean the single solver."""
+    """(backend, members, preprocess) of a report; absent keys mean the
+    single solver with the front-end off — what every report implied
+    before those axes existed."""
     config = report.get("config", {})
-    return config.get("backend", "single"), config.get("members", 1)
+    return (config.get("backend", "single"), config.get("members", 1),
+            config.get("preprocess", "off"))
+
+
+def front_end_gain_lines(rows):
+    """Per ("<name>", "<name>_pre") pair: conflict delta and speedup.
+
+    Raises BaselineError when a _pre row's fingerprint differs from its
+    raw sibling's — the front-end may only change search effort.
+    """
+    lines = []
+    for key in sorted(rows):
+        if not key.endswith("_pre"):
+            continue
+        raw = rows.get(key[:-len("_pre")])
+        pre = rows[key]
+        if raw is None:
+            continue
+        raw_fp = raw.get("fingerprint")
+        if raw_fp is not None and pre.get("fingerprint") != raw_fp:
+            raise BaselineError(
+                f"row {key!r}: fingerprint {pre.get('fingerprint')!r} != "
+                f"raw sibling {raw_fp!r} (the front-end changed answers)")
+        parts = []
+        rc, pc = raw.get("conflicts"), pre.get("conflicts")
+        if isinstance(rc, numbers.Real) and isinstance(pc, numbers.Real) and rc:
+            parts.append(f"conflicts {rc:,.0f} -> {pc:,.0f} "
+                         f"({(1 - pc / rc) * 100:+.0f}% saved)")
+        rs, ps = raw.get("seconds"), pre.get("seconds")
+        if isinstance(rs, numbers.Real) and isinstance(ps, numbers.Real) and ps:
+            parts.append(f"speedup x{rs / ps:.2f}")
+        if parts:
+            lines.append(f"  front-end {key[:-len('_pre')]}: "
+                         + ", ".join(parts))
+    return lines
 
 
 def check_baseline(base, current, min_ratio):
     if backend_identity(base) != backend_identity(current):
         raise BaselineError(
-            f"backend mismatch: report ran {backend_identity(current)} but "
-            f"baseline is {backend_identity(base)} — portfolio and "
-            "single-solver numbers are not comparable")
+            f"identity mismatch: report ran {backend_identity(current)} but "
+            f"baseline is {backend_identity(base)} — numbers are not "
+            "comparable across backends or preprocess modes")
 
     base_rows = {row_key(r, i): r for i, r in enumerate(base["rows"])}
     cur_rows = {row_key(r, i): r for i, r in enumerate(current["rows"])}
@@ -169,6 +214,7 @@ def check_baseline(base, current, min_ratio):
     extra = sorted(cur_rows.keys() - base_rows.keys())
     if extra:
         lines.append(f"  new rows (not in baseline): {extra}")
+    lines.extend(front_end_gain_lines(cur_rows))
     return lines
 
 
