@@ -47,14 +47,18 @@ inline void json_escape(std::string_view s, std::string& out) {
 class Json {
  public:
   Json() : kind_(Kind::Null) {}
-  Json(bool v) : kind_(Kind::Bool), bool_(v) {}                       // NOLINT
-  Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}                 // NOLINT
-  Json(int v) : Json(static_cast<std::int64_t>(v)) {}                 // NOLINT
-  Json(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}              // NOLINT
-  Json(double v) : kind_(Kind::Double), double_(v) {}                 // NOLINT
-  Json(std::string v) : kind_(Kind::String), str_(std::move(v)) {}    // NOLINT
-  Json(std::string_view v) : Json(std::string(v)) {}                  // NOLINT
-  Json(const char* v) : Json(std::string(v)) {}                       // NOLINT
+  // The converting constructors are implicit by design: tracer fields are
+  // written as literals ({"k", entry.k}), which an `explicit` would break.
+  // NOLINTBEGIN(google-explicit-constructor): implicit conversion is the API
+  Json(bool v) : kind_(Kind::Bool), bool_(v) {}
+  Json(std::int64_t v) : kind_(Kind::Int), int_(v) {}
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}
+  Json(double v) : kind_(Kind::Double), double_(v) {}
+  Json(std::string v) : kind_(Kind::String), str_(std::move(v)) {}
+  Json(std::string_view v) : Json(std::string(v)) {}
+  Json(const char* v) : Json(std::string(v)) {}
+  // NOLINTEND(google-explicit-constructor)
 
   static Json array() {
     Json j;

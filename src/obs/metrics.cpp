@@ -46,7 +46,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     it = entries_.emplace(std::string(name), Entry{}).first;
@@ -60,7 +60,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     it = entries_.emplace(std::string(name), Entry{}).first;
@@ -74,7 +74,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 }
 
 Timing& MetricsRegistry::timing(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     it = entries_.emplace(std::string(name), Entry{}).first;
@@ -88,21 +88,21 @@ Timing& MetricsRegistry::timing(std::string_view name) {
 }
 
 std::int64_t MetricsRegistry::counter_value(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = entries_.find(name);
   if (it == entries_.end() || it->second.counter == nullptr) return 0;
   return it->second.counter->value();
 }
 
 std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = entries_.find(name);
   if (it == entries_.end() || it->second.gauge == nullptr) return 0;
   return it->second.gauge->value();
 }
 
 Json MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   Json out = Json::object();
   for (const auto& [name, entry] : entries_) {
     if (entry.counter != nullptr) {
@@ -122,7 +122,7 @@ Json MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [name, entry] : entries_) {
     if (entry.counter != nullptr) entry.counter->reset();
     if (entry.gauge != nullptr) entry.gauge->reset();

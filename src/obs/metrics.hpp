@@ -17,11 +17,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "obs/json.hpp"
+#include "util/sync.hpp"
 
 namespace tp::obs {
 
@@ -103,8 +103,10 @@ class MetricsRegistry {
     std::unique_ptr<Timing> timing;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  /// Guards registration and iteration only — the metric objects behind
+  /// the map update lock-free (LockRank::kObs, the lock-hierarchy leaf).
+  mutable util::Mutex mu_{util::LockRank::kObs};
+  std::map<std::string, Entry, std::less<>> entries_ TP_GUARDED_BY(mu_);
 };
 
 }  // namespace tp::obs

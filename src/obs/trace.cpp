@@ -24,17 +24,19 @@ int current_thread_number() {
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
-Tracer::Tracer(std::ostream& out) : Tracer() { sink_ = &out; }
+Tracer::Tracer(std::ostream& out) : Tracer() {
+  sink_.store(&out, std::memory_order_release);
+}
 
 Tracer::~Tracer() = default;
 
 void Tracer::open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   file_.open(path, std::ios::out | std::ios::trunc);
   if (!file_) {
     throw std::runtime_error("Tracer::open: cannot open '" + path + "'");
   }
-  sink_ = &file_;
+  sink_.store(&file_, std::memory_order_release);
 }
 
 double Tracer::elapsed() const {
@@ -71,10 +73,11 @@ void Tracer::write_line(std::string_view kind, std::string_view name, double ts,
   }
   line += "}\n";
 
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sink_ == nullptr) return;  // sink detached after the producer checked
-  sink_->write(line.data(), static_cast<std::streamsize>(line.size()));
-  sink_->flush();
+  util::MutexLock lock(mu_);
+  std::ostream* const sink = sink_.load(std::memory_order_relaxed);
+  if (sink == nullptr) return;  // sink detached after the producer checked
+  sink->write(line.data(), static_cast<std::streamsize>(line.size()));
+  sink->flush();
 }
 
 void Tracer::event(std::string_view name, std::initializer_list<Field> fields) {

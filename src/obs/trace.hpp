@@ -18,11 +18,11 @@
 // atomically under one mutex; producers format into a local buffer first,
 // keeping the critical section to a single stream write.
 
+#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "util/sync.hpp"
 
 namespace tp::obs {
 
@@ -63,8 +64,12 @@ class Tracer {
   void open(const std::string& path);
 
   /// True iff a sink is attached. Producers gate every emission on this
-  /// (or on the pointer itself being non-null).
-  bool enabled() const { return sink_ != nullptr; }
+  /// (or on the pointer itself being non-null). Lock-free: the sink
+  /// pointer is atomic precisely so this hot-path test never contends
+  /// with writers (mutation still happens under the line mutex).
+  bool enabled() const {
+    return sink_.load(std::memory_order_acquire) != nullptr;
+  }
 
   /// Seconds since construction (the `ts` clock).
   double elapsed() const;
@@ -130,9 +135,14 @@ class Tracer {
   int thread_number();
 
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::ostream* sink_ = nullptr;
-  std::ofstream file_;
+  /// Serializes line emission and sink replacement (LockRank::kObs — the
+  /// leaf of the lock hierarchy; see util/sync.hpp).
+  mutable util::Mutex mu_{util::LockRank::kObs};
+  /// Current sink, or null when disabled. Atomic so the enabled() fast
+  /// path is race-free against open(); stores happen only under `mu_`,
+  /// and the stream itself is only written under `mu_`.
+  std::atomic<std::ostream*> sink_{nullptr};
+  std::ofstream file_ TP_GUARDED_BY(mu_);
 };
 
 }  // namespace tp::obs

@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tp::sat {
@@ -260,8 +259,8 @@ Status PortfolioSolver::solve(const SolveLimits& limits) {
   race_stop_.store(false, std::memory_order_relaxed);
 
   std::vector<Status> results(n, Status::Unknown);
-  std::mutex mtx;
-  std::condition_variable cv;
+  util::Mutex mtx{util::LockRank::kPortfolio};
+  util::CondVar cv;
   std::size_t done = 0;
   int first = -1;               // winning member, first usable verdict
   int uncertified_unsat = -1;   // proofless Unsat while a sink is attached
@@ -278,7 +277,7 @@ Status PortfolioSolver::solve(const SolveLimits& limits) {
       member_limits.interrupt = &race_stop_;
       const Status st = m.solver->solve_assuming(as, member_limits);
       {
-        std::lock_guard<std::mutex> lock(mtx);
+        util::MutexLock lock(mtx);
         results[i] = st;
         ++done;
         if (st != Status::Unknown) {
@@ -297,8 +296,14 @@ Status PortfolioSolver::solve(const SolveLimits& limits) {
             uncertified_unsat = static_cast<int>(i);
           }
         }
+        // Notify while still holding mtx: the coordinator destroys cv and
+        // mtx (stack locals of solve()) as soon as it observes done == n,
+        // which it can only do after this worker releases the lock — so
+        // an unlocked notify here would race the destruction (TSan-caught
+        // use-after-free when the coordinator wakes by timeout instead of
+        // by this notification).
+        cv.notify_all();
       }
-      cv.notify_all();
     });
   }
 
@@ -306,9 +311,9 @@ Status PortfolioSolver::solve(const SolveLimits& limits) {
     // Join the race, relaying the caller's interrupt token into it: the
     // members only watch race_stop_, so an external cancellation must be
     // copied over by this coordinating thread.
-    std::unique_lock<std::mutex> lock(mtx);
+    util::MutexLock lock(mtx);
     while (done < n) {
-      cv.wait_for(lock, std::chrono::milliseconds(2));
+      cv.wait_for(mtx, std::chrono::milliseconds(2));
       if (limits.interrupt != nullptr &&
           limits.interrupt->load(std::memory_order_relaxed)) {
         race_stop_.store(true, std::memory_order_relaxed);

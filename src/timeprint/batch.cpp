@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -13,6 +12,7 @@
 #include "sat/allsat.hpp"
 #include "timeprint/incremental.hpp"
 #include "timeprint/verify.hpp"
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace tp::core {
@@ -139,7 +139,7 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
   // the entries each worker serves.
   std::unique_ptr<TemplateReconstructor> master;
   std::vector<std::unique_ptr<TemplateReconstructor>> idle_templates;
-  std::mutex template_mu;
+  util::Mutex template_mu{util::LockRank::kEngine};
   static obs::Counter& template_hits =
       obs::MetricsRegistry::global().counter("incremental.template_hits");
   static obs::Counter& template_misses =
@@ -156,7 +156,7 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
     if (master == nullptr) return rec_.reconstruct(entry, options.recon);
     std::unique_ptr<TemplateReconstructor> tmpl;
     {
-      std::lock_guard<std::mutex> lock(template_mu);
+      util::MutexLock lock(template_mu);
       if (!idle_templates.empty()) {
         tmpl = std::move(idle_templates.back());
         idle_templates.pop_back();
@@ -169,12 +169,12 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
       tmpl = master->clone();
     }
     ReconstructionResult r = tmpl->reconstruct(entry);
-    std::lock_guard<std::mutex> lock(template_mu);
+    util::MutexLock lock(template_mu);
     idle_templates.push_back(std::move(tmpl));
     return r;
   };
 
-  std::mutex mu;
+  util::Mutex mu{util::LockRank::kEngine};
   std::size_t completed = resolved_count;
   std::uint64_t found = resolved_signals;
   {
@@ -183,7 +183,7 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
       if (resolved[i]) continue;
       pool.submit([&, i] {
         ReconstructionResult r = run_entry(entries[i]);
-        std::lock_guard<std::mutex> lock(mu);
+        util::MutexLock lock(mu);
         found += r.signals.size();
         out.results[i] = std::move(r);
         ++completed;
@@ -274,7 +274,7 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
   const std::uint64_t cap = ropts.max_solutions;
   std::atomic<bool> cancel{false};   // stops in-flight solves cooperatively
   bool cap_reached = false;          // guarded by `mu`
-  std::mutex mu;
+  util::Mutex mu{util::LockRank::kEngine};
   std::size_t completed = 0;
   std::uint64_t found = 0;
 
@@ -324,7 +324,7 @@ ReconstructionResult BatchReconstructor::reconstruct_split(
                {"seconds", cube.models.seconds_total}});
         }
 
-        std::lock_guard<std::mutex> lock(mu);
+        util::MutexLock lock(mu);
         found += cube.models.models.size();
         cubes[ci] = std::move(cube);
         ++completed;

@@ -24,6 +24,10 @@
 #include "sat/allsat.hpp"
 #include "sat/cardinality.hpp"
 #include "sat/interface.hpp"
+// solver_options() returns the sat::SolverOptions config struct by value,
+// and that struct is defined in solver.hpp; no concrete sat::Solver is
+// named here.
+// tp-lint: allow(solver-interface-only) SolverOptions definition
 #include "sat/solver.hpp"
 #include "timeprint/encoding.hpp"
 #include "timeprint/logger.hpp"

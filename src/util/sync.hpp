@@ -1,0 +1,221 @@
+#pragma once
+// sync.hpp — capability-annotated synchronization primitives.
+//
+// Every mutex and condition variable in the tree goes through this header,
+// for two machine-checked guarantees:
+//
+//  1. *Static lock-discipline proofs.* The TP_* macros map onto Clang's
+//     Thread Safety Analysis attributes, so a field declared
+//     TP_GUARDED_BY(mu) can only be touched while `mu` is held, and a
+//     method declared TP_REQUIRES(mu) can only be called with `mu` held —
+//     checked at compile time by the CI `thread-safety` job
+//     (clang++ -Werror=thread-safety -Werror=thread-safety-beta). Off
+//     Clang the macros expand to nothing; GCC builds are unaffected.
+//
+//  2. *Deadlock freedom by construction.* Each Mutex carries an optional
+//     LockRank; debug builds maintain a thread-local stack of held ranks
+//     and assert that ranked mutexes are acquired in strictly increasing
+//     rank order. Since every thread respects one global order, a cycle
+//     in the waits-for graph is impossible. Release builds compile the
+//     checker away entirely (the rank field survives as one int).
+//
+// The lock-order hierarchy (outermost first — see docs/architecture.md,
+// "Static analysis"):
+//
+//   kEngine (10)     batch-engine merge / template-cache locks
+//   kPortfolio (20)  portfolio race coordination
+//   kPool (30)       thread-pool work deques
+//   kObs (40)        tracer sink, metrics registry — the universal leaf
+//
+// A lock may only be acquired while every lock already held has a
+// *strictly lower* rank; same-rank nesting is rejected too (two instances
+// of the same rank held together is exactly the ABBA shape the hierarchy
+// exists to rule out). Unranked mutexes opt out of the check but still
+// get the capability annotations.
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Thread Safety Analysis attribute macros. Canonical expansion per the
+// Clang documentation; no-ops on compilers without the attributes.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define TP_TSA_(x) __attribute__((x))
+#else
+#define TP_TSA_(x)
+#endif
+
+/// Marks a class as a lockable capability ("mutex").
+#define TP_CAPABILITY(x) TP_TSA_(capability(x))
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define TP_SCOPED_CAPABILITY TP_TSA_(scoped_lockable)
+/// Field may only be read/written while the given capability is held.
+#define TP_GUARDED_BY(x) TP_TSA_(guarded_by(x))
+/// Pointer field whose *pointee* is protected by the given capability.
+#define TP_PT_GUARDED_BY(x) TP_TSA_(pt_guarded_by(x))
+/// Function requires the capability held on entry (and does not release).
+#define TP_REQUIRES(...) TP_TSA_(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (held on exit, not on entry).
+#define TP_ACQUIRE(...) TP_TSA_(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on exit).
+#define TP_RELEASE(...) TP_TSA_(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define TP_TRY_ACQUIRE(...) TP_TSA_(try_acquire_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (anti-deadlock annotation).
+#define TP_EXCLUDES(...) TP_TSA_(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the given capability.
+#define TP_RETURN_CAPABILITY(x) TP_TSA_(lock_returned(x))
+/// Escape hatch: disables analysis inside the function body. Use only for
+/// primitives whose protocol the analysis cannot express (CondVar::wait
+/// releases and re-acquires), never to silence a real finding.
+#define TP_NO_THREAD_SAFETY_ANALYSIS TP_TSA_(no_thread_safety_analysis)
+
+namespace tp::util {
+
+/// Position of a mutex in the global acquisition order. Values are spaced
+/// so future subsystems (e.g. `tpr serve` shard locks) can slot between
+/// existing levels without renumbering.
+enum class LockRank : int {
+  kUnranked = -1,  ///< opted out of the debug order check
+  kEngine = 10,    ///< batch merge, template-cache free-list
+  kPortfolio = 20, ///< portfolio race coordination
+  kPool = 30,      ///< thread-pool work deques
+  kObs = 40,       ///< tracer sink, metrics registry (leaf)
+};
+
+namespace detail {
+
+#ifndef NDEBUG
+
+/// Per-thread stack of held ranked locks. Fixed capacity: the hierarchy
+/// has four levels, so a depth of 16 leaves slack for future subsystems.
+struct HeldRanks {
+  int rank[16];
+  int depth = 0;
+};
+
+inline HeldRanks& held_ranks() {
+  thread_local HeldRanks held;
+  return held;
+}
+
+inline void rank_acquired(int rank) {
+  if (rank < 0) return;
+  HeldRanks& held = held_ranks();
+  assert((held.depth == 0 || rank > held.rank[held.depth - 1]) &&
+         "lock-order violation: acquiring a mutex whose rank is not above "
+         "every rank already held (see the hierarchy in util/sync.hpp)");
+  assert(held.depth < 16 && "lock-rank stack overflow");
+  held.rank[held.depth++] = rank;
+}
+
+inline void rank_released(int rank) {
+  if (rank < 0) return;
+  HeldRanks& held = held_ranks();
+  // Scoped locks release LIFO, but CondVar::wait re-acquires out of step
+  // with destruction order, so remove the *latest* matching entry.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.rank[i] == rank) {
+      for (int j = i; j + 1 < held.depth; ++j) held.rank[j] = held.rank[j + 1];
+      --held.depth;
+      return;
+    }
+  }
+  assert(false && "releasing a ranked mutex this thread does not hold");
+}
+
+#else
+
+inline void rank_acquired(int) {}
+inline void rank_released(int) {}
+
+#endif  // NDEBUG
+
+}  // namespace detail
+
+/// A std::mutex with thread-safety-analysis capability annotations and an
+/// optional debug-checked lock rank. Prefer MutexLock over manual
+/// lock()/unlock() pairs; the analysis verifies both.
+class TP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(LockRank rank) : rank_(static_cast<int>(rank)) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TP_ACQUIRE() {
+    mu_.lock();
+    detail::rank_acquired(rank_);
+  }
+
+  void unlock() TP_RELEASE() {
+    detail::rank_released(rank_);
+    mu_.unlock();
+  }
+
+  bool try_lock() TP_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    detail::rank_acquired(rank_);
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  int rank_ = static_cast<int>(LockRank::kUnranked);
+};
+
+/// RAII lock for a Mutex (the std::lock_guard shape, with scoped-capability
+/// annotations so the analysis knows the mutex is held for the block).
+class TP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable on util::Mutex. wait() requires the mutex held; the
+/// release/re-acquire inside is a protocol the static analysis cannot
+/// track, so the bodies opt out — the *caller-facing* contract stays
+/// checked. Rank bookkeeping is preserved across the wait because the
+/// internal condition_variable_any goes through Mutex::lock()/unlock().
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) TP_REQUIRES(mu) TP_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  template <class Predicate>
+  void wait(Mutex& mu, Predicate pred) TP_REQUIRES(mu)
+      TP_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      TP_REQUIRES(mu) TP_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, dur);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace tp::util

@@ -1,29 +1,32 @@
 #include "util/thread_pool.hpp"
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace tp::util {
 
 struct ThreadPool::Impl {
-  std::mutex mu;
-  std::condition_variable work_cv;  ///< signalled on submit / shutdown
-  std::condition_variable idle_cv;  ///< signalled when pending_ hits 0
+  Mutex mu{LockRank::kPool};
+  CondVar work_cv;  ///< signalled on submit / shutdown
+  CondVar idle_cv;  ///< signalled when pending_ hits 0
 
   // One deque per worker; all guarded by `mu` (coarse tasks, see header).
-  std::vector<std::deque<std::function<void()>>> queues;
-  std::size_t pending = 0;  ///< queued + running tasks
-  std::size_t next_queue = 0;
-  bool stop = false;
+  std::vector<std::deque<std::function<void()>>> queues TP_GUARDED_BY(mu);
+  std::size_t pending TP_GUARDED_BY(mu) = 0;  ///< queued + running tasks
+  std::size_t next_queue TP_GUARDED_BY(mu) = 0;
+  bool stop TP_GUARDED_BY(mu) = false;
 
+  // Written only in the ThreadPool constructor (under `mu`, before any
+  // worker can observe it) and immutable afterwards, so num_workers() and
+  // the destructor's join loop read it lock-free.
   std::vector<std::thread> workers;
 
   /// Pop own deque from the back, else steal from the front of the others
-  /// (scanning forward from the neighbour). Requires `mu` held.
-  bool take(std::size_t self, std::function<void()>& out) {
+  /// (scanning forward from the neighbour).
+  bool take(std::size_t self, std::function<void()>& out) TP_REQUIRES(mu) {
     if (!queues[self].empty()) {
       out = std::move(queues[self].back());
       queues[self].pop_back();
@@ -42,18 +45,18 @@ struct ThreadPool::Impl {
   }
 
   void run_worker(std::size_t self) {
-    std::unique_lock<std::mutex> lock(mu);
     while (true) {
       std::function<void()> task;
-      if (take(self, task)) {
-        lock.unlock();
-        task();
-        lock.lock();
-        if (--pending == 0) idle_cv.notify_all();
-        continue;
+      {
+        MutexLock lock(mu);
+        while (!take(self, task)) {
+          if (stop) return;
+          work_cv.wait(mu);
+        }
       }
-      if (stop) return;
-      work_cv.wait(lock);
+      task();
+      MutexLock lock(mu);
+      if (--pending == 0) idle_cv.notify_all();
     }
   }
 };
@@ -63,6 +66,9 @@ ThreadPool::ThreadPool(std::size_t num_threads) : impl_(std::make_unique<Impl>()
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
   }
+  // Hold the queue lock while publishing the deques and spawning: a worker
+  // that starts early blocks on `mu` until construction is complete.
+  MutexLock lock(impl_->mu);
   impl_->queues.resize(num_threads);
   impl_->workers.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
@@ -72,7 +78,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) : impl_(std::make_unique<Impl>()
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->stop = true;
   }
   impl_->work_cv.notify_all();
@@ -83,7 +89,7 @@ std::size_t ThreadPool::num_workers() const { return impl_->workers.size(); }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     impl_->queues[impl_->next_queue].push_back(std::move(task));
     impl_->next_queue = (impl_->next_queue + 1) % impl_->queues.size();
     ++impl_->pending;
@@ -92,8 +98,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(impl_->mu);
-  impl_->idle_cv.wait(lock, [this] { return impl_->pending == 0; });
+  MutexLock lock(impl_->mu);
+  while (impl_->pending != 0) impl_->idle_cv.wait(impl_->mu);
 }
 
 }  // namespace tp::util

@@ -11,6 +11,9 @@
 // bottleneck, keeps the invariants obvious and the implementation clean
 // under ThreadSanitizer; the *stealing structure* is what balances load
 // when per-task cost varies by orders of magnitude, as SAT solves do.
+// The mutex is a util::Mutex (util/sync.hpp) at LockRank::kPool, so the
+// locking protocol is proven by Clang's thread-safety analysis and the
+// acquisition order is asserted in debug builds.
 //
 // Determinism note: the pool promises nothing about execution order.
 // Callers that need a deterministic result (the batch engine does) must

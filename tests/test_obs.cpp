@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -238,4 +239,160 @@ TEST(Metrics, SnapshotSerializesBothKinds) {
 
 TEST(Metrics, GlobalRegistryIsASingleton) {
   EXPECT_EQ(&obs::MetricsRegistry::global(), &obs::MetricsRegistry::global());
+}
+
+// ----------------------------------------------------------- ObsHammer --
+//
+// Multi-threaded hammer suite for the "shared tracer / shared registry is
+// thread-safe" contract that the parallel engines (batch fan-out, racing
+// portfolio) lean on. Runs in the plain suite as a correctness check and
+// in the CI TSan job (test filter `ObsHammer`) as a race check.
+
+TEST(ObsHammer, RegistryCountersNTimesMThreadsSumExactly) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kCounters = 16;
+  constexpr int kIters = 500;
+
+  std::vector<std::string> names;
+  names.reserve(kCounters);
+  for (int c = 0; c < kCounters; ++c) {
+    names.push_back("hammer.c" + std::to_string(c));
+  }
+
+  // Every thread resolves every counter itself (registration path under
+  // contention), then hammers lock-free adds.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &names] {
+      std::vector<obs::Counter*> counters;
+      counters.reserve(names.size());
+      for (const std::string& n : names) counters.push_back(&reg.counter(n));
+      for (int i = 0; i < kIters; ++i) {
+        for (obs::Counter* c : counters) c->add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const std::string& n : names) {
+    EXPECT_EQ(reg.counter_value(n), kThreads * kIters) << n;
+  }
+}
+
+TEST(ObsHammer, RegistryMixedKindsUnderContentionWithSnapshots) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 6;
+  constexpr int kIters = 200;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter("mix.count").add(1);
+        reg.gauge("mix.gauge").set(t);
+        reg.timing("mix.time").observe(0.001 * (t + 1));
+      }
+    });
+  }
+  // One reader races snapshot() against the writers; every snapshot must
+  // be a well-formed object regardless of interleaving.
+  threads.emplace_back([&reg] {
+    for (int i = 0; i < 50; ++i) {
+      const std::string json = reg.to_json();
+      ASSERT_FALSE(json.empty());
+      ASSERT_EQ(json.front(), '{');
+      ASSERT_EQ(json.back(), '}');
+    }
+  });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(reg.counter_value("mix.count"), kThreads * kIters);
+  obs::Timing& timing = reg.timing("mix.time");
+  EXPECT_EQ(timing.count(), kThreads * kIters);
+  EXPECT_DOUBLE_EQ(timing.min_seconds(), 0.001);
+  EXPECT_DOUBLE_EQ(timing.max_seconds(), 0.001 * kThreads);
+}
+
+TEST(ObsHammer, TracerNThreadsMSpansAndEventsAllComplete) {
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 100;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpans; ++i) {
+        obs::Tracer::Span span =
+            tracer.span("hammer.span", {{"thread", t}, {"i", i}});
+        tracer.event("hammer.event", {{"thread", t}});
+        span.add("closed", true);
+      }  // span emits at scope exit
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kSpans * 2));
+  std::size_t spans = 0;
+  for (const auto& l : lines) {
+    ASSERT_FALSE(l.empty());
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+    if (l.find("\"kind\":\"span\"") != std::string::npos) {
+      ++spans;
+      EXPECT_NE(l.find("\"dur\":"), std::string::npos);
+      EXPECT_NE(l.find("\"closed\":true"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(spans, static_cast<std::size_t>(kThreads * kSpans));
+}
+
+TEST(ObsHammer, TracerOpenWhileEmittingNeverTearsALine) {
+  // Regression for the sink-replacement race: enabled() used to read the
+  // sink pointer unsynchronized against open(), so a producer could race
+  // the sink swap. The pointer is atomic now; swapping sinks mid-stream
+  // must tear no line on either sink. (The TSan CI job runs this test to
+  // check the access itself, not just the output.)
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  const std::string path =
+      ::testing::TempDir() + "/tracer_open_hammer.jsonl";
+
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        tracer.event("swap.tick", {{"thread", t}, {"i", i}});
+      }
+    });
+  }
+  tracer.open(path);  // swap the sink while producers are mid-hammer
+  for (auto& th : threads) th.join();
+
+  std::size_t total = 0;
+  for (const std::string& text :
+       {out.str(), [&path] {
+          std::ifstream in(path);
+          std::ostringstream buf;
+          buf << in.rdbuf();
+          return buf.str();
+        }()}) {
+    for (const std::string& l : lines_of(text)) {
+      ASSERT_FALSE(l.empty());
+      EXPECT_EQ(l.front(), '{');
+      EXPECT_EQ(l.back(), '}');
+      ++total;
+    }
+  }
+  // The sink is never null in this test (it swaps from the stream to the
+  // file), so every event must land whole in exactly one sink: no drops,
+  // no duplicates, no interleaving.
+  EXPECT_EQ(total, static_cast<std::size_t>(kThreads * kEvents));
 }

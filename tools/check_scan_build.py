@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Diff Clang Static Analyzer (scan-build) results against a baseline.
+
+The CI `scan-build` job runs the analyzer over src/ with plist output and
+then calls
+
+    tools/check_scan_build.py <results-dir> \
+        --baseline tools/scan_build_baseline.json
+
+A finding is identified by (checker, file, description) — deliberately
+not by line number, which drifts with every edit. Findings present in the
+results but not in the baseline fail the job (exit 1): either fix the
+code or, for a deliberate false positive, add the finding to the baseline
+in the same PR that introduces it, with a `why` string. Baseline entries
+that no longer occur are reported as stale (exit 0) so the baseline
+shrinks back over time instead of fossilizing.
+
+File paths are normalized to their `src/...` suffix so the baseline is
+independent of checkout and build directories.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import plistlib
+import sys
+from typing import List, Tuple
+
+Finding = Tuple[str, str, str]  # (checker, file, description)
+
+
+def normalize_path(path: str) -> str:
+    """Reduce an absolute source path to its repo-relative src/ suffix."""
+    parts = pathlib.PurePosixPath(path.replace("\\", "/")).parts
+    if "src" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("src")
+        return "/".join(parts[idx:])
+    return parts[-1] if parts else path
+
+
+def findings_from_plist(path: pathlib.Path) -> List[Finding]:
+    with open(path, "rb") as fh:
+        data = plistlib.load(fh)
+    files = data.get("files", [])
+    out = []
+    for diag in data.get("diagnostics", []):
+        checker = diag.get("check_name") or diag.get("type", "unknown")
+        desc = diag.get("description", "")
+        loc = diag.get("location", {})
+        file_idx = loc.get("file", -1)
+        fname = files[file_idx] if 0 <= file_idx < len(files) else "unknown"
+        out.append((checker, normalize_path(fname), desc))
+    return out
+
+
+def collect_findings(results_dir: pathlib.Path) -> List[Finding]:
+    out: List[Finding] = []
+    for plist in sorted(results_dir.rglob("*.plist")):
+        out.extend(findings_from_plist(plist))
+    return out
+
+
+def load_baseline(path: pathlib.Path) -> List[dict]:
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = data.get("findings", [])
+    for e in entries:
+        for key in ("checker", "file", "description", "why"):
+            if key not in e:
+                raise SystemExit(
+                    f"{path}: baseline entry missing '{key}': {e}")
+    return entries
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=pathlib.Path,
+                        help="scan-build plist output directory")
+    parser.add_argument("--baseline", type=pathlib.Path, required=True)
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline)
+    suppressed = {(e["checker"], e["file"], e["description"])
+                  for e in baseline}
+    found = collect_findings(args.results)
+
+    fresh = [f for f in found if f not in suppressed]
+    stale = sorted(suppressed - set(found))
+
+    for checker, fname, desc in fresh:
+        print(f"NEW  {fname}: [{checker}] {desc}")
+    for checker, fname, desc in stale:
+        print(f"STALE baseline entry (fix landed? prune it): "
+              f"{fname}: [{checker}] {desc}")
+
+    print(f"scan-build: {len(found)} finding(s), {len(fresh)} new, "
+          f"{len(suppressed) - len(stale)} baselined, {len(stale)} stale")
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
