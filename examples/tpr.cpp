@@ -76,10 +76,12 @@ int usage() {
                "  tpr log <m> <b> <seed> <signal-bits>\n"
                "  tpr reconstruct <m> <b> <seed> <tp-bits> <k> [--prop P] "
                "[--max N] [--timeout S] [--incremental] [--preprocess]\n"
+               "      [--inprocess BUDGET] [--inprocess-every N]\n"
                "  tpr check <m> <b> <seed> <tp-bits> <k> --hypothesis P "
                "[--prop P] [--timeout S] [--preprocess]\n"
                "  tpr trace <m> <b> <seed> <tp-bits> <k> [--prop P] [--max N] "
                "[--timeout S] [--out FILE] [--incremental] [--preprocess]\n"
+               "      [--inprocess BUDGET] [--inprocess-every N]\n"
                "  tpr solve <cnf-file> [--proof FILE] [--binary-proof] "
                "[--preprocess]\n"
                "  tpr check-proof <cnf-file> <proof-file> [--binary-proof]\n");
@@ -195,6 +197,8 @@ struct CommonOptions {
   std::string trace_out;
   bool incremental = false;
   bool preprocess = false;
+  std::int64_t inprocess_budget = -1;   ///< -1 = SolverConfig default
+  std::int64_t inprocess_interval = -1; ///< -1 = SolverConfig default
 };
 
 bool parse_flags(int argc, char** argv, int first, CommonOptions& out) {
@@ -227,6 +231,10 @@ bool parse_flags(int argc, char** argv, int first, CommonOptions& out) {
       out.timeout = std::atof(value);
     } else if (flag == "--out") {
       out.trace_out = value;
+    } else if (flag == "--inprocess") {
+      out.inprocess_budget = static_cast<std::int64_t>(to_num(value));
+    } else if (flag == "--inprocess-every") {
+      out.inprocess_interval = static_cast<std::int64_t>(to_num(value));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
       return false;
@@ -293,6 +301,11 @@ int main(int argc, char** argv) {
       ro.limits.max_seconds = opts.timeout;
       ro.incremental = opts.incremental;
       ro.preprocess = opts.preprocess;
+      if (opts.inprocess_budget >= 0) ro.inprocess_budget = opts.inprocess_budget;
+      if (opts.inprocess_interval >= 0) {
+        ro.inprocess_interval =
+            static_cast<std::uint32_t>(opts.inprocess_interval);
+      }
 
       // One entry, either engine: --incremental builds a template and
       // serves the entry from it (the counters it bumps are reported by
@@ -344,6 +357,23 @@ int main(int argc, char** argv) {
                 reg.counter_value("solver.preprocess.strengthened")),
             static_cast<long long>(
                 reg.counter_value("solver.preprocess.failed_literals")));
+        std::fprintf(
+            stderr,
+            "# warm-template cycle_vars_eliminated=%lld restored_vars=%lld "
+            "witness_bytes=%lld inprocess_rounds=%lld template_evictions=%lld "
+            "template_cache_bytes=%lld\n",
+            static_cast<long long>(
+                reg.gauge_value("incremental.cycle_vars_eliminated")),
+            static_cast<long long>(
+                reg.counter_value("solver.preprocess.restored_vars")),
+            static_cast<long long>(
+                reg.counter_value("solver.preprocess.witness_bytes")),
+            static_cast<long long>(
+                reg.counter_value("solver.inprocess.rounds")),
+            static_cast<long long>(
+                reg.counter_value("incremental.template_evictions")),
+            static_cast<long long>(
+                reg.gauge_value("incremental.template_cache_bytes")));
         return result.final_status == sat::Status::Unknown ? 1 : 0;
       }
       if (cmd == "reconstruct") {

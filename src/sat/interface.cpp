@@ -12,6 +12,18 @@ SolverInterface::~SolverInterface() = default;
 
 void SolverInterface::freeze(Var) {}
 
+void SolverInterface::prepare() {}
+
+bool SolverInterface::inprocess() { return simplify(); }
+
+std::size_t SolverInterface::retained_bytes() const {
+  // Coarse default for backends without byte-accurate storage accounting:
+  // header + an average handful of literals per clause.
+  return (num_clauses() + num_learnts()) * 40;
+}
+
+bool SolverInterface::var_eliminated(Var) const { return false; }
+
 Status SolverInterface::solve_assuming(const std::vector<Lit>& assumptions,
                                        const SolveLimits& limits) {
   for (Lit l : assumptions) assume(l);

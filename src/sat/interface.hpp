@@ -8,7 +8,7 @@
 // and budgeted solves (SolveLimits). Backends implementing it today are
 // the in-tree CDCL solver (sat::Solver) and the racing portfolio
 // (sat::PortfolioSolver); an external solver would slot in behind the same
-// eleven virtuals.
+// small set of virtuals.
 //
 // Interface contract (the guarantees every backend must provide):
 //
@@ -79,6 +79,8 @@ struct SolverStats {
   std::int64_t arena_gc_runs = 0;
   /// Bytes the arena GC gave back across those collections.
   std::int64_t arena_bytes_reclaimed = 0;
+  /// Budgeted inprocessing rounds run between solves (inprocess()).
+  std::int64_t inprocess_rounds = 0;
   /// Wall-clock seconds spent inside solve() calls (accumulated). For a
   /// portfolio this sums the members' concurrent solve time, so it can
   /// exceed wall-clock time by up to the member count.
@@ -126,15 +128,28 @@ struct SolverConfig {
   /// first solve, then compact the surviving variables into a dense range
   /// (sat/remap.hpp). SolverFactory::make wraps the selected backend in a
   /// PreprocessingSolver when set, so every consumer of the interface
-  /// inherits it. Variables the caller will assume on or mention in
-  /// later-added clauses (selectors, projection variables, guards created
-  /// before the first solve) must be freeze()-frozen — frozen variables
-  /// are never eliminated, only renumbered. DRAT-safe: each preprocessing
-  /// step emits the add/delete ops that keep an UNSAT proof checkable.
+  /// inherits it. freeze() variables the caller will assume on or mention
+  /// in later-added clauses — frozen variables are never eliminated, only
+  /// renumbered. An unfrozen variable that is used late anyway is
+  /// *restored* on demand (re-introduced together with its stashed
+  /// witness clauses), so freezing is a performance contract, not a
+  /// correctness one. DRAT-safe: each preprocessing step emits the
+  /// add/delete ops that keep an UNSAT proof checkable.
   bool preprocess = false;
   /// Failed-literal probing budget, counted in clause-literal visits of
   /// the preprocessing-time propagation (0 disables probing).
   std::int64_t preprocess_probe_budget = 2'000'000;
+  /// Work budget of one inprocess() round — root-level vivification,
+  /// backward subsumption and failed-literal probing between solves —
+  /// counted in clause-literal visits / propagations per phase. 0
+  /// disables inprocessing entirely (inprocess() degrades to simplify()).
+  /// Long-running incremental consumers (TemplateReconstructor) call
+  /// inprocess() on the schedule below; one-shot solves never pay for it.
+  std::int64_t inprocess_budget = 100'000;
+  /// Template-engine schedule: run an inprocess() round every this many
+  /// served entries (and at every template rebuild edge). 0 = rebuild
+  /// edges only.
+  std::uint32_t inprocess_interval = 32;
   /// Bounded variable elimination keeps an elimination only when the
   /// number of surviving resolvents is at most the number of clauses it
   /// removes plus this growth allowance. A small positive allowance lets
@@ -203,7 +218,31 @@ class SolverInterface {
   /// Root-level database simplification between solves. Returns okay().
   virtual bool simplify() = 0;
 
+  /// Finalize the formula built so far *now* instead of at the first
+  /// solve(). For plain backends this is a no-op; the preprocessing
+  /// front-end runs its pipeline and constructs the inner backend here,
+  /// so an immutable template master pays for preprocessing exactly once
+  /// and clone()s copy the already-built inner solver. Idempotent.
+  virtual void prepare();
+
+  /// Budgeted root-level inprocessing between solves: simplify() plus a
+  /// bounded round of backward subsumption and failed-literal probing
+  /// (SolverConfig::inprocess_budget work units; budget 0 degrades to
+  /// plain simplify()). DRAT-correct: derived facts are emitted as adds
+  /// before any enabled deletion. Returns okay(). Default forwards to
+  /// simplify().
+  virtual bool inprocess();
+
   // --- introspection ---
+
+  /// Approximate bytes of retained clause storage (problem + learnt) —
+  /// the quantity the batch template cache bounds with LRU eviction.
+  /// Default: a coarse heuristic over num_clauses()/num_learnts().
+  virtual std::size_t retained_bytes() const;
+
+  /// True iff a preprocessing front-end structurally eliminated `v` (the
+  /// variable can still be restored on demand). Plain backends: false.
+  virtual bool var_eliminated(Var v) const;
 
   /// Lifetime statistics (aggregated over members for composite backends).
   virtual SolverStats stats() const = 0;

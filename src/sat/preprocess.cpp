@@ -136,11 +136,15 @@ class Engine {
     db_.push_back(std::move(c));
   }
 
-  void remove_clause(std::uint32_t idx) {
+  void remove_clause(std::uint32_t idx, bool keep_in_proof = false) {
     PClause& c = db_[idx];
     if (c.deleted) return;
     c.deleted = true;
-    proof_del(c.lits);
+    // BVE parent clauses stay in the proof stream (deletions are optional
+    // in DRAT): a retained clause only strengthens the checker's unit
+    // propagation, and it is exactly what makes a later restoration
+    // re-add of the witness a plain RUP add.
+    if (!keep_in_proof) proof_del(c.lits);
     // Occurrence entries go stale; visitors re-check membership.
   }
 
@@ -466,20 +470,35 @@ class Engine {
     // so the adds go out before any parent deletion.
     for (const auto& r : resolvents) proof_add(r);
 
-    // Stash one phase's clauses for model reconstruction. The replay
-    // rule needs the stashed side to carry the chosen literal and the
-    // resolvent set to cover the other side — with no resolvents (pure
-    // literal), only the non-empty side may be stashed.
+    // Stash both phases' clauses. The replay phase (`stash`) drives the
+    // SatELite model-extension rule — it must carry the chosen literal,
+    // and with no resolvents (pure literal) only the non-empty side may
+    // be chosen. The other phase rides along so an on-demand restoration
+    // can re-introduce the variable's full defining clause set.
     const bool stash_pos =
         n_occ.empty() || (!p_occ.empty() && p_occ.size() <= n_occ.size());
     const auto& stash_side = stash_pos ? p_occ : n_occ;
+    const auto& other_side = stash_pos ? n_occ : p_occ;
     std::vector<std::vector<Lit>> stash;
+    std::vector<std::vector<Lit>> others;
     stash.reserve(stash_side.size());
-    for (std::uint32_t idx : stash_side) stash.push_back(db_[idx].lits);
-    remap_.set_eliminated(stash_pos ? pos : ~pos, std::move(stash));
+    others.reserve(other_side.size());
+    for (std::uint32_t idx : stash_side) {
+      stats_.witness_bytes +=
+          static_cast<std::int64_t>(db_[idx].lits.size() * sizeof(Lit));
+      stash.push_back(db_[idx].lits);
+    }
+    for (std::uint32_t idx : other_side) {
+      stats_.witness_bytes +=
+          static_cast<std::int64_t>(db_[idx].lits.size() * sizeof(Lit));
+      others.push_back(db_[idx].lits);
+    }
+    remap_.set_eliminated(stash_pos ? pos : ~pos, std::move(stash),
+                          std::move(others));
 
-    for (std::uint32_t idx : p_occ) remove_clause(idx);
-    for (std::uint32_t idx : n_occ) remove_clause(idx);
+    const bool keep_in_proof = cfg_.proof != nullptr;
+    for (std::uint32_t idx : p_occ) remove_clause(idx, keep_in_proof);
+    for (std::uint32_t idx : n_occ) remove_clause(idx, keep_in_proof);
     ++stats_.vars_eliminated;
     stats_.bve_clauses_removed +=
         static_cast<std::int64_t>(p_occ.size() + n_occ.size());
@@ -621,8 +640,14 @@ PreprocessingSolver::PreprocessingSolver(const PreprocessingSolver& o)
       frozen_(o.frozen_),
       pending_fixed_(o.pending_fixed_),
       remap_(o.remap_),
-      pstats_(o.pstats_) {
+      pstats_(o.pstats_),
+      restored_vars_(o.restored_vars_) {
   opts_.proof = nullptr;  // a proof sink serves exactly one instance
+  // The clone's inner backend starts with fresh SolverStats, so the
+  // front-end work folded into stats() must not travel either: a batch
+  // summing per-worker stats would otherwise count the (single) master
+  // preprocessing run once per worker.
+  pstats_.propagations = 0;
   if (o.inner_ != nullptr) inner_ = o.inner_->clone();
 }
 
@@ -688,6 +713,10 @@ bool PreprocessingSolver::add_clause(std::vector<Lit> lits) {
     return true;
   }
   if (inner_ == nullptr) return false;  // refuted during preprocessing
+  // A late clause over removed variables re-introduces them (AllSAT
+  // blocking clauses over eliminated cycle variables land here).
+  for (Lit l : lits) restore_outer(l.var());
+  if (!ok_) return false;
   switch (remap_.translate_clause(lits, &scratch_)) {
     case VarRemapper::ClauseFate::Keep:
       // The inner solver reports the folded clause as its axiom; the
@@ -759,6 +788,8 @@ bool PreprocessingSolver::add_xor(std::vector<Var> vars, bool rhs) {
     return true;
   }
   if (inner_ == nullptr) return false;
+  for (Var v : vars) restore_outer(v);
+  if (!ok_) return false;
   std::vector<Var> inner_vars;
   bool inner_rhs = false;
   switch (remap_.translate_xor(vars, rhs, &inner_vars, &inner_rhs)) {
@@ -876,6 +907,7 @@ void PreprocessingSolver::build(const SolveLimits& limits) {
     span.add("subsumed", pstats_.subsumed_clauses);
     span.add("strengthened", pstats_.strengthened_clauses);
     span.add("failed_literals", pstats_.failed_literals);
+    span.add("witness_bytes", pstats_.witness_bytes);
     span.add("density", pstats_.remap_density());
     span.add("seconds", pstats_.seconds);
   }
@@ -896,9 +928,12 @@ void PreprocessingSolver::record_metrics() const {
       reg.counter("solver.preprocess.strengthened");
   static obs::Counter& failed_lits =
       reg.counter("solver.preprocess.failed_literals");
+  static obs::Counter& witness =
+      reg.counter("solver.preprocess.witness_bytes");
   static obs::Gauge& before = reg.gauge("solver.preprocess.vars_before");
   static obs::Gauge& after = reg.gauge("solver.preprocess.vars_after");
   runs.add(1);
+  witness.add(pstats_.witness_bytes);
   eliminated.add(pstats_.vars_eliminated);
   fixed.add(pstats_.vars_fixed);
   added.add(pstats_.bve_resolvents_added);
@@ -910,15 +945,72 @@ void PreprocessingSolver::record_metrics() const {
   after.set(pstats_.vars_after);
 }
 
-namespace {
-[[noreturn]] void throw_unfrozen_assumption(Lit l) {
-  throw std::logic_error(
-      "sat::PreprocessingSolver: assumption on variable " +
-      std::to_string(l.var() + 1) +
-      " which preprocessing removed — freeze() assumption variables "
-      "before the first solve()");
+void PreprocessingSolver::restore_outer(Var v) {
+  switch (remap_.fate(v)) {
+    case VarRemapper::Fate::Mapped:
+    case VarRemapper::Fate::FixedTrue:
+    case VarRemapper::Fate::FixedFalse:
+      return;  // usable as-is (fixed variables fold at translation)
+    case VarRemapper::Fate::Dropped:
+      // Occurred nowhere after preprocessing: a fresh inner index is the
+      // whole restoration.
+      remap_.map_var(v, inner_->new_var());
+      return;
+    case VarRemapper::Fate::Eliminated:
+      break;
+  }
+
+  // Re-introduce the eliminated variable: fresh inner index first (the
+  // witness clauses mention v), then make every other variable of the
+  // witness set usable — an eliminated one was eliminated strictly later
+  // (it was live in a clause of v's stash), so the recursion terminates —
+  // and finally re-add the witness clauses to the inner solver. In proof
+  // mode the witnesses were never deleted from the outer stream, so the
+  // inner axiom events are forwarded as plain RUP adds
+  // (set_implied_axioms), keeping file-based DRAT checkable.
+  const bool outermost = restore_depth_ == 0;
+  ++restore_depth_;
+  if (outermost && proof_adapter_ != nullptr) {
+    proof_adapter_->set_implied_axioms(true);
+  }
+
+  remap_.restore(v, inner_->new_var());
+  ++restored_vars_;
+  static obs::Counter& restored_m =
+      obs::MetricsRegistry::global().counter("solver.preprocess.restored_vars");
+  restored_m.add(1);
+
+  const VarRemapper::Elimination& elim = remap_.elimination(v);
+  for (const auto* side : {&elim.clauses, &elim.others}) {
+    for (const auto& witness : *side) {
+      for (Lit l : witness) {
+        if (l.var() != v) restore_outer(l.var());
+      }
+    }
+  }
+  std::vector<Lit> inner_clause;
+  for (const auto* side : {&elim.clauses, &elim.others}) {
+    for (const auto& witness : *side) {
+      switch (remap_.translate_clause(witness, &inner_clause)) {
+        case VarRemapper::ClauseFate::Keep:
+          if (!inner_->add_clause(inner_clause)) ok_ = inner_->okay();
+          break;
+        case VarRemapper::ClauseFate::Satisfied:
+          break;  // folded away by fixed variables
+        case VarRemapper::ClauseFate::Empty:
+          // Unreachable: v itself survives translation. Defensive only.
+          ok_ = false;
+          proof_empty();
+          break;
+      }
+    }
+  }
+
+  --restore_depth_;
+  if (outermost && proof_adapter_ != nullptr) {
+    proof_adapter_->set_implied_axioms(false);
+  }
 }
-}  // namespace
 
 Status PreprocessingSolver::solve(const SolveLimits& limits) {
   if (!built_ && ok_) build(limits);
@@ -930,6 +1022,10 @@ Status PreprocessingSolver::solve(const SolveLimits& limits) {
   std::vector<Lit> inner_assumptions;
   inner_assumptions.reserve(assumptions.size());
   for (Lit l : assumptions) {
+    // An assumption on a removed variable re-introduces it (the freeze()
+    // contract is a performance hint, not a correctness one).
+    restore_outer(l.var());
+    if (!ok_) return Status::Unsat;
     switch (remap_.fate(l.var())) {
       case VarRemapper::Fate::Mapped:
         inner_assumptions.push_back(remap_.inner_of(l));
@@ -946,7 +1042,7 @@ Status PreprocessingSolver::solve(const SolveLimits& limits) {
       }
       case VarRemapper::Fate::Eliminated:
       case VarRemapper::Fate::Dropped:
-        throw_unfrozen_assumption(l);
+        break;  // unreachable: restore_outer just mapped it
     }
   }
 
@@ -993,6 +1089,28 @@ bool PreprocessingSolver::simplify() {
   if (!built_) return ok_;
   if (!ok_ || inner_ == nullptr) return false;
   return inner_->simplify();
+}
+
+void PreprocessingSolver::prepare() {
+  if (!built_ && ok_) build({});
+}
+
+bool PreprocessingSolver::inprocess() {
+  if (!built_) return ok_;
+  if (!ok_ || inner_ == nullptr) return false;
+  return inner_->inprocess();
+}
+
+std::size_t PreprocessingSolver::retained_bytes() const {
+  if (inner_ != nullptr) return inner_->retained_bytes();
+  std::size_t bytes = 0;
+  for (const auto& c : pending_clauses_) bytes += c.size() * sizeof(Lit);
+  return bytes;
+}
+
+bool PreprocessingSolver::var_eliminated(Var v) const {
+  return built_ && v < remap_.num_outer() &&
+         remap_.fate(v) == VarRemapper::Fate::Eliminated;
 }
 
 SolverStats PreprocessingSolver::stats() const {

@@ -27,13 +27,26 @@
 //
 // PreprocessingSolver wraps any SolverInterface backend behind the same
 // interface: it buffers the formula, runs the Preprocessor at the first
-// solve(), renumbers the survivors densely (VarRemapper) and builds the
-// inner backend over the compacted instance. Models, failed() cores and
-// later-added constraints are translated at the boundary. The caller's
-// obligations are exactly the freeze() contract (interface.hpp): freeze
-// every variable you will assume on or mention in post-solve clauses.
+// solve() (or at prepare(), for template masters that want the cost paid
+// before clone()), renumbers the survivors densely (VarRemapper) and
+// builds the inner backend over the compacted instance. Models, failed()
+// cores and later-added constraints are translated at the boundary.
 // Variables of XOR constraints are frozen implicitly — elimination
 // reasons over the clausal view cannot see parity constraints.
+//
+// freeze() (interface.hpp) is a performance contract here, not a
+// correctness one: when a late clause, XOR or assumption mentions a
+// variable that preprocessing removed, the wrapper *restores* it — the
+// variable gets a fresh inner index and its stashed witness clauses
+// (both phases of the eliminated variable's occurrence set) are re-added
+// to the inner solver, recursively restoring any eliminated variable a
+// witness clause mentions (always eliminated strictly later, so the
+// recursion terminates). In proof mode the witness clauses were never
+// deleted from the DRAT stream (BVE parent deletions are suppressed —
+// deletions are optional in DRAT), so each re-add is a plain RUP add and
+// UNSAT answers remain certifiable against the original formula. This is
+// what lets a warm template master eliminate its cycle variables and
+// still serve AllSAT blocking clauses over them.
 
 #include <atomic>
 #include <cstdint>
@@ -66,6 +79,9 @@ struct PreprocessStats {
   std::int64_t strengthened_clauses = 0;  ///< self-subsumption + unit strengthening
   std::int64_t failed_literals = 0;
   std::int64_t probes = 0;            ///< literals probed
+  /// Bytes held by the elimination witness stashes (both phases) that
+  /// model reconstruction and on-demand restoration replay from.
+  std::int64_t witness_bytes = 0;
   /// Unit-propagation assignments performed by the front-end (root UP to
   /// fixpoint plus the probing trials) — the same unit of work the CDCL
   /// loop's SolverStats::propagations counts, and folded into it by
@@ -175,6 +191,14 @@ class PreprocessingSolver : public SolverInterface {
   bool okay() const override;
   LBool fixed_value(Var v) const override;
   bool simplify() override;
+  /// Run the preprocessing pipeline and build the inner backend now
+  /// (instead of lazily at the first solve). The template-master idiom:
+  /// prepare() once, then clone() workers that copy the built inner
+  /// solver instead of re-running the front-end.
+  void prepare() override;
+  bool inprocess() override;
+  std::size_t retained_bytes() const override;
+  bool var_eliminated(Var v) const override;
   SolverStats stats() const override;
   std::size_t num_clauses() const override;
   std::size_t num_xors() const override;
@@ -191,6 +215,10 @@ class PreprocessingSolver : public SolverInterface {
   /// The outer->inner variable mapping (meaningful once preprocessed()).
   const VarRemapper& remapper() const { return remap_; }
 
+  /// Eliminated variables re-introduced on demand by late clauses, XORs
+  /// or assumptions (see the file comment).
+  std::int64_t restored_vars() const { return restored_vars_; }
+
  private:
   PreprocessingSolver(const PreprocessingSolver& o);  // for clone()
 
@@ -201,6 +229,11 @@ class PreprocessingSolver : public SolverInterface {
   bool add_clause_unlogged(std::vector<Lit> lits);
   void record_metrics() const;
   void proof_empty();
+  /// Re-introduce a removed (Eliminated or Dropped) outer variable under
+  /// a fresh inner index, re-adding its witness clauses and recursively
+  /// restoring removed variables those clauses mention. No-op for
+  /// Mapped/Fixed variables.
+  void restore_outer(Var v);
 
   SolverBackend backend_;
   SolverOptions opts_;  ///< inner CDCL tunables; preprocess cleared
@@ -222,6 +255,8 @@ class PreprocessingSolver : public SolverInterface {
   VarRemapper remap_;
   std::unique_ptr<RemapProofSink> proof_adapter_;
   PreprocessStats pstats_;
+  std::int64_t restored_vars_ = 0;
+  int restore_depth_ = 0;  ///< recursion depth of restore_outer()
 
   std::vector<Lit> assumptions_;  ///< outer, for the next solve only
   std::vector<Lit> failed_;       ///< outer

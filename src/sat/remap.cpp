@@ -8,12 +8,14 @@ namespace tp::sat {
 
 VarRemapper::VarRemapper(int num_outer_vars)
     : fate_(static_cast<std::size_t>(num_outer_vars), Fate::Dropped),
-      inner_(static_cast<std::size_t>(num_outer_vars), -1) {}
+      inner_(static_cast<std::size_t>(num_outer_vars), -1),
+      elim_slot_(static_cast<std::size_t>(num_outer_vars), -1) {}
 
 void VarRemapper::ensure_outer(Var v) {
   if (v >= static_cast<Var>(fate_.size())) {
     fate_.resize(static_cast<std::size_t>(v) + 1, Fate::Dropped);
     inner_.resize(static_cast<std::size_t>(v) + 1, -1);
+    elim_slot_.resize(static_cast<std::size_t>(v) + 1, -1);
   }
 }
 
@@ -22,21 +24,61 @@ void VarRemapper::set_fixed(Var v, bool value) {
   fate_[static_cast<std::size_t>(v)] = value ? Fate::FixedTrue : Fate::FixedFalse;
 }
 
-void VarRemapper::set_eliminated(Lit lit, std::vector<std::vector<Lit>> stash) {
+void VarRemapper::set_eliminated(Lit lit, std::vector<std::vector<Lit>> stash,
+                                 std::vector<std::vector<Lit>> others) {
   ensure_outer(lit.var());
   fate_[static_cast<std::size_t>(lit.var())] = Fate::Eliminated;
-  elim_stack_.push_back({lit, std::move(stash)});
+  elim_slot_[static_cast<std::size_t>(lit.var())] =
+      static_cast<std::int32_t>(elim_stack_.size());
+  elim_stack_.push_back({lit, std::move(stash), std::move(others), false});
 }
 
-Var VarRemapper::add_mapped_var(Var inner) {
-  const Var outer = static_cast<Var>(fate_.size());
-  fate_.push_back(Fate::Mapped);
-  inner_.push_back(inner);
+void VarRemapper::bind_inner(Var outer, Var inner) {
+  fate_[static_cast<std::size_t>(outer)] = Fate::Mapped;
+  inner_[static_cast<std::size_t>(outer)] = inner;
   if (inner >= static_cast<Var>(outer_of_.size())) {
     outer_of_.resize(static_cast<std::size_t>(inner) + 1, -1);
   }
   outer_of_[static_cast<std::size_t>(inner)] = outer;
+}
+
+Var VarRemapper::add_mapped_var(Var inner) {
+  const Var outer = static_cast<Var>(fate_.size());
+  fate_.push_back(Fate::Dropped);
+  inner_.push_back(-1);
+  elim_slot_.push_back(-1);
+  bind_inner(outer, inner);
   return outer;
+}
+
+const VarRemapper::Elimination& VarRemapper::elimination(Var outer) const {
+  const std::int32_t slot = elim_slot_[static_cast<std::size_t>(outer)];
+  if (slot < 0) {
+    throw std::logic_error("sat::VarRemapper: variable " +
+                           std::to_string(outer + 1) +
+                           " has no elimination witness");
+  }
+  return elim_stack_[static_cast<std::size_t>(slot)];
+}
+
+void VarRemapper::restore(Var outer, Var inner) {
+  const std::int32_t slot = elim_slot_[static_cast<std::size_t>(outer)];
+  if (fate(outer) != Fate::Eliminated || slot < 0) {
+    throw std::logic_error("sat::VarRemapper: restore() of variable " +
+                           std::to_string(outer + 1) +
+                           " which is not eliminated");
+  }
+  elim_stack_[static_cast<std::size_t>(slot)].restored = true;
+  bind_inner(outer, inner);
+}
+
+void VarRemapper::map_var(Var outer, Var inner) {
+  if (fate(outer) != Fate::Dropped) {
+    throw std::logic_error("sat::VarRemapper: map_var() of variable " +
+                           std::to_string(outer + 1) +
+                           " which is not dropped");
+  }
+  bind_inner(outer, inner);
 }
 
 LBool VarRemapper::fixed_value(Var outer) const {
@@ -115,8 +157,12 @@ void VarRemapper::replay_stashes(std::vector<LBool>& model) const {
   // a variable in an earlier stash was live at that elimination's time,
   // so it either survived (Mapped/Fixed/Dropped, filled above) or was
   // eliminated *later* — and later eliminations replay *earlier* in this
-  // reverse walk.
+  // reverse walk. Restored eliminations are skipped: their variables are
+  // Mapped again, already filled from the inner model above (which also
+  // keeps the "every other literal has a value" invariant intact for the
+  // stashes that do replay).
   for (auto it = elim_stack_.rbegin(); it != elim_stack_.rend(); ++it) {
+    if (it->restored) continue;
     bool need_true = false;
     for (const auto& clause : it->clauses) {
       bool satisfied = false;

@@ -15,18 +15,25 @@
 //    works).
 //  * translate_clause / translate_xor rewrite constraints added *after*
 //    preprocessing into inner numbering, folding fixed variables away.
-//    Mentioning an Eliminated/Dropped variable there is a caller bug
-//    (the freeze() contract exists precisely to prevent it) and throws.
+//    Mentioning an Eliminated/Dropped variable there throws — unless the
+//    caller (PreprocessingSolver) first *restores* the variable through
+//    restore()/map_var(), re-introducing it under a fresh inner index.
+//    Restoration is what lets AllSAT blocking clauses mention eliminated
+//    cycle variables after a warm template master was preprocessed with
+//    only its assumption-bearing variables frozen.
 //  * extend_model turns an inner model back into a full outer model,
 //    replaying the eliminated-clause stashes in reverse elimination
 //    order (the SatELite reconstruction rule: make the eliminated
 //    literal true iff some stashed clause is otherwise unsatisfied).
+//    Restored eliminations are skipped — their variables are Mapped
+//    again and read straight from the inner model.
 //
 // The remapper is deliberately dumb — it holds no clause database and
 // performs no reasoning beyond the stash replay, so PreprocessingSolver
 // can clone it by plain copy.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sat/types.hpp"
@@ -50,6 +57,19 @@ class VarRemapper {
     Empty,      ///< falsified by fixed variables; formula is unsat
   };
 
+  /// The witness of one bounded-variable elimination: every clause the
+  /// variable occurred in at elimination time, split by phase. `clauses`
+  /// (the designated replay phase, all containing `lit`) drives the
+  /// SatELite model-extension rule; `others` (all containing ~lit) rides
+  /// along so restore() can re-introduce the variable's full defining
+  /// clause set later.
+  struct Elimination {
+    Lit lit;  ///< the literal whose clauses drive the model replay
+    std::vector<std::vector<Lit>> clauses;  ///< clauses containing lit
+    std::vector<std::vector<Lit>> others;   ///< clauses containing ~lit
+    bool restored = false;  ///< variable re-introduced; replay skips it
+  };
+
   explicit VarRemapper(int num_outer_vars = 0);
 
   // --- construction (driven by the Preprocessor) ---
@@ -61,8 +81,10 @@ class VarRemapper {
 
   /// Record an elimination: `lit` was resolved away, `stash` holds every
   /// clause that contained `lit` (in outer numbering, including `lit`
-  /// itself). Stashes are replayed LIFO by extend_model.
-  void set_eliminated(Lit lit, std::vector<std::vector<Lit>> stash);
+  /// itself) and `others` every clause that contained ~lit. Stashes are
+  /// replayed LIFO by extend_model.
+  void set_eliminated(Lit lit, std::vector<std::vector<Lit>> stash,
+                      std::vector<std::vector<Lit>> others = {});
 
   /// Assign dense inner indices (in ascending outer order) to every
   /// outer variable still Dropped for which `keep` returns true; the
@@ -88,6 +110,23 @@ class VarRemapper {
   /// auxiliary variables of its own, e.g. XOR chunk links). Returns the
   /// new outer variable.
   Var add_mapped_var(Var inner);
+
+  // --- restoration (late use of a removed variable) ---
+
+  /// The witness stash of an Eliminated outer variable (precondition:
+  /// fate(outer) == Eliminated).
+  const Elimination& elimination(Var outer) const;
+
+  /// Re-introduce an Eliminated outer variable under a fresh inner index:
+  /// its fate flips back to Mapped and its stash entry is marked restored
+  /// so extend_model reads the inner model instead of replaying clauses.
+  /// The caller re-adds the witness clauses to the inner solver.
+  void restore(Var outer, Var inner);
+
+  /// Map a Dropped outer variable to a fresh inner index (a late clause —
+  /// or a witness clause being restored — mentions a variable that
+  /// occurred nowhere after preprocessing).
+  void map_var(Var outer, Var inner);
 
   // --- queries ---
 
@@ -164,16 +203,14 @@ class VarRemapper {
 
  private:
   void replay_stashes(std::vector<LBool>& model) const;
-
-  struct Elimination {
-    Lit lit;  ///< the literal whose clauses were stashed
-    std::vector<std::vector<Lit>> clauses;
-  };
+  void bind_inner(Var outer, Var inner);
 
   std::vector<Fate> fate_;
   std::vector<Var> inner_;     ///< valid where fate_ == Mapped
   std::vector<Var> outer_of_;  ///< inner index -> outer variable (or -1)
   std::vector<Elimination> elim_stack_;  ///< in elimination order
+  /// Outer variable -> index into elim_stack_, or -1 (parallel to fate_).
+  std::vector<std::int32_t> elim_slot_;
 };
 
 }  // namespace tp::sat

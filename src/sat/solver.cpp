@@ -47,6 +47,7 @@ SolverStats& SolverStats::operator+=(const SolverStats& o) {
   subsumed_clauses += o.subsumed_clauses;
   arena_gc_runs += o.arena_gc_runs;
   arena_bytes_reclaimed += o.arena_bytes_reclaimed;
+  inprocess_rounds += o.inprocess_rounds;
   solve_seconds += o.solve_seconds;
   return *this;
 }
@@ -157,6 +158,7 @@ std::unique_ptr<Solver> Solver::clone_solver() const {
   c->next_reduce_ = next_reduce_;
   c->num_reduces_ = num_reduces_;
   c->vivify_head_ = vivify_head_;
+  c->probe_head_ = probe_head_;
 
   // The clause store is position-addressed, so the whole database — arena
   // buffer, ref lists, watcher lists (same order, same blockers) and binary
@@ -1319,6 +1321,144 @@ bool Solver::simplify() {
   maybe_gc();
   if (audit_ != nullptr) audit_->checkpoint(*this, AuditPoint::PostSimplify);
   return ok_;
+}
+
+void Solver::subsume_round(std::int64_t budget) {
+  // Backward subsumption between solves: a stored problem clause C
+  // subsumes every other stored clause D ⊇ C (problem or learnt), which
+  // can then be deleted — any assignment D rejects, C rejects no later.
+  // Deletions only, so the DRAT stream needs nothing but the del ops.
+  // Bounded by `budget` literal visits; occurrence lists are rebuilt per
+  // round (the solver keeps none between solves).
+  assert(decision_level() == 0);
+  if (clauses_.empty()) return;
+  std::int64_t work = budget;
+
+  // lit code -> refs of clauses containing it (problem + learnt).
+  std::vector<std::vector<ClauseRef>> occ(2 * static_cast<std::size_t>(num_vars()));
+  auto index_db = [&](const std::vector<ClauseRef>& db) {
+    for (const ClauseRef c : db) {
+      const std::size_t n = arena_.size(c);
+      work -= static_cast<std::int64_t>(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        occ[static_cast<std::size_t>(arena_.lit(c, i).code())].push_back(c);
+      }
+    }
+  };
+  index_db(clauses_);
+  index_db(learnts_);
+  if (work <= 0) return;
+
+  std::vector<unsigned char> marked(2 * static_cast<std::size_t>(num_vars()), 0);
+  std::size_t removed = 0;
+  for (const ClauseRef c : clauses_) {
+    if (work <= 0) break;
+    if (arena_.dead(c) || locked(c)) continue;
+    const std::size_t n = arena_.size(c);
+
+    // Scan the occurrence list of c's least-occurring literal: every
+    // superset of c must appear there.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const auto code = static_cast<std::size_t>(arena_.lit(c, i).code());
+      if (occ[code].size() <
+          occ[static_cast<std::size_t>(arena_.lit(c, best).code())].size()) {
+        best = i;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      marked[static_cast<std::size_t>(arena_.lit(c, i).code())] = 1;
+    }
+    for (const ClauseRef d :
+         occ[static_cast<std::size_t>(arena_.lit(c, best).code())]) {
+      if (d == c || arena_.dead(d) || locked(d)) continue;
+      const std::size_t dn = arena_.size(d);
+      if (dn < n) continue;
+      if (dn == n && d < c) continue;  // duplicate pair: delete once
+      work -= static_cast<std::int64_t>(dn);
+      std::size_t hits = 0;
+      for (std::size_t i = 0; i < dn; ++i) {
+        hits += marked[static_cast<std::size_t>(arena_.lit(d, i).code())];
+      }
+      if (hits == n) {
+        detach_clause(d);
+        proof_del_ref(d);
+        arena_.free_clause(d);
+        ++removed;
+      }
+      if (work <= 0) break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      marked[static_cast<std::size_t>(arena_.lit(c, i).code())] = 0;
+    }
+  }
+  if (removed != 0) {
+    auto drop_dead = [this](std::vector<ClauseRef>& db) {
+      db.erase(std::remove_if(db.begin(), db.end(),
+                              [this](ClauseRef c) { return arena_.dead(c); }),
+               db.end());
+    };
+    drop_dead(clauses_);
+    drop_dead(learnts_);
+    stats_.removed_clauses += static_cast<std::int64_t>(removed);
+    stats_.subsumed_clauses += static_cast<std::int64_t>(removed);
+  }
+}
+
+void Solver::probe_round(std::int64_t budget) {
+  // Root-level failed-literal probing: assume each unfixed literal in
+  // turn and unit-propagate; a conflict makes the negation a root unit
+  // (RUP against the database that just refuted it, so the DRAT add goes
+  // out before the unit is enqueued). Bounded by `budget` propagations,
+  // resuming round-robin at probe_head_ like vivify_round.
+  assert(decision_level() == 0);
+  const auto n = static_cast<std::size_t>(num_vars());
+  if (n == 0) return;
+  const std::int64_t start_props = stats_.propagations;
+  if (probe_head_ >= n) probe_head_ = 0;
+  std::size_t visited = 0;
+  while (visited < n && ok_ && stats_.propagations - start_props < budget) {
+    const Var v = static_cast<Var>(probe_head_);
+    probe_head_ = (probe_head_ + 1) % n;
+    ++visited;
+    for (int sign = 0; sign < 2 && ok_; ++sign) {
+      const Lit l(v, sign == 1);
+      if (value(l) != LBool::Undef) break;  // fixed (possibly just now)
+      trail_lim_.push_back(trail_.size());
+      unchecked_enqueue(l, {});
+      const bool conflicted = !propagate().none();
+      cancel_until(0);
+      if (!conflicted) continue;
+      proof_add({~l});
+      unchecked_enqueue(~l, {});
+      if (!propagate().none()) {
+        ok_ = false;
+        proof_empty();
+      }
+    }
+  }
+}
+
+bool Solver::inprocess() {
+  assert(decision_level() == 0);
+  if (!simplify()) return false;  // satisfied sweep + vivification + GC
+  const std::int64_t budget = opts_.inprocess_budget;
+  if (budget <= 0) return ok_;
+  subsume_round(budget);
+  if (ok_) probe_round(budget);
+  maybe_gc();
+  ++stats_.inprocess_rounds;
+  static obs::Counter& rounds_m =
+      obs::MetricsRegistry::global().counter("solver.inprocess.rounds");
+  rounds_m.add(1);
+  return ok_;
+}
+
+std::size_t Solver::retained_bytes() const {
+  // Live arena bytes plus the binaries, which live in the implication
+  // lists (two watcher entries per binary clause) rather than the arena.
+  return arena_.bytes_live() +
+         (num_bin_problem_ + num_bin_learnt_) * 2 * sizeof(BinWatcher);
 }
 
 void Solver::maybe_gc() {

@@ -252,6 +252,18 @@ class Solver : public SolverInterface {
   /// Returns okay().
   bool simplify() override;
 
+  /// simplify() plus one budgeted round of heavier root-level
+  /// inprocessing (SolverOptions::inprocess_budget work units): backward
+  /// subsumption of stored clauses against each other and failed-literal
+  /// probing at the root (each failed probe becomes a DRAT-logged unit).
+  /// Budget 0 degrades to plain simplify(). Only callable between solves.
+  /// Returns okay().
+  bool inprocess() override;
+
+  /// Retained clause storage: live arena bytes plus the binary watch
+  /// lists (the arena excludes binaries).
+  std::size_t retained_bytes() const override;
+
   /// Attach (or detach, with null) an invariant auditor. The auditor is
   /// consulted at the search-loop checkpoints (post-propagate fixpoint,
   /// post-backtrack, post-simplify); it observes the solver read-only and
@@ -396,6 +408,8 @@ class Solver : public SolverInterface {
   /// Root-level vivification over the problem clauses, resuming at the
   /// round-robin cursor, spending at most `budget` propagations.
   void vivify_round(std::int64_t budget);
+  void subsume_round(std::int64_t budget);
+  void probe_round(std::int64_t budget);
   /// Detach + proof-delete + free + erase from its database list.
   void remove_clause(ClauseRef c);
 
@@ -477,6 +491,7 @@ class Solver : public SolverInterface {
   std::int64_t next_reduce_ = 0;
   int num_reduces_ = 0;
   std::size_t vivify_head_ = 0;  ///< round-robin cursor over clauses_
+  std::size_t probe_head_ = 0;   ///< round-robin cursor over variables
 
   // --- Gaussian XOR engine state ---
   struct GaussRow {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -133,17 +134,31 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
 
   // Incremental mode: one immutable master template (clone source only —
   // it is never solved on, so concurrent clone() reads race-free) feeding
-  // a free-list of per-worker templates. A task pops a warm template (hit)
-  // or clones the master (miss, at most one per worker thread) and returns
-  // it afterwards, so learnt clauses and heuristic state accumulate across
-  // the entries each worker serves.
+  // a free-list of per-worker templates. A task pops the most recently
+  // returned warm template (hit) or clones the master (miss, at most one
+  // per worker thread) and returns it afterwards, so learnt clauses and
+  // heuristic state accumulate across the entries each worker serves.
+  // The idle list is bounded by options.template_cache_bytes over the
+  // templates' retained clause-storage bytes: returning a template that
+  // pushes the sum over the bound evicts from the cold (front) end — LRU,
+  // keyed by retained-learnt bytes — so a long stream's warm state cannot
+  // grow without bound.
+  struct IdleTemplate {
+    std::size_t bytes;
+    std::unique_ptr<TemplateReconstructor> tmpl;
+  };
   std::unique_ptr<TemplateReconstructor> master;
-  std::vector<std::unique_ptr<TemplateReconstructor>> idle_templates;
+  std::deque<IdleTemplate> idle_templates;
+  std::size_t idle_bytes = 0;
   util::Mutex template_mu{util::LockRank::kEngine};
   static obs::Counter& template_hits =
       obs::MetricsRegistry::global().counter("incremental.template_hits");
   static obs::Counter& template_misses =
       obs::MetricsRegistry::global().counter("incremental.template_misses");
+  static obs::Counter& template_evictions =
+      obs::MetricsRegistry::global().counter("incremental.template_evictions");
+  static obs::Gauge& template_cache_bytes =
+      obs::MetricsRegistry::global().gauge("incremental.template_cache_bytes");
   if (options.recon.incremental && resolved_count < entries.size()) {
     std::size_t k_max = 0;
     for (const LogEntry& e : entries) k_max = std::max(k_max, e.k);
@@ -158,8 +173,10 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
     {
       util::MutexLock lock(template_mu);
       if (!idle_templates.empty()) {
-        tmpl = std::move(idle_templates.back());
+        tmpl = std::move(idle_templates.back().tmpl);
+        idle_bytes -= idle_templates.back().bytes;
         idle_templates.pop_back();
+        template_cache_bytes.set(static_cast<std::int64_t>(idle_bytes));
       }
     }
     if (tmpl != nullptr) {
@@ -169,8 +186,30 @@ BatchResult BatchReconstructor::reconstruct_all(const std::vector<LogEntry>& ent
       tmpl = master->clone();
     }
     ReconstructionResult r = tmpl->reconstruct(entry);
-    util::MutexLock lock(template_mu);
-    idle_templates.push_back(std::move(tmpl));
+    // Size the template outside the lock (retained_bytes walks solver
+    // storage), then return it hot-end first and evict cold-end idles
+    // until the cache respects the bound again.
+    const std::size_t bytes = tmpl->retained_bytes();
+    std::vector<std::unique_ptr<TemplateReconstructor>> evicted;
+    {
+      util::MutexLock lock(template_mu);
+      idle_bytes += bytes;
+      idle_templates.push_back({bytes, std::move(tmpl)});
+      if (options.template_cache_bytes != 0) {
+        while (idle_bytes > options.template_cache_bytes &&
+               !idle_templates.empty()) {
+          idle_bytes -= idle_templates.front().bytes;
+          evicted.push_back(std::move(idle_templates.front().tmpl));
+          idle_templates.pop_front();
+        }
+      }
+      template_cache_bytes.set(static_cast<std::int64_t>(idle_bytes));
+    }
+    // Solver teardown of evicted templates happens outside the lock.
+    if (!evicted.empty()) {
+      template_evictions.add(static_cast<std::int64_t>(evicted.size()));
+      evicted.clear();
+    }
     return r;
   };
 

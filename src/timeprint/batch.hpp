@@ -71,6 +71,15 @@ struct BatchOptions {
   /// independent of num_threads so the cube set — and therefore the
   /// merged result — does not change with the degree of parallelism.
   std::size_t cube_vars = 0;
+  /// Incremental mode only: bound on the summed retained clause-storage
+  /// bytes (SolverInterface::retained_bytes) of the idle per-worker
+  /// template cache. When returning a template would push the cache over
+  /// the bound, the least-recently-used idle templates are evicted (their
+  /// learnt clauses and heuristic state are dropped; the next worker
+  /// re-clones the master). 0 = unbounded. Surfaced through the
+  /// "incremental.template_evictions" counter and the
+  /// "incremental.template_cache_bytes" gauge.
+  std::size_t template_cache_bytes = std::size_t{64} << 20;
   /// Progress hook; see ProgressCallback.
   ProgressCallback on_progress;
 

@@ -35,6 +35,7 @@ sat::SolverStats stats_delta(const sat::SolverStats& after,
   d.removed_clauses = after.removed_clauses - before.removed_clauses;
   d.minimized_literals = after.minimized_literals - before.minimized_literals;
   d.gauss_runs = after.gauss_runs - before.gauss_runs;
+  d.inprocess_rounds = after.inprocess_rounds - before.inprocess_rounds;
   return d;
 }
 
@@ -82,7 +83,13 @@ void TemplateReconstructor::build() {
   const std::size_t m = enc_->m();
   const std::size_t b = enc_->width();
 
-  solver_ = options_.make_solver();
+  // A template master's formula is solved thousands of times, so the
+  // front-end trade-off shifts: a BVE step that *grows* the clause count
+  // taxes every future propagation for a one-time variable saving. Run
+  // the preprocessor NiVER-style — strictly shrinking eliminations only.
+  ReconstructionOptions master_options = options_;
+  master_options.preprocess_bve_growth = 0;
+  solver_ = master_options.make_solver();
   cycle_vars_.clear();
   selectors_.clear();
   card_outs_.clear();
@@ -164,14 +171,29 @@ void TemplateReconstructor::build() {
     ok = p->encode(*solver_, cycle_vars_) && ok;
   }
 
-  // The template's external interface must survive a preprocessing
-  // front-end (SolverConfig::preprocess): per-entry assumptions land on
-  // the selectors and the totalizer outputs, and enumeration blocks on
-  // the cycle variables — none of them may be eliminated. No-op on
-  // backends without preprocessing.
-  for (Var v : cycle_vars_) solver_->freeze(v);
+  // Hard-freeze only the *assumption-bearing* variables: per-entry
+  // assumptions land on the selectors and the totalizer outputs. Cycle
+  // variables stay eliminable — a preprocessing front-end restores them
+  // on demand when an AllSAT blocking clause mentions one, and per-entry
+  // models are reconstructed through the stashed witness clauses, so
+  // signal sets stay bit-identical to the classic path. (Guard literals
+  // are created per entry, after the build, so they are never candidates
+  // for elimination in the first place.)
   for (Var s : selectors_) solver_->freeze(s);
   for (Lit o : card_outs_) solver_->freeze(o.var());
+
+  // Preprocess-once: finalize the master now, so per-entry solves (and
+  // every clone() this template serves as a cache master for) start from
+  // the already-preprocessed, densely renumbered formula.
+  solver_->prepare();
+
+  std::int64_t eliminated = 0;
+  for (Var v : cycle_vars_) {
+    if (solver_->var_eliminated(v)) ++eliminated;
+  }
+  static obs::Gauge& cycle_elim = obs::MetricsRegistry::global().gauge(
+      "incremental.cycle_vars_eliminated");
+  cycle_elim.set(eliminated);
 
   encode_ok_ = ok && solver_->okay();
   ++stats_.builds;
@@ -277,6 +299,10 @@ ReconstructionResult TemplateReconstructor::reconstruct(const LogEntry& entry) {
   if (entry.k > k_max_) {
     k_max_ = m;
     build();
+    // Rebuild edge of the inprocessing schedule: tighten the fresh base
+    // once before the stream resumes.
+    solver_->inprocess();
+    ++stats_.inprocess_rounds;
   }
 
   ReconstructionResult result;
@@ -331,9 +357,18 @@ ReconstructionResult TemplateReconstructor::reconstruct(const LogEntry& entry) {
   // Retire the entry: fixing ¬guard root-satisfies this run's blocking
   // clauses (and any learnt clause carrying ¬guard); simplify() then sweeps
   // that ballast out of the databases so the solver's propagation cost
-  // stays flat over arbitrarily long entry streams.
+  // stays flat over arbitrarily long entry streams. Every
+  // inprocess_interval entries the sweep is upgraded to a budgeted
+  // inprocess() round (backward subsumption + failed-literal probing on
+  // top of the vivifying simplify()).
   solver_->add_clause({~guard});
-  solver_->simplify();
+  const std::uint32_t interval = options_.inprocess_interval;
+  if (interval != 0 && stats_.entries % interval == 0) {
+    solver_->inprocess();
+    ++stats_.inprocess_rounds;
+  } else {
+    solver_->simplify();
+  }
   result.stats = stats_delta(solver_->stats(), before);
 
   result.final_status = models.final_status;

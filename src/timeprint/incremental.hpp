@@ -91,8 +91,16 @@ class TemplateReconstructor {
     /// Learnt clauses alive at entry start, summed over entries after the
     /// first — the clause capital the fresh path would have discarded.
     std::int64_t learnt_retained = 0;
+    /// Budgeted inprocess() rounds run by the schedule (every
+    /// SolverConfig::inprocess_interval entries and at rebuild edges).
+    std::int64_t inprocess_rounds = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Approximate retained clause-storage bytes of the underlying solver —
+  /// the quantity the batch engine's template cache bounds with LRU
+  /// eviction.
+  std::size_t retained_bytes() const { return solver_->retained_bytes(); }
 
   /// The encoding this template decodes against.
   const TimestampEncoding& encoding() const { return *enc_; }

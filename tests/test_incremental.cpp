@@ -2,15 +2,21 @@
 // equivalence against the fresh-solver path and the brute-force reference
 // over random encodings and random (TP, k) streams, across encoding knobs
 // and properties, plus the template lifecycle edges (k = 0, k > k_max
-// rebuild, k > m) and the batch engine's incremental mode.
+// rebuild, k > m) and the batch engine's incremental mode. The warm
+// template master section at the bottom drives the preprocess-once
+// front-end, the budgeted inprocessing schedule and the bounded
+// per-worker template cache (LRU eviction) through the same differential
+// gates, including a 10k-entry soak.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "f2/bitvec.hpp"
+#include "obs/metrics.hpp"
 #include "timeprint/batch.hpp"
 #include "timeprint/incremental.hpp"
 #include "timeprint/logger.hpp"
@@ -345,6 +351,166 @@ TEST(Incremental, LearntClauseCapitalAccumulates) {
   }
   EXPECT_EQ(tmpl.stats().entries, 10);
   EXPECT_GE(tmpl.stats().learnt_retained, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Warm template masters: the preprocess-once front-end must be invisible in
+// the reconstructed signal sets.
+// ---------------------------------------------------------------------------
+
+TEST(Incremental, TemplatePreprocessParityAcrossConfigsAndEdges) {
+  // Four-way differential — template+preprocess vs raw template vs fresh
+  // vs brute force — across the XOR/cardinality configurations, over a
+  // stream that walks the lifecycle edges: k = 0, the k > k_max rebuild,
+  // frequently-UNSAT random timeprints, and AllSAT guard retirement
+  // *after* the rebuild. The CNF-XOR row is the load-bearing one: without
+  // the native XOR engine nothing implicitly freezes the cycle
+  // variables, so elimination and per-entry witness restoration actually
+  // run. inprocess_interval = 2 forces budgeted inprocessing rounds
+  // mid-stream on both template variants.
+  struct Knobs {
+    bool native_xor;
+    bool use_gauss;
+    sat::CardEncoding card;
+  };
+  const Knobs knob_sets[] = {
+      {true, true, sat::CardEncoding::SequentialCounter},
+      {true, false, sat::CardEncoding::Totalizer},
+      {false, false, sat::CardEncoding::SequentialCounter},
+  };
+
+  const TimestampEncoding enc =
+      TimestampEncoding::random_constrained_auto(12, 3, 19);
+  Logger logger(enc);
+  f2::Rng rng(191);
+  std::vector<LogEntry> entries;
+  entries.push_back({f2::BitVec(enc.width()), 0});  // k = 0: quiet signal
+  entries.push_back(logger.log(Signal::random_with_changes(enc.m(), 2, rng)));
+  // k = 4 > k_max = 2: forces the template rebuild mid-stream.
+  entries.push_back(logger.log(Signal::random_with_changes(enc.m(), 4, rng)));
+  entries.push_back({f2::BitVec::random(enc.width(), rng), 2});
+  entries.push_back(logger.log(Signal::random_with_changes(enc.m(), 1, rng)));
+
+  for (const Knobs& kn : knob_sets) {
+    ReconstructionOptions raw_opts;
+    raw_opts.native_xor = kn.native_xor;
+    raw_opts.use_gauss = kn.use_gauss;
+    raw_opts.card_encoding = kn.card;
+    raw_opts.inprocess_interval = 2;
+    ReconstructionOptions pre_opts = raw_opts;
+    pre_opts.preprocess = true;
+
+    Reconstructor fresh(enc);
+    TemplateReconstructor raw_tmpl(enc, {}, raw_opts, /*k_max=*/2);
+    TemplateReconstructor pre_tmpl(enc, {}, pre_opts, /*k_max=*/2);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const ReconstructionResult p = pre_tmpl.reconstruct(entries[i]);
+      const ReconstructionResult t = raw_tmpl.reconstruct(entries[i]);
+      const ReconstructionResult f = fresh.reconstruct(entries[i], raw_opts);
+      ASSERT_TRUE(p.complete()) << "entry " << i;
+      ASSERT_TRUE(t.complete()) << "entry " << i;
+      ASSERT_TRUE(f.complete()) << "entry " << i;
+      const std::set<std::string> expect = signal_set(f.signals);
+      EXPECT_EQ(signal_set(p.signals), expect)
+          << "native_xor=" << kn.native_xor << " entry " << i;
+      EXPECT_EQ(signal_set(t.signals), expect)
+          << "native_xor=" << kn.native_xor << " entry " << i;
+      EXPECT_EQ(expect,
+                signal_set(Reconstructor::brute_force(enc, entries[i])))
+          << "entry " << i;
+    }
+    EXPECT_EQ(pre_tmpl.stats().builds, 2);  // initial + the k = 4 rebuild
+    EXPECT_GT(pre_tmpl.stats().inprocess_rounds, 0);
+    EXPECT_GT(raw_tmpl.stats().inprocess_rounds, 0);
+  }
+}
+
+TEST(Incremental, TemplatePreprocessMatchesFreshOnPortfolioBackend) {
+  const TimestampEncoding enc =
+      TimestampEncoding::random_constrained_auto(12, 3, 29);
+  ReconstructionOptions opts;
+  opts.preprocess = true;
+  opts.solver_backend = sat::SolverBackend::Portfolio;
+  opts.portfolio_members = 2;
+  Reconstructor fresh(enc);
+  TemplateReconstructor tmpl(enc, {}, opts);
+  f2::Rng rng(97);
+  for (const LogEntry& entry : random_stream(enc, 5, rng)) {
+    const ReconstructionResult t = tmpl.reconstruct(entry);
+    const ReconstructionResult f = fresh.reconstruct(entry, opts);
+    ASSERT_TRUE(t.complete());
+    ASSERT_TRUE(f.complete());
+    EXPECT_EQ(signal_set(t.signals), signal_set(f.signals));
+  }
+}
+
+TEST(Incremental, BatchEvictionKeepsParityWithFreshBatch) {
+  // A one-byte cache bound evicts every template the moment a worker
+  // returns it, so each entry is served by a cold re-clone of the master
+  // — the adversarial schedule for guard retirement (every guard retires
+  // into a template that is then destroyed) and for the preprocess
+  // front-end (model reconstruction state must live in the master, not
+  // the evicted clone). Results must still match the fresh batch exactly.
+  const TimestampEncoding enc =
+      TimestampEncoding::random_constrained_auto(14, 3, 37);
+  BatchReconstructor batch(enc);
+  f2::Rng rng(53);
+  const std::vector<LogEntry> entries = random_stream(enc, 20, rng);
+
+  BatchOptions fresh_opts;
+  fresh_opts.num_threads = 4;
+  BatchOptions evict_opts = fresh_opts;
+  evict_opts.recon.incremental = true;
+  evict_opts.recon.preprocess = true;
+  evict_opts.template_cache_bytes = 1;
+
+  const auto& reg = obs::MetricsRegistry::global();
+  const std::int64_t evictions_before =
+      reg.counter_value("incremental.template_evictions");
+  const BatchResult fresh = batch.reconstruct_all(entries, fresh_opts);
+  const BatchResult evicting = batch.reconstruct_all(entries, evict_opts);
+  EXPECT_TRUE(fresh.complete());
+  EXPECT_TRUE(evicting.complete());
+  ASSERT_EQ(evicting.results.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(signal_set(evicting.results[i].signals),
+              signal_set(fresh.results[i].signals))
+        << "entry " << i;
+  }
+  EXPECT_GT(reg.counter_value("incremental.template_evictions"),
+            evictions_before);
+  // Nothing idle may outlive the bound.
+  EXPECT_LE(reg.gauge_value("incremental.template_cache_bytes"), 1);
+}
+
+TEST(Incremental, CacheBoundHoldsOverTenThousandEntrySoak) {
+  // Long-stream soak: 10k entries through the incremental batch engine
+  // under a cache bound sized to roughly two cold templates. Warm
+  // templates outgrow the bound as learnts accumulate, so the LRU must
+  // evict continuously while the idle cache never ends above the bound.
+  const TimestampEncoding enc =
+      TimestampEncoding::random_constrained_auto(10, 2, 43);
+  BatchOptions opts;
+  opts.num_threads = 4;
+  opts.recon.incremental = true;
+  const TemplateReconstructor probe(enc, {}, opts.recon);
+  opts.template_cache_bytes = 2 * probe.retained_bytes();
+  ASSERT_GT(opts.template_cache_bytes, 0u);
+
+  BatchReconstructor batch(enc);
+  f2::Rng rng(61);
+  const std::vector<LogEntry> entries = random_stream(enc, 10000, rng);
+
+  const auto& reg = obs::MetricsRegistry::global();
+  const std::int64_t evictions_before =
+      reg.counter_value("incremental.template_evictions");
+  const BatchResult r = batch.reconstruct_all(entries, opts);
+  EXPECT_TRUE(r.complete());
+  ASSERT_EQ(r.results.size(), entries.size());
+  EXPECT_GT(reg.counter_value("incremental.template_evictions"),
+            evictions_before);
+  EXPECT_LE(reg.gauge_value("incremental.template_cache_bytes"),
+            static_cast<std::int64_t>(opts.template_cache_bytes));
 }
 
 }  // namespace

@@ -6,8 +6,11 @@
 //  * wrapper conformance — the factory wraps on SolverConfig::preprocess,
 //    edge formulas (empty, trivially conflicting, degenerate XORs) keep
 //    their verdicts, clone() is independent on both sides of the build;
-//  * freeze contract — an eliminated variable used in an assumption or a
-//    post-solve clause throws std::logic_error, a frozen one survives;
+//  * restoration contract — freezing is a performance hint, not a
+//    correctness requirement: an eliminated variable used in a late
+//    assumption or post-build clause is transparently *restored* from its
+//    stashed witness clauses, and the combined formula keeps exact
+//    verdicts, models and DRAT certificates;
 //  * fuzz parity — random CNF+XOR instances solved raw and preprocessed
 //    must agree on SAT/UNSAT, models, failed() cores and complete AllSAT
 //    model sets (compared by fingerprint);
@@ -225,10 +228,12 @@ TEST(Preprocess, EquivalenceChainRoundTripsThroughElimination) {
   EXPECT_EQ(s->model(v[0]), LBool::False);
 }
 
-TEST(Preprocess, UnfrozenEliminatedVariableThrowsOnLateUse) {
+TEST(Preprocess, UnfrozenEliminatedVariableIsRestoredOnLateUse) {
   // x9 occurs only positively in one clause: a pure literal, eliminated
-  // with zero resolvents. Using it after the build must throw, not
-  // silently mistranslate.
+  // with zero resolvents. A warm template master leaves such variables
+  // eliminable on purpose; a late use must transparently *restore* the
+  // variable from its stashed witness clauses, not throw and not
+  // mistranslate.
   auto build = [] {
     auto s = make_preprocessed();
     std::vector<Var> v;
@@ -238,32 +243,58 @@ TEST(Preprocess, UnfrozenEliminatedVariableThrowsOnLateUse) {
     s->freeze(v[0]);
     s->freeze(v[1]);
     EXPECT_EQ(s->solve(), Status::Sat);
+    auto* wrapper = dynamic_cast<PreprocessingSolver*>(s.get());
+    EXPECT_NE(wrapper, nullptr);
+    EXPECT_EQ(wrapper->remapper().fate(Var(9)),
+              VarRemapper::Fate::Eliminated);
     return s;
   };
   {
+    // Late clause over the eliminated variable: restoration brings the
+    // witness (x9 | ~x0) back, so adding (x9 | x0) makes ~x9 genuinely
+    // unsat.
     auto s = build();
-    EXPECT_THROW(s->add_clause({mk_lit(Var(9)), mk_lit(Var(0))}),
-                 std::logic_error);
+    EXPECT_TRUE(s->add_clause({mk_lit(Var(9)), mk_lit(Var(0))}));
+    auto* wrapper = dynamic_cast<PreprocessingSolver*>(s.get());
+    EXPECT_GT(wrapper->restored_vars(), 0);
+    EXPECT_EQ(s->solve_assuming({~mk_lit(Var(9))}), Status::Unsat);
+    EXPECT_EQ(s->solve_assuming({mk_lit(Var(9))}), Status::Sat);
   }
   {
+    // A late assumption alone restores too, and the restored witness
+    // clause binds the assumed variable to the surviving ones.
     auto s = build();
-    EXPECT_THROW(s->solve_assuming({~mk_lit(Var(9))}), std::logic_error);
+    EXPECT_EQ(s->solve_assuming({~mk_lit(Var(9))}), Status::Sat);
+    auto* wrapper = dynamic_cast<PreprocessingSolver*>(s.get());
+    EXPECT_GT(wrapper->restored_vars(), 0);
+    EXPECT_EQ(s->model(Var(9)), LBool::False);
+    EXPECT_EQ(s->model(Var(0)), LBool::False);  // witness (x9 | ~x0)
+    EXPECT_EQ(s->model(Var(1)), LBool::True);   // (x0 | x1)
   }
-  {
-    // Frozen: the identical use is fine.
-    auto s = make_preprocessed();
-    std::vector<Var> v;
-    for (int i = 0; i < 10; ++i) v.push_back(s->new_var());
-    s->add_clause({mk_lit(v[0]), mk_lit(v[1])});
-    s->add_clause({mk_lit(v[9]), ~mk_lit(v[0])});
-    s->freeze(v[0]);
-    s->freeze(v[9]);
-    ASSERT_EQ(s->solve(), Status::Sat);
-    EXPECT_TRUE(s->add_clause({mk_lit(v[9]), mk_lit(v[0])}));
-    // No throw; and (x9|~x0) & (x9|x0) & ~x9 is genuinely unsat.
-    EXPECT_EQ(s->solve_assuming({~mk_lit(v[9])}), Status::Unsat);
-    EXPECT_EQ(s->solve_assuming({mk_lit(v[9])}), Status::Sat);
+}
+
+TEST(Preprocess, CloneStatsStartAtZero) {
+  // Regression: the wrapper used to copy the *outer* preprocessing-time
+  // propagation count into every clone, so a batch of N warm clones
+  // reported the front-end's unit propagations N+1 times. Clone stats —
+  // inner solver and front-end alike — must start at zero.
+  auto s = make_preprocessed();
+  std::vector<Var> v;
+  for (int i = 0; i < 8; ++i) v.push_back(s->new_var());
+  s->add_clause({mk_lit(v[0])});  // root unit: front-end propagation
+  for (int i = 0; i + 1 < 8; ++i) {
+    s->add_clause({~mk_lit(v[i]), mk_lit(v[i + 1])});
   }
+  ASSERT_EQ(s->solve(), Status::Sat);
+  ASSERT_GT(s->stats().propagations, 0);
+
+  const auto clone = s->clone();
+  EXPECT_EQ(clone->stats().propagations, 0)
+      << "clone re-reports the master's preprocessing propagations";
+  EXPECT_EQ(clone->stats().conflicts, 0);
+  // The clone still works and counts only its own effort afterwards.
+  EXPECT_EQ(clone->solve(), Status::Sat);
+  EXPECT_EQ(clone->model(v[7]), LBool::True);
 }
 
 TEST(Preprocess, CloneIsIndependentOnBothSidesOfTheBuild) {
@@ -464,6 +495,68 @@ TEST(PreprocessFuzz, CompleteEnumerationsMatchRawBackend) {
   }
 }
 
+TEST(PreprocessFuzz, LateClausesRestoreAndAgreeWithRawBackend) {
+  // Nothing is frozen, so elimination runs unconstrained; the late
+  // clauses and XORs below then land on eliminated variables and force
+  // witness restoration mid-stream. Verdicts and models must keep
+  // matching the raw backend after every restoration.
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::int64_t restored_total = 0;
+  int unsat_seen = 0;
+  for (int round = 0; round < 60; ++round) {
+    RandomInstance inst = random_instance(rng, 14, 0, 20);
+    Solver raw;
+    auto pre = make_preprocessed();
+    load(raw, inst);
+    const std::vector<Var> vars = load(*pre, inst);
+
+    const Status first = raw.solve();
+    ASSERT_EQ(first, pre->solve()) << "round " << round;
+    if (first == Status::Unsat) {
+      ++unsat_seen;
+      continue;
+    }
+    for (int batch = 0; batch < 6; ++batch) {
+      if (batch % 2 == 0) {
+        std::set<Var> cv;
+        std::uniform_int_distribution<int> var(0, inst.num_vars - 1);
+        while (cv.size() < 3) cv.insert(var(rng));
+        std::vector<Lit> clause;
+        for (const Var v : cv) clause.emplace_back(v, coin(rng) == 1);
+        raw.add_clause(clause);
+        pre->add_clause(clause);
+        inst.clauses.push_back(clause);
+      } else {
+        std::set<Var> xv;
+        std::uniform_int_distribution<int> var(0, inst.num_vars - 1);
+        while (xv.size() < 3) xv.insert(var(rng));
+        const std::vector<Var> row(xv.begin(), xv.end());
+        const bool rhs = coin(rng) == 1;
+        raw.add_xor(row, rhs);
+        pre->add_xor(row, rhs);
+        inst.xors.emplace_back(row, rhs);
+      }
+      const Status rs = raw.solve();
+      const Status ps = pre->solve();
+      ASSERT_EQ(rs, ps) << "round " << round << " batch " << batch;
+      if (ps == Status::Unsat) {
+        ++unsat_seen;
+        break;
+      }
+      std::vector<bool> model;
+      for (const Var v : vars) model.push_back(pre->model(v) == LBool::True);
+      ASSERT_TRUE(satisfies(inst, model))
+          << "round " << round << " batch " << batch;
+    }
+    auto* wrapper = dynamic_cast<PreprocessingSolver*>(pre.get());
+    ASSERT_NE(wrapper, nullptr);
+    restored_total += wrapper->restored_vars();
+  }
+  EXPECT_GT(restored_total, 0) << "fixture never triggered a restoration";
+  EXPECT_GT(unsat_seen, 0) << "fixture never exercised the UNSAT path";
+}
+
 // ---------------------------------------------------------------------------
 // DRAT: preprocessed UNSAT verdicts certify against the original formula.
 // ---------------------------------------------------------------------------
@@ -519,6 +612,49 @@ TEST(PreprocessProof, RandomUnsatInstancesCertify) {
     EXPECT_TRUE(r.proved_unsat) << "round " << round;
   }
   EXPECT_GE(certified, 4) << "fixture produced too few UNSAT instances";
+}
+
+TEST(PreprocessProof, RestoredLateClauseUnsatCertifies) {
+  // Drive instances UNSAT through *late* clauses over eliminated
+  // variables: each late add restores witness clauses into the inner
+  // solver (re-added as RUP steps, since the keep-parents policy never
+  // deleted their BVE parents from the checker's database), and the
+  // final empty clause must still certify against original formula +
+  // late axioms.
+  std::mt19937 rng(90210);
+  std::uniform_int_distribution<int> coin(0, 1);
+  int certified = 0;
+  std::int64_t restored_total = 0;
+  for (int round = 0; round < 40 && certified < 6; ++round) {
+    RandomInstance inst = random_instance(rng, 10, 0, 16);
+    MemoryProof proof;
+    SolverOptions opts;
+    opts.proof = &proof;
+    auto s = make_preprocessed(opts);
+    load(*s, inst);
+    if (s->solve() != Status::Sat) continue;
+
+    Status status = Status::Sat;
+    for (int batch = 0; batch < 12 && status == Status::Sat; ++batch) {
+      std::set<Var> cv;
+      std::uniform_int_distribution<int> var(0, inst.num_vars - 1);
+      while (cv.size() < 2) cv.insert(var(rng));
+      std::vector<Lit> clause;
+      for (const Var v : cv) clause.emplace_back(v, coin(rng) == 1);
+      s->add_clause(clause);
+      status = s->solve();
+    }
+    if (status != Status::Unsat) continue;
+    auto* wrapper = dynamic_cast<PreprocessingSolver*>(s.get());
+    ASSERT_NE(wrapper, nullptr);
+    restored_total += wrapper->restored_vars();
+    ++certified;
+    const DratChecker::Result r = certify(proof);
+    EXPECT_TRUE(r.valid) << "round " << round << ": " << r.error;
+    EXPECT_TRUE(r.proved_unsat) << "round " << round;
+  }
+  EXPECT_GE(certified, 3) << "fixture produced too few late-UNSAT instances";
+  EXPECT_GT(restored_total, 0) << "fixture never triggered a restoration";
 }
 
 TEST(PreprocessProof, EnumerationBlockingClausesStayCheckable) {

@@ -47,11 +47,18 @@ differs — can never silently pollute a baseline diff; the numbers are
 not comparable across backends or front-end modes.
 
 When a report carries preprocessed twin rows ("<name>_pre" next to
-"<name>", bench_solver's --preprocess both mode), baseline mode also
-prints the front-end gain per pair — the conflict reduction and the
-seconds speedup of the _pre row over its raw sibling — and fails if a
-_pre row's fingerprint differs from its raw sibling's (the front-end
-must change search effort, never answers).
+"<name>", the --preprocess both mode of bench_solver and
+bench_incremental), baseline mode also prints the front-end gain per
+pair — the conflict reduction and the seconds speedup of the _pre row
+over its raw sibling — and fails if a _pre row's fingerprint differs
+from its raw sibling's (the front-end must change search effort, never
+answers). For bench_incremental pairs the in-run warm-template ratio
+(_pre template_entries_per_sec over the raw sibling's) is additionally
+gated against the committed baseline's same ratio: machine speed cancels
+out of the ratio, so a collapse there means the preprocess-once template
+path itself regressed. The underprovisioned flag skips this gate like
+every other throughput gate. Any row that records
+"identical_signal_sets": false fails schema validation outright.
 
 Exits non-zero with a per-file message on the first violation.
 No third-party dependencies — CI runs it with a stock python3.
@@ -94,6 +101,14 @@ def check_report(data):
             raise SchemaError(f"rows[{i}] is not an object")
         if not row:
             raise SchemaError(f"rows[{i}] is empty")
+        # Benches that differentially check answers (bench_incremental)
+        # record the verdict per row; a false verdict is a correctness
+        # bug no throughput number can excuse.
+        if row.get("identical_signal_sets") is False:
+            raise SchemaError(
+                f"rows[{i}] ({row_key(row, i)!r}): identical_signal_sets "
+                "is false — the compared paths reconstructed different "
+                "signal sets")
 
     wall = data["wall_seconds"]
     if not isinstance(wall, numbers.Real) or isinstance(wall, bool):
@@ -161,10 +176,26 @@ def front_end_gain_lines(rows):
         rs, ps = raw.get("seconds"), pre.get("seconds")
         if isinstance(rs, numbers.Real) and isinstance(ps, numbers.Real) and ps:
             parts.append(f"speedup x{rs / ps:.2f}")
+        ratio = template_pre_ratio(raw, pre)
+        if ratio is not None:
+            parts.append(f"template entries/sec x{ratio:.2f}")
         if parts:
             lines.append(f"  front-end {key[:-len('_pre')]}: "
                          + ", ".join(parts))
     return lines
+
+
+def template_pre_ratio(raw, pre):
+    """Preprocessed-template throughput over the raw template's, for a
+    ("<name>", "<name>_pre") bench_incremental row pair. None when either
+    row lacks the rate (e.g. bench_solver pairs)."""
+    raw_eps = raw.get("template_entries_per_sec")
+    pre_eps = pre.get("template_entries_per_sec")
+    if not isinstance(raw_eps, numbers.Real) or not raw_eps:
+        return None
+    if not isinstance(pre_eps, numbers.Real):
+        return None
+    return pre_eps / raw_eps
 
 
 def check_baseline(base, current, min_ratio):
@@ -210,6 +241,33 @@ def check_baseline(base, current, min_ratio):
                     f"row {key!r}: {field} regressed to "
                     f"{ratio:.2f}x of baseline (< {min_ratio:.2f}x): "
                     f"{base_rate:,.0f} -> {cur_rate:,.0f}")
+
+    # Warm-template front-end gate: for every committed ("<name>",
+    # "<name>_pre") pair, the preprocessed template's throughput advantage
+    # over the raw template (template_entries_per_sec ratio) must not
+    # collapse relative to the committed baseline's. The ratio is taken
+    # within one run, so it is robust to machine speed; min_ratio supplies
+    # the same noise allowance as the absolute gates.
+    for key in sorted(base_rows):
+        if not key.endswith("_pre"):
+            continue
+        raw_key = key[:-len("_pre")]
+        if raw_key not in base_rows or raw_key not in cur_rows:
+            continue
+        base_ratio = template_pre_ratio(base_rows[raw_key], base_rows[key])
+        cur_ratio = template_pre_ratio(cur_rows[raw_key], cur_rows[key])
+        if base_ratio is None or cur_ratio is None:
+            continue
+        lines.append(f"  {raw_key}: template+preprocess ratio "
+                     f"x{base_ratio:.2f} -> x{cur_ratio:.2f}")
+        if skip_ratio:
+            continue
+        if cur_ratio < min_ratio * base_ratio:
+            raise BaselineError(
+                f"row {key!r}: template+preprocess ratio regressed to "
+                f"x{cur_ratio:.2f} vs baseline x{base_ratio:.2f} "
+                f"(< {min_ratio:.2f} of baseline) — the warm-template "
+                "front-end payoff collapsed")
 
     extra = sorted(cur_rows.keys() - base_rows.keys())
     if extra:
